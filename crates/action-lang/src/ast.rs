@@ -1,0 +1,312 @@
+//! Abstract syntax tree of the action language.
+
+use crate::error::Span;
+use crate::types::Type;
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `enum ECD { Event, Condition, Data };`
+    Enum(EnumDecl),
+    /// `typedef struct port { ... } Port;` / `struct port { ... };`
+    Struct(StructDecl),
+    /// A global variable definition, possibly with initialiser.
+    Global(GlobalDecl),
+    /// A function definition.
+    Function(FunctionDecl),
+    /// `event NAME;` — a chart event usable in `raise`.
+    ExternEvent(String, Span),
+    /// `condition NAME;` — a chart condition usable as an lvalue.
+    ExternCondition(String, Span),
+    /// `port NAME : width @ addr [in|out|bidir];` — an external data port.
+    ExternPort(PortDecl),
+}
+
+/// `enum Name { A, B, C };`
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumDecl {
+    /// Enum name.
+    pub name: String,
+    /// Variant names; values are 0..n in order.
+    pub variants: Vec<String>,
+    /// Position of the declaration.
+    pub span: Span,
+}
+
+/// A struct field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type (scalar or enum).
+    pub ty: Type,
+}
+
+/// `typedef struct tag { fields } Name;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDecl {
+    /// Struct (typedef) name.
+    pub name: String,
+    /// Fields in order.
+    pub fields: Vec<Field>,
+    /// Position of the declaration.
+    pub span: Span,
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional initialiser: a scalar expression or a brace list.
+    pub init: Option<Initializer>,
+    /// Position of the declaration.
+    pub span: Span,
+}
+
+/// Initialiser forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Initializer {
+    /// `= expr`
+    Expr(Expr),
+    /// `= { e1, e2, … }` (structs and arrays)
+    List(Vec<Expr>),
+}
+
+/// `port NAME : width @ addr dir;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortDecl {
+    /// Port name.
+    pub name: String,
+    /// Word width in bits.
+    pub width: u8,
+    /// Port address.
+    pub address: u16,
+    /// `"in"`, `"out"` or `"bidir"`.
+    pub direction: String,
+    /// Position of the declaration.
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDecl {
+    /// Function name.
+    pub name: String,
+    /// Return type (`void` or scalar).
+    pub ret: Type,
+    /// Parameters (scalar types only).
+    pub params: Vec<(String, Type)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Position of the definition.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration `int:16 x = e;`
+    Local {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Optional initialiser.
+        init: Option<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// Assignment `lv op= e;` (`op` empty for plain `=`).
+    Assign {
+        /// Target.
+        lvalue: LValue,
+        /// Compound operator (`+`, `-`, …) or `None` for plain `=`.
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Expr,
+        /// Position.
+        span: Span,
+    },
+    /// Expression statement (function call).
+    Expr(Expr),
+    /// `if (c) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (c) { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) { .. }` — desugared by the parser into
+    /// `init; while (cond) { body; step; }`, so it never reaches sema.
+    /// Present for completeness of the AST printer.
+    For,
+    /// `return e?;`
+    Return(Option<Expr>, Span),
+    /// `raise EVENT;`
+    Raise(String, Span),
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Plain variable / condition / port name.
+    Name(String, Span),
+    /// Array element `a[i]`.
+    Index(String, Expr, Span),
+    /// Struct member `s.f`.
+    Member(String, String, Span),
+}
+
+impl LValue {
+    /// Position of the lvalue.
+    pub fn span(&self) -> Span {
+        match self {
+            LValue::Name(_, s) | LValue::Index(_, _, s) | LValue::Member(_, _, s) => *s,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    LogicAnd,
+    /// `||`
+    LogicOr,
+}
+
+impl BinOp {
+    /// True for `== != < <= > >= && ||` (result type `uint:1`).
+    pub fn is_boolean(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::LogicAnd
+                | BinOp::LogicOr
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Bitwise complement `~`.
+    BitNot,
+    /// Logical not `!`.
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal; `width` pinned for `B:` literals.
+    Int {
+        /// Value.
+        value: i64,
+        /// Pinned width, if any.
+        width: Option<u8>,
+        /// Position.
+        span: Span,
+    },
+    /// Variable / parameter / enum variant / condition / port read.
+    Name(String, Span),
+    /// Array element read.
+    Index(String, Box<Expr>, Span),
+    /// Struct member read.
+    Member(String, String, Span),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        func: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Position.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Position of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int { span, .. }
+            | Expr::Name(_, span)
+            | Expr::Index(_, _, span)
+            | Expr::Member(_, _, span)
+            | Expr::Bin { span, .. }
+            | Expr::Un { span, .. }
+            | Expr::Call { span, .. } => *span,
+        }
+    }
+}

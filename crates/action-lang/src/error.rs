@@ -1,0 +1,77 @@
+//! Diagnostics for the action-language compiler.
+
+use std::fmt;
+
+/// A source position (1-based line/column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(line: u32, column: u32) -> Self {
+        Span { line, column }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// A compile error with phase, position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Which compiler phase produced the error.
+    pub phase: Phase,
+    /// Source position, when known.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Compiler phases, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenisation.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic analysis.
+    Sema,
+}
+
+impl CompileError {
+    /// Lexer error.
+    pub fn lex(span: Span, message: impl Into<String>) -> Self {
+        CompileError { phase: Phase::Lex, span, message: message.into() }
+    }
+
+    /// Parser error.
+    pub fn parse(span: Span, message: impl Into<String>) -> Self {
+        CompileError { phase: Phase::Parse, span, message: message.into() }
+    }
+
+    /// Semantic error.
+    pub fn sema(span: Span, message: impl Into<String>) -> Self {
+        CompileError { phase: Phase::Sema, span, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "semantic",
+        };
+        write!(f, "{phase} error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}

@@ -1,0 +1,300 @@
+//! Tokeniser for the extended-C action language.
+//!
+//! Deviations from plain C, per §2 of the paper:
+//!
+//! * `int:16` — the colon-width suffix is lexed as separate tokens and
+//!   assembled by the parser;
+//! * `B:001011` — binary constants with explicit width (the number of
+//!   digits), lexed as a single [`Tok::BinLit`];
+//! * `0700` — leading-zero literals are octal, exactly as in C (Fig. 2b
+//!   uses octal port addresses).
+
+use crate::error::{CompileError, Span};
+use std::fmt;
+
+/// Token kinds of the action language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal with an optional intrinsic width.
+    Int {
+        /// The literal value.
+        value: i64,
+        /// Width in bits when the literal pins one (`B:` literals).
+        width: Option<u8>,
+    },
+    /// Binary literal `B:001011` (value plus digit-count width).
+    BinLit {
+        /// The literal value.
+        value: i64,
+        /// Width = number of binary digits.
+        width: u8,
+    },
+    /// Punctuation and operators, one or two characters.
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int { value, .. } => write!(f, "integer {value}"),
+            Tok::BinLit { value, width } => write!(f, "B-literal {value} ({width} bits)"),
+            Tok::Sym(s) => write!(f, "`{s}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Its position.
+    pub span: Span,
+}
+
+const TWO_CHAR_SYMS: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", "++", "--",
+];
+
+const ONE_CHAR_SYMS: &[char] = &[
+    '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>', '=', '(', ')', '{', '}', '[',
+    ']', ';', ',', ':', '.', '@',
+];
+
+/// Tokenises `src`.
+///
+/// # Errors
+///
+/// Returns a positioned error for characters outside the language or
+/// malformed literals.
+#[allow(clippy::mut_range_bound)] // the advance! macro moves `pos` deliberately
+pub fn tokenize(src: &str) -> Result<Vec<SpannedTok>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! advance {
+        () => {{
+            if bytes[pos] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            pos += 1;
+        }};
+    }
+
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        let span = Span::new(line, col);
+
+        // The language is ASCII; reject multi-byte characters up front
+        // (also keeps all later byte-indexed slicing on char boundaries).
+        if !b.is_ascii() {
+            return Err(CompileError::lex(span, "non-ASCII character in source"));
+        }
+        if b.is_ascii_whitespace() {
+            advance!();
+            continue;
+        }
+        // Comments.
+        if b == b'/' && bytes.get(pos + 1) == Some(&b'/') {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                advance!();
+            }
+            continue;
+        }
+        if b == b'/' && bytes.get(pos + 1) == Some(&b'*') {
+            advance!();
+            advance!();
+            while pos + 1 < bytes.len() && !(bytes[pos] == b'*' && bytes[pos + 1] == b'/') {
+                advance!();
+            }
+            if pos + 1 >= bytes.len() {
+                return Err(CompileError::lex(span, "unterminated block comment"));
+            }
+            advance!();
+            advance!();
+            continue;
+        }
+
+        // `B:0101` binary literal (identifier `B` followed by `:` digits).
+        if b == b'B' && bytes.get(pos + 1) == Some(&b':') {
+            let mut end = pos + 2;
+            while end < bytes.len() && (bytes[end] == b'0' || bytes[end] == b'1') {
+                end += 1;
+            }
+            if end > pos + 2 {
+                let digits = &src[pos + 2..end];
+                let value = i64::from_str_radix(digits, 2)
+                    .map_err(|_| CompileError::lex(span, "binary literal overflows"))?;
+                let width = digits.len() as u8;
+                if width > 32 {
+                    return Err(CompileError::lex(span, "binary literal wider than 32 bits"));
+                }
+                for _ in pos..end {
+                    advance!();
+                }
+                out.push(SpannedTok { tok: Tok::BinLit { value, width }, span });
+                continue;
+            }
+        }
+
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = pos;
+            while pos < bytes.len()
+                && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+            {
+                advance!();
+            }
+            out.push(SpannedTok { tok: Tok::Ident(src[start..pos].to_string()), span });
+            continue;
+        }
+
+        if b.is_ascii_digit() {
+            let start = pos;
+            let hex = b == b'0' && matches!(bytes.get(pos + 1), Some(b'x') | Some(b'X'));
+            if hex {
+                advance!();
+                advance!();
+            }
+            while pos < bytes.len()
+                && (bytes[pos].is_ascii_hexdigit() && (hex || bytes[pos].is_ascii_digit()))
+            {
+                advance!();
+            }
+            let text = &src[start..pos];
+            let value = if hex {
+                i64::from_str_radix(&text[2..], 16)
+            } else if text.len() > 1 && text.starts_with('0') {
+                // Leading zero means octal, as in C (Fig. 2b: `0700`).
+                i64::from_str_radix(&text[1..], 8)
+            } else {
+                text.parse::<i64>()
+            }
+            .map_err(|_| CompileError::lex(span, format!("invalid number `{text}`")))?;
+            out.push(SpannedTok { tok: Tok::Int { value, width: None }, span });
+            continue;
+        }
+
+        // Two-character symbols first.
+        if let Some(two) = src.get(pos..pos + 2) {
+            if let Some(&sym) = TWO_CHAR_SYMS.iter().find(|&&s| s == two) {
+                advance!();
+                advance!();
+                out.push(SpannedTok { tok: Tok::Sym(sym), span });
+                continue;
+            }
+        }
+        if let Some(&c) = ONE_CHAR_SYMS.iter().find(|&&c| c == b as char) {
+            advance!();
+            // Leak-free static str lookup.
+            let sym: &'static str = match c {
+                '+' => "+",
+                '-' => "-",
+                '*' => "*",
+                '/' => "/",
+                '%' => "%",
+                '&' => "&",
+                '|' => "|",
+                '^' => "^",
+                '~' => "~",
+                '!' => "!",
+                '<' => "<",
+                '>' => ">",
+                '=' => "=",
+                '(' => "(",
+                ')' => ")",
+                '{' => "{",
+                '}' => "}",
+                '[' => "[",
+                ']' => "]",
+                ';' => ";",
+                ',' => ",",
+                ':' => ":",
+                '.' => ".",
+                '@' => "@",
+                _ => unreachable!(),
+            };
+            out.push(SpannedTok { tok: Tok::Sym(sym), span });
+            continue;
+        }
+
+        return Err(CompileError::lex(span, format!("unexpected character `{}`", b as char)));
+    }
+
+    out.push(SpannedTok { tok: Tok::Eof, span: Span::new(line, col) });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn b_literals_carry_width() {
+        let t = toks("B:001011");
+        assert_eq!(t[0], Tok::BinLit { value: 0b001011, width: 6 });
+    }
+
+    #[test]
+    fn octal_and_hex() {
+        assert_eq!(toks("0700")[0], Tok::Int { value: 0o700, width: None });
+        assert_eq!(toks("0x1F")[0], Tok::Int { value: 31, width: None });
+        assert_eq!(toks("0")[0], Tok::Int { value: 0, width: None });
+    }
+
+    #[test]
+    fn int_colon_width_is_three_tokens() {
+        let t = toks("int:16");
+        assert_eq!(
+            t[..3],
+            [
+                Tok::Ident("int".into()),
+                Tok::Sym(":"),
+                Tok::Int { value: 16, width: None }
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let t = toks("a <= b && c >> 2");
+        assert!(t.contains(&Tok::Sym("<=")));
+        assert!(t.contains(&Tok::Sym("&&")));
+        assert!(t.contains(&Tok::Sym(">>")));
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let t = toks("a /* x */ b // y\nc");
+        assert_eq!(t.len(), 4); // a b c eof
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(tokenize("/* oops").is_err());
+    }
+
+    #[test]
+    fn b_ident_still_identifier() {
+        // `B` not followed by `:binary-digits` stays an identifier.
+        let t = toks("B + Bx");
+        assert_eq!(t[0], Tok::Ident("B".into()));
+        assert_eq!(t[2], Tok::Ident("Bx".into()));
+    }
+}

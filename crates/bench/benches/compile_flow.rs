@@ -1,0 +1,87 @@
+//! Toolchain benches: parsing, action-language compilation, SLA
+//! synthesis, TEP code generation, the end-to-end system compile, and
+//! the iterative optimisation loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pscp_core::arch::PscpArch;
+use pscp_core::compile::{chart_env, compile_system_from_ir};
+use pscp_core::optimize::{optimize, OptimizeOptions};
+use pscp_motors::{pickup_head_actions, pickup_head_chart};
+use pscp_sla::synth::synthesize;
+use pscp_statechart::encoding::{CrLayout, EncodingStyle};
+use pscp_statechart::{parse::parse_chart, pretty};
+use pscp_tep::codegen::{compile_program, CodegenOptions};
+use std::hint::black_box;
+
+fn bench_frontends(c: &mut Criterion) {
+    let chart = pickup_head_chart();
+    let text = pretty::to_text(&chart);
+    c.bench_function("parse_chart/pickup_head", |b| {
+        b.iter(|| parse_chart(black_box(&text)).unwrap())
+    });
+
+    let env = chart_env(&chart);
+    let actions = pickup_head_actions();
+    c.bench_function("action_lang_compile/pickup_head", |b| {
+        b.iter(|| pscp_action_lang::compile_with_env(black_box(&actions), &env).unwrap())
+    });
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let chart = pickup_head_chart();
+    c.bench_function("sla_synthesize/exclusivity", |b| {
+        b.iter(|| {
+            let layout = CrLayout::new(&chart, EncodingStyle::Exclusivity);
+            synthesize(black_box(&chart), &layout)
+        })
+    });
+    c.bench_function("sla_synthesize/onehot", |b| {
+        b.iter(|| {
+            let layout = CrLayout::new(&chart, EncodingStyle::OneHot);
+            synthesize(black_box(&chart), &layout)
+        })
+    });
+
+    let env = chart_env(&chart);
+    let ir = pscp_action_lang::compile_with_env(&pickup_head_actions(), &env).unwrap();
+    for arch in [PscpArch::minimal(), PscpArch::md16_optimized()] {
+        c.bench_function(&format!("tep_codegen/{}", arch.tep.calc.width), |b| {
+            b.iter(|| compile_program(black_box(&ir), &arch.tep, &CodegenOptions::default()))
+        });
+    }
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let chart = pickup_head_chart();
+    let env = chart_env(&chart);
+    let ir = pscp_action_lang::compile_with_env(&pickup_head_actions(), &env).unwrap();
+    c.bench_function("compile_system/dual_md16_opt", |b| {
+        b.iter(|| {
+            compile_system_from_ir(
+                black_box(&chart),
+                &ir,
+                &PscpArch::dual_md16(true),
+                &CodegenOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+
+    let mut group = c.benchmark_group("optimize_loop");
+    group.sample_size(10);
+    group.bench_function("pickup_head_from_minimal", |b| {
+        b.iter(|| {
+            optimize(
+                black_box(&chart),
+                &ir,
+                &PscpArch::minimal(),
+                &OptimizeOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontends, bench_synthesis, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Simulator benches: SLA evaluation throughput, the cycle-accurate TEP
+//! machine, and full-system configuration-cycle rates with 1–4 TEPs
+//! (the scheduler-scaling ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pscp_bench::example_system;
+use pscp_core::arch::PscpArch;
+use pscp_core::machine::{PscpMachine, ScriptedEnvironment};
+use pscp_motors::head::{Move, SmdHead};
+use pscp_sla::sim::SlaSim;
+use pscp_sla::synth::synthesize;
+use pscp_statechart::encoding::{CrLayout, EncodingStyle};
+use pscp_statechart::semantics::Executor;
+use pscp_tep::machine::TepMachine;
+use std::hint::black_box;
+
+fn bench_sla_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sla_eval");
+    for style in [EncodingStyle::Exclusivity, EncodingStyle::OneHot] {
+        let sys = example_system(&PscpArch::md16_optimized());
+        let layout = CrLayout::new(&sys.chart, style);
+        let sla = synthesize(&sys.chart, &layout);
+        let sim = SlaSim::new(&sys.chart, &layout, &sla);
+        let exec = Executor::new(&sys.chart);
+        let dv = sys.chart.event_by_name("DATA_VALID").unwrap();
+        let bits =
+            sim.cr_bits(exec.configuration(), &[dv].into_iter().collect(), &|_| false);
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::from_parameter(format!("{style:?}")), |b| {
+            b.iter(|| {
+                let fired = sim.fired(black_box(&bits));
+                let next = sim.next_cr(black_box(&bits));
+                (fired, next)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tep_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tep_machine_delta_t");
+    for arch in [PscpArch::minimal(), PscpArch::md16_unoptimized(), PscpArch::md16_optimized()]
+    {
+        let sys = example_system(&arch);
+        group.bench_function(BenchmarkId::from_parameter(&arch.label), |b| {
+            b.iter(|| {
+                let mut m = TepMachine::new(&sys.program);
+                let mut host = pscp_action_lang::interp::RecordingHost::new();
+                m.call("DeltaTX", &[], &mut host).unwrap();
+                m.cycles()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pscp_config_cycles");
+    group.sample_size(20);
+    for n_teps in [1u8, 2, 3, 4] {
+        let mut arch = PscpArch::dual_md16(true);
+        arch.n_teps = n_teps;
+        arch.label = format!("{n_teps} TEPs");
+        let sys = example_system(&arch);
+        group.bench_function(BenchmarkId::from_parameter(n_teps), |b| {
+            b.iter(|| {
+                let mut m = PscpMachine::new(&sys);
+                let mut env = ScriptedEnvironment::new(vec![
+                    vec!["POWER"],
+                    vec!["DATA_VALID"],
+                    vec!["DATA_VALID"],
+                    vec!["X_PULSE", "Y_PULSE"],
+                    vec![],
+                ]);
+                for _ in 0..5 {
+                    m.step(&mut env).unwrap();
+                }
+                m.now()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cosim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosim_one_move");
+    group.sample_size(10);
+    let sys = example_system(&PscpArch::dual_md16(true));
+    group.bench_function("dual_md16_opt", |b| {
+        b.iter(|| {
+            let mut m = PscpMachine::new(&sys);
+            let mut head = SmdHead::with_moves(&[Move { x: 40, y: 25, phi: 10 }]);
+            let idle1 = sys.chart.state_by_name("Idle1").unwrap();
+            let mut steps = 0;
+            while steps < 500_000 {
+                m.step(&mut head).unwrap();
+                steps += 1;
+                if head.pending_bytes() == 0
+                    && head.all_idle()
+                    && m.executor().configuration().is_active(idle1)
+                {
+                    break;
+                }
+            }
+            m.now()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sla_eval,
+    bench_tep_machine,
+    bench_scheduler_scaling,
+    bench_cosim
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Timing-validation benches: the heuristic event-cycle DFS on the
+//! example and on synthetic charts of growing size (the scalability
+//! claim behind "a perfect algorithm would require reachability
+//! analysis" — ours stays polynomial on well-structured charts), plus
+//! the WCET analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pscp_bench::{example_system, example_timing};
+use pscp_core::arch::PscpArch;
+use pscp_core::compile::compile_system;
+use pscp_core::timing::{validate_timing, wcet_report, TimingOptions};
+use pscp_statechart::{Chart, ChartBuilder, StateKind};
+use pscp_tep::codegen::CodegenOptions;
+use std::hint::black_box;
+
+/// A synthetic chart: `regions` parallel OR-regions of `chain` states
+/// each, every state consuming a constrained event.
+fn synthetic(regions: usize, chain: usize) -> Chart {
+    let mut b = ChartBuilder::new("synthetic");
+    b.event("EV", Some(10_000));
+    let names: Vec<String> = (0..regions).map(|r| format!("R{r}")).collect();
+    b.state("Top", StateKind::And).contains(names.iter().map(String::as_str));
+    for r in 0..regions {
+        let children: Vec<String> = (0..chain).map(|i| format!("S{r}_{i}")).collect();
+        b.state(format!("R{r}"), StateKind::Or)
+            .contains(children.iter().map(String::as_str))
+            .default_child(children[0].clone());
+        for (i, child) in children.iter().enumerate() {
+            let next = format!("S{r}_{}", (i + 1) % chain);
+            b.state(child.clone(), StateKind::Basic)
+                .transition_costed(next, "EV", 50 + (i as u64 * 7) % 90);
+        }
+    }
+    b.build().unwrap()
+}
+
+fn bench_validation_example(c: &mut Criterion) {
+    for arch in [PscpArch::md16_unoptimized(), PscpArch::dual_md16(true)] {
+        let sys = example_system(&arch);
+        c.bench_function(&format!("validate_timing/{}", arch.label), |b| {
+            b.iter(|| example_timing(black_box(&sys)))
+        });
+    }
+}
+
+fn bench_validation_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validate_timing_synthetic");
+    for (regions, chain) in [(2usize, 4usize), (4, 4), (4, 8), (8, 8)] {
+        let chart = synthetic(regions, chain);
+        let sys = compile_system(
+            &chart,
+            "",
+            &PscpArch::md16_unoptimized(),
+            &CodegenOptions::default(),
+        )
+        .unwrap();
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{regions}x{chain}")),
+            |b| b.iter(|| validate_timing(black_box(&sys), &TimingOptions::default())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_wcet(c: &mut Criterion) {
+    let sys = example_system(&PscpArch::md16_optimized());
+    c.bench_function("wcet_report/pickup_head", |b| {
+        b.iter(|| wcet_report(black_box(&sys), &TimingOptions::default()))
+    });
+}
+
+criterion_group!(benches, bench_validation_example, bench_validation_scaling, bench_wcet);
+criterion_main!(benches);

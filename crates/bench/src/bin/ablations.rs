@@ -1,0 +1,71 @@
+//! Ablation study over the design choices DESIGN.md calls out: starting
+//! from the paper's final architecture, each ingredient is removed (or,
+//! for the §6 extensions, added) in isolation, and the area + critical
+//! paths re-measured.
+
+use pscp_bench::{crit_path_data_valid, crit_path_xy, example_system, example_timing};
+use pscp_core::arch::PscpArch;
+use pscp_core::area::pscp_area;
+use pscp_core::report::Table;
+use pscp_statechart::encoding::EncodingStyle;
+
+fn main() {
+    let mut t = Table::new(["Variant", "Area", "Crit.Path X,Y", "Crit.Path DATA_VALID"]);
+
+    let mut add = |label: &str, arch: &PscpArch| {
+        let sys = example_system(arch);
+        let rep = example_timing(&sys);
+        t.row([
+            label.to_string(),
+            pscp_area(&sys).total().0.to_string(),
+            crit_path_xy(&rep).unwrap().to_string(),
+            crit_path_data_valid(&rep).unwrap().to_string(),
+        ]);
+    };
+
+    let full = PscpArch::dual_md16(true);
+    add("full (2x M/D, optimized)", &full);
+
+    let mut v = full.clone();
+    v.tep.custom_instructions = false;
+    add("- custom instructions", &v);
+
+    let mut v = full.clone();
+    v.tep.register_file = 0;
+    add("- register file", &v);
+
+    let mut v = full.clone();
+    v.tep.optimize_code = false;
+    v.tep.custom_instructions = false; // extraction presumes peepholed code
+    add("- code optimization", &v);
+
+    let mut v = full.clone();
+    v.n_teps = 1;
+    add("- second TEP", &v);
+
+    let mut v = full.clone();
+    v.encoding = EncodingStyle::OneHot;
+    add("one-hot state encoding", &v);
+
+    let mut v = full.clone();
+    v.tep.calc.comparator = false;
+    add("- comparator", &v);
+
+    let mut v = full.clone();
+    v.tep.pipelined = true;
+    add("+ pipelined fetch (ext.)", &v);
+
+    let mut v = full.clone();
+    v.interrupt_events.insert("X_PULSE".into());
+    v.interrupt_events.insert("Y_PULSE".into());
+    add("+ X/Y as interrupts (ext.)", &v);
+
+    let mut v = full.clone();
+    v.n_teps = 1;
+    v.interrupt_events.insert("X_PULSE".into());
+    v.interrupt_events.insert("Y_PULSE".into());
+    add("1 TEP + interrupts (ext.)", &v);
+
+    println!("Ablations on the pickup-head example (deadlines: X/Y 300, DATA_VALID 1500)\n");
+    println!("{t}");
+}

@@ -1,0 +1,57 @@
+//! Fig. 1 — PSCP architecture overview: structural dump of a generated
+//! PSCP instance (SLA, CR, transition address table, scheduler, TEPs,
+//! buses, ports).
+
+use pscp_bench::example_system;
+use pscp_core::arch::PscpArch;
+use pscp_core::area::pscp_area;
+
+fn main() {
+    let arch = PscpArch::dual_md16(true);
+    let sys = example_system(&arch);
+
+    println!("PSCP instance for `{}` ({}):\n", sys.chart.name(), arch.label);
+
+    println!("Configuration register: {} bits", sys.layout.width());
+    println!("  state part     : {} bits ({} exclusivity fields)",
+        sys.layout.state_width(), sys.layout.fields().len());
+    println!("  event part     : {} bits", sys.layout.event_width());
+    println!("  condition part : {} bits", sys.layout.condition_width());
+
+    println!("\nSLA: {} logic nodes, {} product terms, depth {} levels",
+        sys.sla.net.len(), sys.sla.product_terms(), sys.sla.net.depth());
+    println!("Transition address table: {} entries", sys.sla.table.len());
+
+    println!("\n{} TEP(s), each:", arch.n_teps);
+    let tep = &arch.tep;
+    println!("  data bus          : {} bits", tep.calc.width);
+    println!("  M/D unit          : {}", tep.calc.muldiv);
+    println!("  comparator        : {}", tep.calc.comparator);
+    println!("  two's complement  : {}", tep.calc.twos_complement);
+    println!("  shifter           : {}", tep.calc.shifter);
+    println!("  register file     : {} regs", tep.register_file);
+    println!("  custom instructions: {}", sys.arch.tep.custom_ops.len());
+    println!("  local RAM used    : {} words", sys.program.internal_words_used);
+    println!("  external RAM used : {} words", sys.program.external_words_used);
+    println!("  program size      : {} instructions ({} routines)",
+        sys.program.instruction_count(), sys.program.functions.len());
+
+    println!("\nPort architecture ({} data ports):", sys.program.ports.len());
+    for p in &sys.program.ports {
+        println!(
+            "  {:<12} {:>2} bits @ 0x{:03X} {}{}",
+            p.name,
+            p.width,
+            p.address,
+            if p.readable { "r" } else { "-" },
+            if p.writable { "w" } else { "-" }
+        );
+    }
+
+    println!("\nArea breakdown:");
+    let area = pscp_area(&sys);
+    for b in &area.blocks {
+        println!("  {:<24} {:>5} CLBs", b.name, b.area.0);
+    }
+    println!("  {:<24} {:>5} CLBs total", "", area.total().0);
+}

@@ -1,0 +1,52 @@
+//! Fig. 2a/2b, Figs. 5/6 — the two system-level notations: the textual
+//! statechart format (round-tripped through the parser) and the
+//! intermediate extended-C code of the action routines.
+
+use pscp_motors::{pickup_head_actions, pickup_head_chart};
+use pscp_statechart::parse::parse_chart;
+use pscp_statechart::pretty;
+
+fn main() {
+    let chart = pickup_head_chart();
+
+    println!("=== Fig. 5/6: chart hierarchy ===\n");
+    print!("{}", pretty::tree(&chart));
+
+    println!("\n=== Fig. 2a: textual statechart format (generated) ===\n");
+    let text = pretty::to_text(&chart);
+    // Print the DataPreparation fragment the paper shows.
+    let mut in_fragment = false;
+    for line in text.lines() {
+        if line.starts_with("orstate DataPreparation")
+            || line.starts_with("andstate Operation")
+            || line.starts_with("basicstate ErrState")
+            || line.starts_with("basicstate Errstate")
+        {
+            in_fragment = true;
+        }
+        if in_fragment {
+            println!("{line}");
+            if line == "}" {
+                in_fragment = false;
+            }
+        }
+    }
+
+    // Round trip: parse what we printed.
+    let reparsed = parse_chart(&text).expect("pretty output reparses");
+    assert_eq!(reparsed.state_count(), chart.state_count());
+    assert_eq!(reparsed.transition_count(), chart.transition_count());
+    println!(
+        "\nRound trip OK: {} states, {} transitions, {} events, {} conditions.",
+        chart.state_count(),
+        chart.transition_count(),
+        chart.events().len(),
+        chart.conditions().len()
+    );
+
+    println!("\n=== Fig. 2b: intermediate C code (excerpt) ===\n");
+    for line in pickup_head_actions().lines().take(40) {
+        println!("{line}");
+    }
+    println!("...");
+}

@@ -1,0 +1,46 @@
+//! Fig. 3 — TEP architecture: datapath configuration, instruction-set
+//! summary and an assembler listing of the hot routine (`DeltaTX`)
+//! showing the three software representation levels of §2.
+
+use pscp_bench::example_system;
+use pscp_core::arch::PscpArch;
+use pscp_tep::asm;
+use pscp_tep::microcode::{microprogram, peephole, InstrKind};
+use pscp_tep::timing::CostModel;
+
+fn main() {
+    let arch = PscpArch::md16_optimized();
+    let sys = example_system(&arch);
+    let cost = CostModel::new(&sys.program.arch);
+
+    println!("TEP datapath ({}):", arch.label);
+    println!("  IN/OUT ports | RAM | Calculation Unit (Acc, M/D, ALU) | uProgram Memory + Decoder");
+    println!("  bus width {} bits, instruction format 16 bits, microinstructions 16 bits\n",
+        arch.tep.calc.width);
+
+    println!("=== Assembler level: DeltaTX (the 300-cycle-deadline routine) ===\n");
+    let fi = sys.program.function_index("DeltaTX").unwrap();
+    let f = &sys.program.functions[fi as usize];
+    print!("{}", asm::listing(f, &cost));
+    let total: u64 = f.code.iter().map(|i| cost.cost(i)).sum();
+    println!("straight-line total: {total} cycles ({} instructions)\n", f.code.len());
+
+    println!("=== Microinstruction level: the `add` microprogram ===\n");
+    for (label, optimized) in [("unoptimised", false), ("optimised", true)] {
+        let mut seq = microprogram(InstrKind::AluSimple);
+        if optimized {
+            seq = peephole(seq);
+        }
+        println!("{label} ({} microinstructions):", seq.len());
+        for (i, w) in seq.iter().enumerate() {
+            println!(
+                "  {i}: group={:<14} signal={:#04x} next={:<3} word={:#06x}",
+                w.group.to_string(),
+                w.signal,
+                w.next,
+                w.encode()
+            );
+        }
+        println!();
+    }
+}

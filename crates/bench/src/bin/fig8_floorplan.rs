@@ -1,0 +1,21 @@
+//! Fig. 8 — the PSCP floorplan: the final two-TEP architecture placed
+//! on the XC4025's 32x32 CLB grid.
+
+use pscp_bench::example_system;
+use pscp_core::arch::PscpArch;
+use pscp_core::area::pscp_area;
+use pscp_fpga::device::Device;
+use pscp_fpga::floorplan::Floorplan;
+
+fn main() {
+    let arch = PscpArch::dual_md16(true);
+    let sys = example_system(&arch);
+    let area = pscp_area(&sys);
+    let device = Device::xc4025();
+    let plan = Floorplan::place(&device, &area.blocks);
+
+    println!("Fig. 8: PSCP floorplan ({})\n", arch.label);
+    print!("{plan}");
+    assert!(plan.fits(), "the paper's result fits on a single XC4025");
+    println!("\nEvery block placed; the design fits on a single {device}.");
+}

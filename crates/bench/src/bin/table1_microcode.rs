@@ -1,0 +1,43 @@
+//! Table 1 — the microcode format: control-signal groups and encodings,
+//! plus the synthesised microprogram ROM of the example application.
+
+use pscp_bench::example_system;
+use pscp_core::arch::PscpArch;
+use pscp_tep::microcode::{format_table1, micro_len, InstrKind, MicrocodeRom};
+use std::collections::BTreeSet;
+
+fn main() {
+    println!("Table 1: Microcode format\n");
+    println!("{}", format_table1());
+
+    println!("Microprogram lengths per instruction kind (cycles):\n");
+    println!("{:<14} {:>6} {:>6}", "kind", "unopt", "opt");
+    for kind in InstrKind::all() {
+        println!(
+            "{:<14} {:>6} {:>6}",
+            format!("{kind:?}"),
+            micro_len(kind, false),
+            micro_len(kind, true)
+        );
+    }
+
+    // ROM synthesis for the example: "the specific microprogram decoder
+    // for this application can therefore be easily synthesized" (§4).
+    for arch in [PscpArch::md16_unoptimized(), PscpArch::md16_optimized()] {
+        let sys = example_system(&arch);
+        let kinds: BTreeSet<InstrKind> = sys
+            .program
+            .functions
+            .iter()
+            .flat_map(|f| f.code.iter().map(|i| InstrKind::of(&i.instr)))
+            .collect();
+        let rom = MicrocodeRom::synthesize(&kinds, arch.tep.optimize_code);
+        println!(
+            "\n{}: {} instruction kinds used, ROM {} x 16 bit words, {} distinct control signals",
+            arch.label,
+            kinds.len(),
+            rom.word_count(),
+            rom.distinct_signals()
+        );
+    }
+}

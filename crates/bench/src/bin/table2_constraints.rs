@@ -1,0 +1,42 @@
+//! Table 2 — the timing constraints of the SMD pickup-head example, as
+//! carried by the chart's event declarations, derived from the motor
+//! physics (§5): 50 kHz X/Y step rate at a 15 MHz reference clock =
+//! 300-cycle counter-update deadline; 9 kHz φ; a command byte every
+//! 1500 cycles.
+
+use pscp_core::report::Table;
+use pscp_motors::stepper::AxisLimits;
+use pscp_motors::{pickup_head_chart, timing_constraints, CLOCK_HZ};
+
+fn main() {
+    println!("Table 2: Timing Constraints\n");
+    let mut t = Table::new(["Event", "Cycles"]);
+    for (name, period) in timing_constraints() {
+        t.row([name.to_string(), period.to_string()]);
+    }
+    println!("{t}");
+
+    // Cross-check: the chart carries the same periods...
+    let chart = pickup_head_chart();
+    for (name, period) in timing_constraints() {
+        let ev = chart.event_by_name(name).expect("declared");
+        assert_eq!(chart.event(ev).period, Some(period), "{name}");
+    }
+    // ...and the X/Y deadline equals the physical minimum counter
+    // period of the 50 kHz axes.
+    let xy = AxisLimits::xy(CLOCK_HZ);
+    println!(
+        "X/Y axis: max {} Hz at {} MHz clock -> min counter period {} cycles",
+        xy.max_step_hz,
+        CLOCK_HZ / 1_000_000,
+        xy.min_period()
+    );
+    assert_eq!(xy.min_period(), 300);
+    let zphi = AxisLimits::zphi(CLOCK_HZ);
+    println!(
+        "Z/phi axis: max {} Hz -> min counter period {} cycles (constraint rounded to 1600)",
+        zphi.max_step_hz,
+        zphi.min_period()
+    );
+    println!("\nAll constraints consistent with the plant physics.");
+}

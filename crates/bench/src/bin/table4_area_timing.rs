@@ -1,0 +1,70 @@
+//! Table 4 — area and timing results across the five architecture
+//! variants: the headline result of the paper. For each row the harness
+//! compiles the pickup-head example, runs the static timing validation,
+//! and totals the CLB area on the FPGA substrate.
+
+use pscp_bench::{
+    crit_path_data_valid, crit_path_xy, example_system, example_timing, table4_architectures,
+    table4_paper_values,
+};
+use pscp_core::area::pscp_area;
+use pscp_core::report::Table;
+use pscp_fpga::device::Device;
+
+fn main() {
+    println!("Table 4: Area and Timing Results\n");
+    let mut t = Table::new([
+        "Architecture",
+        "Area",
+        "Crit.Path X,Y",
+        "Crit.Path DATA_VALID",
+        "paper:Area",
+        "paper:X,Y",
+        "paper:DV",
+    ]);
+
+    let paper = table4_paper_values();
+    let mut fits_all = true;
+    for (arch, (plabel, parea, pxy, pdv)) in
+        table4_architectures().into_iter().zip(paper)
+    {
+        assert_eq!(arch.label, plabel);
+        let sys = example_system(&arch);
+        let rep = example_timing(&sys);
+        let area = pscp_area(&sys).total();
+        let xy = crit_path_xy(&rep).unwrap();
+        let dv = crit_path_data_valid(&rep).unwrap();
+        fits_all &= area.0 <= Device::xc4025().clbs();
+        t.row([
+            arch.label.clone(),
+            area.0.to_string(),
+            xy.to_string(),
+            dv.to_string(),
+            parea.to_string(),
+            pxy.map_or("> 1000".into(), |v| v.to_string()),
+            pdv.map_or("> 3000".into(), |v| v.to_string()),
+        ]);
+    }
+    println!("{t}");
+
+    // The paper's conclusions, checked on our numbers.
+    let final_arch = table4_architectures().pop().unwrap();
+    let sys = example_system(&final_arch);
+    let rep = example_timing(&sys);
+    println!(
+        "Final architecture `{}`: timing constraints {} (violations: {}).",
+        final_arch.label,
+        if rep.ok() { "ALL MET" } else { "VIOLATED" },
+        rep.violations.len()
+    );
+    let area = pscp_area(&sys).total();
+    println!(
+        "Result fits on a single {}: {} used of {} CLBs ({}).",
+        Device::xc4025(),
+        area.0,
+        Device::xc4025().clbs(),
+        if fits_all { "every row fits" } else { "some rows exceed the device" },
+    );
+    assert!(rep.ok(), "the final architecture must satisfy Table 2");
+    assert!(area.0 <= Device::xc4025().clbs());
+}

@@ -1,0 +1,156 @@
+//! Shared plumbing for the experiment harness.
+//!
+//! One binary per table/figure of the paper lives in `src/bin/`; the
+//! Criterion benches in `benches/` measure the toolchain itself. This
+//! library provides the example system builders they share.
+
+use pscp_core::arch::PscpArch;
+use pscp_core::compile::CompiledSystem;
+use pscp_core::timing::{validate_timing, TimingOptions, TimingReport};
+use pscp_motors::{pickup_head_actions, pickup_head_chart};
+use pscp_tep::codegen::CodegenOptions;
+
+/// The five architectures of Table 4, in row order.
+pub fn table4_architectures() -> Vec<PscpArch> {
+    vec![
+        PscpArch::minimal(),
+        PscpArch::md16_unoptimized(),
+        PscpArch::md16_optimized(),
+        PscpArch::dual_md16(false),
+        PscpArch::dual_md16(true),
+    ]
+}
+
+/// Paper values of Table 4: (label, area, crit-path X/Y, crit-path
+/// DATA_VALID); `None` encodes the paper's "> 1000" / "> 3000" entries.
+pub fn table4_paper_values() -> Vec<(&'static str, u32, Option<u64>, Option<u64>)> {
+    vec![
+        ("1 minimal TEP", 224, None, None),
+        ("16bit M/D TEP, unoptimized code", 421, Some(878), Some(2041)),
+        ("16bit M/D TEP, optimized code", 421, Some(524), Some(1317)),
+        ("2 16bit M/D TEP, unoptimized code", 773, Some(469), Some(1081)),
+        ("2 16bit M/D TEP, optimized code", 773, Some(282), Some(699)),
+    ]
+}
+
+/// Table 3 paper values: (cycle path, length).
+pub fn table3_paper_values() -> Vec<(&'static str, u64)> {
+    vec![
+        ("{Idle1, ReachPosition, Idle1}", 235),
+        ("{OpReady, OpReady}", 747),
+        ("{Idle1, OpReady}", 105),
+        ("{OpReady, EmptyBuf, Idle1}", 772),
+        ("{OpReady, EmptyBuf, Bounds, Idle1}", 1414),
+        ("{OpReady, EmptyBuf, Bounds, NoData}", 2041),
+        ("{NoData, OpReady}", 747),
+        ("{NoData, Idle1}", 130),
+        ("{NoData, ErrState, Idle1}", 180),
+        ("{RunX, RunX}", 878),
+        ("{RunY, RunY}", 878),
+        ("{RunPhi, RunPhi}", 878),
+    ]
+}
+
+/// Compiles the pickup-head example for an architecture. The
+/// "optimized code" configurations include the storage promotion of §4:
+/// the hottest scalar globals move into the register file.
+pub fn example_system(arch: &PscpArch) -> CompiledSystem {
+    let chart = pickup_head_chart();
+    let env = pscp_core::compile::chart_env(&chart);
+    let ir = pscp_action_lang::compile_with_env(&pickup_head_actions(), &env)
+        .expect("actions compile");
+    let mut options = CodegenOptions::default();
+    if arch.tep.optimize_code && arch.tep.register_file > 0 {
+        for slot in pscp_core::optimize::hottest_scalar_globals(
+            &ir,
+            arch.tep.register_file as usize,
+        ) {
+            options
+                .global_promotions
+                .insert(slot, pscp_tep::StorageClass::Register);
+        }
+    }
+    pscp_core::compile::compile_system_from_ir(&chart, &ir, arch, &options)
+        .expect("pickup-head example compiles")
+}
+
+/// Runs the timing validation with default options.
+pub fn example_timing(system: &CompiledSystem) -> TimingReport {
+    validate_timing(system, &TimingOptions::default())
+}
+
+/// Worst X/Y pulse-servicing cycle of a report (the Table 4 "Crit. Path
+/// X, Y" column).
+pub fn crit_path_xy(report: &TimingReport) -> Option<u64> {
+    [report.worst_for("X_PULSE"), report.worst_for("Y_PULSE")]
+        .into_iter()
+        .flatten()
+        .max()
+}
+
+/// Worst DATA_VALID cycle (the Table 4 "Crit. Path DATA_VALID" column).
+pub fn crit_path_data_valid(report: &TimingReport) -> Option<u64> {
+    report.worst_for("DATA_VALID")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscp_core::area::pscp_area;
+
+    #[test]
+    fn table4_shape_reproduced() {
+        // The qualitative claims of Table 4 must hold on our numbers:
+        // each architecture step improves both critical paths, and area
+        // grows monotonically except rows 2->3 (same hardware).
+        let mut xy = Vec::new();
+        let mut dv = Vec::new();
+        let mut area = Vec::new();
+        for arch in table4_architectures() {
+            let sys = example_system(&arch);
+            let rep = example_timing(&sys);
+            xy.push(crit_path_xy(&rep).expect("X/Y cycles found"));
+            dv.push(crit_path_data_valid(&rep).expect("DATA_VALID cycles found"));
+            area.push(pscp_area(&sys).total().0);
+        }
+        // Row 1 (minimal) is far worse than row 2 (M/D unit).
+        assert!(xy[0] > 2 * xy[1], "minimal {} !>> md16 {}", xy[0], xy[1]);
+        assert!(dv[0] > 2 * dv[1], "minimal {} !>> md16 {}", dv[0], dv[1]);
+        // Optimised code beats unoptimised on the same hardware.
+        assert!(xy[2] < xy[1]);
+        assert!(dv[2] < dv[1]);
+        // A second TEP beats one TEP at the same code level.
+        assert!(xy[3] < xy[1]);
+        assert!(dv[3] < dv[1]);
+        // The final architecture is the best of all.
+        assert!(xy[4] == *xy.iter().min().unwrap());
+        assert!(dv[4] == *dv.iter().min().unwrap());
+        // Areas: md16 > minimal; 2 TEPs > 1 TEP.
+        assert!(area[1] > area[0]);
+        assert!(area[3] > area[1]);
+        assert!(area[4] > area[2]);
+        // And everything still fits the XC4025.
+        assert!(area.iter().all(|&a| a <= 1024), "areas: {area:?}");
+    }
+
+    #[test]
+    fn final_architecture_meets_all_constraints() {
+        let sys = example_system(&PscpArch::dual_md16(true));
+        let rep = example_timing(&sys);
+        assert!(
+            rep.ok(),
+            "the paper's final architecture fulfils all timing requirements: {:?}",
+            rep.violations
+        );
+    }
+
+    #[test]
+    fn minimal_architecture_violates_constraints() {
+        let sys = example_system(&PscpArch::minimal());
+        let rep = example_timing(&sys);
+        assert!(!rep.ok(), "the minimal TEP must violate Table 2");
+        let events: Vec<&str> =
+            rep.violations.iter().map(|v| v.event.as_str()).collect();
+        assert!(events.contains(&"X_PULSE"), "X deadline blown: {events:?}");
+    }
+}

@@ -1,0 +1,165 @@
+//! PSCP area accounting on the FPGA substrate.
+//!
+//! Produces a per-block CLB breakdown (the floorplanner's input, Fig. 8)
+//! and the total that Table 4 reports. Shared statechart hardware — SLA,
+//! CR, transition address table, scheduler, buses — is counted once;
+//! TEP blocks are counted per processing element. External RAM is
+//! off-chip and costs no CLBs (that is its trade-off).
+
+use crate::compile::CompiledSystem;
+use pscp_fpga::area::{self, Clb};
+use pscp_fpga::floorplan::Block;
+use pscp_sla::net::Node;
+use pscp_tep::microcode::{InstrKind, MicrocodeRom};
+use std::collections::BTreeSet;
+
+/// The area breakdown of one PSCP instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AreaBreakdown {
+    /// Named blocks with CLB areas (floorplanner input).
+    pub blocks: Vec<Block>,
+}
+
+impl AreaBreakdown {
+    /// Total area.
+    pub fn total(&self) -> Clb {
+        self.blocks.iter().map(|b| b.area).sum()
+    }
+
+    /// Area of one named block.
+    pub fn of(&self, name: &str) -> Option<Clb> {
+        self.blocks.iter().find(|b| b.name == name).map(|b| b.area)
+    }
+}
+
+/// Computes the breakdown for a compiled system.
+pub fn pscp_area(system: &CompiledSystem) -> AreaBreakdown {
+    let mut blocks = Vec::new();
+    let arch = &system.arch;
+    let tep = &arch.tep;
+    let n = arch.n_teps.max(1) as u32;
+
+    // ---- shared statechart hardware ------------------------------------
+    let sla_clbs = area::clbs_for_gates(system.sla.net.nodes().map(|(_, node)| match node {
+        Node::And(ops) | Node::Or(ops) => ops.len(),
+        Node::Not(_) => 1,
+        _ => 0,
+    }));
+    blocks.push(Block::new("SLA", sla_clbs));
+    blocks.push(Block::new("CR", area::clbs_for_flip_flops(system.layout.width())));
+    blocks.push(Block::new(
+        "transition addr table",
+        area::clbs_for_rom(system.sla.table.len() as u32 * 8) + Clb(2),
+    ));
+    blocks.push(Block::new("scheduler", Clb(8 + 2 * n)));
+    blocks.push(Block::new("bus interfaces", Clb(6 + 2 * n)));
+    blocks.push(Block::new(
+        "port architecture",
+        area::clbs_for_ports(system.program.ports.len()),
+    ));
+    if !arch.timers.is_empty() {
+        // 16-bit down-counter + compare + event strobe per timer.
+        blocks.push(Block::new("timers", Clb(10 * arch.timers.len() as u32)));
+    }
+    if !arch.interrupt_events.is_empty() {
+        blocks.push(Block::new(
+            "interrupt controller",
+            Clb(6 + 2 * arch.interrupt_events.len() as u32),
+        ));
+    }
+
+    // ---- per-TEP hardware ----------------------------------------------
+    let used_kinds: BTreeSet<InstrKind> = system
+        .program
+        .functions
+        .iter()
+        .flat_map(|f| f.code.iter().map(|i| InstrKind::of(&i.instr)))
+        .collect();
+    let rom = MicrocodeRom::synthesize(&used_kinds, tep.optimize_code);
+
+    let mut one_tep = Clb(0);
+    one_tep += area::clbs_for_alu(tep.calc.width);
+    one_tep += area::clbs_for_flip_flops(2 * tep.calc.width as u32); // ACC + OP
+    if tep.calc.shifter {
+        one_tep += area::clbs_for_shifter(tep.calc.width);
+    }
+    if tep.calc.comparator {
+        one_tep += area::clbs_for_comparator(tep.calc.width);
+    }
+    if tep.calc.twos_complement {
+        one_tep += area::clbs_for_twos_complement(tep.calc.width);
+    }
+    if tep.calc.muldiv {
+        one_tep += area::clbs_for_muldiv(tep.calc.width);
+    }
+    one_tep += area::clbs_for_register_file(tep.register_file, tep.calc.width);
+    for op in &tep.custom_ops {
+        one_tep += area::clbs_for_custom_op(op.depth, tep.calc.width);
+    }
+    if tep.pipelined {
+        // Pipeline registers between fetch and execute plus the hazard
+        // interlock on the branch path (§6 extension).
+        one_tep += Clb(tep.calc.width as u32 / 2 + 8);
+    }
+    // Microprogram memory + decoder.
+    one_tep += area::clbs_for_rom(rom.word_count() as u32 * 16);
+    one_tep += Clb(rom.distinct_signals() as u32 / 2 + 6);
+    // Program memory is off-chip: "there are ports for external RAM and
+    // for the program memory" (§3.2) — only its port interface counts,
+    // which is folded into the port architecture above.
+    // Local memory (on-chip RAM actually used).
+    one_tep +=
+        area::clbs_for_ram(system.program.internal_words_used as u32 * tep.calc.width as u32);
+    // Condition cache.
+    one_tep += area::clbs_for_flip_flops(system.layout.condition_width());
+
+    for i in 0..n {
+        blocks.push(Block::new(format!("TEP{i}"), one_tep));
+    }
+
+    AreaBreakdown { blocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::PscpArch;
+    use crate::compile::compile_system;
+    use pscp_statechart::{ChartBuilder, StateKind};
+    use pscp_tep::codegen::CodegenOptions;
+
+    fn sys(arch: PscpArch) -> CompiledSystem {
+        let mut b = ChartBuilder::new("a");
+        b.event("E", Some(500));
+        b.state("S", StateKind::Basic).transition("T", "E/F(2)");
+        b.basic("T");
+        let chart = b.build().unwrap();
+        let src = "int:16 g;\nvoid F(int:16 x) { g = g * x + 1; }";
+        compile_system(&chart, src, &arch, &CodegenOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn md16_is_bigger_than_minimal() {
+        let a_min = pscp_area(&sys(PscpArch::minimal())).total();
+        let a_md = pscp_area(&sys(PscpArch::md16_unoptimized())).total();
+        assert!(a_md.0 > a_min.0, "{a_md} !> {a_min}");
+    }
+
+    #[test]
+    fn second_tep_costs_less_than_double() {
+        let one = pscp_area(&sys(PscpArch::md16_unoptimized())).total();
+        let two = pscp_area(&sys(PscpArch::dual_md16(false))).total();
+        assert!(two.0 > one.0);
+        assert!(two.0 < 2 * one.0, "shared SLA/CR/buses must not double: {two} vs {one}");
+    }
+
+    #[test]
+    fn breakdown_has_expected_blocks() {
+        let a = pscp_area(&sys(PscpArch::dual_md16(false)));
+        for name in ["SLA", "CR", "scheduler", "TEP0", "TEP1"] {
+            assert!(a.of(name).is_some(), "missing {name}");
+        }
+        assert!(a.of("TEP2").is_none());
+        assert_eq!(a.total(), a.blocks.iter().map(|b| b.area).sum());
+    }
+}

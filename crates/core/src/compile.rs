@@ -1,0 +1,385 @@
+//! The end-to-end compile flow.
+//!
+//! Chart (textual or built) + extended-C action routines + a PSCP
+//! architecture → a [`CompiledSystem`]: encoded configuration register,
+//! synthesised SLA, compiled TEP program, and the *transition bindings*
+//! that connect each chart transition to the routines its label calls
+//! (with resolved arguments). This is the Fig. 1 system in data form.
+
+use crate::arch::PscpArch;
+use pscp_action_lang::ir::Program;
+use pscp_action_lang::sema::{PortSpec, ProgramEnv};
+use pscp_sla::synth::{synthesize, SlaSynthesis};
+use pscp_sla::TransitionAddressTable;
+use pscp_statechart::encoding::CrLayout;
+use pscp_statechart::model::PortDirection;
+use pscp_statechart::{Chart, TransitionId};
+use pscp_tep::codegen::{compile_program, CodegenOptions, TepProgram};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How one textual action argument is produced at dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArgSpec {
+    /// A literal or enum-variant constant.
+    Const(i64),
+    /// The current value of a global slot.
+    Global(u32),
+}
+
+/// One routine call bound to a transition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundCall {
+    /// Routine index into the TEP program's function table.
+    pub func: u32,
+    /// Resolved arguments.
+    pub args: Vec<ArgSpec>,
+}
+
+/// All routine calls of one transition, in label order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransitionBinding {
+    /// The calls.
+    pub calls: Vec<BoundCall>,
+}
+
+/// Errors of the system compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemError {
+    /// The action program failed to compile.
+    Action(pscp_action_lang::CompileError),
+    /// A transition label calls an unknown routine.
+    UnknownRoutine {
+        /// Routine name.
+        name: String,
+        /// Transition index.
+        transition: usize,
+    },
+    /// A label argument could not be resolved.
+    BadArgument {
+        /// The argument text.
+        text: String,
+        /// Routine name.
+        routine: String,
+    },
+    /// Wrong number of label arguments for the routine.
+    ArityMismatch {
+        /// Routine name.
+        routine: String,
+        /// Expected count.
+        expected: usize,
+        /// Provided count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Action(e) => write!(f, "action language: {e}"),
+            SystemError::UnknownRoutine { name, transition } => {
+                write!(f, "transition {transition} calls unknown routine `{name}`")
+            }
+            SystemError::BadArgument { text, routine } => {
+                write!(f, "argument `{text}` of `{routine}` is not a constant or global")
+            }
+            SystemError::ArityMismatch { routine, expected, got } => {
+                write!(f, "`{routine}` expects {expected} arguments, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<pscp_action_lang::CompileError> for SystemError {
+    fn from(e: pscp_action_lang::CompileError) -> Self {
+        SystemError::Action(e)
+    }
+}
+
+/// The complete compiled system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledSystem {
+    /// The chart.
+    pub chart: Chart,
+    /// CR layout.
+    pub layout: CrLayout,
+    /// Synthesised SLA.
+    pub sla: SlaSynthesis,
+    /// Compiled TEP program (shared by all TEPs — they execute different
+    /// transitions of the same program memory image).
+    pub program: TepProgram,
+    /// Per-transition routine bindings, parallel to chart transitions.
+    pub bindings: Vec<TransitionBinding>,
+    /// Entry-action bindings, parallel to chart states.
+    pub entry_bindings: Vec<TransitionBinding>,
+    /// Exit-action bindings, parallel to chart states.
+    pub exit_bindings: Vec<TransitionBinding>,
+    /// The PSCP architecture this system was compiled for.
+    pub arch: PscpArch,
+}
+
+impl CompiledSystem {
+    /// The transition address table of the SLA.
+    pub fn address_table(&self) -> &TransitionAddressTable {
+        &self.sla.table
+    }
+
+    /// Binding of a transition.
+    pub fn binding(&self, t: TransitionId) -> &TransitionBinding {
+        &self.bindings[t.index()]
+    }
+}
+
+/// Builds the [`ProgramEnv`] a chart induces for the action compiler:
+/// all chart events are raisable, all conditions writable, and every
+/// declared data port becomes an extern port.
+pub fn chart_env(chart: &Chart) -> ProgramEnv {
+    ProgramEnv {
+        events: chart.events().map(|e| e.name.clone()).collect(),
+        conditions: chart.conditions().map(|c| c.name.clone()).collect(),
+        ports: chart
+            .data_ports()
+            .map(|p| PortSpec {
+                name: p.name.clone(),
+                width: p.width,
+                address: p.address,
+                readable: p.direction != PortDirection::Output,
+                writable: p.direction != PortDirection::Input,
+            })
+            .collect(),
+    }
+}
+
+/// Compiles a system from a chart and action-language source.
+///
+/// # Errors
+///
+/// Returns [`SystemError`] for action-language compile errors, unknown
+/// routines in labels, or unresolvable label arguments.
+pub fn compile_system(
+    chart: &Chart,
+    action_source: &str,
+    arch: &PscpArch,
+    options: &CodegenOptions,
+) -> Result<CompiledSystem, SystemError> {
+    let env = chart_env(chart);
+    let ir = pscp_action_lang::compile_with_env(action_source, &env)?;
+    compile_system_from_ir(chart, &ir, arch, options)
+}
+
+/// Compiles a system from a chart and pre-compiled action IR.
+///
+/// # Errors
+///
+/// Same as [`compile_system`], minus the action-language phase.
+pub fn compile_system_from_ir(
+    chart: &Chart,
+    ir: &Program,
+    arch: &PscpArch,
+    options: &CodegenOptions,
+) -> Result<CompiledSystem, SystemError> {
+    let layout = CrLayout::new(chart, arch.encoding);
+    let sla = synthesize(chart, &layout);
+    let program = compile_program(ir, &arch.tep, options);
+
+    let mut arch = arch.clone();
+    let mut program = program;
+    if arch.tep.custom_instructions {
+        // Custom-instruction extraction is part of the "optimized code"
+        // configuration; it rewrites the program and registers the fused
+        // ops in the architecture.
+        let mut tmp = CompiledSystem {
+            chart: chart.clone(),
+            layout: layout.clone(),
+            sla: sla.clone(),
+            program,
+            bindings: Vec::new(),
+            entry_bindings: Vec::new(),
+            exit_bindings: Vec::new(),
+            arch: arch.clone(),
+        };
+        crate::optimize::custom::extract_custom_ops(&mut tmp);
+        program = tmp.program;
+        arch = tmp.arch;
+    }
+    let arch = &arch;
+
+    let bind = |actions: &[pscp_statechart::model::ActionCall],
+                site: usize|
+     -> Result<TransitionBinding, SystemError> {
+        let mut calls = Vec::new();
+        for call in actions {
+            let func = program.function_index(&call.function).ok_or_else(|| {
+                SystemError::UnknownRoutine { name: call.function.clone(), transition: site }
+            })?;
+            let params = program.functions[func as usize].param_count as usize;
+            if params != call.args.len() {
+                return Err(SystemError::ArityMismatch {
+                    routine: call.function.clone(),
+                    expected: params,
+                    got: call.args.len(),
+                });
+            }
+            let mut args = Vec::with_capacity(call.args.len());
+            for text in &call.args {
+                args.push(resolve_arg(text, ir).ok_or_else(|| SystemError::BadArgument {
+                    text: text.clone(),
+                    routine: call.function.clone(),
+                })?);
+            }
+            calls.push(BoundCall { func, args });
+        }
+        Ok(TransitionBinding { calls })
+    };
+
+    let mut bindings = Vec::with_capacity(chart.transition_count());
+    for (ti, t) in chart.transitions().enumerate() {
+        bindings.push(bind(&t.actions, ti)?);
+    }
+    let mut entry_bindings = Vec::with_capacity(chart.state_count());
+    let mut exit_bindings = Vec::with_capacity(chart.state_count());
+    for (si, s) in chart.states().enumerate() {
+        entry_bindings.push(bind(&s.entry_actions, si)?);
+        exit_bindings.push(bind(&s.exit_actions, si)?);
+    }
+
+    Ok(CompiledSystem {
+        chart: chart.clone(),
+        layout,
+        sla,
+        program,
+        bindings,
+        entry_bindings,
+        exit_bindings,
+        arch: arch.clone(),
+    })
+}
+
+/// Resolves a textual label argument: integer literal, enum variant, or
+/// scalar global.
+fn resolve_arg(text: &str, ir: &Program) -> Option<ArgSpec> {
+    let t = text.trim();
+    if let Ok(v) = t.parse::<i64>() {
+        return Some(ArgSpec::Const(v));
+    }
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        if let Ok(v) = i64::from_str_radix(hex, 16) {
+            return Some(ArgSpec::Const(v));
+        }
+    }
+    if let Some(&v) = ir.consts.get(t) {
+        return Some(ArgSpec::Const(v));
+    }
+    ir.globals
+        .iter()
+        .position(|g| g.name == t)
+        .map(|slot| ArgSpec::Global(slot as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscp_statechart::{ChartBuilder, StateKind};
+
+    fn toggle_chart() -> Chart {
+        let mut b = ChartBuilder::new("t");
+        b.event("TICK", Some(500));
+        b.condition("DONE", false);
+        b.state("Top", StateKind::Or).contains(["Off", "On"]).default_child("Off");
+        b.state("Off", StateKind::Basic).transition("On", "TICK/Enter(3)");
+        b.state("On", StateKind::Basic).transition("Off", "TICK/Leave(limit)");
+        b.build().unwrap()
+    }
+
+    const ACTIONS: &str = r#"
+        int:16 limit = 40;
+        int:16 count;
+        void Enter(int:16 n) { count = count + n; DONE = count > limit; }
+        void Leave(int:16 l) { if (count > l) { count = 0; } }
+    "#;
+
+    #[test]
+    fn compiles_toggle_system() {
+        let chart = toggle_chart();
+        let sys = compile_system(
+            &chart,
+            ACTIONS,
+            &PscpArch::md16_unoptimized(),
+            &CodegenOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sys.bindings.len(), 2);
+        assert_eq!(sys.bindings[0].calls.len(), 1);
+        assert_eq!(sys.bindings[0].calls[0].args, vec![ArgSpec::Const(3)]);
+        // `limit` resolved as a global read.
+        assert!(matches!(sys.bindings[1].calls[0].args[0], ArgSpec::Global(_)));
+        assert_eq!(sys.address_table().len(), 2);
+    }
+
+    #[test]
+    fn unknown_routine_rejected() {
+        let mut b = ChartBuilder::new("t");
+        b.event("E", None);
+        b.state("A", StateKind::Basic).transition("B", "E/Nope()");
+        b.basic("B");
+        let chart = b.build().unwrap();
+        let err = compile_system(
+            &chart,
+            "void Other() { }",
+            &PscpArch::minimal(),
+            &CodegenOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SystemError::UnknownRoutine { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut b = ChartBuilder::new("t");
+        b.event("E", None);
+        b.state("A", StateKind::Basic).transition("B", "E/F(1, 2)");
+        b.basic("B");
+        let chart = b.build().unwrap();
+        let err = compile_system(
+            &chart,
+            "void F(int:8 x) { }",
+            &PscpArch::minimal(),
+            &CodegenOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SystemError::ArityMismatch { expected: 1, got: 2, .. }));
+    }
+
+    #[test]
+    fn bad_argument_rejected() {
+        let mut b = ChartBuilder::new("t");
+        b.event("E", None);
+        b.state("A", StateKind::Basic).transition("B", "E/F(mystery)");
+        b.basic("B");
+        let chart = b.build().unwrap();
+        let err = compile_system(
+            &chart,
+            "void F(int:8 x) { }",
+            &PscpArch::minimal(),
+            &CodegenOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SystemError::BadArgument { .. }));
+    }
+
+    #[test]
+    fn enum_variant_arguments_resolve() {
+        let mut b = ChartBuilder::new("t");
+        b.event("E", None);
+        b.state("A", StateKind::Basic).transition("B", "E/Start(MX)");
+        b.basic("B");
+        let chart = b.build().unwrap();
+        let src = "enum Motor { MX, MY, MZ };\nvoid Start(uint:8 m) { }";
+        let sys =
+            compile_system(&chart, src, &PscpArch::minimal(), &CodegenOptions::default())
+                .unwrap();
+        assert_eq!(sys.bindings[0].calls[0].args, vec![ArgSpec::Const(0)]);
+    }
+}

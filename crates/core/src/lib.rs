@@ -1,0 +1,38 @@
+//! PSCP — the Parallel StateChart Processor codesign core.
+//!
+//! This crate is the paper's primary contribution: a scalable parallel
+//! ASIP for reactive systems plus the codesign flow that sizes it.
+//!
+//! * [`arch`] — the PSCP architecture description: number of TEPs, TEP
+//!   configuration, CR encoding style, mutual-exclusion classes.
+//! * [`library`] — the component library with its space/time trade-offs
+//!   ("a spectrum of space/time trade-off alternatives", abstract).
+//! * [`compile`] — the end-to-end flow: textual chart + extended-C
+//!   actions → encoded CR, synthesised SLA, compiled TEP program,
+//!   transition bindings.
+//! * [`machine`] — the full-system cycle-level simulator: scheduler,
+//!   configuration register, condition caches, round-robin TEP dispatch
+//!   (§3.1).
+//! * [`timing`] — the heuristic static timing validation of §4:
+//!   parallel-sibling upper bounds, event-cycle DFS, constraint checks
+//!   (Tables 2 and 3).
+//! * [`optimize`] — the iterative architecture/instruction improvement
+//!   loop of §4, applied "in increasing order of difficulty" (Table 4).
+//! * [`area`] — PSCP area accounting on the FPGA substrate, with a
+//!   block breakdown for the floorplanner (Fig. 8).
+//! * [`report`] — plain-text table rendering for the experiment
+//!   harness.
+
+pub mod arch;
+pub mod area;
+pub mod compile;
+pub mod library;
+pub mod machine;
+pub mod optimize;
+pub mod report;
+pub mod timing;
+
+pub use arch::PscpArch;
+pub use compile::{compile_system, CompiledSystem};
+pub use machine::PscpMachine;
+pub use timing::{validate_timing, EventCycle, TimingReport};

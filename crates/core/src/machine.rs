@@ -1,0 +1,687 @@
+//! The full-system PSCP simulator.
+//!
+//! Implements the execution model of §3.1: "The execution of the PSCP is
+//! controlled by the scheduler, which enables the SLA at the beginning
+//! of a configuration cycle. The SLA generates the addresses of the
+//! transitions to be executed … The scheduler copies the contents of the
+//! condition part of the CR into the local condition caches, and assigns
+//! the execution of the individual transitions to the available TEPs
+//! employing a round-robin protocol. … At the end of a transition
+//! execution, the scheduler copies the condition cache back to the CR.
+//! … The TEPs may generate new events in the CR … The scheduler then
+//! enables the SLA to begin the next configuration cycle, at which time
+//! the new external events are sampled into the CR."
+//!
+//! Functional state is kept in one canonical image (the chart executor
+//! for control state, one TEP memory image for data — main memory is
+//! shared between TEPs in Fig. 1); *timing* models the parallel TEPs:
+//! the configuration-cycle length is the makespan of the round-robin
+//! assignment of the fired transitions' measured execution times onto
+//! `n_teps` processors, with mutually-exclusive routines forced onto the
+//! same TEP (the "additional decode logic" of §4).
+
+use crate::compile::{ArgSpec, CompiledSystem};
+use pscp_action_lang::interp::Host;
+use pscp_statechart::semantics::{ActionEffects, ActionSite, Executor};
+use pscp_statechart::{EventId, TransitionId};
+use pscp_tep::machine::{TepError, TepMachine};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Scheduler overhead constants, in clock cycles.
+pub mod overhead {
+    /// SLA evaluation + CR latch at the start of a configuration cycle.
+    pub const SLA: u64 = 2;
+    /// Per-transition dispatch: address pickup, condition-cache copy-in,
+    /// trigger signal.
+    pub const DISPATCH: u64 = 4;
+    /// Condition-cache write-back at the end of a transition.
+    pub const WRITEBACK: u64 = 2;
+    /// An idle configuration cycle (no transitions fired).
+    pub const IDLE: u64 = 2;
+}
+
+/// The plant / test-bench side of a co-simulation.
+pub trait Environment {
+    /// External events arriving for the configuration cycle starting at
+    /// absolute cycle `now`, by name.
+    fn sample_events(&mut self, now: u64) -> Vec<String>;
+
+    /// External condition-port values, by name (applied before the SLA
+    /// evaluates).
+    fn sample_conditions(&mut self, _now: u64) -> Vec<(String, bool)> {
+        Vec::new()
+    }
+
+    /// A TEP reads the data port at `address`.
+    fn port_read(&mut self, _address: u16, _now: u64) -> i64 {
+        0
+    }
+
+    /// A TEP writes the data port at `address`.
+    fn port_write(&mut self, _address: u16, _value: i64, _now: u64) {}
+}
+
+/// An environment that never produces events.
+#[derive(Debug, Clone, Default)]
+pub struct NullEnvironment;
+
+impl Environment for NullEnvironment {
+    fn sample_events(&mut self, _now: u64) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// An environment replaying a fixed per-cycle event script.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedEnvironment {
+    /// `script[i]` = events for the i-th configuration cycle.
+    pub script: Vec<Vec<String>>,
+    cursor: usize,
+    /// Recorded port writes `(address, value, cycle)`.
+    pub port_writes: Vec<(u16, i64, u64)>,
+}
+
+impl ScriptedEnvironment {
+    /// Creates a scripted environment.
+    pub fn new<I, S>(script: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ScriptedEnvironment {
+            script: script
+                .into_iter()
+                .map(|evs| evs.into_iter().map(Into::into).collect())
+                .collect(),
+            cursor: 0,
+            port_writes: Vec::new(),
+        }
+    }
+}
+
+impl Environment for ScriptedEnvironment {
+    fn sample_events(&mut self, _now: u64) -> Vec<String> {
+        let out = self.script.get(self.cursor).cloned().unwrap_or_default();
+        self.cursor += 1;
+        out
+    }
+
+    fn port_write(&mut self, address: u16, value: i64, now: u64) {
+        self.port_writes.push((address, value, now));
+    }
+}
+
+/// What happened in one configuration cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleReport {
+    /// Transitions that fired, in execution order.
+    pub fired: Vec<TransitionId>,
+    /// Measured execution cycles per fired transition (same order).
+    pub transition_cycles: Vec<u64>,
+    /// Which TEP each transition ran on (same order).
+    pub assigned_tep: Vec<u8>,
+    /// Length of this configuration cycle in clock cycles.
+    pub cycle_length: u64,
+    /// Events raised by routines (visible next cycle).
+    pub raised: Vec<EventId>,
+    /// Cycles from cycle start until every interrupt-priority transition
+    /// completed (§6 extension; `None` when no interrupt fired).
+    pub interrupt_latency: Option<u64>,
+}
+
+/// Aggregate statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Configuration cycles executed.
+    pub config_cycles: u64,
+    /// Transitions executed.
+    pub transitions: u64,
+    /// Total clock cycles.
+    pub clock_cycles: u64,
+    /// Longest configuration cycle seen.
+    pub max_cycle_length: u64,
+    /// Busy clock cycles per TEP.
+    pub tep_busy: Vec<u64>,
+}
+
+/// Machine-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A TEP faulted while executing a routine.
+    Tep(TepError),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Tep(e) => write!(f, "TEP fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<TepError> for MachineError {
+    fn from(e: TepError) -> Self {
+        MachineError::Tep(e)
+    }
+}
+
+/// The PSCP machine.
+pub struct PscpMachine<'s> {
+    system: &'s CompiledSystem,
+    exec: Executor<'s>,
+    tep: TepMachine<'s>,
+    now: u64,
+    stats: MachineStats,
+    /// Remaining cycles of each armed hardware timer.
+    timers: Vec<Option<u64>>,
+    /// Timer events that expired during the previous cycle.
+    pending_timer_events: Vec<String>,
+}
+
+impl fmt::Debug for PscpMachine<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PscpMachine")
+            .field("now", &self.now)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'s> PscpMachine<'s> {
+    /// Creates a machine in the chart's default configuration with data
+    /// memory at reset values.
+    pub fn new(system: &'s CompiledSystem) -> Self {
+        PscpMachine {
+            system,
+            exec: Executor::new(&system.chart),
+            tep: TepMachine::new(&system.program),
+            now: 0,
+            stats: MachineStats {
+                tep_busy: vec![0; system.arch.n_teps as usize],
+                ..Default::default()
+            },
+            timers: vec![None; system.arch.timers.len()],
+            pending_timer_events: Vec::new(),
+        }
+    }
+
+    /// Remaining cycles of hardware timer `i`, if armed.
+    pub fn timer_remaining(&self, i: usize) -> Option<u64> {
+        self.timers.get(i).copied().flatten()
+    }
+
+    /// The chart executor (canonical control state).
+    pub fn executor(&self) -> &Executor<'s> {
+        &self.exec
+    }
+
+    /// Canonical data memory (shared TEP image).
+    pub fn tep(&self) -> &TepMachine<'s> {
+        &self.tep
+    }
+
+    /// Absolute clock cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Runs one configuration cycle against the environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] when a routine faults (divide by zero,
+    /// memory fault, cycle-limit).
+    pub fn step<E: Environment>(&mut self, env: &mut E) -> Result<CycleReport, MachineError> {
+        let chart = &self.system.chart;
+
+        // 1. Sample external events, expired hardware timers and
+        //    condition ports into the CR.
+        let mut events: BTreeSet<EventId> = BTreeSet::new();
+        for name in env.sample_events(self.now) {
+            if let Some(e) = chart.event_by_name(&name) {
+                events.insert(e);
+            }
+        }
+        for name in self.pending_timer_events.drain(..) {
+            if let Some(e) = chart.event_by_name(&name) {
+                events.insert(e);
+            }
+        }
+        for (name, v) in env.sample_conditions(self.now) {
+            if let Some(c) = chart.condition_by_name(&name) {
+                self.exec.set_condition(c, v);
+            }
+        }
+
+        // 2–4. The chart executor drives the cycle (its selection is the
+        //      SLA's — differentially checked in the pscp-sla tests) and
+        //      calls back for every routine in reference order: exit
+        //      actions, transition actions, entry actions. The callback
+        //      executes the compiled routine on the TEP image, measuring
+        //      its cycles; conditions read from the cycle-start snapshot
+        //      (the local condition caches).
+        let cond_snapshot: Vec<bool> =
+            chart.condition_ids().map(|c| self.exec.condition(c)).collect();
+        let system = self.system;
+        let tep = &mut self.tep;
+        let now = self.now;
+        let mut per_transition: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut fault: Option<MachineError> = None;
+        let mut last_site: Option<ActionSite> = None;
+        let mut cursor = 0usize;
+        let mut timer_writes: Vec<(usize, u64)> = Vec::new();
+
+        let step = self.exec.step_with(&events, |site, _call| {
+            if fault.is_some() {
+                return ActionEffects::default();
+            }
+            if last_site != Some(site) {
+                last_site = Some(site);
+                cursor = 0;
+            }
+            let binding = match site {
+                ActionSite::Exit { state, .. } => &system.exit_bindings[state.index()],
+                ActionSite::Transition { transition } => &system.bindings[transition.index()],
+                ActionSite::Entry { state, .. } => &system.entry_bindings[state.index()],
+            };
+            let bound = &binding.calls[cursor];
+            cursor += 1;
+            let args: Vec<i64> = bound
+                .args
+                .iter()
+                .map(|a| match a {
+                    ArgSpec::Const(v) => *v,
+                    ArgSpec::Global(slot) => tep.global(*slot as usize),
+                })
+                .collect();
+            let mut host = PscpHost {
+                system,
+                env,
+                cond_snapshot: &cond_snapshot,
+                raised: Vec::new(),
+                cond_writes: Vec::new(),
+                timer_writes: Vec::new(),
+                now,
+            };
+            let start = tep.cycles();
+            if let Err(e) = tep.call_indexed(bound.func, &args, &mut host) {
+                fault = Some(MachineError::Tep(e));
+                return ActionEffects::default();
+            }
+            *per_transition.entry(site.transition().index()).or_default() +=
+                tep.cycles() - start;
+            timer_writes.extend(host.timer_writes);
+            ActionEffects { raise: host.raised, set_conditions: host.cond_writes }
+        });
+        if let Some(e) = fault {
+            return Err(e);
+        }
+
+        let mut report = CycleReport::default();
+        for &tid in &step.fired {
+            let cost = per_transition.get(&tid.index()).copied().unwrap_or(0);
+            report.transition_cycles.push(cost + overhead::DISPATCH + overhead::WRITEBACK);
+            report.fired.push(tid);
+        }
+
+        // 5. Timing: round-robin makespan over the TEPs, with mutual
+        //    exclusion forcing conflicting transitions onto one TEP and
+        //    interrupt-priority transitions dispatched first (§6
+        //    extension; no-op when no events are marked as interrupts).
+        let n = self.system.arch.n_teps.max(1) as usize;
+        let is_interrupt = |tid: TransitionId| -> bool {
+            let t = chart.transition(tid);
+            self.system.arch.interrupt_events.iter().any(|ev| {
+                t.trigger.as_ref().is_some_and(|e| e.mentions_positively(ev))
+                    || t.guard.as_ref().is_some_and(|e| e.mentions_positively(ev))
+            })
+        };
+        let mut order: Vec<usize> = (0..report.fired.len()).collect();
+        order.sort_by_key(|&i| (!is_interrupt(report.fired[i]), i));
+
+        let mut tep_load = vec![0u64; n];
+        let mut assigned = vec![0u8; report.fired.len()];
+        let mut interrupt_latency: Option<u64> = None;
+        for (k, &i) in order.iter().enumerate() {
+            let tid = report.fired[i];
+            let mut tep = k % n;
+            // Mutual exclusion: co-locate with the first earlier
+            // conflicting transition.
+            if n > 1 {
+                for &j in &order[..k] {
+                    if !self
+                        .system
+                        .arch
+                        .may_run_parallel(report.fired[j].index() as u32, tid.index() as u32)
+                    {
+                        tep = assigned[j] as usize;
+                        break;
+                    }
+                }
+            }
+            tep_load[tep] += report.transition_cycles[i];
+            assigned[i] = tep as u8;
+            if is_interrupt(tid) {
+                let done = overhead::SLA + tep_load[tep];
+                interrupt_latency =
+                    Some(interrupt_latency.map_or(done, |cur| cur.max(done)));
+            }
+        }
+        report.assigned_tep = assigned;
+        report.interrupt_latency = interrupt_latency;
+        let makespan = tep_load.iter().copied().max().unwrap_or(0);
+        report.cycle_length = if report.fired.is_empty() {
+            overhead::SLA + overhead::IDLE
+        } else {
+            overhead::SLA + makespan
+        };
+
+        // 6. Raised events become visible next cycle (the executor holds
+        //    them in the CR's event part).
+        report.raised = step.raised;
+
+        // 6b. Hardware timers: apply arm/disarm writes, then advance by
+        //     the cycle just spent; expiries fire next cycle.
+        for (i, v) in timer_writes {
+            self.timers[i] = if v == 0 { None } else { Some(v) };
+        }
+        for (i, t) in self.timers.iter_mut().enumerate() {
+            if let Some(rem) = t {
+                if *rem <= report.cycle_length {
+                    self.pending_timer_events
+                        .push(self.system.arch.timers[i].event.clone());
+                    *t = None;
+                } else {
+                    *rem -= report.cycle_length;
+                }
+            }
+        }
+
+        // 7. Book-keeping.
+        self.now += report.cycle_length;
+        self.stats.config_cycles += 1;
+        self.stats.transitions += report.fired.len() as u64;
+        self.stats.clock_cycles += report.cycle_length;
+        self.stats.max_cycle_length = self.stats.max_cycle_length.max(report.cycle_length);
+        for (i, &t) in report.assigned_tep.iter().enumerate() {
+            self.stats.tep_busy[t as usize] += report.transition_cycles[i];
+        }
+        Ok(report)
+    }
+
+    /// Runs configuration cycles until the clock passes `deadline`
+    /// cycles or `max_steps` configuration cycles elapse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`MachineError`].
+    pub fn run<E: Environment>(
+        &mut self,
+        env: &mut E,
+        deadline: u64,
+        max_steps: u64,
+    ) -> Result<Vec<CycleReport>, MachineError> {
+        let mut out = Vec::new();
+        let mut steps = 0;
+        while self.now < deadline && steps < max_steps {
+            out.push(self.step(env)?);
+            steps += 1;
+        }
+        Ok(out)
+    }
+}
+
+/// Host bridging TEP execution into the PSCP: ports go to the
+/// environment, conditions go through the local condition cache
+/// (snapshot reads, recorded writes), events are recorded for the next
+/// configuration cycle.
+struct PscpHost<'a, 's, E: Environment> {
+    system: &'s CompiledSystem,
+    env: &'a mut E,
+    /// The condition part of the CR at cycle start, copied into the
+    /// local caches by the scheduler (§3.1).
+    cond_snapshot: &'a [bool],
+    raised: Vec<String>,
+    cond_writes: Vec<(String, bool)>,
+    /// Hardware-timer arms `(timer index, reload value)` recorded for
+    /// end-of-cycle application.
+    timer_writes: Vec<(usize, u64)>,
+    now: u64,
+}
+
+impl<E: Environment> Host for PscpHost<'_, '_, E> {
+    fn port_read(&mut self, port: u32) -> i64 {
+        let address = self.system.program.ports[port as usize].address;
+        self.env.port_read(address, self.now)
+    }
+
+    fn port_write(&mut self, port: u32, value: i64) {
+        let address = self.system.program.ports[port as usize].address;
+        // Hardware-timer ports are internal to the PSCP; everything else
+        // goes to the plant.
+        if let Some(i) =
+            self.system.arch.timers.iter().position(|t| t.port_address == address)
+        {
+            self.timer_writes.push((i, value.max(0) as u64));
+            return;
+        }
+        self.env.port_write(address, value, self.now);
+    }
+
+    fn raise_event(&mut self, event: u32) {
+        self.raised.push(self.system.program.events[event as usize].clone());
+    }
+
+    fn set_condition(&mut self, cond: u32, value: bool) {
+        self.cond_writes.push((self.system.program.conditions[cond as usize].clone(), value));
+    }
+
+    fn read_condition(&mut self, cond: u32) -> bool {
+        // Condition cache: snapshot of the CR at cycle start. Writes in
+        // this cycle are not yet visible (write-back at cycle end).
+        let name = &self.system.program.conditions[cond as usize];
+        self.system
+            .chart
+            .condition_by_name(name)
+            .map(|c| self.cond_snapshot[c.index()])
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::PscpArch;
+    use crate::compile::compile_system;
+    use pscp_statechart::{Chart, ChartBuilder, StateKind};
+    use pscp_tep::codegen::CodegenOptions;
+
+    fn counter_chart() -> Chart {
+        let mut b = ChartBuilder::new("counter");
+        b.event("TICK", Some(400));
+        b.condition("OVER", false);
+        b.state("Top", StateKind::Or).contains(["Run", "Stop"]).default_child("Run");
+        b.state("Run", StateKind::Basic)
+            .transition("Run", "TICK [not OVER]/Bump(5)")
+            .transition("Stop", "TICK [OVER]");
+        b.basic("Stop");
+        b.build().unwrap()
+    }
+
+    const COUNTER_ACTIONS: &str = r#"
+        int:16 total;
+        void Bump(int:16 n) {
+            total = total + n;
+            OVER = total >= 20;
+        }
+    "#;
+
+    fn compiled(arch: PscpArch) -> CompiledSystem {
+        compile_system(&counter_chart(), COUNTER_ACTIONS, &arch, &CodegenOptions::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn runs_counter_to_completion() {
+        let sys = compiled(PscpArch::md16_unoptimized());
+        let mut m = PscpMachine::new(&sys);
+        let mut env = ScriptedEnvironment::new(vec![vec!["TICK"]; 10]);
+        for _ in 0..10 {
+            m.step(&mut env).unwrap();
+        }
+        // 4 bumps of 5 reach 20, the 5th tick sees OVER and stops.
+        assert!(m
+            .executor()
+            .configuration()
+            .is_active(sys.chart.state_by_name("Stop").unwrap()));
+        assert_eq!(m.tep().global_by_name("total"), Some(20));
+        assert_eq!(m.stats().transitions, 5);
+    }
+
+    #[test]
+    fn idle_cycles_are_cheap() {
+        let sys = compiled(PscpArch::md16_unoptimized());
+        let mut m = PscpMachine::new(&sys);
+        let mut env = NullEnvironment;
+        let r = m.step(&mut env).unwrap();
+        assert!(r.fired.is_empty());
+        assert_eq!(r.cycle_length, overhead::SLA + overhead::IDLE);
+    }
+
+    #[test]
+    fn cycle_length_reflects_architecture() {
+        let fast_sys = compiled(PscpArch::md16_optimized());
+        let slow_sys = compiled(PscpArch::minimal());
+        let run = |sys: &CompiledSystem| {
+            let mut m = PscpMachine::new(sys);
+            let mut env = ScriptedEnvironment::new(vec![vec!["TICK"]]);
+            m.step(&mut env).unwrap().cycle_length
+        };
+        let fast = run(&fast_sys);
+        let slow = run(&slow_sys);
+        assert!(slow > fast, "minimal {slow} must be slower than optimized {fast}");
+    }
+
+    fn parallel_chart() -> Chart {
+        let mut b = ChartBuilder::new("par");
+        b.event("P", Some(1000));
+        b.state("Top", StateKind::And).contains(["A", "B"]);
+        b.state("A", StateKind::Or).contains(["A1"]).default_child("A1");
+        b.state("A1", StateKind::Basic).transition("A1", "P/Work()");
+        b.state("B", StateKind::Or).contains(["B1"]).default_child("B1");
+        b.state("B1", StateKind::Basic).transition("B1", "P/Work()");
+        b.build().unwrap()
+    }
+
+    const WORK: &str = r#"
+        int:16 acc;
+        void Work() {
+            int:16 i = 0;
+            while (i < 8) { acc = acc + i * 3; i = i + 1; }
+        }
+    "#;
+
+    #[test]
+    fn two_teps_shorten_parallel_cycles() {
+        let chart = parallel_chart();
+        let one = compile_system(
+            &chart,
+            WORK,
+            &PscpArch::md16_unoptimized(),
+            &CodegenOptions::default(),
+        )
+        .unwrap();
+        let two = compile_system(
+            &chart,
+            WORK,
+            &PscpArch::dual_md16(false),
+            &CodegenOptions::default(),
+        )
+        .unwrap();
+        let run = |sys: &CompiledSystem| {
+            let mut m = PscpMachine::new(sys);
+            let mut env = ScriptedEnvironment::new(vec![vec!["P"]]);
+            let r = m.step(&mut env).unwrap();
+            assert_eq!(r.fired.len(), 2, "both parallel transitions fire");
+            r.cycle_length
+        };
+        let t1 = run(&one);
+        let t2 = run(&two);
+        assert!(
+            t2 * 10 < t1 * 7,
+            "two TEPs should cut the parallel cycle substantially: {t2} vs {t1}"
+        );
+    }
+
+    #[test]
+    fn mutual_exclusion_serializes() {
+        let chart = parallel_chart();
+        let mut arch = PscpArch::dual_md16(false);
+        arch.mutual_exclusion.push([0u32, 1].into());
+        let sys =
+            compile_system(&chart, WORK, &arch, &CodegenOptions::default()).unwrap();
+        let free = compile_system(
+            &chart,
+            WORK,
+            &PscpArch::dual_md16(false),
+            &CodegenOptions::default(),
+        )
+        .unwrap();
+        let run = |sys: &CompiledSystem| {
+            let mut m = PscpMachine::new(sys);
+            let mut env = ScriptedEnvironment::new(vec![vec!["P"]]);
+            m.step(&mut env).unwrap().cycle_length
+        };
+        assert!(run(&sys) > run(&free), "exclusion must serialize the two routines");
+    }
+
+    #[test]
+    fn raised_events_drive_next_cycle() {
+        let mut b = ChartBuilder::new("relay");
+        b.event("GO", None);
+        b.internal_event("DONE_EV");
+        b.state("Top", StateKind::Or).contains(["S1", "S2", "S3"]).default_child("S1");
+        b.state("S1", StateKind::Basic).transition("S2", "GO/Fire()");
+        b.state("S2", StateKind::Basic).transition("S3", "DONE_EV");
+        b.basic("S3");
+        let chart = b.build().unwrap();
+        let src = "event DONE_EV;\nvoid Fire() { raise DONE_EV; }";
+        let sys = compile_system(
+            &chart,
+            src,
+            &PscpArch::md16_unoptimized(),
+            &CodegenOptions::default(),
+        )
+        .unwrap();
+        let mut m = PscpMachine::new(&sys);
+        let mut env = ScriptedEnvironment::new(vec![vec!["GO"], vec![]]);
+        m.step(&mut env).unwrap();
+        assert!(m.executor().configuration().is_active(chart.state_by_name("S2").unwrap()));
+        m.step(&mut env).unwrap();
+        assert!(m.executor().configuration().is_active(chart.state_by_name("S3").unwrap()));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let sys = compiled(PscpArch::md16_unoptimized());
+        let mut m = PscpMachine::new(&sys);
+        let mut env = ScriptedEnvironment::new(vec![vec!["TICK"], vec![], vec!["TICK"]]);
+        for _ in 0..3 {
+            m.step(&mut env).unwrap();
+        }
+        let s = m.stats();
+        assert_eq!(s.config_cycles, 3);
+        assert_eq!(s.transitions, 2);
+        assert_eq!(s.clock_cycles, m.now());
+        assert!(s.max_cycle_length > overhead::SLA);
+    }
+}

@@ -1,0 +1,261 @@
+//! Custom-instruction extraction (§3.3/§4).
+//!
+//! "Simple components such as shifters and registers can be combined to
+//! custom operations, which are derived from the assembler code. These
+//! instructions execute within one clock cycle. Care must be taken that
+//! such instructions do not become the critical paths inside the TEP."
+//!
+//! The accumulator-machine code generator produces one overwhelmingly
+//! common idiom for every binary expression node:
+//!
+//! ```text
+//! tao            ; OP <- ACC          (right operand already in ACC)
+//! ld   <loc>     ; ACC <- left operand
+//! <op>           ; ACC <- ACC op OP
+//! ```
+//!
+//! The extractor fuses each such site into a single
+//! [`Instr::AluMem`] — a memory-operand ALU instruction combining the
+//! operand fetch, the OP transfer and the ALU step. Every distinct
+//! fused operation is registered as a [`CustomOp`] so the area model
+//! charges the extra datapath, and its combinational depth is checked
+//! against the architecture's critical-path budget.
+
+use crate::compile::CompiledSystem;
+use pscp_tep::arch::{CustomOp, CustomStep};
+use pscp_tep::isa::{AluOp, Instr};
+use std::collections::BTreeMap;
+
+/// Estimated gate levels of one fused ALU op (operand mux included).
+fn fused_depth(op: AluOp) -> u8 {
+    match op {
+        AluOp::And | AluOp::Or | AluOp::Xor => 2,
+        AluOp::Shl | AluOp::Shr | AluOp::Sar => 3,
+        AluOp::Add | AluOp::Sub => 4, // carry chain
+        AluOp::Not | AluOp::Neg | AluOp::Mul | AluOp::Div | AluOp::Rem => u8::MAX,
+    }
+}
+
+/// Fuses `Tao; Load x; Alu op` idioms across all routines; returns the
+/// number of sites rewritten. Updates the program and both architecture
+/// snapshots (system and program).
+pub fn extract_custom_ops(system: &mut CompiledSystem) -> usize {
+    let budget = system.arch.tep.max_custom_depth;
+    let mut registered: BTreeMap<AluOp, u16> = BTreeMap::new();
+    let mut ops: Vec<CustomOp> = system.arch.tep.custom_ops.clone();
+    let mut rewritten = 0usize;
+
+    for f in &mut system.program.functions {
+        // Branch-target map: fusion must not swallow a jump target.
+        let mut is_target = vec![false; f.code.len() + 1];
+        for inst in &f.code {
+            if let Some(t) = inst.instr.branch_target() {
+                if (t as usize) < is_target.len() {
+                    is_target[t as usize] = true;
+                }
+            }
+        }
+
+        let mut i = 0;
+        while i + 2 < f.code.len() {
+            let site = match (&f.code[i].instr, &f.code[i + 1].instr, &f.code[i + 2].instr) {
+                (Instr::Tao, Instr::Load(src), Instr::Alu(op)) => {
+                    let d = fused_depth(*op);
+                    if d <= budget && !is_target[i + 1] && !is_target[i + 2] {
+                        Some((*src, *op))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            if let Some((src, op)) = site {
+                let next_id = ops.len() as u16;
+                registered.entry(op).or_insert_with(|| {
+                    ops.push(CustomOp {
+                        name: format!("alumem_{op}"),
+                        steps: vec![CustomStep::WithOp(op)],
+                        depth: fused_depth(op),
+                    });
+                    next_id
+                });
+                let width = f.code[i + 2].width;
+                let signed = f.code[i + 2].signed;
+                f.code[i].instr = Instr::AluMem { op, src };
+                f.code[i].width = width;
+                f.code[i].signed = signed;
+                f.code[i + 1].instr = Instr::Nop;
+                f.code[i + 2].instr = Instr::Nop;
+                rewritten += 1;
+                i += 3;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Compact the Nops, remapping branch targets.
+        let mut new_index = vec![0u32; f.code.len() + 1];
+        let mut n = 0u32;
+        for (idx, inst) in f.code.iter().enumerate() {
+            new_index[idx] = n;
+            if !matches!(inst.instr, Instr::Nop) {
+                n += 1;
+            }
+        }
+        new_index[f.code.len()] = n;
+        let old = std::mem::take(&mut f.code);
+        for mut inst in old {
+            if matches!(inst.instr, Instr::Nop) {
+                continue;
+            }
+            if let Some(t) = inst.instr.branch_target() {
+                inst.instr.set_branch_target(new_index[t as usize]);
+            }
+            f.code.push(inst);
+        }
+        // Fusion folds loads away; the frame homes they read from may
+        // now be write-only.
+        pscp_tep::codegen::eliminate_dead_frame_stores(f);
+    }
+
+    system.arch.tep.custom_ops = ops.clone();
+    // The program carries its own arch snapshot for the machine.
+    system.program.arch.custom_ops = ops;
+    rewritten
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::PscpArch;
+    use crate::compile::compile_system;
+    use crate::machine::{PscpMachine, ScriptedEnvironment};
+    use pscp_statechart::{Chart, ChartBuilder, StateKind};
+    use pscp_tep::codegen::CodegenOptions;
+
+    fn chart() -> Chart {
+        let mut b = ChartBuilder::new("c");
+        b.event("E", Some(10_000));
+        b.state("A", StateKind::Basic).transition("B", "E/F(5)");
+        b.state("B", StateKind::Basic).transition("A", "E/F(9)");
+        b.build().unwrap()
+    }
+
+    // Chained logic/arithmetic produces the Tao/Load/Alu idiom.
+    const SRC: &str = r#"
+        int:16 g = 12;
+        void F(int:16 n) { g = ((g ^ n) & 255) | (n + n); }
+    "#;
+
+    /// Optimised code but *without* the automatic extraction, so the
+    /// tests can run it manually and compare.
+    fn base_arch() -> PscpArch {
+        let mut a = PscpArch::md16_optimized();
+        a.tep.custom_instructions = false;
+        a
+    }
+
+    fn compiled() -> CompiledSystem {
+        compile_system(&chart(), SRC, &base_arch(), &CodegenOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn extraction_finds_fusable_sites() {
+        let mut sys = compiled();
+        let before = sys.program.instruction_count();
+        let n = extract_custom_ops(&mut sys);
+        assert!(n > 0, "chained expressions must fuse");
+        assert!(sys.program.instruction_count() < before);
+        assert!(!sys.arch.tep.custom_ops.is_empty());
+        assert!(sys
+            .program
+            .functions
+            .iter()
+            .any(|f| f.code.iter().any(|i| matches!(i.instr, Instr::AluMem { .. }))));
+    }
+
+    #[test]
+    fn fused_program_preserves_semantics() {
+        let plain = compiled();
+        let mut fused = compiled();
+        extract_custom_ops(&mut fused);
+
+        let run = |sys: &CompiledSystem| {
+            let mut m = PscpMachine::new(sys);
+            let mut env = ScriptedEnvironment::new(vec![vec!["E"]; 6]);
+            for _ in 0..6 {
+                m.step(&mut env).unwrap();
+            }
+            m.tep().global_by_name("g")
+        };
+        assert_eq!(run(&plain), run(&fused));
+    }
+
+    #[test]
+    fn fused_semantics_across_many_inputs() {
+        // Differential over a range of argument values and ops.
+        let srcs = [
+            "int:16 g = 3;\nvoid F(int:16 n) { g = (g + n) - (g >> 1); }",
+            "int:16 g = 77;\nvoid F(int:16 n) { g = (g & n) ^ (n | 3); }",
+            "int:16 g = -5;\nvoid F(int:16 n) { g = (g - n) + (g << 1); }",
+        ];
+        for src in srcs {
+            let mk = || {
+                compile_system(&chart(), src, &base_arch(), &CodegenOptions::default())
+                    .unwrap()
+            };
+            let plain = mk();
+            let mut fused = mk();
+            extract_custom_ops(&mut fused);
+            let run = |sys: &CompiledSystem| {
+                let mut m = PscpMachine::new(sys);
+                let mut env = ScriptedEnvironment::new(vec![vec!["E"]; 8]);
+                for _ in 0..8 {
+                    m.step(&mut env).unwrap();
+                }
+                m.tep().global_by_name("g")
+            };
+            assert_eq!(run(&plain), run(&fused), "src: {src}");
+        }
+    }
+
+    #[test]
+    fn fused_program_is_faster() {
+        let plain = compiled();
+        let mut fused = compiled();
+        extract_custom_ops(&mut fused);
+        let run = |sys: &CompiledSystem| {
+            let mut m = PscpMachine::new(sys);
+            let mut env = ScriptedEnvironment::new(vec![vec!["E"]; 4]);
+            for _ in 0..4 {
+                m.step(&mut env).unwrap();
+            }
+            m.now()
+        };
+        assert!(run(&fused) < run(&plain));
+    }
+
+    #[test]
+    fn depth_budget_respected() {
+        let mut sys = compiled();
+        sys.arch.tep.max_custom_depth = 1; // nothing fits
+        let n = extract_custom_ops(&mut sys);
+        assert_eq!(n, 0);
+        assert!(sys.arch.tep.custom_ops.is_empty());
+    }
+
+    #[test]
+    fn muldiv_never_fused() {
+        let src = "int:16 g;\nvoid F(int:16 n) { g = g * n * 2; }";
+        let mut sys =
+            compile_system(&chart(), src, &base_arch(), &CodegenOptions::default()).unwrap();
+        extract_custom_ops(&mut sys);
+        for f in &sys.program.functions {
+            for inst in &f.code {
+                if let Instr::AluMem { op, .. } = inst.instr {
+                    assert!(!op.needs_muldiv());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Parallel-sibling upper bounds (§4, Fig. 4).
+//!
+//! "The upper bound for a parallel sibling is computed recursively by
+//! traversing its associated subtree: At an OR-state, the maximum length
+//! transition of this node's children is computed. At an AND-state, the
+//! result is the sum of the length of the node's children."
+
+use pscp_statechart::{Chart, StateId, StateKind, TransitionId};
+
+/// Upper bound (in cycles) on the work one configuration cycle can
+/// spend inside the subtree rooted at `s`: the longest transition that
+/// any single OR-path can fire, summed across AND components.
+pub fn subtree_bound<F>(chart: &Chart, cost_of: &F, s: StateId) -> u64
+where
+    F: Fn(TransitionId) -> u64,
+{
+    // The state's own outgoing transitions compete with its children's.
+    let own = chart.outgoing(s).map(cost_of).max().unwrap_or(0);
+    let st = chart.state(s);
+    let from_children = match st.kind {
+        StateKind::Basic => 0,
+        StateKind::Or => st
+            .children
+            .iter()
+            .map(|&c| subtree_bound(chart, cost_of, c))
+            .max()
+            .unwrap_or(0),
+        StateKind::And => {
+            st.children.iter().map(|&c| subtree_bound(chart, cost_of, c)).sum()
+        }
+    };
+    own.max(from_children)
+}
+
+/// Sum of the sibling bounds that delay a step taken at `state`: for
+/// every AND-ancestor, the bounds of the components not containing
+/// `state` (Fig. 4: "for every step the algorithm takes in the
+/// DataPreparation state, the upper bound of its parallel sibling …
+/// has to be added").
+pub fn sibling_penalties<F>(chart: &Chart, cost_of: &F, state: StateId) -> Vec<u64>
+where
+    F: Fn(TransitionId) -> u64,
+{
+    chart
+        .parallel_siblings(state)
+        .into_iter()
+        .map(|sib| subtree_bound(chart, cost_of, sib))
+        .filter(|&b| b > 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscp_statechart::ChartBuilder;
+
+    /// Fig. 4 shape: an AND-state with a DataPreparation component and a
+    /// sibling whose transitions have known costs.
+    fn fig4(costs: &[(&str, &str, u64)]) -> Chart {
+        let mut b = ChartBuilder::new("f4");
+        b.event("E", Some(1500));
+        b.state("Operating", StateKind::And).contains(["DataPrep", "Motion"]);
+        b.state("DataPrep", StateKind::Or)
+            .contains(["OpReady", "Empty"])
+            .default_child("OpReady");
+        b.state("Motion", StateKind::Or)
+            .contains(["RunX", "RunY"])
+            .default_child("RunX");
+        for &(src, dst, cost) in costs {
+            b.state(src, StateKind::Basic).transition_costed(dst, "E", cost);
+        }
+        b.build().unwrap()
+    }
+
+    use pscp_statechart::StateKind;
+
+    #[test]
+    fn or_takes_max_and_takes_sum() {
+        let chart = fig4(&[
+            ("OpReady", "Empty", 100),
+            ("Empty", "OpReady", 250),
+            ("RunX", "RunY", 300),
+            ("RunY", "RunX", 120),
+        ]);
+        let cost = |t: pscp_statechart::TransitionId| {
+            chart.transition(t).explicit_cost.unwrap_or(0)
+        };
+        let dp = chart.state_by_name("DataPrep").unwrap();
+        let motion = chart.state_by_name("Motion").unwrap();
+        let op = chart.state_by_name("Operating").unwrap();
+        assert_eq!(subtree_bound(&chart, &cost, dp), 250, "OR = max");
+        assert_eq!(subtree_bound(&chart, &cost, motion), 300, "OR = max");
+        assert_eq!(subtree_bound(&chart, &cost, op), 550, "AND = sum");
+    }
+
+    #[test]
+    fn sibling_penalty_is_other_components_bound() {
+        let chart = fig4(&[
+            ("OpReady", "Empty", 100),
+            ("Empty", "OpReady", 250),
+            ("RunX", "RunY", 300),
+            ("RunY", "RunX", 120),
+        ]);
+        let cost = |t: pscp_statechart::TransitionId| {
+            chart.transition(t).explicit_cost.unwrap_or(0)
+        };
+        let op_ready = chart.state_by_name("OpReady").unwrap();
+        // A step inside DataPrep pays for Motion's bound (300).
+        assert_eq!(sibling_penalties(&chart, &cost, op_ready), vec![300]);
+        // A step at the top AND-state pays nothing.
+        let op = chart.state_by_name("Operating").unwrap();
+        assert!(sibling_penalties(&chart, &cost, op).is_empty());
+    }
+
+    #[test]
+    fn own_transitions_of_composites_count() {
+        let mut b = ChartBuilder::new("c");
+        b.event("E", None);
+        b.state("Top", StateKind::Or).contains(["P", "Out"]).default_child("P");
+        b.state("P", StateKind::Or)
+            .contains(["A"])
+            .default_child("A")
+            .transition_costed("Out", "E", 500);
+        b.state("A", StateKind::Basic).transition_costed("A", "E", 50);
+        b.basic("Out");
+        let chart = b.build().unwrap();
+        let cost = |t: pscp_statechart::TransitionId| {
+            chart.transition(t).explicit_cost.unwrap_or(0)
+        };
+        let p = chart.state_by_name("P").unwrap();
+        assert_eq!(subtree_bound(&chart, &cost, p), 500);
+    }
+}

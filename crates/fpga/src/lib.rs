@@ -1,0 +1,23 @@
+//! XC4000-class FPGA substrate.
+//!
+//! The paper's target platform is a Xilinx XC4025 ("contains 1024 CLBs",
+//! §5, \[12\]). We cannot run the 1994 vendor tools, so this crate
+//! models what the evaluation actually reports: **CLB area counts**
+//! (Table 4), a **floorplan** (Fig. 8) and a combinational **delay
+//! budget** for the 15 MHz reference clock. See DESIGN.md for the
+//! substitution rationale.
+//!
+//! * [`device`] — XC4000 family device table (CLB grids, FF/LUT counts).
+//! * [`area`] — CLB cost estimation for logic networks, datapath blocks,
+//!   memories and microcode ROMs.
+//! * [`floorplan`] — greedy shelf placer producing an ASCII floorplan.
+//! * [`timing`] — gate-level delay budget checks.
+
+pub mod area;
+pub mod device;
+pub mod floorplan;
+pub mod timing;
+
+pub use area::Clb;
+pub use device::Device;
+pub use floorplan::{Block, Floorplan};

@@ -1,0 +1,67 @@
+//! Property-based tests for the floorplanner: placements never overlap,
+//! never leave the device, and accounting is exact.
+
+use proptest::prelude::*;
+use pscp_fpga::area::Clb;
+use pscp_fpga::device::Device;
+use pscp_fpga::floorplan::{Block, Floorplan};
+
+fn blocks() -> impl Strategy<Value = Vec<Block>> {
+    proptest::collection::vec(1u32..200, 1..12).prop_map(|areas| {
+        areas
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| Block::new(format!("b{i}"), Clb(a)))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn placements_disjoint_and_in_bounds(bs in blocks()) {
+        for device in [Device::xc4005(), Device::xc4013(), Device::xc4025()] {
+            let plan = Floorplan::place(&device, &bs);
+            let mut grid =
+                vec![vec![false; device.cols as usize]; device.rows as usize];
+            for p in &plan.placements {
+                prop_assert!(p.x + p.w <= device.cols, "x overflow");
+                prop_assert!(p.y + p.h <= device.rows, "y overflow");
+                prop_assert!(p.w as u32 * p.h as u32 >= p.block.area.0, "rect too small");
+                for y in p.y..p.y + p.h {
+                    for x in p.x..p.x + p.w {
+                        prop_assert!(
+                            !grid[y as usize][x as usize],
+                            "overlap at ({x},{y}) on {}",
+                            device.name
+                        );
+                        grid[y as usize][x as usize] = true;
+                    }
+                }
+            }
+            // Conservation: every block is either placed or reported.
+            prop_assert_eq!(plan.placements.len() + plan.unplaced.len(), bs.len());
+            let placed: u32 = plan.placements.iter().map(|p| p.block.area.0).sum();
+            prop_assert_eq!(plan.used().0, placed);
+        }
+    }
+
+    #[test]
+    fn small_total_always_fits_big_device(bs in blocks()) {
+        let total: u32 = bs.iter().map(|b| b.area.0).sum();
+        let device = Device::xc4025();
+        // Shelf packing is within 2x of optimal for our shapes; only
+        // claim fit when comfortably under half the device.
+        prop_assume!(total <= device.clbs() / 2);
+        let plan = Floorplan::place(&device, &bs);
+        prop_assert!(plan.fits(), "unplaced: {:?} (total {total})", plan.unplaced);
+    }
+
+    #[test]
+    fn render_never_panics(bs in blocks()) {
+        let plan = Floorplan::place(&Device::xc4010(), &bs);
+        let text = plan.render();
+        prop_assert!(text.contains("floorplan"));
+    }
+}

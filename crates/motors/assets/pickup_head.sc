@@ -1,0 +1,193 @@
+chart PickupHead;
+event POWER;
+event INIT;
+event ALLRESET;
+event ERROR;
+event DATA_VALID period 1500;
+event X_PULSE period 300;
+event Y_PULSE period 300;
+event PHI_PULSE period 1600;
+event X_STEPS;
+event Y_STEPS;
+event PHI_STEPS;
+event GRAB_RELEASE;
+event BUF_READY internal;
+event PARAMS_READY internal;
+event BOUNDS_OK internal;
+event END_DATA internal;
+event END_MOVE internal;
+condition MOVEMENT;
+condition XFINISH;
+condition YFINISH;
+condition PHIFINISH;
+port BUFFER width 8 addr 16 in;
+port XPERIOD width 16 addr 32 out;
+port YPERIOD width 16 addr 33 out;
+port PHIPERIOD width 16 addr 34 out;
+port XSTEPS_P width 16 addr 40 out;
+port YSTEPS_P width 16 addr 41 out;
+port PHISTEPS_P width 16 addr 42 out;
+port ZSTEPS_P width 16 addr 43 out;
+port XDIR_P width 8 addr 44 out;
+port YDIR_P width 8 addr 45 out;
+port PHIDIR_P width 8 addr 46 out;
+port STOPALL_P width 8 addr 48 out;
+port STATUS_P width 16 addr 49 out;
+
+orstate Controller {
+    contains OFF, Idle1, Operation, ErrState;
+    default OFF;
+}
+basicstate OFF {
+    transition {
+        target Idle1;
+        label "POWER";
+    }
+}
+basicstate Idle1 {
+    transition {
+        target OpReady;
+        label "[DATA_VALID]/GetByte()";
+    }
+    transition {
+        target ReachPosition;
+        label "GRAB_RELEASE";
+    }
+}
+andstate Operation {
+    contains DataPreparation, ReachPosition;
+    transition {
+        target Idle1;
+        label "INIT or ALLRESET/InitializeAll()";
+    }
+    transition {
+        target ErrState;
+        label "ERROR/Stop()";
+    }
+    transition {
+        target Idle1;
+        label "END_DATA/Finish()";
+    }
+}
+basicstate ErrState {
+    transition {
+        target Idle1;
+        label "INIT or ALLRESET/InitializeAll()";
+    }
+}
+orstate DataPreparation {
+    contains OpReady, EmptyBuf, Bounds, NoData;
+    default OpReady;
+}
+basicstate OpReady {
+    transition {
+        target OpReady;
+        label "[DATA_VALID]/GetByte()";
+    }
+    transition {
+        target EmptyBuf;
+        label "BUF_READY/DecodeOpcode()";
+    }
+}
+basicstate EmptyBuf {
+    transition {
+        target Bounds;
+        label "PARAMS_READY/CheckBounds()";
+    }
+}
+basicstate Bounds {
+    transition {
+        target NoData;
+        label "BOUNDS_OK/PrepareMove()";
+    }
+}
+basicstate NoData {
+    transition {
+        target OpReady;
+        label "not (X_PULSE or Y_PULSE)/PhiParameters()";
+    }
+    transition {
+        target OpReady;
+        label "[DATA_VALID]/GetByte()";
+    }
+}
+orstate ReachPosition {
+    contains Idle2, Moving;
+    default Idle2;
+}
+basicstate Idle2 {
+    transition {
+        target Moving;
+        label "[MOVEMENT]";
+    }
+}
+andstate Moving {
+    contains MoveX, MoveY, MovePhi;
+    transition {
+        target Idle2;
+        label "[XFINISH and YFINISH and PHIFINISH]/EndMove()";
+    }
+}
+orstate MoveX {
+    contains XStart2, RunX, XEnd2;
+    default XStart2;
+}
+basicstate XStart2 {
+    transition {
+        target RunX;
+        label "/StartMotorX()";
+    }
+}
+basicstate RunX {
+    transition {
+        target RunX;
+        label "X_PULSE/DeltaTX()";
+    }
+    transition {
+        target XEnd2;
+        label "X_STEPS/FinishX()";
+    }
+}
+basicstate XEnd2 { }
+orstate MoveY {
+    contains YStart2, RunY, YEnd2;
+    default YStart2;
+}
+basicstate YStart2 {
+    transition {
+        target RunY;
+        label "/StartMotorY()";
+    }
+}
+basicstate RunY {
+    transition {
+        target RunY;
+        label "Y_PULSE/DeltaTY()";
+    }
+    transition {
+        target YEnd2;
+        label "Y_STEPS/FinishY()";
+    }
+}
+basicstate YEnd2 { }
+orstate MovePhi {
+    contains PhiStart, RunPhi, PhiEnd;
+    default PhiStart;
+}
+basicstate PhiStart {
+    transition {
+        target RunPhi;
+        label "/StartMotorPhi()";
+    }
+}
+basicstate RunPhi {
+    transition {
+        target RunPhi;
+        label "PHI_PULSE/DeltaTPhi()";
+    }
+    transition {
+        target PhiEnd;
+        label "PHI_STEPS/FinishPhi()";
+    }
+}
+basicstate PhiEnd { }

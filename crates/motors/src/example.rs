@@ -1,0 +1,469 @@
+//! The paper's industrial example: the SMD pickup-head controller
+//! (Figs. 5–7, Tables 2–4).
+//!
+//! The chart reconstructs the topology of Figs. 5/6: a top-level OR with
+//! `OFF`, `Idle1`, the `Operation` AND-state and `ErrState`; inside
+//! `Operation`, the `DataPreparation` region (OpReady → EmptyBuf →
+//! Bounds → NoData, Fig. 2a/6) runs in parallel with the
+//! `ReachPosition` motion region (Fig. 5: per-axis Start → Run → End
+//! with `X_PULSE/DeltaT` self-loops and a `[XFINISH and YFINISH and
+//! PHIFINISH]` join).
+//!
+//! The action routines are written in the paper's extended-C notation
+//! and compiled by `pscp-action-lang`; `DeltaT*` implements the classic
+//! stepper acceleration ramp `c' = c - 2c/(4n+1)` — one multiply and one
+//! divide inside the 300-cycle X/Y pulse deadline, which is precisely
+//! what sinks the minimal TEP in Table 4.
+
+use pscp_statechart::{Chart, ChartBuilder, StateKind};
+
+/// Data-port address map shared between the controller and the plant.
+pub mod ports {
+    /// Command byte stream from the central controller (in).
+    pub const BUFFER: u16 = 0x10;
+    /// X-axis counter period (out).
+    pub const XPERIOD: u16 = 0x20;
+    /// Y-axis counter period (out).
+    pub const YPERIOD: u16 = 0x21;
+    /// φ-axis counter period (out).
+    pub const PHIPERIOD: u16 = 0x22;
+    /// Arm the X motor with a step count (out).
+    pub const XSTEPS: u16 = 0x28;
+    /// Arm the Y motor with a step count (out).
+    pub const YSTEPS: u16 = 0x29;
+    /// Arm the φ motor with a step count (out).
+    pub const PHISTEPS: u16 = 0x2A;
+    /// Arm the Z motor with a step count (uniform speed) (out).
+    pub const ZSTEPS: u16 = 0x2B;
+    /// X direction (0 = +, 1 = -) (out).
+    pub const XDIR: u16 = 0x2C;
+    /// Y direction (out).
+    pub const YDIR: u16 = 0x2D;
+    /// φ direction (out).
+    pub const PHIDIR: u16 = 0x2E;
+    /// Emergency stop of all motors (out).
+    pub const STOPALL: u16 = 0x30;
+    /// Status/telemetry word (out): completed-move counter.
+    pub const STATUS: u16 = 0x31;
+}
+
+/// Command-stream opcodes.
+pub mod opcodes {
+    /// Move to absolute (x, y, φ).
+    pub const MOVE: u8 = 1;
+    /// End of command stream.
+    pub const END: u8 = 255;
+}
+
+/// The chart in the textual statechart format (Fig. 2a notation),
+/// shipped as an asset and kept in sync with [`pickup_head_chart`] by a
+/// test.
+pub const PICKUP_HEAD_SOURCE: &str = include_str!("../assets/pickup_head.sc");
+
+/// Table 2: the timing constraints of the example, `(event, period)` in
+/// reference-clock cycles at 15 MHz.
+pub fn timing_constraints() -> Vec<(&'static str, u64)> {
+    vec![
+        ("DATA_VALID", 1500),
+        ("X_PULSE", 300),
+        ("Y_PULSE", 300),
+        ("PHI_PULSE", 1600),
+    ]
+}
+
+/// Builds the pickup-head statechart (Figs. 5 and 6).
+pub fn pickup_head_chart() -> Chart {
+    let mut b = ChartBuilder::new("PickupHead");
+
+    // External events, with the Table 2 arrival periods.
+    b.event("POWER", None);
+    b.event("INIT", None);
+    b.event("ALLRESET", None);
+    b.event("ERROR", None);
+    b.event("DATA_VALID", Some(1500));
+    b.event("X_PULSE", Some(300));
+    b.event("Y_PULSE", Some(300));
+    b.event("PHI_PULSE", Some(1600));
+    b.event("X_STEPS", None);
+    b.event("Y_STEPS", None);
+    b.event("PHI_STEPS", None);
+    b.event("GRAB_RELEASE", None);
+    // Internal events raised by routines.
+    b.internal_event("BUF_READY");
+    b.internal_event("PARAMS_READY");
+    b.internal_event("BOUNDS_OK");
+    b.internal_event("END_DATA");
+    b.internal_event("END_MOVE");
+    // Conditions.
+    b.condition("MOVEMENT", false);
+    b.condition("XFINISH", false);
+    b.condition("YFINISH", false);
+    b.condition("PHIFINISH", false);
+
+    // Data ports (Fig. 2b's port architecture).
+    use pscp_statechart::model::PortDirection::{Input, Output};
+    b.data_port("BUFFER", 8, ports::BUFFER, Input);
+    b.data_port("XPERIOD", 16, ports::XPERIOD, Output);
+    b.data_port("YPERIOD", 16, ports::YPERIOD, Output);
+    b.data_port("PHIPERIOD", 16, ports::PHIPERIOD, Output);
+    b.data_port("XSTEPS_P", 16, ports::XSTEPS, Output);
+    b.data_port("YSTEPS_P", 16, ports::YSTEPS, Output);
+    b.data_port("PHISTEPS_P", 16, ports::PHISTEPS, Output);
+    b.data_port("ZSTEPS_P", 16, ports::ZSTEPS, Output);
+    b.data_port("XDIR_P", 8, ports::XDIR, Output);
+    b.data_port("YDIR_P", 8, ports::YDIR, Output);
+    b.data_port("PHIDIR_P", 8, ports::PHIDIR, Output);
+    b.data_port("STOPALL_P", 8, ports::STOPALL, Output);
+    b.data_port("STATUS_P", 16, ports::STATUS, Output);
+
+    // ---- top level (Fig. 6) -------------------------------------------
+    b.state("Controller", StateKind::Or)
+        .contains(["OFF", "Idle1", "Operation", "ErrState"])
+        .default_child("OFF");
+    b.state("OFF", StateKind::Basic).transition("Idle1", "POWER");
+    b.state("Idle1", StateKind::Basic)
+        .transition("OpReady", "[DATA_VALID]/GetByte()")
+        // The gripper cycle (Fig. 5's @GRAB_RELEASE connector): re-enter
+        // the motion region directly for a pick/place at the current
+        // position.
+        .transition("ReachPosition", "GRAB_RELEASE");
+    b.state("Operation", StateKind::And)
+        .contains(["DataPreparation", "ReachPosition"])
+        .transition("Idle1", "INIT or ALLRESET/InitializeAll()")
+        .transition("ErrState", "ERROR/Stop()")
+        .transition("Idle1", "END_DATA/Finish()");
+    b.state("ErrState", StateKind::Basic)
+        .transition("Idle1", "INIT or ALLRESET/InitializeAll()");
+
+    // ---- data preparation (Figs. 2a and 6) ----------------------------
+    b.state("DataPreparation", StateKind::Or)
+        .contains(["OpReady", "EmptyBuf", "Bounds", "NoData"])
+        .default_child("OpReady");
+    b.state("OpReady", StateKind::Basic)
+        .transition("OpReady", "[DATA_VALID]/GetByte()")
+        .transition("EmptyBuf", "BUF_READY/DecodeOpcode()");
+    b.state("EmptyBuf", StateKind::Basic)
+        .transition("Bounds", "PARAMS_READY/CheckBounds()");
+    b.state("Bounds", StateKind::Basic)
+        .transition("NoData", "BOUNDS_OK/PrepareMove()");
+    b.state("NoData", StateKind::Basic)
+        .transition("OpReady", "not (X_PULSE or Y_PULSE)/PhiParameters()")
+        // The next command byte may already arrive while the previous
+        // frame's φ parameters are pending (Table 3 lists NoData as a
+        // DATA_VALID consumer).
+        .transition("OpReady", "[DATA_VALID]/GetByte()");
+
+    // ---- motion (Fig. 5) -----------------------------------------------
+    b.state("ReachPosition", StateKind::Or)
+        .contains(["Idle2", "Moving"])
+        .default_child("Idle2");
+    b.state("Idle2", StateKind::Basic).transition("Moving", "[MOVEMENT]");
+    b.state("Moving", StateKind::And)
+        .contains(["MoveX", "MoveY", "MovePhi"])
+        .transition("Idle2", "[XFINISH and YFINISH and PHIFINISH]/EndMove()");
+
+    b.state("MoveX", StateKind::Or)
+        .contains(["XStart2", "RunX", "XEnd2"])
+        .default_child("XStart2");
+    b.state("XStart2", StateKind::Basic).transition("RunX", "/StartMotorX()");
+    b.state("RunX", StateKind::Basic)
+        .transition("RunX", "X_PULSE/DeltaTX()")
+        .transition("XEnd2", "X_STEPS/FinishX()");
+    b.basic("XEnd2");
+
+    b.state("MoveY", StateKind::Or)
+        .contains(["YStart2", "RunY", "YEnd2"])
+        .default_child("YStart2");
+    b.state("YStart2", StateKind::Basic).transition("RunY", "/StartMotorY()");
+    b.state("RunY", StateKind::Basic)
+        .transition("RunY", "Y_PULSE/DeltaTY()")
+        .transition("YEnd2", "Y_STEPS/FinishY()");
+    b.basic("YEnd2");
+
+    b.state("MovePhi", StateKind::Or)
+        .contains(["PhiStart", "RunPhi", "PhiEnd"])
+        .default_child("PhiStart");
+    b.state("PhiStart", StateKind::Basic).transition("RunPhi", "/StartMotorPhi()");
+    b.state("RunPhi", StateKind::Basic)
+        .transition("RunPhi", "PHI_PULSE/DeltaTPhi()")
+        .transition("PhiEnd", "PHI_STEPS/FinishPhi()");
+    b.basic("PhiEnd");
+
+    b.build().expect("pickup-head chart is well-formed")
+}
+
+/// The extended-C action routines of the controller.
+pub fn pickup_head_actions() -> String {
+    r#"
+// ---- command assembly (central controller protocol) -------------------
+uint:8  byte_no;
+uint:8  opcode;
+uint:16 cmd_x;
+uint:16 cmd_y;
+uint:16 cmd_phi;
+
+// ---- head position (steps) --------------------------------------------
+uint:16 pos_x;
+uint:16 pos_y;
+uint:16 pos_phi;
+
+// ---- per-axis ramp state: counter period, ramp step, steps remaining --
+int:16 xc;  int:16 xn;  int:16 xleft;
+int:16 yc;  int:16 yn;  int:16 yleft;
+int:16 moves_done;
+
+// ---- limits -------------------------------------------------------------
+int:16 min_period_xy = 300;      // 50 kHz at 15 MHz
+int:16 start_period_xy = 16800;  // ~900 Hz first step, fits 10 m/s^2
+int:16 phi_period = 1666;       // 9 kHz, uniform
+uint:16 max_coord = 20000;      // 0.5 m at 0.025 mm/step
+
+// Reads one byte of the command frame from the central controller:
+// [opcode, x_lo, x_hi, y_lo, y_hi, phi_lo, phi_hi]; opcode 255 ends the
+// stream.
+void GetByte() {
+    uint:16 b = BUFFER;
+    if (byte_no < 3) {
+        if (byte_no == 0) {
+            opcode = b;
+            if (opcode == 255) { raise END_DATA; } else { byte_no = 1; }
+        } else if (byte_no == 1) { cmd_x = b; byte_no = 2; }
+        else { cmd_x = cmd_x + (b << 8); byte_no = 3; }
+    } else if (byte_no < 5) {
+        if (byte_no == 3) { cmd_y = b; byte_no = 4; }
+        else { cmd_y = cmd_y + (b << 8); byte_no = 5; }
+    } else if (byte_no == 5) { cmd_phi = b; byte_no = 6; }
+    else {
+        cmd_phi = cmd_phi + (b << 8);
+        byte_no = 0;
+        raise BUF_READY;
+    }
+}
+
+void DecodeOpcode() {
+    if (opcode == 1) { raise PARAMS_READY; } else { raise ERROR; }
+}
+
+void CheckBounds() {
+    if (cmd_x > max_coord) { raise ERROR; }
+    else if (cmd_y > max_coord) { raise ERROR; }
+    else if (cmd_phi > 3600) { raise ERROR; }
+    else { raise BOUNDS_OK; }
+}
+
+// Distance (steps) between two unsigned positions.
+uint:16 Distance(uint:16 from, uint:16 to) {
+    if (to >= from) { return to - from; }
+    return from - to;
+}
+
+void PrepareMove() {
+    if (cmd_x >= pos_x) { xleft = cmd_x - pos_x; XDIR_P = 0; }
+    else                { xleft = pos_x - cmd_x; XDIR_P = 1; }
+    if (cmd_y >= pos_y) { yleft = cmd_y - pos_y; YDIR_P = 0; }
+    else                { yleft = pos_y - cmd_y; YDIR_P = 1; }
+    if (cmd_phi >= pos_phi) { PHIDIR_P = 0; } else { PHIDIR_P = 1; }
+    MOVEMENT = 1;
+}
+
+// The φ parameters: uniform speed, step count scaled from the angle
+// delta through the gear ratio (0.1 degree per step). The Z axis is
+// armed here too — it "moves uniformly" (§5) and is not tracked by the
+// chart.
+void PhiParameters() {
+    uint:16 dphi;
+    if (cmd_phi >= pos_phi) { dphi = cmd_phi - pos_phi; }
+    else                    { dphi = pos_phi - cmd_phi; }
+    ZSTEPS_P = (dphi * 9) / 20;
+}
+
+// The classic stepper ramp: c' = c - 2c/(4n+1) while accelerating,
+// mirrored for deceleration. One multiply and one divide per pulse.
+// Inlined into DeltaTX/DeltaTY — the call overhead would eat into the
+// 300-cycle pulse deadline; kept here as the reference formulation for
+// the bounds/φ paths.
+int:16 NextPeriod(int:16 c, int:16 n, int:16 left) {
+    if (left < n) {
+        // Deceleration phase.
+        return c + (2 * c) / (4 * left + 1);
+    }
+    if (c > min_period_xy) {
+        int:16 cn = c - (2 * c) / (4 * n + 1);
+        if (cn < min_period_xy) { return min_period_xy; }
+        return cn;
+    }
+    return c;
+}
+
+void StartMotorX() {
+    xc = start_period_xy;
+    xn = 0;
+    if (xleft == 0) { XFINISH = 1; }
+    else {
+        XFINISH = 0;
+        XPERIOD = xc;
+        XSTEPS_P = xleft;
+    }
+}
+
+void StartMotorY() {
+    yc = start_period_xy;
+    yn = 0;
+    if (yleft == 0) { YFINISH = 1; }
+    else {
+        YFINISH = 0;
+        YPERIOD = yc;
+        YSTEPS_P = yleft;
+    }
+}
+
+void StartMotorPhi() {
+    uint:16 dphi;
+    if (cmd_phi >= pos_phi) { dphi = cmd_phi - pos_phi; }
+    else                    { dphi = pos_phi - cmd_phi; }
+    if (dphi == 0) { PHIFINISH = 1; }
+    else {
+        PHIFINISH = 0;
+        PHIPERIOD = phi_period;
+        PHISTEPS_P = dphi;
+    }
+}
+
+void DeltaTX() {
+    xn = xn + 1;
+    xleft = xleft - 1;
+    if (xleft < xn) {
+        xc = xc + (2 * xc) / (4 * xleft + 1);
+    } else if (xc > min_period_xy) {
+        xc = xc - (2 * xc) / (4 * xn + 1);
+        if (xc < min_period_xy) { xc = min_period_xy; }
+    }
+    XPERIOD = xc;
+}
+
+void DeltaTY() {
+    yn = yn + 1;
+    yleft = yleft - 1;
+    if (yleft < yn) {
+        yc = yc + (2 * yc) / (4 * yleft + 1);
+    } else if (yc > min_period_xy) {
+        yc = yc - (2 * yc) / (4 * yn + 1);
+        if (yc < min_period_xy) { yc = min_period_xy; }
+    }
+    YPERIOD = yc;
+}
+
+// The φ motor moves uniformly (§5) — the update only refreshes the
+// counter.
+void DeltaTPhi() {
+    PHIPERIOD = phi_period;
+}
+
+void FinishX() { XFINISH = 1; pos_x = cmd_x; }
+void FinishY() { YFINISH = 1; pos_y = cmd_y; }
+void FinishPhi() { PHIFINISH = 1; pos_phi = cmd_phi; }
+
+void EndMove() {
+    MOVEMENT = 0;
+    XFINISH = 0;
+    YFINISH = 0;
+    PHIFINISH = 0;
+    moves_done = moves_done + 1;
+    STATUS_P = moves_done;
+    raise END_MOVE;
+}
+
+void InitializeAll() {
+    byte_no = 0;
+    opcode = 0;
+    MOVEMENT = 0;
+    XFINISH = 0;
+    YFINISH = 0;
+    PHIFINISH = 0;
+    STOPALL_P = 1;
+}
+
+void Stop() {
+    STOPALL_P = 1;
+    MOVEMENT = 0;
+}
+
+void Finish() {
+    STOPALL_P = 0;
+    STATUS_P = moves_done;
+}
+"#
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscp_core::arch::PscpArch;
+    use pscp_core::compile::compile_system;
+    use pscp_tep::codegen::CodegenOptions;
+
+    #[test]
+    fn chart_is_well_formed() {
+        let chart = pickup_head_chart();
+        assert!(chart.state_count() >= 20);
+        assert!(chart.transition_count() >= 18);
+        // Table 3 cycle endpoints exist.
+        for s in [
+            "Idle1", "OpReady", "EmptyBuf", "Bounds", "NoData", "ErrState", "RunX", "RunY",
+            "RunPhi", "Idle2", "ReachPosition",
+        ] {
+            assert!(chart.state_by_name(s).is_some(), "missing {s}");
+        }
+    }
+
+    #[test]
+    fn textual_asset_matches_builder_chart() {
+        let built = pickup_head_chart();
+        let parsed =
+            pscp_statechart::parse::parse_chart(PICKUP_HEAD_SOURCE).expect("asset parses");
+        assert_eq!(parsed, built, "regenerate assets/pickup_head.sc after chart edits");
+    }
+
+    #[test]
+    fn constraints_match_table2() {
+        let chart = pickup_head_chart();
+        for (name, period) in timing_constraints() {
+            let e = chart.event_by_name(name).unwrap();
+            assert_eq!(chart.event(e).period, Some(period), "{name}");
+        }
+    }
+
+    #[test]
+    fn actions_compile_against_chart() {
+        let chart = pickup_head_chart();
+        let env = pscp_core::compile::chart_env(&chart);
+        let ir = pscp_action_lang::compile_with_env(&pickup_head_actions(), &env).unwrap();
+        // DeltaT path must contain the mul and div of the ramp.
+        let f = ir.function("NextPeriod").unwrap();
+        let h = f.op_histogram();
+        assert!(h.mul >= 1, "ramp must multiply");
+        assert!(h.div >= 1, "ramp must divide");
+    }
+
+    #[test]
+    fn full_system_compiles_on_all_table4_architectures() {
+        let chart = pickup_head_chart();
+        let actions = pickup_head_actions();
+        for arch in [
+            PscpArch::minimal(),
+            PscpArch::md16_unoptimized(),
+            PscpArch::md16_optimized(),
+            PscpArch::dual_md16(false),
+            PscpArch::dual_md16(true),
+        ] {
+            let sys = compile_system(&chart, &actions, &arch, &CodegenOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", arch.label));
+            assert!(sys.program.instruction_count() > 100, "{}", arch.label);
+            // The minimal TEP needs the software runtime.
+            if !arch.tep.calc.muldiv {
+                assert!(sys.program.function_index("__mulu_16").is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Stepper-motor plant model and the paper's industrial example.
+//!
+//! §5 of the paper: "we modeled the controller of a pickup head for the
+//! placement of SMD components on a PCB. … four motors have to be
+//! controlled that move the head in the x, y, z, and φ coordinates. The
+//! X and Y motors operate with a maximum step frequency of 50kHz, the Z
+//! and φ motors with 9kHz. … The motors are set in motion by counters
+//! that issue a pulse on zero. The Z and φ motors move uniformly, while
+//! the X and Y motors have to be accelerated and decelerated in a
+//! precise way, because of inertia. For a 15MHz reference clock, this
+//! leads to timing requirements of 300 cycles to update the X and Y
+//! counters. Further, the controller can receive commands from a
+//! central controller every 1500 cycles."
+//!
+//! * [`stepper`] — discrete-time stepper-motor physics: down-counter
+//!   pulse generation, velocity/acceleration limit checking, position
+//!   integration.
+//! * [`head`] — the SMD pickup head as a [`pscp_core::machine::Environment`]:
+//!   command stream, pulse events, period/steps ports, deadline
+//!   accounting.
+//! * [`example`] — the Figs. 5/6 statechart and its extended-C action
+//!   routines, plus the Table 2 timing constraints.
+
+pub mod example;
+pub mod head;
+pub mod stepper;
+
+pub use example::{
+    pickup_head_actions, pickup_head_chart, timing_constraints, PICKUP_HEAD_SOURCE,
+};
+pub use head::SmdHead;
+pub use stepper::StepperMotor;
+
+/// The 15 MHz reference clock of the example.
+pub const CLOCK_HZ: u64 = 15_000_000;

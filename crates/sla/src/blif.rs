@@ -1,0 +1,138 @@
+//! BLIF export of the synthesised SLA.
+//!
+//! "The Statechart Structural Analyzer … also generates a BLIF
+//! description of the SLA. … The BLIF description is converted to VHDL,
+//! and can be immediately synthesized." (§2)
+//!
+//! Each gate becomes a `.names` cover: AND gates one row of `1…1 1`,
+//! OR gates one row per input, NOT a single `0 1` row.
+
+use crate::net::{LogicNet, Node, NodeId};
+use std::fmt::Write as _;
+
+/// Renders a network as a BLIF model.
+pub fn to_blif(net: &LogicNet, model_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {model_name}");
+
+    let inputs = net.inputs();
+    let _ = write!(out, ".inputs");
+    for (name, _) in &inputs {
+        let _ = write!(out, " {name}");
+    }
+    let _ = writeln!(out);
+
+    let _ = write!(out, ".outputs");
+    for (name, _) in net.outputs() {
+        let _ = write!(out, " {name}");
+    }
+    let _ = writeln!(out);
+
+    let signal = |id: NodeId| -> String {
+        match net.node(id) {
+            Node::Input(name) => name.clone(),
+            _ => format!("n{}", id.0),
+        }
+    };
+
+    for (id, node) in net.nodes() {
+        match node {
+            Node::Input(_) => {}
+            Node::Const(v) => {
+                let _ = writeln!(out, ".names {}", signal(id));
+                if *v {
+                    let _ = writeln!(out, "1");
+                }
+            }
+            Node::And(ops) => {
+                let _ = write!(out, ".names");
+                for &o in ops {
+                    let _ = write!(out, " {}", signal(o));
+                }
+                let _ = writeln!(out, " {}", signal(id));
+                let _ = writeln!(out, "{} 1", "1".repeat(ops.len()));
+            }
+            Node::Or(ops) => {
+                let _ = write!(out, ".names");
+                for &o in ops {
+                    let _ = write!(out, " {}", signal(o));
+                }
+                let _ = writeln!(out, " {}", signal(id));
+                for i in 0..ops.len() {
+                    let mut row = vec!['-'; ops.len()];
+                    row[i] = '1';
+                    let _ = writeln!(out, "{} 1", row.into_iter().collect::<String>());
+                }
+            }
+            Node::Not(x) => {
+                let _ = writeln!(out, ".names {} {}", signal(*x), signal(id));
+                let _ = writeln!(out, "0 1");
+            }
+        }
+    }
+
+    // Output aliases: connect declared output names to their nodes.
+    for (name, id) in net.outputs() {
+        let sig = signal(*id);
+        if sig != *name {
+            let _ = writeln!(out, ".names {sig} {name}");
+            let _ = writeln!(out, "1 1");
+        }
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::LogicNet;
+
+    #[test]
+    fn blif_structure() {
+        let mut net = LogicNet::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let ab = net.and(vec![a, b]);
+        let n = net.not(ab);
+        net.set_output("f", n);
+        let blif = to_blif(&net, "test");
+        assert!(blif.starts_with(".model test"));
+        assert!(blif.contains(".inputs a b"));
+        assert!(blif.contains(".outputs f"));
+        assert!(blif.contains("11 1"), "AND cover row");
+        assert!(blif.contains("0 1"), "NOT cover row");
+        assert!(blif.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn or_cover_rows() {
+        let mut net = LogicNet::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let c = net.input("c");
+        let o = net.or(vec![a, b, c]);
+        net.set_output("f", o);
+        let blif = to_blif(&net, "m");
+        assert!(blif.contains("1-- 1"));
+        assert!(blif.contains("-1- 1"));
+        assert!(blif.contains("--1 1"));
+    }
+
+    #[test]
+    fn sla_blif_exports_cleanly() {
+        use pscp_statechart::encoding::{CrLayout, EncodingStyle};
+        use pscp_statechart::{ChartBuilder, StateKind};
+        let mut bld = ChartBuilder::new("t");
+        bld.event("E", None);
+        bld.state("Top", StateKind::Or).contains(["A", "B"]).default_child("A");
+        bld.state("A", StateKind::Basic).transition("B", "E");
+        bld.state("B", StateKind::Basic).transition("A", "E");
+        let chart = bld.build().unwrap();
+        let layout = CrLayout::new(&chart, EncodingStyle::Exclusivity);
+        let sla = crate::synth::synthesize(&chart, &layout);
+        let blif = to_blif(&sla.net, "sla");
+        assert!(blif.contains(".outputs T0 T1"));
+        assert!(blif.contains("next_cr0"));
+    }
+}

@@ -1,0 +1,241 @@
+//! SLA simulation: evaluate the synthesised logic against a CR snapshot.
+//!
+//! The differential tests here are the correctness anchor of the whole
+//! hardware path: for every reachable configuration and event subset,
+//! the SLA's fire set and next-state bits must agree with the reference
+//! executor from `pscp-statechart`.
+
+use crate::synth::{cr_input_name, SlaSynthesis};
+use pscp_statechart::encoding::CrLayout;
+use pscp_statechart::semantics::Configuration;
+use pscp_statechart::{Chart, ConditionId, EventId, TransitionId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Evaluator for a synthesised SLA.
+#[derive(Debug, Clone)]
+pub struct SlaSim<'a> {
+    chart: &'a Chart,
+    layout: &'a CrLayout,
+    sla: &'a SlaSynthesis,
+}
+
+impl<'a> SlaSim<'a> {
+    /// Creates a simulator.
+    pub fn new(chart: &'a Chart, layout: &'a CrLayout, sla: &'a SlaSynthesis) -> Self {
+        SlaSim { chart, layout, sla }
+    }
+
+    /// Builds the CR bit vector for a configuration + events + condition
+    /// values.
+    pub fn cr_bits(
+        &self,
+        config: &Configuration,
+        events: &BTreeSet<EventId>,
+        conditions: &dyn Fn(ConditionId) -> bool,
+    ) -> Vec<bool> {
+        let mut bits = self.layout.encode(self.chart, config);
+        for &e in events {
+            bits[self.layout.event_bit(e) as usize] = true;
+        }
+        for c in self.chart.condition_ids() {
+            bits[self.layout.condition_bit(c) as usize] = conditions(c);
+        }
+        bits
+    }
+
+    /// Evaluates the network on raw CR bits; returns all node values.
+    fn eval(&self, bits: &[bool]) -> Vec<bool> {
+        let inputs: BTreeMap<String, bool> =
+            bits.iter().enumerate().map(|(i, &v)| (cr_input_name(i as u32), v)).collect();
+        self.sla.net.eval(&inputs)
+    }
+
+    /// The transitions whose fire signals are asserted, in chart order.
+    pub fn fired(&self, bits: &[bool]) -> Vec<TransitionId> {
+        let vals = self.eval(bits);
+        self.sla
+            .fire
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| vals[f.0 as usize])
+            .map(|(i, _)| TransitionId::from_index(i))
+            .collect()
+    }
+
+    /// Computes the next CR state bits (events cleared, conditions held).
+    pub fn next_cr(&self, bits: &[bool]) -> Vec<bool> {
+        let vals = self.eval(bits);
+        let mut next = bits.to_vec();
+        // Event part resets every cycle.
+        for e in self.chart.event_ids() {
+            next[self.layout.event_bit(e) as usize] = false;
+        }
+        for (&bit, node) in &self.sla.next_state_bits {
+            next[bit as usize] = vals[node.0 as usize];
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthesize;
+    use pscp_statechart::encoding::EncodingStyle;
+    use pscp_statechart::semantics::{ActionEffects, Executor};
+    use pscp_statechart::{ChartBuilder, StateKind};
+
+    fn no_fx(_: &pscp_statechart::model::ActionCall) -> ActionEffects {
+        ActionEffects::default()
+    }
+
+    /// Drives executor and SLA side by side through an event script and
+    /// checks fire sets and live state bits each cycle.
+    fn differential(chart: &Chart, style: EncodingStyle, script: &[Vec<&str>]) {
+        let layout = CrLayout::new(chart, style);
+        let sla = synthesize(chart, &layout);
+        let sim = SlaSim::new(chart, &layout, &sla);
+        let mut exec = Executor::new(chart);
+
+        for (cycle, evs) in script.iter().enumerate() {
+            let events: BTreeSet<EventId> =
+                evs.iter().filter_map(|n| chart.event_by_name(n)).collect();
+            let expected: BTreeSet<TransitionId> =
+                exec.select_transitions(&events).into_iter().collect();
+
+            let bits = sim.cr_bits(exec.configuration(), &events, &|_| false);
+            let fired: BTreeSet<TransitionId> = sim.fired(&bits).into_iter().collect();
+            assert_eq!(fired, expected, "cycle {cycle} events {evs:?} ({style:?})");
+
+            let next = sim.next_cr(&bits);
+            exec.step(&events, no_fx);
+
+            // Live state bits must match the executor's new configuration.
+            for s in chart.state_ids() {
+                let active = exec.configuration().is_active(s);
+                let decoded = layout.is_active_in(chart, &next, s);
+                // In exclusivity encoding, bits of inactive regions are
+                // don't-care; only check states the layout proves active
+                // or that the executor says are active.
+                if active || decoded {
+                    assert_eq!(
+                        decoded,
+                        active,
+                        "cycle {cycle} state {} ({style:?})",
+                        chart.state(s).name
+                    );
+                }
+            }
+        }
+    }
+
+    fn toggle() -> Chart {
+        let mut b = ChartBuilder::new("t");
+        b.event("TICK", None);
+        b.state("Top", StateKind::Or).contains(["Off", "On"]).default_child("Off");
+        b.state("Off", StateKind::Basic).transition("On", "TICK");
+        b.state("On", StateKind::Basic).transition("Off", "TICK");
+        b.build().unwrap()
+    }
+
+    fn parallel_chart() -> Chart {
+        let mut b = ChartBuilder::new("p");
+        b.event("GO", None);
+        b.event("X", None);
+        b.event("Y", None);
+        b.event("STOP", None);
+        b.state("Top", StateKind::Or).contains(["Idle", "Run"]).default_child("Idle");
+        b.state("Idle", StateKind::Basic).transition("Run", "GO");
+        b.state("Run", StateKind::And)
+            .contains(["MX", "MY"])
+            .transition("Idle", "STOP");
+        b.state("MX", StateKind::Or).contains(["X1", "X2"]).default_child("X1");
+        b.state("X1", StateKind::Basic).transition("X2", "X");
+        b.state("X2", StateKind::Basic).transition("X1", "X");
+        b.state("MY", StateKind::Or).contains(["Y1", "Y2"]).default_child("Y1");
+        b.state("Y1", StateKind::Basic).transition("Y2", "Y");
+        b.state("Y2", StateKind::Basic).transition("Y1", "Y");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn toggle_matches_executor_both_encodings() {
+        let chart = toggle();
+        let script = vec![vec!["TICK"], vec![], vec!["TICK"], vec!["TICK"], vec![]];
+        differential(&chart, EncodingStyle::Exclusivity, &script);
+        differential(&chart, EncodingStyle::OneHot, &script);
+    }
+
+    #[test]
+    fn parallel_chart_matches_executor() {
+        let chart = parallel_chart();
+        let script = vec![
+            vec!["GO"],
+            vec!["X", "Y"],
+            vec!["X"],
+            vec!["Y"],
+            vec!["STOP", "X"], // outer STOP preempts inner X
+            vec!["GO"],
+            vec!["X", "Y", "STOP"],
+        ];
+        differential(&chart, EncodingStyle::Exclusivity, &script);
+        differential(&chart, EncodingStyle::OneHot, &script);
+    }
+
+    #[test]
+    fn random_scripts_match_executor() {
+        let chart = parallel_chart();
+        let names = ["GO", "X", "Y", "STOP"];
+        let mut seed = 0xdeadbeefu64;
+        let mut script: Vec<Vec<&str>> = Vec::new();
+        for _ in 0..200 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let m = (seed >> 33) as usize;
+            script.push(
+                names
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| m & (1 << i) != 0)
+                    .map(|(_, &n)| n)
+                    .collect(),
+            );
+        }
+        differential(&chart, EncodingStyle::Exclusivity, &script);
+        differential(&chart, EncodingStyle::OneHot, &script);
+    }
+
+    #[test]
+    fn guarded_transitions_respect_conditions() {
+        let mut b = ChartBuilder::new("g");
+        b.event("E", None);
+        b.condition("OK", false);
+        b.state("A", StateKind::Basic).transition("B", "E [OK]");
+        b.basic("B");
+        let chart = b.build().unwrap();
+        let layout = CrLayout::new(&chart, EncodingStyle::Exclusivity);
+        let sla = synthesize(&chart, &layout);
+        let sim = SlaSim::new(&chart, &layout, &sla);
+        let exec = Executor::new(&chart);
+        let e: BTreeSet<EventId> = [chart.event_by_name("E").unwrap()].into();
+
+        let bits_no = sim.cr_bits(exec.configuration(), &e, &|_| false);
+        assert!(sim.fired(&bits_no).is_empty());
+        let bits_ok = sim.cr_bits(exec.configuration(), &e, &|_| true);
+        assert_eq!(sim.fired(&bits_ok).len(), 1);
+    }
+
+    #[test]
+    fn event_bits_cleared_in_next_cr() {
+        let chart = toggle();
+        let layout = CrLayout::new(&chart, EncodingStyle::Exclusivity);
+        let sla = synthesize(&chart, &layout);
+        let sim = SlaSim::new(&chart, &layout, &sla);
+        let exec = Executor::new(&chart);
+        let e: BTreeSet<EventId> = [chart.event_by_name("TICK").unwrap()].into();
+        let bits = sim.cr_bits(exec.configuration(), &e, &|_| false);
+        let next = sim.next_cr(&bits);
+        let tick_bit = layout.event_bit(chart.event_by_name("TICK").unwrap()) as usize;
+        assert!(bits[tick_bit]);
+        assert!(!next[tick_bit], "events live exactly one cycle");
+    }
+}

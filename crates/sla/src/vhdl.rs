@@ -1,0 +1,107 @@
+//! Structural VHDL export of the synthesised SLA.
+//!
+//! Produces an entity with one port per CR input bit and per declared
+//! output, and an architecture of concurrent signal assignments — the
+//! "can be immediately synthesized" form of §2.
+
+use crate::net::{LogicNet, Node, NodeId};
+use std::fmt::Write as _;
+
+/// Renders a network as synthesisable VHDL.
+pub fn to_vhdl(net: &LogicNet, entity: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "library ieee;");
+    let _ = writeln!(out, "use ieee.std_logic_1164.all;");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "entity {entity} is");
+    let _ = writeln!(out, "  port (");
+    let inputs = net.inputs();
+    for (name, _) in &inputs {
+        let _ = writeln!(out, "    {name} : in std_logic;");
+    }
+    let outs = net.outputs();
+    for (i, (name, _)) in outs.iter().enumerate() {
+        let sep = if i + 1 == outs.len() { "" } else { ";" };
+        let _ = writeln!(out, "    {name} : out std_logic{sep}");
+    }
+    let _ = writeln!(out, "  );");
+    let _ = writeln!(out, "end entity {entity};");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "architecture rtl of {entity} is");
+
+    let signal = |id: NodeId| -> String {
+        match net.node(id) {
+            Node::Input(name) => name.clone(),
+            _ => format!("n{}", id.0),
+        }
+    };
+
+    for (id, node) in net.nodes() {
+        if !matches!(node, Node::Input(_)) {
+            let _ = writeln!(out, "  signal {} : std_logic;", signal(id));
+        }
+    }
+    let _ = writeln!(out, "begin");
+
+    for (id, node) in net.nodes() {
+        let lhs = signal(id);
+        match node {
+            Node::Input(_) => {}
+            Node::Const(v) => {
+                let _ = writeln!(out, "  {lhs} <= '{}';", if *v { 1 } else { 0 });
+            }
+            Node::And(ops) => {
+                let rhs: Vec<String> = ops.iter().map(|&o| signal(o)).collect();
+                let _ = writeln!(out, "  {lhs} <= {};", rhs.join(" and "));
+            }
+            Node::Or(ops) => {
+                let rhs: Vec<String> = ops.iter().map(|&o| signal(o)).collect();
+                let _ = writeln!(out, "  {lhs} <= {};", rhs.join(" or "));
+            }
+            Node::Not(x) => {
+                let _ = writeln!(out, "  {lhs} <= not {};", signal(*x));
+            }
+        }
+    }
+    for (name, id) in outs {
+        let _ = writeln!(out, "  {name} <= {};", signal(*id));
+    }
+    let _ = writeln!(out, "end architecture rtl;");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::LogicNet;
+
+    #[test]
+    fn vhdl_structure() {
+        let mut net = LogicNet::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let ab = net.and(vec![a, b]);
+        let o = net.not(ab);
+        net.set_output("f", o);
+        let vhdl = to_vhdl(&net, "sla");
+        assert!(vhdl.contains("entity sla is"));
+        assert!(vhdl.contains("a : in std_logic;"));
+        assert!(vhdl.contains("f : out std_logic"));
+        assert!(vhdl.contains("and"));
+        assert!(vhdl.contains("not"));
+        assert!(vhdl.contains("end architecture rtl;"));
+    }
+
+    #[test]
+    fn every_internal_node_declared() {
+        let mut net = LogicNet::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let x = net.or(vec![a, b]);
+        let y = net.and(vec![x, a]);
+        net.set_output("f", y);
+        let vhdl = to_vhdl(&net, "e");
+        assert!(vhdl.contains(&format!("signal n{} : std_logic;", x.0)));
+        assert!(vhdl.contains(&format!("signal n{} : std_logic;", y.0)));
+    }
+}

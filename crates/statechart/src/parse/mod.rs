@@ -1,0 +1,509 @@
+//! Parser for the textual statechart format (Fig. 2a of the paper),
+//! extended with declaration syntax for events, conditions and data
+//! ports so a chart is self-contained.
+//!
+//! ```text
+//! // comment
+//! chart PickupHead;                       // optional chart name
+//! event DATA_VALID period 1500;          // arrival period in cycles
+//! event X_PULSE port PE0 period 300;
+//! event END_DATA internal;
+//! condition MOVEMENT;                    // persistent boolean
+//! condition OK initial true;
+//! port Buffer width 8 addr 0x1CF bidir;  // external data port
+//!
+//! orstate DataPreparation {
+//!     contains OpcodeReady, EmptyBuf, Bounds, NoData;
+//!     default OpcodeReady;
+//!     transition { target Idle1; label "INIT or ALLRESET/InitializeAll()"; }
+//! }
+//! andstate Operation {
+//!     contains DataPreparation, ReachPosition;
+//!     transition { target ErrState; label "ERROR/Stop()"; }
+//! }
+//! basicstate Errstate {
+//!     transition { target Idle1; label "INIT or ALLRESET/InitializeAll()"; cost 50; }
+//! }
+//! ```
+//!
+//! Undeclared names appearing in `contains` lists or as transition
+//! targets become implicit basic states, exactly as in the builder API.
+
+mod lexer;
+
+pub use lexer::{Lexer, Token, TokenKind};
+
+use crate::builder::ChartBuilder;
+use crate::error::ParseError;
+use crate::model::{Chart, ConditionDecl, EventDecl, PortDirection, StateKind};
+
+/// Parses a chart from the textual format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with position information for syntax errors,
+/// or a position-less one wrapping the structural [`crate::ChartError`]s
+/// detected while assembling the chart.
+pub fn parse_chart(source: &str) -> Result<Chart, ParseError> {
+    parse_chart_pages(&[source])
+}
+
+/// Parses a chart split across several diagram *pages* — the paper's
+/// figures reference states on other pages with `@Name` connectors
+/// (Fig. 5 is the motion page referenced by Fig. 6's `@MoveX`,
+/// `@MoveY`, `@MOVE_PHI`). Since the textual format declares states flat
+/// and connects them by name, composition is concatenation: all pages
+/// share one namespace, and a `reference;`-marked (or simply undeclared)
+/// state on one page binds to its definition on another.
+///
+/// # Errors
+///
+/// Syntax errors carry the page index in the message; structural errors
+/// (duplicate definitions across pages, unresolved names) come from the
+/// final assembly.
+pub fn parse_chart_pages(sources: &[&str]) -> Result<Chart, ParseError> {
+    let mut builder = ChartBuilder::new("chart");
+    let mut named = false;
+    for (i, src) in sources.iter().enumerate() {
+        let mut p = Parser::new(src)
+            .map_err(|e| ParseError::new(e.line, e.column, format!("page {i}: {}", e.message)))?;
+        p.parse_into(&mut builder, &mut named)
+            .map_err(|e| ParseError::new(e.line, e.column, format!("page {i}: {}", e.message)))?;
+    }
+    builder.build().map_err(ParseError::from)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(source: &str) -> Result<Self, ParseError> {
+        let tokens = Lexer::new(source).tokenize()?;
+        Ok(Parser { tokens, pos: 0 })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError::new(t.line, t.column, msg)
+    }
+
+    fn expect_punct(&mut self, ch: char) -> Result<(), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Punct(c) if *c == ch => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{ch}`, found {other}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<u64, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(n)
+            }
+            other => Err(self.error(format!("expected number, found {other}"))),
+        }
+    }
+
+    fn expect_string(&mut self) -> Result<String, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected string literal, found {other}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    #[allow(dead_code)]
+    fn parse(&mut self) -> Result<Chart, ParseError> {
+        let mut builder = ChartBuilder::new("chart");
+        let mut named = false;
+        self.parse_into(&mut builder, &mut named)?;
+        builder.build().map_err(ParseError::from)
+    }
+
+    /// Parses one page's declarations into a shared builder.
+    fn parse_into(
+        &mut self,
+        builder: &mut ChartBuilder,
+        named: &mut bool,
+    ) -> Result<(), ParseError> {
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::Eof => break,
+                TokenKind::Ident(word) => match word.as_str() {
+                    "chart" => {
+                        self.bump();
+                        let name = self.expect_ident()?;
+                        if *named {
+                            return Err(self.error("duplicate `chart` directive"));
+                        }
+                        *named = true;
+                        builder.set_name(name);
+                        self.expect_punct(';')?;
+                    }
+                    "event" => {
+                        self.bump();
+                        let decl = self.parse_event_decl()?;
+                        builder.event_decl(decl);
+                    }
+                    "condition" => {
+                        self.bump();
+                        let decl = self.parse_condition_decl()?;
+                        builder.condition_decl(decl);
+                    }
+                    "port" => {
+                        self.bump();
+                        self.parse_port_decl(builder)?;
+                    }
+                    "basicstate" => {
+                        self.bump();
+                        self.parse_state(builder, StateKind::Basic)?;
+                    }
+                    "orstate" => {
+                        self.bump();
+                        self.parse_state(builder, StateKind::Or)?;
+                    }
+                    "andstate" => {
+                        self.bump();
+                        self.parse_state(builder, StateKind::And)?;
+                    }
+                    other => {
+                        return Err(self.error(format!(
+                            "expected a declaration keyword, found `{other}`"
+                        )))
+                    }
+                },
+                other => {
+                    return Err(self.error(format!("expected a declaration, found {other}")))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_event_decl(&mut self) -> Result<EventDecl, ParseError> {
+        let name = self.expect_ident()?;
+        let mut decl =
+            EventDecl { name, width: 1, port: None, period: None, internal: false };
+        loop {
+            if self.eat_keyword("width") {
+                decl.width = self.expect_number()? as u8;
+            } else if self.eat_keyword("port") {
+                decl.port = Some(self.expect_ident()?);
+            } else if self.eat_keyword("period") {
+                decl.period = Some(self.expect_number()?);
+            } else if self.eat_keyword("internal") {
+                decl.internal = true;
+            } else {
+                break;
+            }
+        }
+        self.expect_punct(';')?;
+        Ok(decl)
+    }
+
+    fn parse_condition_decl(&mut self) -> Result<ConditionDecl, ParseError> {
+        let name = self.expect_ident()?;
+        let mut decl = ConditionDecl { name, width: 1, port: None, initial: false };
+        loop {
+            if self.eat_keyword("width") {
+                decl.width = self.expect_number()? as u8;
+            } else if self.eat_keyword("port") {
+                decl.port = Some(self.expect_ident()?);
+            } else if self.eat_keyword("initial") {
+                let v = self.expect_ident()?;
+                decl.initial = match v.as_str() {
+                    "true" => true,
+                    "false" => false,
+                    other => {
+                        return Err(
+                            self.error(format!("expected `true` or `false`, found `{other}`"))
+                        )
+                    }
+                };
+            } else {
+                break;
+            }
+        }
+        self.expect_punct(';')?;
+        Ok(decl)
+    }
+
+    fn parse_port_decl(&mut self, builder: &mut ChartBuilder) -> Result<(), ParseError> {
+        let name = self.expect_ident()?;
+        let mut width = 8u8;
+        let mut addr = 0u16;
+        let mut dir = PortDirection::Bidirectional;
+        loop {
+            if self.eat_keyword("width") {
+                width = self.expect_number()? as u8;
+            } else if self.eat_keyword("addr") {
+                addr = self.expect_number()? as u16;
+            } else if self.eat_keyword("in") {
+                dir = PortDirection::Input;
+            } else if self.eat_keyword("out") {
+                dir = PortDirection::Output;
+            } else if self.eat_keyword("bidir") {
+                dir = PortDirection::Bidirectional;
+            } else {
+                break;
+            }
+        }
+        self.expect_punct(';')?;
+        builder.data_port(name, width, addr, dir);
+        Ok(())
+    }
+
+    fn parse_state(
+        &mut self,
+        builder: &mut ChartBuilder,
+        kind: StateKind,
+    ) -> Result<(), ParseError> {
+        let name = self.expect_ident()?;
+        let mut scope = builder.state(name, kind);
+        self.expect_punct('{')?;
+        loop {
+            if self.eat_keyword("contains") {
+                loop {
+                    let child = self.expect_ident()?;
+                    scope.contains([child]);
+                    match &self.peek().kind {
+                        TokenKind::Punct(',') => {
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                self.expect_punct(';')?;
+            } else if self.eat_keyword("default") {
+                let d = self.expect_ident()?;
+                scope.default_child(d);
+                self.expect_punct(';')?;
+            } else if self.eat_keyword("reference") {
+                scope.reference();
+                self.expect_punct(';')?;
+            } else if self.eat_keyword("history") {
+                scope.history();
+                self.expect_punct(';')?;
+            } else if self.at_keyword("entry") {
+                let kw = self.bump();
+                let call = self.expect_string()?;
+                self.expect_punct(';')?;
+                crate::builder::parse_label(&format!("/{call}"))
+                    .map_err(|e| ParseError::new(kw.line, kw.column, format!("entry: {e}")))?;
+                scope.on_entry(&call);
+            } else if self.at_keyword("exit") {
+                let kw = self.bump();
+                let call = self.expect_string()?;
+                self.expect_punct(';')?;
+                crate::builder::parse_label(&format!("/{call}"))
+                    .map_err(|e| ParseError::new(kw.line, kw.column, format!("exit: {e}")))?;
+                scope.on_exit(&call);
+            } else if self.at_keyword("transition") {
+                let kw = self.bump();
+                self.expect_punct('{')?;
+                let mut target: Option<String> = None;
+                let mut label = String::new();
+                let mut cost: Option<u64> = None;
+                loop {
+                    if self.eat_keyword("target") {
+                        target = Some(self.expect_ident()?);
+                        self.expect_punct(';')?;
+                    } else if self.eat_keyword("label") {
+                        label = self.expect_string()?;
+                        self.expect_punct(';')?;
+                    } else if self.eat_keyword("cost") {
+                        cost = Some(self.expect_number()?);
+                        self.expect_punct(';')?;
+                    } else if matches!(&self.peek().kind, TokenKind::Punct('}')) {
+                        self.bump();
+                        break;
+                    } else {
+                        return Err(self.error(format!(
+                            "expected `target`, `label`, `cost` or `}}` in transition, found {}",
+                            self.peek().kind
+                        )));
+                    }
+                }
+                let target = target.ok_or_else(|| {
+                    ParseError::new(kw.line, kw.column, "transition is missing `target`")
+                })?;
+                scope
+                    .try_transition(target, &label, cost)
+                    .map_err(|e| self.error(format!("invalid label: {e}")))?;
+            } else if matches!(&self.peek().kind, TokenKind::Punct('}')) {
+                self.bump();
+                break;
+            } else {
+                return Err(self.error(format!(
+                    "expected `contains`, `default`, `transition` or `}}`, found {}",
+                    self.peek().kind
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::StateKind;
+
+    const FIG2A: &str = r#"
+        // Events referenced in Fig. 2a labels.
+        event INIT;
+        event ALLRESET;
+        event ERROR;
+
+        basicstate Errstate {
+            transition {
+                target Idle1;
+                label "INIT or ALLRESET/InitializeAll()";
+            }
+        }
+        andstate Operation {
+            contains DataPreparation, ReachPosition;
+            transition {
+                target Idle1;
+                label "INIT or ALLRESET/InitializeAll()";
+            }
+            transition {
+                target Errstate;
+                label "ERROR/Stop()";
+            }
+        }
+        orstate DataPreparation {
+            contains OpcodeReady, EmptyBuf, Bounds, NoData;
+            default OpcodeReady;
+        }
+    "#;
+
+    #[test]
+    fn parses_fig2a_shapes() {
+        let chart = parse_chart(FIG2A).unwrap();
+        let op = chart.state_by_name("Operation").unwrap();
+        assert_eq!(chart.state(op).kind, StateKind::And);
+        assert_eq!(chart.state(op).children.len(), 2);
+        let dp = chart.state_by_name("DataPreparation").unwrap();
+        assert_eq!(chart.state(dp).children.len(), 4);
+        let def = chart.state(dp).default.unwrap();
+        assert_eq!(chart.state(def).name, "OpcodeReady");
+        // Implicit basic states inferred for targets/children.
+        assert!(chart.state_by_name("Idle1").is_some());
+        assert!(chart.state_by_name("ReachPosition").is_some());
+        // Implicit root adopted the orphans.
+        assert_eq!(chart.state(chart.root()).name, crate::builder::IMPLICIT_ROOT);
+    }
+
+    #[test]
+    fn parses_declarations() {
+        let src = r#"
+            chart Demo;
+            event DATA_VALID period 1500;
+            event X_PULSE port PE0 period 300;
+            event END internal;
+            condition MOVEMENT;
+            condition OK initial true;
+            port Buffer width 8 addr 463 bidir;
+            basicstate A {
+                transition { target B; label "DATA_VALID"; cost 42; }
+            }
+        "#;
+        let chart = parse_chart(src).unwrap();
+        assert_eq!(chart.name(), "Demo");
+        let dv = chart.event(chart.event_by_name("DATA_VALID").unwrap());
+        assert_eq!(dv.period, Some(1500));
+        let xp = chart.event(chart.event_by_name("X_PULSE").unwrap());
+        assert_eq!(xp.port.as_deref(), Some("PE0"));
+        let end = chart.event(chart.event_by_name("END").unwrap());
+        assert!(end.internal);
+        let ok = chart.condition(chart.condition_by_name("OK").unwrap());
+        assert!(ok.initial);
+        assert_eq!(chart.data_ports().next().unwrap().width, 8);
+        let t = chart.transitions().next().unwrap();
+        assert_eq!(t.explicit_cost, Some(42));
+    }
+
+    #[test]
+    fn hex_numbers_accepted() {
+        let src = "port P width 8 addr 0x1CF in;\nbasicstate A { }";
+        let chart = parse_chart(src).unwrap();
+        assert_eq!(chart.data_ports().next().unwrap().address, 0x1CF);
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let src = "basicstate A {\n  transition { label \"X\"; }\n}";
+        let err = parse_chart(src).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("target"));
+    }
+
+    #[test]
+    fn rejects_unknown_toplevel() {
+        let err = parse_chart("frobnicate A;").unwrap_err();
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_bad_label() {
+        let src = r#"basicstate A { transition { target B; label "E or"; } }"#;
+        let err = parse_chart(src).unwrap_err();
+        assert!(err.message.contains("invalid label"));
+    }
+
+    #[test]
+    fn pretty_print_round_trip() {
+        let chart = parse_chart(FIG2A).unwrap();
+        let printed = crate::pretty::to_text(&chart);
+        let reparsed = parse_chart(&printed).unwrap();
+        assert_eq!(chart.state_count(), reparsed.state_count());
+        assert_eq!(chart.transition_count(), reparsed.transition_count());
+        for s in chart.states() {
+            let rid = reparsed.state_by_name(&s.name).unwrap();
+            assert_eq!(reparsed.state(rid).kind, s.kind, "state {}", s.name);
+        }
+    }
+}

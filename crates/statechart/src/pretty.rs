@@ -1,0 +1,178 @@
+//! Pretty-printer emitting the textual statechart format.
+//!
+//! `parse(to_text(chart))` reproduces an equivalent chart (states,
+//! kinds, hierarchy, transitions, declarations); this is checked by the
+//! round-trip tests in [`crate::parse`].
+
+use crate::builder::IMPLICIT_ROOT;
+use crate::model::{Chart, StateKind, Transition};
+use std::fmt::Write as _;
+
+/// Renders a chart in the textual format.
+pub fn to_text(chart: &Chart) -> String {
+    let mut out = String::new();
+    if chart.name() != "chart" {
+        let _ = writeln!(out, "chart {};", chart.name());
+    }
+    for e in chart.events() {
+        let _ = write!(out, "event {}", e.name);
+        if e.width != 1 {
+            let _ = write!(out, " width {}", e.width);
+        }
+        if let Some(p) = &e.port {
+            let _ = write!(out, " port {p}");
+        }
+        if let Some(per) = e.period {
+            let _ = write!(out, " period {per}");
+        }
+        if e.internal {
+            let _ = write!(out, " internal");
+        }
+        let _ = writeln!(out, ";");
+    }
+    for c in chart.conditions() {
+        let _ = write!(out, "condition {}", c.name);
+        if c.width != 1 {
+            let _ = write!(out, " width {}", c.width);
+        }
+        if let Some(p) = &c.port {
+            let _ = write!(out, " port {p}");
+        }
+        if c.initial {
+            let _ = write!(out, " initial true");
+        }
+        let _ = writeln!(out, ";");
+    }
+    for p in chart.data_ports() {
+        let _ = writeln!(out, "port {} width {} addr {} {};", p.name, p.width, p.address, p.direction);
+    }
+    let _ = writeln!(out);
+
+    for sid in chart.state_ids() {
+        let s = chart.state(sid);
+        // The implicit root is reconstructed by the parser; don't print it.
+        if s.name == IMPLICIT_ROOT {
+            continue;
+        }
+        let has_body = !s.children.is_empty()
+            || chart.outgoing(sid).next().is_some()
+            || s.is_reference
+            || !s.entry_actions.is_empty()
+            || !s.exit_actions.is_empty();
+        let _ = write!(out, "{} {}", s.kind, s.name);
+        if !has_body {
+            let _ = writeln!(out, " {{ }}");
+            continue;
+        }
+        let _ = writeln!(out, " {{");
+        if s.is_reference {
+            let _ = writeln!(out, "    reference;");
+        }
+        if !s.children.is_empty() {
+            let names: Vec<&str> =
+                s.children.iter().map(|&c| chart.state(c).name.as_str()).collect();
+            let _ = writeln!(out, "    contains {};", names.join(", "));
+        }
+        for call in &s.entry_actions {
+            let _ = writeln!(out, "    entry \"{call}\";");
+        }
+        for call in &s.exit_actions {
+            let _ = writeln!(out, "    exit \"{call}\";");
+        }
+        if let Some(d) = s.default {
+            let _ = writeln!(out, "    default {};", chart.state(d).name);
+        }
+        if s.history {
+            let _ = writeln!(out, "    history;");
+        }
+        for tid in chart.outgoing(sid) {
+            let t = chart.transition(tid);
+            let _ = writeln!(out, "    transition {{");
+            let _ = writeln!(out, "        target {};", chart.state(t.target).name);
+            let _ = writeln!(out, "        label \"{}\";", label_text(t));
+            if let Some(c) = t.explicit_cost {
+                let _ = writeln!(out, "        cost {c};");
+            }
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// Reconstructs the `trigger[guard]/actions` label text of a transition.
+pub fn label_text(t: &Transition) -> String {
+    let mut s = String::new();
+    if let Some(trig) = &t.trigger {
+        let _ = write!(s, "{trig}");
+    }
+    if let Some(g) = &t.guard {
+        let _ = write!(s, " [{g}]");
+    }
+    if !t.actions.is_empty() {
+        let calls: Vec<String> = t.actions.iter().map(|a| a.to_string()).collect();
+        let _ = write!(s, "/{}", calls.join(", "));
+    }
+    s.trim().to_string()
+}
+
+/// Renders the hierarchy as an indented tree (for reports and figures).
+pub fn tree(chart: &Chart) -> String {
+    let mut out = String::new();
+    fn rec(chart: &Chart, s: crate::StateId, indent: usize, out: &mut String) {
+        let st = chart.state(s);
+        let kind = match st.kind {
+            StateKind::Basic => "",
+            StateKind::Or => " (or)",
+            StateKind::And => " (and)",
+        };
+        let def = if chart
+            .state(s)
+            .parent
+            .map(|p| chart.state(p).default == Some(s))
+            .unwrap_or(false)
+        {
+            " *"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "{}{}{}{}", "  ".repeat(indent), st.name, kind, def);
+        for &c in &st.children {
+            rec(chart, c, indent + 1, out);
+        }
+    }
+    rec(chart, chart.root(), 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ChartBuilder;
+    use crate::model::StateKind;
+
+    #[test]
+    fn label_text_reconstruction() {
+        let mut b = ChartBuilder::new("c");
+        b.event("E", None);
+        b.condition("C", false);
+        b.state("A", StateKind::Basic).transition("B", "E [C]/F(x, y)");
+        b.basic("B");
+        let chart = b.build().unwrap();
+        let t = chart.transitions().next().unwrap();
+        assert_eq!(label_text(t), "E [C]/F(x, y)");
+    }
+
+    #[test]
+    fn tree_renders_all_states() {
+        let mut b = ChartBuilder::new("c");
+        b.state("Top", StateKind::Or).contains(["A", "B"]).default_child("A");
+        b.basic("A");
+        b.basic("B");
+        let chart = b.build().unwrap();
+        let t = tree(&chart);
+        assert!(t.contains("Top (or)"));
+        assert!(t.contains("A *"), "default child marked: {t}");
+        assert!(t.contains("B"));
+    }
+}

@@ -1,0 +1,772 @@
+//! Reference step semantics for extended statecharts.
+//!
+//! This executor defines the *functional* meaning of a chart against
+//! which the synthesised SLA hardware and the full PSCP machine are
+//! cross-checked. It follows the execution model of §3.1 of the paper:
+//!
+//! 1. at the beginning of a configuration cycle, external events are
+//!    sampled (they live for exactly one cycle);
+//! 2. the set of enabled, non-conflicting transitions is computed
+//!    (the paper's SLA produces the transition addresses);
+//! 3. all selected transitions execute: exit sets are left, targets and
+//!    their default completions are entered, and action routines run —
+//!    actions may raise events (visible *next* cycle) and set conditions
+//!    (written back at the end of the cycle, like the condition caches);
+//! 4. repeat.
+//!
+//! Conflicts are resolved by *outer-first* priority (a transition whose
+//! scope is closer to the root preempts inner ones — this is what lets
+//! `ERROR/Stop()` on `Operation` in Fig. 6 win over anything inside), and
+//! by declaration order between equals.
+
+use crate::model::{ActionCall, Chart, ConditionId, EventId, StateId, StateKind, TransitionId};
+use std::collections::BTreeSet;
+
+/// A stable snapshot of which states are active.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Configuration {
+    active: Vec<bool>,
+}
+
+impl Configuration {
+    /// True when `s` is active.
+    pub fn is_active(&self, s: StateId) -> bool {
+        self.active[s.index()]
+    }
+
+    /// All active states, in arena order.
+    pub fn active_states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| StateId::from_index(i))
+    }
+
+    /// Active basic (leaf) states — the usual human-readable summary.
+    pub fn active_leaves<'c>(&'c self, chart: &'c Chart) -> impl Iterator<Item = StateId> + 'c {
+        self.active_states().filter(move |&s| chart.state(s).children.is_empty())
+    }
+
+    /// Checks the consistency invariants: the root is active; every
+    /// active OR-state with children has exactly one active child; every
+    /// active AND-state has all children active; children of inactive
+    /// states are inactive.
+    pub fn is_consistent(&self, chart: &Chart) -> bool {
+        if !self.is_active(chart.root()) {
+            return false;
+        }
+        for s in chart.state_ids() {
+            let st = chart.state(s);
+            let active_children = st.children.iter().filter(|&&c| self.is_active(c)).count();
+            if self.is_active(s) {
+                match st.kind {
+                    StateKind::Or if !st.children.is_empty()
+                        && active_children != 1 => {
+                            return false;
+                        }
+                    StateKind::And
+                        if active_children != st.children.len() => {
+                            return false;
+                        }
+                    _ => {}
+                }
+            } else if active_children != 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Side effects requested by an action routine during reference
+/// execution. The full PSCP machine runs compiled TEP code instead; this
+/// hook exists so functional tests and co-simulations can model the same
+/// effects.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActionEffects {
+    /// Events raised; visible in the *next* configuration cycle.
+    pub raise: Vec<String>,
+    /// Condition assignments, applied at end of cycle (condition-cache
+    /// write-back).
+    pub set_conditions: Vec<(String, bool)>,
+}
+
+/// Where an action call originated, for [`Executor::step_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionSite {
+    /// An exit action of `state`, run because `transition` fired.
+    Exit {
+        /// The exited state.
+        state: StateId,
+        /// The transition that caused the exit.
+        transition: TransitionId,
+    },
+    /// An action on the transition's own label.
+    Transition {
+        /// The firing transition.
+        transition: TransitionId,
+    },
+    /// An entry action of `state`, run because `transition` fired.
+    Entry {
+        /// The entered state.
+        state: StateId,
+        /// The transition that caused the entry.
+        transition: TransitionId,
+    },
+}
+
+impl ActionSite {
+    /// The transition responsible for this action.
+    pub fn transition(self) -> TransitionId {
+        match self {
+            ActionSite::Exit { transition, .. }
+            | ActionSite::Transition { transition }
+            | ActionSite::Entry { transition, .. } => transition,
+        }
+    }
+}
+
+/// What happened during one configuration cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Transitions that fired, in execution order.
+    pub fired: Vec<TransitionId>,
+    /// States exited this cycle.
+    pub exited: Vec<StateId>,
+    /// States entered this cycle.
+    pub entered: Vec<StateId>,
+    /// Action calls dispatched, in order.
+    pub actions: Vec<ActionCall>,
+    /// Events raised by actions (become visible next cycle).
+    pub raised: Vec<EventId>,
+}
+
+/// The reference executor.
+///
+/// # Example
+///
+/// ```
+/// use pscp_statechart::{ChartBuilder, StateKind};
+/// use pscp_statechart::semantics::Executor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ChartBuilder::new("toggle");
+/// b.event("TICK", None);
+/// b.state("Top", StateKind::Or).contains(["Off", "On"]).default_child("Off");
+/// b.state("Off", StateKind::Basic).transition("On", "TICK");
+/// b.state("On", StateKind::Basic).transition("Off", "TICK");
+/// let chart = b.build()?;
+///
+/// let mut exec = Executor::new(&chart);
+/// let off = chart.state_by_name("Off").unwrap();
+/// let on = chart.state_by_name("On").unwrap();
+/// assert!(exec.configuration().is_active(off));
+/// exec.step_named(["TICK"], |_| Default::default());
+/// assert!(exec.configuration().is_active(on));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Executor<'c> {
+    chart: &'c Chart,
+    config: Configuration,
+    conditions: Vec<bool>,
+    /// Events raised by actions during the previous cycle.
+    pending_internal: BTreeSet<EventId>,
+    /// Shallow-history memory: last active child of each history
+    /// OR-state.
+    history_memory: Vec<Option<StateId>>,
+    cycle: u64,
+}
+
+impl<'c> Executor<'c> {
+    /// Creates an executor in the default configuration with conditions
+    /// at their declared reset values.
+    pub fn new(chart: &'c Chart) -> Self {
+        let mut active = vec![false; chart.state_count()];
+        let history_memory = vec![None; chart.state_count()];
+        enter_with_defaults(chart, chart.root(), &mut active, &mut Vec::new(), &history_memory);
+        Executor {
+            chart,
+            config: Configuration { active },
+            conditions: chart.conditions().map(|c| c.initial).collect(),
+            pending_internal: BTreeSet::new(),
+            history_memory,
+            cycle: 0,
+        }
+    }
+
+    /// The remembered child of a shallow-history OR-state, if any.
+    pub fn history_of(&self, s: StateId) -> Option<StateId> {
+        self.history_memory[s.index()]
+    }
+
+    /// Current configuration.
+    pub fn configuration(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// Number of configuration cycles executed so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current value of a condition.
+    pub fn condition(&self, c: ConditionId) -> bool {
+        self.conditions[c.index()]
+    }
+
+    /// Overrides a condition (models an external condition port).
+    pub fn set_condition(&mut self, c: ConditionId, value: bool) {
+        self.conditions[c.index()] = value;
+    }
+
+    /// Internal events raised by actions last cycle, still pending
+    /// delivery in the next step.
+    pub fn pending_events(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.pending_internal.iter().copied()
+    }
+
+    /// Computes the enabled, conflict-resolved transition set for a given
+    /// event set without executing anything. This is exactly the set of
+    /// addresses the SLA would emit into the Transition Address Table.
+    pub fn select_transitions(&self, events: &BTreeSet<EventId>) -> Vec<TransitionId> {
+        let chart = self.chart;
+        let truth = |atom: &str| -> bool {
+            if let Some(e) = chart.event_by_name(atom) {
+                return events.contains(&e);
+            }
+            if let Some(c) = chart.condition_by_name(atom) {
+                return self.conditions[c.index()];
+            }
+            false
+        };
+
+        let mut enabled: Vec<TransitionId> = chart
+            .transition_ids()
+            .filter(|&tid| {
+                let t = chart.transition(tid);
+                self.config.is_active(t.source)
+                    && t.trigger.as_ref().is_none_or(|e| e.eval(truth))
+                    && t.guard.as_ref().is_none_or(|e| e.eval(truth))
+            })
+            .collect();
+
+        // Outer-first priority: sort by scope depth, then declaration
+        // order; then greedily keep non-conflicting transitions.
+        enabled.sort_by_key(|&tid| {
+            let t = chart.transition(tid);
+            (chart.depth(chart.transition_scope(t.source, t.target)), tid.index())
+        });
+
+        let mut selected: Vec<TransitionId> = Vec::new();
+        let mut claimed: Vec<BTreeSet<StateId>> = Vec::new();
+        for tid in enabled {
+            let t = chart.transition(tid);
+            let scope = chart.transition_scope(t.source, t.target);
+            let exits: BTreeSet<StateId> = chart
+                .descendants_inclusive(scope)
+                .into_iter()
+                .filter(|&s| s != scope && self.config.is_active(s))
+                .collect();
+            // A transition whose scope is the whole root with an exit set
+            // covering everything still conflicts correctly via overlap.
+            if claimed.iter().all(|c| c.is_disjoint(&exits)) {
+                claimed.push(exits);
+                selected.push(tid);
+            }
+        }
+        selected
+    }
+
+    /// Runs one configuration cycle with the given external events, using
+    /// `effects` to model the action routines.
+    pub fn step<F>(&mut self, external: &BTreeSet<EventId>, mut effects: F) -> StepReport
+    where
+        F: FnMut(&ActionCall) -> ActionEffects,
+    {
+        self.step_with(external, |_, call| effects(call))
+    }
+
+    /// Like [`Executor::step`], but the callback also learns *where* each
+    /// action comes from — a state's exit action, the transition's own
+    /// label, or a state's entry action — and which transition caused it.
+    /// The full PSCP machine uses this to execute compiled routines in
+    /// exactly the reference order and attribute their cycle costs.
+    pub fn step_with<F>(&mut self, external: &BTreeSet<EventId>, mut effects: F) -> StepReport
+    where
+        F: FnMut(ActionSite, &ActionCall) -> ActionEffects,
+    {
+        let chart = self.chart;
+        let mut events = external.clone();
+        events.extend(self.pending_internal.iter().copied());
+        self.pending_internal.clear();
+
+        let selected = self.select_transitions(&events);
+        let mut report = StepReport::default();
+        let mut cond_writes: Vec<(ConditionId, bool)> = Vec::new();
+
+        for tid in selected {
+            let t = chart.transition(tid);
+            let scope = chart.transition_scope(t.source, t.target);
+            let exit_start = report.exited.len();
+            let entry_start = report.entered.len();
+
+            // Exit: deactivate everything strictly inside the scope that
+            // is on the active path, recording shallow-history memory.
+            for s in chart.descendants_inclusive(scope) {
+                if s != scope && self.config.active[s.index()] {
+                    self.config.active[s.index()] = false;
+                    if let Some(p) = chart.state(s).parent {
+                        if chart.state(p).history {
+                            self.history_memory[p.index()] = Some(s);
+                        }
+                    }
+                    report.exited.push(s);
+                }
+            }
+
+            // Enter: activate the path scope -> target, then default
+            // completion below the target; sibling AND components entered
+            // along the way get their defaults too.
+            let mut path: Vec<StateId> = Vec::new();
+            let mut cur = t.target;
+            while cur != scope {
+                path.push(cur);
+                match chart.state(cur).parent {
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+            path.reverse();
+            // When the scope itself is an AND-state (a transition crossing
+            // parallel components of the root region), its other children
+            // were exited above and must be default-entered again.
+            let scope_state = chart.state(scope);
+            if scope_state.kind == StateKind::And {
+                let first_on_path = path.first().copied();
+                for &c in &scope_state.children {
+                    if Some(c) != first_on_path && !self.config.active[c.index()] {
+                        enter_with_defaults(
+                            chart,
+                            c,
+                            &mut self.config.active,
+                            &mut report.entered,
+                            &self.history_memory,
+                        );
+                    }
+                }
+            }
+            for (i, &s) in path.iter().enumerate() {
+                if !self.config.active[s.index()] {
+                    self.config.active[s.index()] = true;
+                    report.entered.push(s);
+                }
+                // When entering an AND-state on the way down, its other
+                // children must be default-entered as well.
+                let next_on_path = path.get(i + 1).copied();
+                let st = chart.state(s);
+                if st.kind == StateKind::And {
+                    for &c in &st.children {
+                        if Some(c) != next_on_path && !self.config.active[c.index()] {
+                            enter_with_defaults(
+                                chart,
+                                c,
+                                &mut self.config.active,
+                                &mut report.entered,
+                                &self.history_memory,
+                            );
+                        }
+                    }
+                }
+            }
+            // Default completion below the target itself.
+            if !self.config.active[t.target.index()] {
+                enter_with_defaults(
+                    chart,
+                    t.target,
+                    &mut self.config.active,
+                    &mut report.entered,
+                    &self.history_memory,
+                );
+            } else {
+                let st = chart.state(t.target);
+                let completion: Vec<StateId> = match st.kind {
+                    StateKind::And => st.children.clone(),
+                    StateKind::Or => {
+                        let child = if st.history {
+                            self.history_memory[t.target.index()]
+                                .filter(|c| st.children.contains(c))
+                                .or(st.default)
+                        } else {
+                            st.default
+                        };
+                        child.into_iter().collect()
+                    }
+                    StateKind::Basic => Vec::new(),
+                };
+                for c in completion {
+                    if !self.config.active[c.index()] {
+                        enter_with_defaults(
+                            chart,
+                            c,
+                            &mut self.config.active,
+                            &mut report.entered,
+                            &self.history_memory,
+                        );
+                    }
+                }
+            }
+
+            // Actions, in the conventional order: exit actions of the
+            // exited states, the transition's own label actions, entry
+            // actions of the entered states. (The configuration bits were
+            // already flipped above, which is unobservable to actions —
+            // their effects are deferred to end of cycle.)
+            let apply = |site: ActionSite,
+                             call: &ActionCall,
+                             effects: &mut F,
+                             pending: &mut BTreeSet<EventId>,
+                             report: &mut StepReport,
+                             cond_writes: &mut Vec<(ConditionId, bool)>| {
+                let eff = effects(site, call);
+                for name in eff.raise {
+                    if let Some(e) = chart.event_by_name(&name) {
+                        pending.insert(e);
+                        report.raised.push(e);
+                    }
+                }
+                for (name, v) in eff.set_conditions {
+                    if let Some(c) = chart.condition_by_name(&name) {
+                        cond_writes.push((c, v));
+                    }
+                }
+                report.actions.push(call.clone());
+            };
+
+            let exited_now: Vec<StateId> = report.exited[exit_start..].to_vec();
+            for s in exited_now {
+                for call in &chart.state(s).exit_actions.clone() {
+                    apply(
+                        ActionSite::Exit { state: s, transition: tid },
+                        call,
+                        &mut effects,
+                        &mut self.pending_internal,
+                        &mut report,
+                        &mut cond_writes,
+                    );
+                }
+            }
+            for call in &t.actions {
+                apply(
+                    ActionSite::Transition { transition: tid },
+                    call,
+                    &mut effects,
+                    &mut self.pending_internal,
+                    &mut report,
+                    &mut cond_writes,
+                );
+            }
+            let entered_now: Vec<StateId> = report.entered[entry_start..].to_vec();
+            for s in entered_now {
+                for call in &chart.state(s).entry_actions.clone() {
+                    apply(
+                        ActionSite::Entry { state: s, transition: tid },
+                        call,
+                        &mut effects,
+                        &mut self.pending_internal,
+                        &mut report,
+                        &mut cond_writes,
+                    );
+                }
+            }
+            report.fired.push(tid);
+        }
+
+        // Condition-cache write-back at end of cycle.
+        for (c, v) in cond_writes {
+            self.conditions[c.index()] = v;
+        }
+
+        self.cycle += 1;
+        debug_assert!(self.config.is_consistent(chart), "inconsistent configuration after step");
+        report
+    }
+
+    /// Convenience wrapper: step with events given by name.
+    pub fn step_named<I, S, F>(&mut self, events: I, effects: F) -> StepReport
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+        F: FnMut(&ActionCall) -> ActionEffects,
+    {
+        let set: BTreeSet<EventId> = events
+            .into_iter()
+            .filter_map(|n| self.chart.event_by_name(n.as_ref()))
+            .collect();
+        self.step(&set, effects)
+    }
+}
+
+/// Activates `s` and recursively its default completion. Shallow-history
+/// OR-states re-enter their remembered child instead of the default.
+fn enter_with_defaults(
+    chart: &Chart,
+    s: StateId,
+    active: &mut [bool],
+    entered: &mut Vec<StateId>,
+    history: &[Option<StateId>],
+) {
+    if !active[s.index()] {
+        active[s.index()] = true;
+        entered.push(s);
+    }
+    let st = chart.state(s);
+    match st.kind {
+        StateKind::Or => {
+            let child = if st.history {
+                history[s.index()]
+                    .filter(|c| st.children.contains(c))
+                    .or(st.default)
+            } else {
+                st.default
+            };
+            if let Some(d) = child {
+                enter_with_defaults(chart, d, active, entered, history);
+            }
+        }
+        StateKind::And => {
+            for &c in &st.children {
+                enter_with_defaults(chart, c, active, entered, history);
+            }
+        }
+        StateKind::Basic => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ChartBuilder;
+    use crate::model::StateKind;
+
+    fn no_effects(_: &ActionCall) -> ActionEffects {
+        ActionEffects::default()
+    }
+
+    fn motorish() -> Chart {
+        // A small AND-chart in the spirit of Fig. 5: two motors running
+        // in parallel, each waiting for its own pulse event.
+        let mut b = ChartBuilder::new("motors");
+        b.event("X_PULSE", Some(300));
+        b.event("Y_PULSE", Some(300));
+        b.event("GO", None);
+        b.event("STOP_ALL", None);
+        b.condition("MOVING", false);
+        b.state("Top", StateKind::Or).contains(["Idle", "Move"]).default_child("Idle");
+        b.state("Idle", StateKind::Basic).transition("Move", "GO/StartMotor(MX)");
+        b.state("Move", StateKind::And).contains(["MX", "MY"]);
+        {
+            b.state("MX", StateKind::Or).contains(["RunX"]).default_child("RunX");
+        }
+        b.state("RunX", StateKind::Basic).transition("RunX", "X_PULSE/DeltaT(MX)");
+        b.state("MY", StateKind::Or).contains(["RunY"]).default_child("RunY");
+        b.state("RunY", StateKind::Basic).transition("RunY", "Y_PULSE/DeltaT(MY)");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn initial_configuration_is_default_completion() {
+        let c = motorish();
+        let e = Executor::new(&c);
+        assert!(e.configuration().is_consistent(&c));
+        assert!(e.configuration().is_active(c.state_by_name("Idle").unwrap()));
+        assert!(!e.configuration().is_active(c.state_by_name("Move").unwrap()));
+    }
+
+    #[test]
+    fn entering_and_state_enters_all_components() {
+        let c = motorish();
+        let mut e = Executor::new(&c);
+        e.step_named(["GO"], no_effects);
+        for n in ["Move", "MX", "MY", "RunX", "RunY"] {
+            assert!(
+                e.configuration().is_active(c.state_by_name(n).unwrap()),
+                "{n} should be active"
+            );
+        }
+        assert!(!e.configuration().is_active(c.state_by_name("Idle").unwrap()));
+    }
+
+    #[test]
+    fn parallel_transitions_fire_in_same_cycle() {
+        let c = motorish();
+        let mut e = Executor::new(&c);
+        e.step_named(["GO"], no_effects);
+        let r = e.step_named(["X_PULSE", "Y_PULSE"], no_effects);
+        assert_eq!(r.fired.len(), 2, "both orthogonal self-loops fire");
+        assert_eq!(r.actions.len(), 2);
+    }
+
+    #[test]
+    fn events_live_one_cycle() {
+        let c = motorish();
+        let mut e = Executor::new(&c);
+        let r = e.step_named(["X_PULSE"], no_effects); // not in Move yet
+        assert!(r.fired.is_empty());
+        e.step_named(["GO"], no_effects);
+        // The earlier X_PULSE is long gone.
+        let r = e.step_named(Vec::<&str>::new(), no_effects);
+        assert!(r.fired.is_empty());
+    }
+
+    #[test]
+    fn raised_events_visible_next_cycle() {
+        let mut b = ChartBuilder::new("relay");
+        b.event("A", None);
+        b.internal_event("B");
+        b.state("S1", StateKind::Basic).transition("S2", "A/Raise()");
+        b.state("S2", StateKind::Basic).transition("S3", "B");
+        b.basic("S3");
+        let c = b.build().unwrap();
+        let mut e = Executor::new(&c);
+        let raise = |call: &ActionCall| {
+            if call.function == "Raise" {
+                ActionEffects { raise: vec!["B".into()], ..Default::default() }
+            } else {
+                ActionEffects::default()
+            }
+        };
+        e.step_named(["A"], raise);
+        assert!(e.configuration().is_active(c.state_by_name("S2").unwrap()));
+        // B was raised, fires now without external input.
+        e.step_named(Vec::<&str>::new(), raise);
+        assert!(e.configuration().is_active(c.state_by_name("S3").unwrap()));
+    }
+
+    #[test]
+    fn outer_transition_preempts_inner() {
+        // Like ERROR/Stop() on Operation in Fig. 6.
+        let mut b = ChartBuilder::new("preempt");
+        b.event("E", None);
+        b.state("Top", StateKind::Or).contains(["Op", "Err"]).default_child("Op");
+        b.state("Op", StateKind::Or).contains(["A", "B"]).default_child("A");
+        {
+            let mut s = b.state("A", StateKind::Basic);
+            s.transition("B", "E");
+        }
+        b.basic("B");
+        b.basic("Err");
+        // Outer transition on the composite Op, same trigger.
+        // Note: declared after the inner one, but outer priority wins.
+        {
+            // Need to re-open Op: builder keeps pending list, so add via a
+            // second scope on a fresh builder instead.
+        }
+        let mut b2 = ChartBuilder::new("preempt");
+        b2.event("E", None);
+        b2.state("Top", StateKind::Or).contains(["Op", "Err"]).default_child("Op");
+        b2.state("Op", StateKind::Or)
+            .contains(["A", "B"])
+            .default_child("A")
+            .transition("Err", "E");
+        b2.state("A", StateKind::Basic).transition("B", "E");
+        b2.basic("B");
+        b2.basic("Err");
+        let c = b2.build().unwrap();
+        let mut e = Executor::new(&c);
+        let r = e.step_named(["E"], no_effects);
+        assert_eq!(r.fired.len(), 1);
+        assert!(e.configuration().is_active(c.state_by_name("Err").unwrap()));
+        assert!(!e.configuration().is_active(c.state_by_name("B").unwrap()));
+    }
+
+    #[test]
+    fn guard_blocks_until_condition_set() {
+        let mut b = ChartBuilder::new("guard");
+        b.event("E", None);
+        b.condition("OK", false);
+        b.state("A", StateKind::Basic).transition("B", "E [OK]");
+        b.basic("B");
+        let c = b.build().unwrap();
+        let mut e = Executor::new(&c);
+        e.step_named(["E"], no_effects);
+        assert!(e.configuration().is_active(c.state_by_name("A").unwrap()));
+        e.set_condition(c.condition_by_name("OK").unwrap(), true);
+        e.step_named(["E"], no_effects);
+        assert!(e.configuration().is_active(c.state_by_name("B").unwrap()));
+    }
+
+    #[test]
+    fn condition_writes_apply_at_cycle_end() {
+        // Two transitions in the same cycle: one sets a condition the
+        // other one's guard tests. Write-back semantics mean the guard
+        // still sees the old value this cycle.
+        let mut b = ChartBuilder::new("wb");
+        b.event("E", None);
+        b.condition("C", false);
+        b.state("P", StateKind::And).contains(["L", "R"]);
+        b.state("L", StateKind::Or).contains(["L1", "L2"]).default_child("L1");
+        b.state("L1", StateKind::Basic).transition("L2", "E/SetC()");
+        b.basic("L2");
+        b.state("R", StateKind::Or).contains(["R1", "R2"]).default_child("R1");
+        b.state("R1", StateKind::Basic).transition("R2", "E [C]");
+        b.basic("R2");
+        let c = b.build().unwrap();
+        let mut e = Executor::new(&c);
+        let set_c = |call: &ActionCall| {
+            if call.function == "SetC" {
+                ActionEffects { set_conditions: vec![("C".into(), true)], ..Default::default() }
+            } else {
+                ActionEffects::default()
+            }
+        };
+        let r = e.step_named(["E"], set_c);
+        assert_eq!(r.fired.len(), 1, "guarded transition must not see the in-cycle write");
+        assert!(e.configuration().is_active(c.state_by_name("R1").unwrap()));
+        // Next cycle the condition is visible.
+        e.step_named(["E"], set_c);
+        assert!(e.configuration().is_active(c.state_by_name("R2").unwrap()));
+    }
+
+    #[test]
+    fn triggerless_transition_fires_immediately() {
+        // Fig. 5 XStart2 --/StartMotor()--> RunX is a completion
+        // transition with actions only.
+        let mut b = ChartBuilder::new("compl");
+        b.event("GO", None);
+        b.state("Top", StateKind::Or).contains(["Idle", "Start", "Run"]).default_child("Idle");
+        b.state("Idle", StateKind::Basic).transition("Start", "GO");
+        b.state("Start", StateKind::Basic).transition("Run", "/StartMotor(MX, XParams)");
+        b.basic("Run");
+        let c = b.build().unwrap();
+        let mut e = Executor::new(&c);
+        e.step_named(["GO"], no_effects);
+        assert!(e.configuration().is_active(c.state_by_name("Start").unwrap()));
+        let r = e.step_named(Vec::<&str>::new(), no_effects);
+        assert_eq!(r.actions.len(), 1);
+        assert!(e.configuration().is_active(c.state_by_name("Run").unwrap()));
+    }
+
+    #[test]
+    fn configuration_stays_consistent_under_random_events() {
+        let c = motorish();
+        let mut e = Executor::new(&c);
+        let all: Vec<String> = c.events().map(|ev| ev.name.clone()).collect();
+        // Deterministic pseudo-random walk.
+        let mut seed = 0x9e3779b9u64;
+        for _ in 0..500 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mask = seed >> 32;
+            let evs: Vec<&str> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, n)| n.as_str())
+                .collect();
+            e.step_named(evs, no_effects);
+            assert!(e.configuration().is_consistent(&c));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests: random chart hierarchies driven with random
+//! event scripts must preserve the executor's structural invariants,
+//! and the CR encoding must round-trip every reachable configuration.
+
+use proptest::prelude::*;
+use pscp_statechart::encoding::{CrLayout, EncodingStyle};
+use pscp_statechart::semantics::{ActionEffects, Executor};
+use pscp_statechart::{Chart, ChartBuilder, StateKind};
+
+/// A recipe for one random chart: a two-level hierarchy with a mix of
+/// OR and AND composites, basic leaves, and random transitions.
+#[derive(Debug, Clone)]
+struct ChartSpec {
+    /// Per region: (is_and, number of leaves 1..=4).
+    regions: Vec<(bool, usize)>,
+    /// Transitions: (from_leaf, to_leaf, event, guard_cond) as indices.
+    edges: Vec<(usize, usize, usize, Option<usize>)>,
+    n_events: usize,
+    n_conds: usize,
+}
+
+fn leaf_name(region: usize, leaf: usize) -> String {
+    format!("L{region}_{leaf}")
+}
+
+fn build(spec: &ChartSpec) -> Chart {
+    let mut b = ChartBuilder::new("random");
+    for e in 0..spec.n_events {
+        b.event(format!("E{e}"), None);
+    }
+    for c in 0..spec.n_conds {
+        b.condition(format!("C{c}"), c % 2 == 0);
+    }
+    let region_names: Vec<String> =
+        (0..spec.regions.len()).map(|r| format!("R{r}")).collect();
+    b.state("Top", StateKind::And).contains(region_names.iter().map(String::as_str));
+
+    // Collect leaves.
+    let mut leaves: Vec<(usize, usize)> = Vec::new();
+    for (r, &(_, n)) in spec.regions.iter().enumerate() {
+        for l in 0..n {
+            leaves.push((r, l));
+        }
+    }
+
+    for (r, &(is_and, n)) in spec.regions.iter().enumerate() {
+        let children: Vec<String> = (0..n).map(|l| leaf_name(r, l)).collect();
+        // AND regions need >= 2 children to be interesting; fall back to OR.
+        let kind = if is_and && n >= 2 { StateKind::And } else { StateKind::Or };
+        let mut s = b.state(format!("R{r}"), kind);
+        s.contains(children.iter().map(String::as_str));
+        if kind == StateKind::Or {
+            s.default_child(children[0].clone());
+        }
+    }
+    for (li, &(r, l)) in leaves.iter().enumerate() {
+        let mut s = b.state(leaf_name(r, l), StateKind::Basic);
+        for &(from, to, ev, guard) in &spec.edges {
+            if from % leaves.len() == li {
+                let (tr, tl) = leaves[to % leaves.len()];
+                // Transitions between leaves of AND regions of the same
+                // region are fine; cross-region is fine too.
+                let label = match guard {
+                    Some(g) => format!(
+                        "E{} [C{}]",
+                        ev % spec.n_events,
+                        g % spec.n_conds.max(1)
+                    ),
+                    None => format!("E{}", ev % spec.n_events),
+                };
+                s.transition(leaf_name(tr, tl), &label);
+            }
+        }
+    }
+    b.build().expect("random chart is well-formed")
+}
+
+fn chart_spec() -> impl Strategy<Value = ChartSpec> {
+    (
+        proptest::collection::vec((any::<bool>(), 1usize..=4), 1..=3),
+        proptest::collection::vec(
+            (0usize..64, 0usize..64, 0usize..4, proptest::option::of(0usize..3)),
+            0..10,
+        ),
+    )
+        .prop_map(|(regions, edges)| ChartSpec {
+            regions,
+            edges,
+            n_events: 4,
+            n_conds: 3,
+        })
+}
+
+fn event_script() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn executor_stays_consistent(spec in chart_spec(), script in event_script()) {
+        let chart = build(&spec);
+        let mut exec = Executor::new(&chart);
+        prop_assert!(exec.configuration().is_consistent(&chart));
+        for mask in script {
+            let evs: Vec<String> = (0..spec.n_events)
+                .filter(|e| mask & (1 << e) != 0)
+                .map(|e| format!("E{e}"))
+                .collect();
+            exec.step_named(evs, |_| ActionEffects::default());
+            prop_assert!(exec.configuration().is_consistent(&chart));
+        }
+    }
+
+    #[test]
+    fn selected_transitions_never_conflict(spec in chart_spec(), script in event_script()) {
+        let chart = build(&spec);
+        let mut exec = Executor::new(&chart);
+        for mask in script {
+            let events: std::collections::BTreeSet<_> = (0..spec.n_events)
+                .filter(|e| mask & (1 << e) != 0)
+                .filter_map(|e| chart.event_by_name(&format!("E{e}")))
+                .collect();
+            let selected = exec.select_transitions(&events);
+            // Pairwise: scopes of simultaneously-fired transitions must be
+            // orthogonal (distinct AND components).
+            for (i, &a) in selected.iter().enumerate() {
+                for &b in &selected[i + 1..] {
+                    let ta = chart.transition(a);
+                    let tb = chart.transition(b);
+                    let sa = chart.transition_scope(ta.source, ta.target);
+                    let sb = chart.transition_scope(tb.source, tb.target);
+                    prop_assert!(
+                        chart.orthogonal(sa, sb),
+                        "transitions {a} and {b} fired together with overlapping scopes"
+                    );
+                }
+            }
+            exec.step(&events, |_| ActionEffects::default());
+        }
+    }
+
+    #[test]
+    fn encoding_round_trips_reachable_configurations(
+        spec in chart_spec(),
+        script in event_script(),
+        onehot in any::<bool>(),
+    ) {
+        let chart = build(&spec);
+        let style = if onehot { EncodingStyle::OneHot } else { EncodingStyle::Exclusivity };
+        let layout = CrLayout::new(&chart, style);
+        let mut exec = Executor::new(&chart);
+        for mask in script {
+            let evs: Vec<String> = (0..spec.n_events)
+                .filter(|e| mask & (1 << e) != 0)
+                .map(|e| format!("E{e}"))
+                .collect();
+            exec.step_named(evs, |_| ActionEffects::default());
+            let bits = layout.encode(&chart, exec.configuration());
+            for s in chart.state_ids() {
+                prop_assert_eq!(
+                    layout.is_active_in(&chart, &bits, s),
+                    exec.configuration().is_active(s),
+                    "state {} mismatch under {:?}",
+                    chart.state(s).name,
+                    style
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pretty_print_parses_back(spec in chart_spec()) {
+        let chart = build(&spec);
+        let text = pscp_statechart::pretty::to_text(&chart);
+        let reparsed = pscp_statechart::parse::parse_chart(&text).unwrap();
+        prop_assert_eq!(reparsed.state_count(), chart.state_count());
+        prop_assert_eq!(reparsed.transition_count(), chart.transition_count());
+        for s in chart.states() {
+            let r = reparsed.state_by_name(&s.name).expect("state survives");
+            prop_assert_eq!(reparsed.state(r).kind, s.kind);
+        }
+    }
+}

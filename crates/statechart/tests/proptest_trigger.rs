@@ -1,0 +1,129 @@
+//! Property tests for the trigger/guard expression language and the
+//! hierarchy queries.
+
+use proptest::prelude::*;
+use pscp_statechart::trigger::{parse_expr, Expr};
+use pscp_statechart::{ChartBuilder, StateKind};
+
+const ATOMS: [&str; 4] = ["A", "B", "C", "D"];
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0usize..ATOMS.len()).prop_map(|i| Expr::atom(ATOMS[i]));
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Expr::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::or(a, b)),
+        ]
+    })
+}
+
+fn truth_of(mask: u8) -> impl Fn(&str) -> bool + Copy {
+    move |a: &str| {
+        ATOMS
+            .iter()
+            .position(|&x| x == a)
+            .is_some_and(|i| mask & (1 << i) != 0)
+    }
+}
+
+/// Evaluates a sum-of-products form.
+fn eval_sop(sop: &[Vec<(String, bool)>], truth: impl Fn(&str) -> bool) -> bool {
+    sop.iter().any(|term| {
+        term.iter().all(|(atom, negated)| {
+            let v = truth(atom);
+            if *negated {
+                !v
+            } else {
+                v
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_round_trip(e in expr()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed).unwrap();
+        // Same truth table rather than structural equality (printing may
+        // drop redundant parentheses).
+        for mask in 0..16u8 {
+            prop_assert_eq!(
+                e.eval(truth_of(mask)),
+                reparsed.eval(truth_of(mask)),
+                "mask {:#06b}, printed `{}`", mask, printed
+            );
+        }
+    }
+
+    #[test]
+    fn sop_preserves_truth_table(e in expr()) {
+        let sop = e.to_sop();
+        for mask in 0..16u8 {
+            prop_assert_eq!(
+                e.eval(truth_of(mask)),
+                eval_sop(&sop, truth_of(mask)),
+                "mask {:#06b}, expr `{}`", mask, e
+            );
+        }
+    }
+
+    #[test]
+    fn nnf_preserves_truth_table(e in expr()) {
+        // NNF is exercised through SOP; also check positive-mention
+        // soundness: if no positive mention of X, flipping X from 0
+        // while everything else is 0 can only matter via negations —
+        // check mentions_positively is consistent with atoms().
+        for a in e.atoms() {
+            if e.mentions_positively(a) {
+                prop_assert!(e.atoms().contains(a));
+            }
+        }
+    }
+
+    #[test]
+    fn lca_properties(
+        spec in proptest::collection::vec(1usize..=4, 1..=3),
+        pick in (0usize..64, 0usize..64),
+    ) {
+        // Build a two-level AND-of-ORs chart and check LCA algebra.
+        let mut b = ChartBuilder::new("h");
+        b.event("E", None);
+        let names: Vec<String> = (0..spec.len()).map(|r| format!("R{r}")).collect();
+        b.state("Top", StateKind::And).contains(names.iter().map(String::as_str));
+        let mut leaves = Vec::new();
+        for (r, &n) in spec.iter().enumerate() {
+            let children: Vec<String> = (0..n).map(|l| format!("L{r}_{l}")).collect();
+            b.state(format!("R{r}"), StateKind::Or)
+                .contains(children.iter().map(String::as_str))
+                .default_child(children[0].clone());
+            for c in children {
+                b.basic(c.clone());
+                leaves.push(c);
+            }
+        }
+        let chart = b.build().unwrap();
+        let a = chart.state_by_name(&leaves[pick.0 % leaves.len()]).unwrap();
+        let c = chart.state_by_name(&leaves[pick.1 % leaves.len()]).unwrap();
+
+        // Commutativity and idempotence.
+        prop_assert_eq!(chart.lca(a, c), chart.lca(c, a));
+        prop_assert_eq!(chart.lca(a, a), a);
+        // The LCA is an ancestor-or-self of both.
+        let l = chart.lca(a, c);
+        prop_assert!(chart.is_ancestor_or_self(l, a));
+        prop_assert!(chart.is_ancestor_or_self(l, c));
+        // Orthogonality is symmetric and irreflexive.
+        prop_assert_eq!(chart.orthogonal(a, c), chart.orthogonal(c, a));
+        prop_assert!(!chart.orthogonal(a, a));
+        // Two distinct leaves of the same OR region are never orthogonal;
+        // leaves of different regions always are.
+        if a != c {
+            let same_region = chart.state(a).parent == chart.state(c).parent;
+            prop_assert_eq!(chart.orthogonal(a, c), !same_region);
+        }
+    }
+}

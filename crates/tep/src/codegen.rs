@@ -1,0 +1,1102 @@
+//! Action-language IR → TEP assembly.
+//!
+//! The generator is parameterised by the target [`TepArch`]:
+//!
+//! * machines without the M/D calculation unit get multiplies and
+//!   divides expanded into calls to a synthesised software runtime
+//!   (shift-add multiply, restoring divide — the reason the minimal TEP
+//!   blows its timing budget in Table 4);
+//! * machines without a comparator get comparisons expanded into
+//!   subtract/sign-test/branch sequences;
+//! * machines without a two's-complement ALU path get `neg` expanded
+//!   into complement-and-increment;
+//! * globals are placed in the architecture's global storage class, with
+//!   per-slot promotions (internal RAM / register file) supplied by the
+//!   iterative optimiser via [`CodegenOptions`];
+//! * when [`TepArch::optimize_code`] is set, an assembler-level peephole
+//!   removes store/load pairs and jump chains (the §4 "simple
+//!   optimizations" at the instruction level).
+//!
+//! The software runtime is *written in the action language itself* and
+//! compiled through the same pipeline, so its semantics are checked by
+//! the same differential tests.
+
+use crate::arch::{StorageClass, TepArch};
+use crate::isa::{AluOp, AsmFunction, AsmInst, CmpOp, Instr, Storage};
+use pscp_action_lang::ir::{self, BinOp, Inst as IrInst, Program, VReg};
+use pscp_action_lang::types::Scalar;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Placement overrides decided by the iterative optimiser.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodegenOptions {
+    /// Global slots promoted to a faster storage class. Keys are IR
+    /// global slot indices; arrays/structs must be promoted as whole
+    /// blocks by listing every slot (scalars only for `Register`).
+    pub global_promotions: BTreeMap<u32, StorageClass>,
+}
+
+/// A placed global slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalPlace {
+    /// Diagnostic name from the IR.
+    pub name: String,
+    /// Value type.
+    pub ty: Scalar,
+    /// Reset value.
+    pub init: i64,
+    /// Where it lives.
+    pub storage: Storage,
+}
+
+/// A fully-compiled TEP program: routines, global placement, ports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TepProgram {
+    /// Compiled routines; runtime routines are appended after the user's.
+    pub functions: Vec<AsmFunction>,
+    /// Routine name → index.
+    pub entry: BTreeMap<String, u32>,
+    /// Placed globals, parallel to the IR global slots.
+    pub globals: Vec<GlobalPlace>,
+    /// External data ports (address map).
+    pub ports: Vec<ir::PortInfo>,
+    /// Event names (indices match `RaiseEvent` operands).
+    pub events: Vec<String>,
+    /// Condition names (indices match `SetCond`/`ReadCond` operands).
+    pub conditions: Vec<String>,
+    /// Architecture snapshot the program was compiled for.
+    pub arch: TepArch,
+    /// Internal RAM words used (frames + promoted globals).
+    pub internal_words_used: u16,
+    /// External RAM words used.
+    pub external_words_used: u16,
+}
+
+impl TepProgram {
+    /// Index of a routine by name.
+    pub fn function_index(&self, name: &str) -> Option<u32> {
+        self.entry.get(name).copied()
+    }
+
+    /// Total instruction count across all routines (program-memory size).
+    pub fn instruction_count(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+
+    /// Test-only constructor wiring hand-written functions.
+    #[doc(hidden)]
+    pub fn for_tests(functions: Vec<AsmFunction>, arch: TepArch) -> Self {
+        let entry =
+            functions.iter().enumerate().map(|(i, f)| (f.name.clone(), i as u32)).collect();
+        TepProgram {
+            functions,
+            entry,
+            globals: Vec::new(),
+            ports: Vec::new(),
+            events: Vec::new(),
+            conditions: Vec::new(),
+            arch,
+            internal_words_used: 0,
+            external_words_used: 0,
+        }
+    }
+}
+
+/// Compiles an IR program for an architecture.
+///
+/// # Panics
+///
+/// Panics on malformed IR (dangling function indices); the action-language
+/// front end never produces such IR.
+pub fn compile_program(ir: &Program, arch: &TepArch, options: &CodegenOptions) -> TepProgram {
+    // 1. Decide which runtime routines are needed and synthesise them by
+    //    compiling action-language source through the normal pipeline.
+    let runtime = RuntimeSet::required(ir, arch);
+    let runtime_ir = runtime.compile();
+
+    // 2. Function table: user functions first, runtime after.
+    let mut entry: BTreeMap<String, u32> = BTreeMap::new();
+    for (i, f) in ir.functions.iter().enumerate() {
+        entry.insert(f.name.clone(), i as u32);
+    }
+    let runtime_base = ir.functions.len() as u32;
+    if let Some(rt) = &runtime_ir {
+        for (i, f) in rt.functions.iter().enumerate() {
+            entry.insert(f.name.clone(), runtime_base + i as u32);
+        }
+    }
+
+    // 3. Global placement.
+    let mut globals = Vec::with_capacity(ir.globals.len());
+    let mut next_external: u16 = 0;
+    let mut next_register: u8 = 0;
+    // Frames live in the per-TEP local (internal) RAM. Since recursion
+    // is banned, frames are laid out as a *static overlay*: a callee's
+    // frame starts after the deepest caller chain that can reach it, so
+    // functions that are never simultaneously live share addresses.
+    let frame_sizes: Vec<u16> = ir
+        .functions
+        .iter()
+        .map(|f| f.vreg_count() as u16)
+        .chain(
+            runtime_ir
+                .iter()
+                .flat_map(|rt| rt.functions.iter().map(|f| f.vreg_count() as u16)),
+        )
+        .collect();
+    let frame_bases = overlay_frames(ir, runtime_ir.as_ref(), &frame_sizes);
+    let mut next_internal: u16 = frame_bases
+        .iter()
+        .zip(&frame_sizes)
+        .map(|(&b, &s)| b + s)
+        .max()
+        .unwrap_or(0);
+    for (slot, g) in ir.globals.iter().enumerate() {
+        let class =
+            options.global_promotions.get(&(slot as u32)).copied().unwrap_or(arch.global_storage);
+        let storage = match class {
+            StorageClass::Register if next_register < arch.register_file => {
+                let r = next_register;
+                next_register += 1;
+                Storage::Register(r)
+            }
+            StorageClass::Register | StorageClass::Internal => {
+                let a = next_internal;
+                next_internal += 1;
+                Storage::Internal(a)
+            }
+            StorageClass::External => {
+                let a = next_external;
+                next_external += 1;
+                Storage::External(a)
+            }
+        };
+        globals.push(GlobalPlace { name: g.name.clone(), ty: g.ty, init: g.init, storage });
+    }
+
+    // 4. Compile each function.
+    let mut functions = Vec::new();
+    let all_ir: Vec<(&ir::Function, Option<u64>)> = ir
+        .functions
+        .iter()
+        .map(|f| (f, None))
+        .chain(runtime_ir.iter().flat_map(|rt| {
+            rt.functions.iter().map(|f| (f, runtime_loop_bound(&f.name)))
+        }))
+        .collect();
+    for (i, (f, loop_bound)) in all_ir.iter().enumerate() {
+        let cg = FnCodegen {
+            arch,
+            entry: &entry,
+            globals: &globals,
+            frame_base: frame_bases[i],
+            frame_bases: &frame_bases,
+            ir_fn: f,
+            runtime: &runtime,
+            runtime_base,
+            // IR `Call` operands inside runtime routines index the
+            // runtime's own function table; rebase them.
+            call_offset: if i >= ir.functions.len() { runtime_base } else { 0 },
+            const_of: const_analysis(f),
+        };
+        let mut asm = cg.run();
+        asm.loop_bound = *loop_bound;
+        if arch.optimize_code {
+            peephole_asm(&mut asm);
+            eliminate_dead_frame_stores(&mut asm);
+        }
+        functions.push(asm);
+    }
+
+    TepProgram {
+        functions,
+        entry,
+        globals,
+        ports: ir.ports.clone(),
+        events: ir.events.clone(),
+        conditions: ir.conditions.clone(),
+        arch: arch.clone(),
+        internal_words_used: next_internal,
+        external_words_used: next_external,
+    }
+}
+
+/// Static frame overlay: `base(callee) = max over callers of
+/// (base(caller) + size(caller))`, computed over the combined user +
+/// runtime call graph (which is a DAG — recursion is rejected by the
+/// front end). The runtime's internal calls (`__divs` → `__divu`) and
+/// the implicit calls from mul/div lowering are included.
+fn overlay_frames(
+    ir: &Program,
+    runtime_ir: Option<&Program>,
+    sizes: &[u16],
+) -> Vec<u16> {
+    let user_n = ir.functions.len();
+    let total = sizes.len();
+    // Edges: caller -> callee (global indices).
+    let mut callees: Vec<Vec<usize>> = vec![Vec::new(); total];
+    for (i, f) in ir.functions.iter().enumerate() {
+        for inst in &f.insts {
+            match inst {
+                IrInst::Call { func, .. } => callees[i].push(*func as usize),
+                // Mul/Div/Rem may lower to runtime calls; conservatively
+                // link every runtime routine as a potential callee.
+                IrInst::Bin { op: BinOp::Mul | BinOp::Div | BinOp::Rem, .. } => {
+                    for r in user_n..total {
+                        callees[i].push(r);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if let Some(rt) = runtime_ir {
+        for (i, f) in rt.functions.iter().enumerate() {
+            for inst in &f.insts {
+                if let IrInst::Call { func, .. } = inst {
+                    callees[user_n + i].push(user_n + *func as usize);
+                }
+            }
+        }
+    }
+    // Longest-path relaxation over the DAG (|V| passes suffice).
+    let mut base = vec![0u16; total];
+    for _ in 0..total {
+        let mut changed = false;
+        for caller in 0..total {
+            for &callee in &callees[caller] {
+                let want = base[caller] + sizes[caller];
+                if base[callee] < want {
+                    base[callee] = want;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    base
+}
+
+/// Which software-runtime routines an architecture needs for a program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct RuntimeSet {
+    /// Widths needing software multiply.
+    mul_widths: Vec<u8>,
+    /// (width, signed) needing software divide.
+    div_widths: Vec<(u8, bool)>,
+    /// (width, signed) needing software remainder.
+    rem_widths: Vec<(u8, bool)>,
+}
+
+impl RuntimeSet {
+    fn required(ir: &Program, arch: &TepArch) -> Self {
+        let mut set = RuntimeSet::default();
+        if arch.calc.muldiv {
+            return set;
+        }
+        for f in &ir.functions {
+            for inst in &f.insts {
+                if let IrInst::Bin { op, dst, lhs, rhs } = inst {
+                    let w = runtime_width(
+                        f.vreg_type(*dst).width.max(f.vreg_type(*lhs).width).max(f.vreg_type(*rhs).width),
+                    );
+                    let signed = f.vreg_type(*lhs).signed || f.vreg_type(*rhs).signed;
+                    match op {
+                        BinOp::Mul
+                            if !set.mul_widths.contains(&w) => {
+                                set.mul_widths.push(w);
+                            }
+                        BinOp::Div
+                            if !set.div_widths.contains(&(w, signed)) => {
+                                set.div_widths.push((w, signed));
+                            }
+                        BinOp::Rem
+                            if !set.rem_widths.contains(&(w, signed)) => {
+                                set.rem_widths.push((w, signed));
+                            }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Signed div/rem wrappers call the unsigned ones.
+        for &(w, s) in set.div_widths.clone().iter().chain(set.rem_widths.clone().iter()) {
+            if s && !set.div_widths.contains(&(w, false)) {
+                set.div_widths.push((w, false));
+            }
+        }
+        set.mul_widths.sort_unstable();
+        set.div_widths.sort_unstable();
+        set.rem_widths.sort_unstable();
+        set
+    }
+
+    fn is_empty(&self) -> bool {
+        self.mul_widths.is_empty() && self.div_widths.is_empty() && self.rem_widths.is_empty()
+    }
+
+    /// Generates the runtime as action-language source and compiles it.
+    fn compile(&self) -> Option<Program> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut src = String::new();
+        for &w in &self.mul_widths {
+            // Shift-add multiply; low bits are sign-agnostic.
+            src.push_str(&format!(
+                r#"
+uint:{w} __mulu_{w}(uint:{w} a, uint:{w} b) {{
+    uint:{w} res = 0;
+    uint:8 i = {w};
+    while (i > 0) {{
+        if (b & 1) {{ res = res + a; }}
+        a = a << 1;
+        b = b >> 1;
+        i = i - 1;
+    }}
+    return res;
+}}
+"#
+            ));
+        }
+        for &(w, signed) in &self.div_widths {
+            if !signed {
+                src.push_str(&unsigned_divmod_src(w));
+            }
+        }
+        for &(w, signed) in &self.div_widths {
+            if signed {
+                src.push_str(&format!(
+                    r#"
+int:{w} __divs_{w}(int:{w} a, int:{w} b) {{
+    uint:1 sa = a < 0;
+    uint:1 sb = b < 0;
+    uint:{w} ua = a;
+    uint:{w} ub = b;
+    if (sa) {{ ua = 0 - ua; }}
+    if (sb) {{ ub = 0 - ub; }}
+    uint:{w} q = __divu_{w}(ua, ub);
+    if (sa != sb) {{ return 0 - q; }}
+    return q;
+}}
+"#
+                ));
+            }
+        }
+        for &(w, signed) in &self.rem_widths {
+            if signed {
+                src.push_str(&format!(
+                    r#"
+int:{w} __rems_{w}(int:{w} a, int:{w} b) {{
+    uint:1 sa = a < 0;
+    uint:{w} ua = a;
+    uint:{w} ub = b;
+    if (sa) {{ ua = 0 - ua; }}
+    if (b < 0) {{ ub = 0 - ub; }}
+    uint:{w} r = __remu_{w}(ua, ub);
+    if (sa) {{ return 0 - r; }}
+    return r;
+}}
+"#
+                ));
+            }
+        }
+        // Unsigned rem bodies (and any divu pulled in only by rem).
+        for &(w, signed) in &self.rem_widths {
+            if !signed && !self.div_widths.contains(&(w, false)) {
+                src.push_str(&unsigned_divmod_src(w));
+            }
+        }
+        Some(pscp_action_lang::compile(&src).expect("runtime library must compile"))
+    }
+}
+
+/// `__divu_w` / `__remu_w`: restoring division, one bit per iteration.
+fn unsigned_divmod_src(w: u8) -> String {
+    format!(
+        r#"
+uint:{w} __divu_{w}(uint:{w} a, uint:{w} b) {{
+    uint:{w} q = 0;
+    uint:{w} r = 0;
+    uint:8 i = {w};
+    while (i > 0) {{
+        r = (r << 1) | ((a >> ({w} - 1)) & 1);
+        a = a << 1;
+        q = q << 1;
+        if (r >= b) {{ r = r - b; q = q | 1; }}
+        i = i - 1;
+    }}
+    return q;
+}}
+uint:{w} __remu_{w}(uint:{w} a, uint:{w} b) {{
+    uint:{w} r = 0;
+    uint:8 i = {w};
+    while (i > 0) {{
+        r = (r << 1) | ((a >> ({w} - 1)) & 1);
+        a = a << 1;
+        if (r >= b) {{ r = r - b; }}
+        i = i - 1;
+    }}
+    return r;
+}}
+"#
+    )
+}
+
+/// The runtime's loops iterate exactly `width` times.
+fn runtime_loop_bound(name: &str) -> Option<u64> {
+    name.rsplit('_').next().and_then(|w| w.parse::<u64>().ok())
+}
+
+/// Widths the runtime is generated for (snapped up to 8/16/32).
+fn runtime_width(w: u8) -> u8 {
+    match w {
+        0..=8 => 8,
+        9..=16 => 16,
+        _ => 32,
+    }
+}
+
+fn runtime_name(op: BinOp, w: u8, signed: bool) -> String {
+    match (op, signed) {
+        (BinOp::Mul, _) => format!("__mulu_{w}"),
+        (BinOp::Div, false) => format!("__divu_{w}"),
+        (BinOp::Div, true) => format!("__divs_{w}"),
+        (BinOp::Rem, false) => format!("__remu_{w}"),
+        (BinOp::Rem, true) => format!("__rems_{w}"),
+        _ => unreachable!("no runtime for {op:?}"),
+    }
+}
+
+struct FnCodegen<'a> {
+    arch: &'a TepArch,
+    entry: &'a BTreeMap<String, u32>,
+    globals: &'a [GlobalPlace],
+    frame_base: u16,
+    frame_bases: &'a [u16],
+    ir_fn: &'a ir::Function,
+    runtime: &'a RuntimeSet,
+    runtime_base: u32,
+    call_offset: u32,
+    /// `Some(k)` for virtual registers defined exactly once, by a
+    /// `Const k`: every read inlines to `Ldi k` and the definition is
+    /// not materialised at all.
+    const_of: Vec<Option<i64>>,
+}
+
+/// Single-definition constant analysis for operand inlining.
+fn const_analysis(f: &ir::Function) -> Vec<Option<i64>> {
+    let mut defs = vec![0u32; f.vreg_count()];
+    let mut value: Vec<Option<i64>> = vec![None; f.vreg_count()];
+    for inst in &f.insts {
+        if let Some(d) = inst.def() {
+            defs[d.0 as usize] += 1;
+            value[d.0 as usize] = match inst {
+                IrInst::Const { value, .. } => Some(*value),
+                _ => None,
+            };
+        }
+    }
+    // Parameters are implicit definitions.
+    for p in 0..f.params.len() {
+        defs[p] += 1;
+        value[p] = None;
+    }
+    value
+        .into_iter()
+        .zip(defs)
+        .map(|(v, d)| if d == 1 { v } else { None })
+        .collect()
+}
+
+impl FnCodegen<'_> {
+    fn home(&self, v: VReg) -> Storage {
+        Storage::Internal(self.frame_base + v.0 as u16)
+    }
+
+    fn ty(&self, v: VReg) -> Scalar {
+        self.ir_fn.vreg_type(v)
+    }
+
+    fn run(&self) -> AsmFunction {
+        let f = self.ir_fn;
+        let mut code: Vec<AsmInst> = Vec::new();
+        // Map: IR pc -> asm index of its first instruction.
+        let mut ir_to_asm: Vec<u32> = Vec::with_capacity(f.insts.len() + 1);
+        // (asm index, ir target pc) fixups.
+        let mut fixups: Vec<(usize, usize)> = Vec::new();
+
+        let mut prev_def: Option<VReg> = None;
+        for inst in &f.insts {
+            ir_to_asm.push(code.len() as u32);
+            self.lower_inst(inst, &mut code, &mut fixups, prev_def);
+            prev_def = inst.def();
+        }
+        ir_to_asm.push(code.len() as u32);
+        // Safety net terminator.
+        code.push(AsmInst::new(Instr::Return, 1, false));
+
+        for (at, ir_pc) in fixups {
+            code[at].instr.set_branch_target(ir_to_asm[ir_pc]);
+        }
+
+        AsmFunction {
+            name: f.name.clone(),
+            param_count: f.params.len() as u8,
+            frame: (0..f.vreg_count())
+                .map(|i| Storage::Internal(self.frame_base + i as u16))
+                .collect(),
+            code,
+            loop_bound: None,
+        }
+    }
+
+    fn lower_inst(
+        &self,
+        inst: &IrInst,
+        code: &mut Vec<AsmInst>,
+        fixups: &mut Vec<(usize, usize)>,
+        prev_def: Option<VReg>,
+    ) {
+        let f = self.ir_fn;
+        match inst {
+            IrInst::Const { dst, value } => {
+                // Fully inlined constants need no materialised home.
+                if self.const_of[dst.0 as usize].is_some() {
+                    return;
+                }
+                let t = self.ty(*dst);
+                code.push(AsmInst::new(Instr::Ldi(t.wrap(*value)), t.width, t.signed));
+                self.store(*dst, code);
+            }
+            IrInst::Copy { dst, src } => {
+                self.load(*src, code);
+                self.store(*dst, code);
+            }
+            IrInst::Bin { op, dst, lhs, rhs } => {
+                // Accumulator chaining: when the previous instruction's
+                // result is the left operand of a commutative operation,
+                // swap the operands — the `Store h; Load h` pair the
+                // swap creates is then folded by the peephole.
+                let commutative = matches!(
+                    op,
+                    BinOp::Add
+                        | BinOp::Mul
+                        | BinOp::And
+                        | BinOp::Or
+                        | BinOp::Xor
+                        | BinOp::CmpEq
+                        | BinOp::CmpNe
+                );
+                let (lhs, rhs) = if commutative && prev_def == Some(*lhs) && lhs != rhs {
+                    (*rhs, *lhs)
+                } else {
+                    (*lhs, *rhs)
+                };
+                self.lower_bin(*op, *dst, lhs, rhs, code);
+            }
+            IrInst::Un { op, dst, src } => {
+                self.load(*src, code);
+                let t = self.ty(*dst);
+                match op {
+                    ir::UnOp::Not => {
+                        code.push(AsmInst::new(Instr::Alu(AluOp::Not), t.width, t.signed));
+                    }
+                    ir::UnOp::Neg => {
+                        if self.arch.calc.twos_complement {
+                            code.push(AsmInst::new(Instr::Alu(AluOp::Neg), t.width, t.signed));
+                        } else {
+                            // -x = ~x + 1
+                            code.push(AsmInst::new(Instr::Alu(AluOp::Not), t.width, t.signed));
+                            code.push(AsmInst::new(Instr::Tao, t.width, t.signed));
+                            code.push(AsmInst::new(Instr::Ldi(1), t.width, t.signed));
+                            code.push(AsmInst::new(Instr::Alu(AluOp::Add), t.width, t.signed));
+                        }
+                    }
+                }
+                self.store(*dst, code);
+            }
+            IrInst::LoadGlobal { dst, slot } => {
+                let g = &self.globals[*slot as usize];
+                code.push(AsmInst::new(Instr::Load(g.storage), g.ty.width, g.ty.signed));
+                self.store(*dst, code);
+            }
+            IrInst::StoreGlobal { slot, src } => {
+                let g = &self.globals[*slot as usize];
+                self.load(*src, code);
+                code.push(AsmInst::new(Instr::Store(g.storage), g.ty.width, g.ty.signed));
+            }
+            IrInst::LoadIndexed { dst, base, index } => {
+                let g = &self.globals[*base as usize];
+                self.load(*index, code);
+                code.push(AsmInst::new(
+                    Instr::LoadIndexed(g.storage),
+                    g.ty.width,
+                    g.ty.signed,
+                ));
+                self.store(*dst, code);
+            }
+            IrInst::StoreIndexed { base, index, src } => {
+                let g = &self.globals[*base as usize];
+                self.load(*index, code);
+                code.push(AsmInst::new(Instr::Tao, 16, false));
+                self.load(*src, code);
+                code.push(AsmInst::new(
+                    Instr::StoreIndexed(g.storage),
+                    g.ty.width,
+                    g.ty.signed,
+                ));
+            }
+            IrInst::PortRead { dst, port } => {
+                let t = self.ty(*dst);
+                code.push(AsmInst::new(Instr::PortRead(*port as u16), t.width, t.signed));
+                self.store(*dst, code);
+            }
+            IrInst::PortWrite { port, src } => {
+                self.load(*src, code);
+                let t = self.ty(*src);
+                code.push(AsmInst::new(Instr::PortWrite(*port as u16), t.width, t.signed));
+            }
+            IrInst::ReadCondition { dst, cond } => {
+                code.push(AsmInst::new(Instr::ReadCond(*cond as u16), 1, false));
+                self.store(*dst, code);
+            }
+            IrInst::SetCondition { cond, src } => {
+                self.load(*src, code);
+                code.push(AsmInst::new(Instr::SetCond(*cond as u16), 1, false));
+            }
+            IrInst::RaiseEvent { event } => {
+                code.push(AsmInst::new(Instr::RaiseEvent(*event as u16), 1, false));
+            }
+            IrInst::Call { func, args, dst } => {
+                self.emit_call(*func + self.call_offset, args, *dst, code);
+            }
+            IrInst::Ret { value } => {
+                if let Some(v) = value {
+                    self.load(*v, code);
+                }
+                code.push(AsmInst::new(Instr::Return, 1, false));
+            }
+            IrInst::Jump { target } => {
+                let at = code.len();
+                code.push(AsmInst::new(Instr::Jump(0), 1, false));
+                fixups.push((at, f.label_pos(*target)));
+            }
+            IrInst::Branch { cond, if_true, if_false } => {
+                self.load(*cond, code);
+                let at = code.len();
+                code.push(AsmInst::new(Instr::JumpIfNotZero(0), 1, false));
+                fixups.push((at, f.label_pos(*if_true)));
+                let at2 = code.len();
+                code.push(AsmInst::new(Instr::Jump(0), 1, false));
+                fixups.push((at2, f.label_pos(*if_false)));
+            }
+        }
+    }
+
+    fn load(&self, v: VReg, code: &mut Vec<AsmInst>) {
+        let t = self.ty(v);
+        // Single-definition constants are rematerialised instead of
+        // loaded: `Ldi k` is cheaper than a RAM access, and the stored
+        // definition disappears entirely.
+        if let Some(k) = self.const_of[v.0 as usize] {
+            code.push(AsmInst::new(Instr::Ldi(t.wrap(k)), t.width, t.signed));
+            return;
+        }
+        code.push(AsmInst::new(Instr::Load(self.home(v)), t.width, t.signed));
+    }
+
+    fn store(&self, v: VReg, code: &mut Vec<AsmInst>) {
+        let t = self.ty(v);
+        code.push(AsmInst::new(Instr::Store(self.home(v)), t.width, t.signed));
+    }
+
+    fn lower_bin(&self, op: BinOp, dst: VReg, lhs: VReg, rhs: VReg, code: &mut Vec<AsmInst>) {
+        let t = self.ty(dst);
+        let lt = self.ty(lhs);
+        let rt = self.ty(rhs);
+
+        // Software runtime for mul/div/rem on M/D-less machines.
+        if matches!(op, BinOp::Mul | BinOp::Div | BinOp::Rem) && !self.arch.calc.muldiv {
+            let w = runtime_width(t.width.max(lt.width).max(rt.width));
+            let signed = lt.signed || rt.signed;
+            let name = runtime_name(op, w, signed && op != BinOp::Mul);
+            let idx = self.entry[&name];
+            self.emit_raw_call(idx, &[lhs, rhs], Some(dst), code);
+            return;
+        }
+
+        if op.is_compare() {
+            let signed = lt.signed || rt.signed;
+            let cmp = match op {
+                BinOp::CmpEq => CmpOp::Eq,
+                BinOp::CmpNe => CmpOp::Ne,
+                BinOp::CmpLt => CmpOp::Lt,
+                BinOp::CmpLe => CmpOp::Le,
+                _ => unreachable!(),
+            };
+            let w = lt.width.max(rt.width);
+            self.load(rhs, code);
+            code.push(AsmInst::new(Instr::Tao, w, signed));
+            self.load(lhs, code);
+            if self.arch.calc.comparator {
+                code.push(AsmInst::new(Instr::Cmp { op: cmp, signed }, w, signed));
+            } else {
+                self.expand_cmp(cmp, w, signed, code);
+            }
+            self.store(dst, code);
+            return;
+        }
+
+        let alu = match op {
+            BinOp::Add => AluOp::Add,
+            BinOp::Sub => AluOp::Sub,
+            BinOp::Mul => AluOp::Mul,
+            BinOp::Div => AluOp::Div,
+            BinOp::Rem => AluOp::Rem,
+            BinOp::And => AluOp::And,
+            BinOp::Or => AluOp::Or,
+            BinOp::Xor => AluOp::Xor,
+            BinOp::Shl => AluOp::Shl,
+            BinOp::Shr => {
+                if lt.signed {
+                    AluOp::Sar
+                } else {
+                    AluOp::Shr
+                }
+            }
+            _ => unreachable!("compares handled above"),
+        };
+        self.load(rhs, code);
+        code.push(AsmInst::new(Instr::Tao, rt.width, rt.signed));
+        self.load(lhs, code);
+        code.push(AsmInst::new(Instr::Alu(alu), t.width, t.signed));
+        self.store(dst, code);
+    }
+
+    /// Comparator-less compare: subtract at widened precision, then test
+    /// the sign / zero with branches.
+    fn expand_cmp(&self, cmp: CmpOp, w: u8, signed: bool, code: &mut Vec<AsmInst>) {
+        // Entry state: ACC = lhs, OP = rhs.
+        // Exact difference needs w+2 bits: with mixed signedness the
+        // worst case is (2^w - 1) - (-2^(w-1)), which exceeds w+1 signed
+        // bits.
+        let wide = w + 2;
+        match cmp {
+            CmpOp::Eq | CmpOp::Ne => {
+                code.push(AsmInst::new(Instr::Alu(AluOp::Xor), w, false));
+                // ACC = lhs ^ rhs; == 0 iff equal.
+                let base = code.len() as u32;
+                if cmp == CmpOp::Eq {
+                    // jz -> 1 else 0
+                    code.push(AsmInst::new(Instr::JumpIfZero(base + 3), 1, false));
+                    code.push(AsmInst::new(Instr::Ldi(0), 1, false));
+                    code.push(AsmInst::new(Instr::Jump(base + 4), 1, false));
+                    code.push(AsmInst::new(Instr::Ldi(1), 1, false));
+                } else {
+                    code.push(AsmInst::new(Instr::JumpIfZero(base + 3), 1, false));
+                    code.push(AsmInst::new(Instr::Ldi(1), 1, false));
+                    code.push(AsmInst::new(Instr::Jump(base + 4), 1, false));
+                    code.push(AsmInst::new(Instr::Ldi(0), 1, false));
+                }
+            }
+            CmpOp::Lt | CmpOp::Le => {
+                // The subtraction is carried out at widened precision so
+                // it is exact for both signed and unsigned operands; the
+                // sign bit of the widened difference then decides.
+                //   lt(a, b)  <=>  a - b < 0
+                //   le(a, b)  <=>  a - b - 1 < 0
+                let _ = signed; // widening makes signedness irrelevant
+                code.push(AsmInst::new(Instr::Alu(AluOp::Sub), wide, true));
+                let test_width = if cmp == CmpOp::Le {
+                    let w2 = wide + 1;
+                    code.push(AsmInst::new(Instr::Tao, w2, true)); // OP = diff
+                    code.push(AsmInst::new(Instr::Ldi(-1), w2, true));
+                    code.push(AsmInst::new(Instr::Alu(AluOp::Add), w2, true));
+                    w2
+                } else {
+                    wide
+                };
+                // Sign test: ACC = diff & SIGN_MASK, nonzero iff negative.
+                code.push(AsmInst::new(Instr::Tao, test_width, true)); // OP = diff
+                code.push(AsmInst::new(
+                    Instr::Ldi(1i64 << (test_width - 1)),
+                    test_width,
+                    false,
+                ));
+                code.push(AsmInst::new(Instr::Alu(AluOp::And), test_width, false));
+                let base = code.len() as u32;
+                code.push(AsmInst::new(Instr::JumpIfNotZero(base + 3), 1, false));
+                code.push(AsmInst::new(Instr::Ldi(0), 1, false));
+                code.push(AsmInst::new(Instr::Jump(base + 4), 1, false));
+                code.push(AsmInst::new(Instr::Ldi(1), 1, false));
+            }
+        }
+    }
+
+    fn emit_call(&self, func: u32, args: &[VReg], dst: Option<VReg>, code: &mut Vec<AsmInst>) {
+        self.emit_raw_call(func, args, dst, code);
+    }
+
+    fn emit_raw_call(
+        &self,
+        func: u32,
+        args: &[VReg],
+        dst: Option<VReg>,
+        code: &mut Vec<AsmInst>,
+    ) {
+        // Arguments are stored into the callee's frame (params live in
+        // its first slots). Static frames are safe: no recursion.
+        let callee_base = self.frame_bases[func as usize];
+        for (i, &a) in args.iter().enumerate() {
+            let t = self.ty(a);
+            self.load(a, code);
+            code.push(AsmInst::new(
+                Instr::Store(Storage::Internal(callee_base + i as u16)),
+                t.width,
+                t.signed,
+            ));
+        }
+        code.push(AsmInst::new(Instr::Call(func), 1, false));
+        let _ = self.runtime_base;
+        let _ = self.runtime;
+        if let Some(d) = dst {
+            self.store(d, code);
+        }
+    }
+}
+
+/// Removes stores to the routine's own frame slots that are never read
+/// back. The accumulator codegen materialises every intermediate result
+/// in its frame home; once loads are folded (peephole, fused
+/// instructions), many of those homes become write-only. Parameter
+/// slots are kept — callers write them. Frame overlay keeps callee
+/// frames disjoint from the caller's own slots, so the analysis is
+/// per-function.
+pub fn eliminate_dead_frame_stores(f: &mut AsmFunction) {
+    use std::collections::BTreeSet;
+    let own: BTreeSet<Storage> = f.frame.iter().copied().collect();
+    let params: BTreeSet<Storage> =
+        f.frame.iter().take(f.param_count as usize).copied().collect();
+    let mut read: BTreeSet<Storage> = BTreeSet::new();
+    for inst in &f.code {
+        match &inst.instr {
+            Instr::Load(s) => {
+                read.insert(*s);
+            }
+            Instr::AluMem { src, .. } => {
+                read.insert(*src);
+            }
+            _ => {}
+        }
+    }
+    let mut removed = false;
+    for inst in f.code.iter_mut() {
+        if let Instr::Store(s) = inst.instr {
+            if own.contains(&s) && !params.contains(&s) && !read.contains(&s) {
+                inst.instr = Instr::Nop;
+                removed = true;
+            }
+        }
+    }
+    if removed {
+        compact_nops(f);
+    }
+}
+
+/// Drops `Nop`s, remapping branch targets.
+fn compact_nops(f: &mut AsmFunction) {
+    let mut new_index = vec![0u32; f.code.len() + 1];
+    let mut n = 0u32;
+    for (i, inst) in f.code.iter().enumerate() {
+        new_index[i] = n;
+        if !matches!(inst.instr, Instr::Nop) {
+            n += 1;
+        }
+    }
+    new_index[f.code.len()] = n;
+    let old = std::mem::take(&mut f.code);
+    for mut inst in old {
+        if matches!(inst.instr, Instr::Nop) {
+            continue;
+        }
+        if let Some(t) = inst.instr.branch_target() {
+            inst.instr.set_branch_target(new_index[t as usize]);
+        }
+        f.code.push(inst);
+    }
+}
+
+/// Assembler-level peephole: jump chains, jumps-to-next, and
+/// store/load-same-location pairs (the result is still in ACC).
+pub fn peephole_asm(f: &mut AsmFunction) {
+    // 1. Collapse jump chains: a branch to an unconditional `Jump t`
+    //    retargets to `t` (bounded to avoid cycles).
+    for i in 0..f.code.len() {
+        if let Some(mut t) = f.code[i].instr.branch_target() {
+            let mut hops = 0;
+            while hops < 8 {
+                match f.code.get(t as usize).map(|x| &x.instr) {
+                    Some(Instr::Jump(t2)) if *t2 != t => {
+                        t = *t2;
+                        hops += 1;
+                    }
+                    _ => break,
+                }
+            }
+            f.code[i].instr.set_branch_target(t);
+        }
+    }
+
+    // 2. Remove `Store X; Load X` pairs when X is not loaded again
+    //    *immediately* needed — conservatively: replace the Load with Nop
+    //    only when no branch targets the Load. (The Store stays: the slot
+    //    may be read later.)
+    let mut is_target = vec![false; f.code.len() + 1];
+    for inst in &f.code {
+        if let Some(t) = inst.instr.branch_target() {
+            if (t as usize) < is_target.len() {
+                is_target[t as usize] = true;
+            }
+        }
+    }
+    for i in 0..f.code.len().saturating_sub(1) {
+        let (a, b) = (&f.code[i].instr, &f.code[i + 1].instr);
+        if let (Instr::Store(sa), Instr::Load(sb)) = (a, b) {
+            if sa == sb && !is_target[i + 1] {
+                f.code[i + 1].instr = Instr::Nop;
+                f.code[i + 1].width = 1;
+            }
+        }
+    }
+
+    // 3. Drop Nops and jumps-to-next by rebuilding with an index map.
+    let mut keep: Vec<bool> = Vec::with_capacity(f.code.len());
+    for (i, inst) in f.code.iter().enumerate() {
+        let drop = matches!(inst.instr, Instr::Nop)
+            || matches!(inst.instr, Instr::Jump(t) if t as usize == i + 1);
+        keep.push(!drop);
+    }
+    // Never drop a branch target position entirely — map to next kept.
+    let mut new_index = vec![0u32; f.code.len() + 1];
+    let mut n = 0u32;
+    for i in 0..f.code.len() {
+        new_index[i] = n;
+        if keep[i] {
+            n += 1;
+        }
+    }
+    new_index[f.code.len()] = n;
+    let old = std::mem::take(&mut f.code);
+    for (i, mut inst) in old.into_iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        if let Some(t) = inst.instr.branch_target() {
+            inst.instr.set_branch_target(new_index[t as usize]);
+        }
+        f.code.push(inst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscp_action_lang::compile;
+
+    #[test]
+    fn compiles_simple_function() {
+        let ir = compile("int:16 add(int:16 a, int:16 b) { return a + b; }").unwrap();
+        let p = compile_program(&ir, &TepArch::md16_unoptimized(), &CodegenOptions::default());
+        let f = &p.functions[p.function_index("add").unwrap() as usize];
+        assert!(f.code.iter().any(|i| matches!(i.instr, Instr::Alu(AluOp::Add))));
+        assert!(f.code.iter().any(|i| matches!(i.instr, Instr::Return)));
+    }
+
+    #[test]
+    fn muldiv_expands_on_minimal_arch() {
+        let ir = compile("int:16 f(int:16 a, int:16 b) { return a * b / 3; }").unwrap();
+        let minimal = compile_program(&ir, &TepArch::minimal(), &CodegenOptions::default());
+        assert!(minimal.function_index("__mulu_16").is_some());
+        assert!(minimal.function_index("__divs_16").is_some());
+        let f = &minimal.functions[minimal.function_index("f").unwrap() as usize];
+        assert!(
+            !f.code.iter().any(|i| matches!(i.instr, Instr::Alu(AluOp::Mul | AluOp::Div))),
+            "no hw mul/div on minimal arch"
+        );
+
+        let md = compile_program(&ir, &TepArch::md16_unoptimized(), &CodegenOptions::default());
+        assert!(md.function_index("__mulu_16").is_none(), "no runtime with hw M/D");
+    }
+
+    #[test]
+    fn runtime_loop_bounds_recorded() {
+        let ir = compile("uint:8 f(uint:8 a) { return a * 3; }").unwrap();
+        let p = compile_program(&ir, &TepArch::minimal(), &CodegenOptions::default());
+        let rt = &p.functions[p.function_index("__mulu_8").unwrap() as usize];
+        assert_eq!(rt.loop_bound, Some(8));
+    }
+
+    #[test]
+    fn globals_placed_by_class_and_promotion() {
+        let ir = compile("int:16 g;\nint:16 h;\nvoid f() { g = h + 1; }").unwrap();
+        let ext = compile_program(&ir, &TepArch::md16_unoptimized(), &CodegenOptions::default());
+        assert!(matches!(ext.globals[0].storage, Storage::External(_)));
+
+        let mut opts = CodegenOptions::default();
+        opts.global_promotions.insert(0, StorageClass::Register);
+        opts.global_promotions.insert(1, StorageClass::Internal);
+        let promoted = compile_program(&ir, &TepArch::md16_optimized(), &opts);
+        assert!(matches!(promoted.globals[0].storage, Storage::Register(_)));
+        assert!(matches!(promoted.globals[1].storage, Storage::Internal(_)));
+    }
+
+    #[test]
+    fn peephole_removes_store_load_pairs() {
+        let ir = compile("int:16 f(int:16 a) { int:16 x = a + 1; return x + 2; }").unwrap();
+        let unopt =
+            compile_program(&ir, &TepArch::md16_unoptimized(), &CodegenOptions::default());
+        let opt = compile_program(&ir, &TepArch::md16_optimized(), &CodegenOptions::default());
+        let fu = &unopt.functions[unopt.function_index("f").unwrap() as usize];
+        let fo = &opt.functions[opt.function_index("f").unwrap() as usize];
+        assert!(fo.code.len() < fu.code.len(), "{} !< {}", fo.code.len(), fu.code.len());
+    }
+
+    #[test]
+    fn branch_targets_valid_after_peephole() {
+        let src = r#"
+            int:16 f(int:16 n) {
+                int:16 s = 0;
+                while (n > 0) { if (n & 1) { s += n; } n = n - 1; }
+                return s;
+            }
+        "#;
+        let ir = compile(src).unwrap();
+        for arch in [TepArch::md16_optimized(), TepArch::md16_unoptimized(), TepArch::minimal()]
+        {
+            let p = compile_program(&ir, &arch, &CodegenOptions::default());
+            for f in &p.functions {
+                for inst in &f.code {
+                    if let Some(t) = inst.instr.branch_target() {
+                        assert!(
+                            (t as usize) <= f.code.len(),
+                            "target {t} out of range in {}",
+                            f.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_less_arch_avoids_cmp() {
+        let ir = compile("uint:1 f(int:8 a, int:8 b) { return a < b; }").unwrap();
+        let p = compile_program(&ir, &TepArch::minimal(), &CodegenOptions::default());
+        let f = &p.functions[p.function_index("f").unwrap() as usize];
+        assert!(!f.code.iter().any(|i| matches!(i.instr, Instr::Cmp { .. })));
+    }
+}

@@ -1,0 +1,652 @@
+//! Cycle-accurate execution of TEP programs.
+//!
+//! The machine executes assembler-level instructions; each one advances
+//! the cycle counter by its microprogram length (scaled for limb
+//! expansion) from [`crate::timing::CostModel`]. Ports, conditions and
+//! events go through the same [`Host`] trait the IR interpreter uses, so
+//! the two can be compared instruction-for-effect in differential tests.
+
+use crate::arch::CustomStep;
+use crate::codegen::TepProgram;
+use crate::isa::{AluOp, AsmInst, CmpOp, Instr, Storage};
+use crate::timing::CostModel;
+use pscp_action_lang::interp::Host;
+use std::fmt;
+
+/// Runtime errors of the TEP machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TepError {
+    /// Division by zero on the hardware M/D unit.
+    DivideByZero {
+        /// Routine name.
+        function: String,
+        /// Program counter.
+        pc: usize,
+    },
+    /// Cycle budget exhausted (runaway loop).
+    CycleLimit {
+        /// The exhausted budget.
+        limit: u64,
+    },
+    /// Call stack exceeded its (generous) bound.
+    CallDepth,
+    /// Unknown routine name.
+    NoSuchFunction(String),
+    /// The instruction requires a hardware feature the architecture
+    /// lacks (generator bug if it ever fires).
+    MissingFeature {
+        /// Routine name.
+        function: String,
+        /// Description of the missing block.
+        feature: &'static str,
+    },
+    /// Memory access out of the configured RAM ranges.
+    MemoryFault {
+        /// Routine name.
+        function: String,
+        /// The storage operand that faulted.
+        storage: Storage,
+    },
+}
+
+impl fmt::Display for TepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TepError::DivideByZero { function, pc } => {
+                write!(f, "divide by zero in `{function}` at pc {pc}")
+            }
+            TepError::CycleLimit { limit } => write!(f, "cycle limit {limit} exhausted"),
+            TepError::CallDepth => write!(f, "call depth exceeded"),
+            TepError::NoSuchFunction(n) => write!(f, "no such routine `{n}`"),
+            TepError::MissingFeature { function, feature } => {
+                write!(f, "`{function}` needs missing hardware: {feature}")
+            }
+            TepError::MemoryFault { function, storage } => {
+                write!(f, "memory fault in `{function}` at {storage}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TepError {}
+
+/// The TEP machine state.
+#[derive(Debug, Clone)]
+pub struct TepMachine<'p> {
+    program: &'p TepProgram,
+    cost: CostModel,
+    /// Accumulator.
+    acc: i64,
+    /// Second operand register.
+    op: i64,
+    /// Register file.
+    regs: Vec<i64>,
+    /// On-chip RAM.
+    iram: Vec<i64>,
+    /// External RAM.
+    xram: Vec<i64>,
+    /// Executed cycles.
+    cycles: u64,
+    /// Executed instructions.
+    retired: u64,
+    cycle_limit: u64,
+}
+
+impl<'p> TepMachine<'p> {
+    /// Creates a machine with globals initialised to their reset values.
+    pub fn new(program: &'p TepProgram) -> Self {
+        let arch = &program.arch;
+        let mut m = TepMachine {
+            program,
+            cost: CostModel::new(arch),
+            acc: 0,
+            op: 0,
+            regs: vec![0; arch.register_file.max(1) as usize],
+            iram: vec![0; arch.internal_ram_words.max(program.internal_words_used) as usize],
+            xram: vec![0; arch.external_ram_words.max(program.external_words_used) as usize],
+            cycles: 0,
+            retired: 0,
+            cycle_limit: 100_000_000,
+        };
+        m.reset_globals();
+        m
+    }
+
+    /// Overrides the runaway cycle budget.
+    pub fn with_cycle_limit(mut self, limit: u64) -> Self {
+        self.cycle_limit = limit;
+        self
+    }
+
+    /// Reinitialises all globals to their reset values.
+    pub fn reset_globals(&mut self) {
+        for g in &self.program.globals {
+            let v = g.init;
+            match g.storage {
+                Storage::Register(r) => self.regs[r as usize] = v,
+                Storage::Internal(a) => self.iram[a as usize] = v,
+                Storage::External(a) => self.xram[a as usize] = v,
+            }
+        }
+    }
+
+    /// Total cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Reads a global by its IR slot index.
+    pub fn global(&self, slot: usize) -> i64 {
+        match self.program.globals[slot].storage {
+            Storage::Register(r) => self.regs[r as usize],
+            Storage::Internal(a) => self.iram[a as usize],
+            Storage::External(a) => self.xram[a as usize],
+        }
+    }
+
+    /// Reads a global by diagnostic name.
+    pub fn global_by_name(&self, name: &str) -> Option<i64> {
+        self.program.globals.iter().position(|g| g.name == name).map(|i| self.global(i))
+    }
+
+    /// Calls a routine by name with arguments; returns `ACC` (the
+    /// return-value register) if the routine returns a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the runtime errors documented on [`TepError`].
+    pub fn call<H: Host>(
+        &mut self,
+        name: &str,
+        args: &[i64],
+        host: &mut H,
+    ) -> Result<i64, TepError> {
+        let fi = self
+            .program
+            .function_index(name)
+            .ok_or_else(|| TepError::NoSuchFunction(name.to_string()))?;
+        self.call_indexed(fi, args, host)
+    }
+
+    /// Calls a routine by index.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TepMachine::call`].
+    pub fn call_indexed<H: Host>(
+        &mut self,
+        fi: u32,
+        args: &[i64],
+        host: &mut H,
+    ) -> Result<i64, TepError> {
+        // Spill arguments into the callee frame, as the calling sequence
+        // does.
+        let f = &self.program.functions[fi as usize];
+        for (i, &a) in args.iter().enumerate() {
+            let slot = f.frame[i];
+            self.write_storage(slot, a, &f.name)?;
+        }
+        self.exec(fi, host, 0)?;
+        Ok(self.acc)
+    }
+
+    fn read_storage(&self, s: Storage, fname: &str) -> Result<i64, TepError> {
+        match s {
+            Storage::Register(r) => self
+                .regs
+                .get(r as usize)
+                .copied()
+                .ok_or(TepError::MemoryFault { function: fname.into(), storage: s }),
+            Storage::Internal(a) => self
+                .iram
+                .get(a as usize)
+                .copied()
+                .ok_or(TepError::MemoryFault { function: fname.into(), storage: s }),
+            Storage::External(a) => self
+                .xram
+                .get(a as usize)
+                .copied()
+                .ok_or(TepError::MemoryFault { function: fname.into(), storage: s }),
+        }
+    }
+
+    fn write_storage(&mut self, s: Storage, v: i64, fname: &str) -> Result<(), TepError> {
+        let cell = match s {
+            Storage::Register(r) => self.regs.get_mut(r as usize),
+            Storage::Internal(a) => self.iram.get_mut(a as usize),
+            Storage::External(a) => self.xram.get_mut(a as usize),
+        };
+        match cell {
+            Some(c) => {
+                *c = v;
+                Ok(())
+            }
+            None => Err(TepError::MemoryFault { function: fname.into(), storage: s }),
+        }
+    }
+
+    fn indexed(&self, base: Storage, offset: i64) -> Storage {
+        match base {
+            Storage::Register(r) => Storage::Register((r as i64 + offset) as u8),
+            Storage::Internal(a) => Storage::Internal((a as i64 + offset) as u16),
+            Storage::External(a) => Storage::External((a as i64 + offset) as u16),
+        }
+    }
+
+    fn exec<H: Host>(&mut self, fi: u32, host: &mut H, depth: u32) -> Result<(), TepError> {
+        if depth > 64 {
+            return Err(TepError::CallDepth);
+        }
+        let f = &self.program.functions[fi as usize];
+        let fname = f.name.clone();
+        let mut pc = 0usize;
+        while pc < f.code.len() {
+            let inst: &AsmInst = &f.code[pc];
+            self.cycles += self.cost.cost(inst);
+            self.retired += 1;
+            if self.cycles > self.cycle_limit {
+                return Err(TepError::CycleLimit { limit: self.cycle_limit });
+            }
+            match &inst.instr {
+                Instr::Nop => {}
+                Instr::Ldi(v) => self.acc = inst.wrap(*v),
+                Instr::Load(s) => self.acc = self.read_storage(*s, &fname)?,
+                Instr::Store(s) => {
+                    let v = inst.wrap(self.acc);
+                    self.write_storage(*s, v, &fname)?;
+                }
+                Instr::LoadIndexed(base) => {
+                    let s = self.indexed(*base, self.acc);
+                    self.acc = self.read_storage(s, &fname)?;
+                }
+                Instr::StoreIndexed(base) => {
+                    let s = self.indexed(*base, self.op);
+                    let v = inst.wrap(self.acc);
+                    self.write_storage(s, v, &fname)?;
+                }
+                Instr::Tao => self.op = self.acc,
+                Instr::Alu(op) => {
+                    if !self.program.arch.calc.supports(*op) {
+                        return Err(TepError::MissingFeature {
+                            function: fname,
+                            feature: "calculation-unit extension",
+                        });
+                    }
+                    let r = match op {
+                        AluOp::Add => self.acc.wrapping_add(self.op),
+                        AluOp::Sub => self.acc.wrapping_sub(self.op),
+                        AluOp::And => self.acc & self.op,
+                        AluOp::Or => self.acc | self.op,
+                        AluOp::Xor => self.acc ^ self.op,
+                        AluOp::Not => !self.acc,
+                        AluOp::Neg => self.acc.wrapping_neg(),
+                        AluOp::Shl => self.acc.wrapping_shl((self.op & 63) as u32),
+                        AluOp::Shr => {
+                            let mask = if inst.width >= 64 {
+                                u64::MAX
+                            } else {
+                                (1u64 << inst.width) - 1
+                            };
+                            (((self.acc as u64) & mask) >> ((self.op & 63) as u64)) as i64
+                        }
+                        AluOp::Sar => self.acc.wrapping_shr((self.op & 63) as u32),
+                        AluOp::Mul => self.acc.wrapping_mul(self.op),
+                        AluOp::Div => {
+                            if self.op == 0 {
+                                return Err(TepError::DivideByZero { function: fname, pc });
+                            }
+                            self.acc.wrapping_div(self.op)
+                        }
+                        AluOp::Rem => {
+                            if self.op == 0 {
+                                return Err(TepError::DivideByZero { function: fname, pc });
+                            }
+                            self.acc.wrapping_rem(self.op)
+                        }
+                    };
+                    self.acc = inst.wrap(r);
+                }
+                Instr::Cmp { op, signed } => {
+                    if !self.program.arch.calc.comparator {
+                        return Err(TepError::MissingFeature {
+                            function: fname,
+                            feature: "comparator",
+                        });
+                    }
+                    let _ = signed; // values are held sign-correct in i64
+                    let r = match op {
+                        CmpOp::Eq => self.acc == self.op,
+                        CmpOp::Ne => self.acc != self.op,
+                        CmpOp::Lt => self.acc < self.op,
+                        CmpOp::Le => self.acc <= self.op,
+                    };
+                    self.acc = r as i64;
+                }
+                Instr::Jump(t) => {
+                    pc = *t as usize;
+                    continue;
+                }
+                Instr::JumpIfZero(t) => {
+                    if self.acc == 0 {
+                        pc = *t as usize;
+                        continue;
+                    }
+                }
+                Instr::JumpIfNotZero(t) => {
+                    if self.acc != 0 {
+                        pc = *t as usize;
+                        continue;
+                    }
+                }
+                Instr::Call(callee) => {
+                    self.exec(*callee, host, depth + 1)?;
+                }
+                Instr::Return => return Ok(()),
+                Instr::PortRead(p) => self.acc = inst.wrap(host.port_read(*p as u32)),
+                Instr::PortWrite(p) => host.port_write(*p as u32, inst.wrap(self.acc)),
+                Instr::ReadCond(c) => self.acc = host.read_condition(*c as u32) as i64,
+                Instr::SetCond(c) => host.set_condition(*c as u32, self.acc != 0),
+                Instr::RaiseEvent(e) => host.raise_event(*e as u32),
+                Instr::Custom(id) => {
+                    let custom = self.program.arch.custom_op(*id).ok_or(
+                        TepError::MissingFeature { function: fname.clone(), feature: "custom op" },
+                    )?;
+                    let mut acc = self.acc;
+                    for step in &custom.steps {
+                        let (op, rhs) = match step {
+                            CustomStep::WithOp(op) => (*op, self.op),
+                            CustomStep::WithImm(op, imm) => (*op, *imm),
+                        };
+                        acc = apply_alu(op, acc, rhs);
+                    }
+                    self.acc = inst.wrap(acc);
+                }
+                Instr::AluMem { op, src } => {
+                    // Fused `Tao; Load src; Alu op`.
+                    let old_acc = self.acc;
+                    self.op = old_acc;
+                    let m = self.read_storage(*src, &fname)?;
+                    let r = match op {
+                        AluOp::Add => m.wrapping_add(old_acc),
+                        AluOp::Sub => m.wrapping_sub(old_acc),
+                        AluOp::And => m & old_acc,
+                        AluOp::Or => m | old_acc,
+                        AluOp::Xor => m ^ old_acc,
+                        AluOp::Shl => m.wrapping_shl((old_acc & 63) as u32),
+                        AluOp::Shr => {
+                            let mask = if inst.width >= 64 {
+                                u64::MAX
+                            } else {
+                                (1u64 << inst.width) - 1
+                            };
+                            (((m as u64) & mask) >> ((old_acc & 63) as u64)) as i64
+                        }
+                        AluOp::Sar => m.wrapping_shr((old_acc & 63) as u32),
+                        _ => {
+                            return Err(TepError::MissingFeature {
+                                function: fname,
+                                feature: "fused op kind",
+                            })
+                        }
+                    };
+                    self.acc = inst.wrap(r);
+                }
+                Instr::Halt => return Ok(()),
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Pure ALU evaluation used for custom fused ops.
+fn apply_alu(op: AluOp, a: i64, b: i64) -> i64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Not => !a,
+        AluOp::Neg => a.wrapping_neg(),
+        AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+        AluOp::Shr => ((a as u64) >> ((b & 63) as u64)) as i64,
+        AluOp::Sar => a.wrapping_shr((b & 63) as u32),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::TepArch;
+    use crate::codegen::{compile_program, CodegenOptions};
+    use pscp_action_lang::interp::{Interp, RecordingHost};
+
+    fn machine_result(src: &str, func: &str, args: &[i64], arch: &TepArch) -> i64 {
+        let ir = pscp_action_lang::compile(src).unwrap();
+        let p = compile_program(&ir, arch, &CodegenOptions::default());
+        let mut m = TepMachine::new(&p);
+        let mut h = RecordingHost::new();
+        m.call(func, args, &mut h).unwrap()
+    }
+
+    fn interp_result(src: &str, func: &str, args: &[i64]) -> i64 {
+        let ir = pscp_action_lang::compile(src).unwrap();
+        let mut i = Interp::new(&ir);
+        let mut h = RecordingHost::new();
+        i.call(func, args, &mut h).unwrap().unwrap_or(0)
+    }
+
+    fn differential(src: &str, func: &str, cases: &[Vec<i64>]) {
+        let archs = [
+            TepArch::minimal(),
+            TepArch::md16_unoptimized(),
+            TepArch::md16_optimized(),
+        ];
+        for case in cases {
+            let expected = interp_result(src, func, case);
+            for arch in &archs {
+                let got = machine_result(src, func, case, arch);
+                assert_eq!(
+                    got, expected,
+                    "{func}{case:?} on width={} muldiv={} opt={}",
+                    arch.calc.width, arch.calc.muldiv, arch.optimize_code
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_matches_interpreter() {
+        differential(
+            "int:16 f(int:16 a, int:16 b) { return (a + b) * 3 - a / 2; }",
+            "f",
+            &[vec![6, 7], vec![-5, 2], vec![0, 0], vec![1000, -1000], vec![-32768, 1]],
+        );
+    }
+
+    #[test]
+    fn comparisons_match_interpreter_all_archs() {
+        differential(
+            "uint:1 f(int:16 a, int:16 b) { return a < b; }",
+            "f",
+            &[vec![1, 2], vec![2, 1], vec![-3, 3], vec![3, -3], vec![5, 5], vec![-7, -7]],
+        );
+        differential(
+            "uint:1 f(uint:8 a, uint:8 b) { return a <= b; }",
+            "f",
+            &[vec![0, 255], vec![255, 0], vec![128, 128], vec![200, 100]],
+        );
+        differential(
+            "uint:1 f(int:16 a, int:16 b) { return a == b; }",
+            "f",
+            &[vec![4, 4], vec![4, 5], vec![-1, -1], vec![-1, 255]],
+        );
+    }
+
+    #[test]
+    fn software_multiply_matches_hardware() {
+        let src = "int:16 f(int:16 a, int:16 b) { return a * b; }";
+        differential(
+            src,
+            "f",
+            &[
+                vec![3, 5],
+                vec![-3, 5],
+                vec![3, -5],
+                vec![-3, -5],
+                vec![0, 99],
+                vec![255, 255],
+                vec![-128, 2],
+            ],
+        );
+    }
+
+    #[test]
+    fn software_divide_matches_hardware() {
+        let src = "int:16 f(int:16 a, int:16 b) { return a / b; }";
+        differential(
+            src,
+            "f",
+            &[
+                vec![10, 3],
+                vec![-10, 3],
+                vec![10, -3],
+                vec![-10, -3],
+                vec![0, 7],
+                vec![1000, 1],
+                vec![7, 10],
+            ],
+        );
+        let src = "int:16 f(int:16 a, int:16 b) { return a % b; }";
+        differential(src, "f", &[vec![10, 3], vec![-10, 3], vec![10, -3], vec![-10, -3]]);
+    }
+
+    #[test]
+    fn loops_match_interpreter() {
+        let src = r#"
+            int:16 fact(int:16 n) {
+                int:16 r = 1;
+                while (n > 1) { r = r * n; n = n - 1; }
+                return r;
+            }
+        "#;
+        differential(src, "fact", &[vec![0], vec![1], vec![5], vec![7]]);
+    }
+
+    #[test]
+    fn globals_and_conditions_match() {
+        let src = r#"
+            condition DONE;
+            int:16 total = 10;
+            void add(int:16 n) { total = total + n; DONE = total > 20; }
+        "#;
+        let ir = pscp_action_lang::compile(src).unwrap();
+        for arch in [TepArch::minimal(), TepArch::md16_optimized()] {
+            let p = compile_program(&ir, &arch, &CodegenOptions::default());
+            let mut m = TepMachine::new(&p);
+            let mut hm = RecordingHost::new();
+            m.call("add", &[7], &mut hm).unwrap();
+            m.call("add", &[9], &mut hm).unwrap();
+
+            let mut i = Interp::new(&ir);
+            let mut hi = RecordingHost::new();
+            i.call("add", &[7], &mut hi).unwrap();
+            i.call("add", &[9], &mut hi).unwrap();
+
+            assert_eq!(m.global_by_name("total"), i.global("total"));
+            assert_eq!(hm.cond_writes, hi.cond_writes);
+        }
+    }
+
+    #[test]
+    fn port_traffic_matches() {
+        let src = r#"
+            port In : 8 @ 1 in;
+            port Out : 16 @ 2 out;
+            void pump() { Out = In * 3 + 1; }
+        "#;
+        let ir = pscp_action_lang::compile(src).unwrap();
+        for arch in [TepArch::minimal(), TepArch::md16_unoptimized()] {
+            let p = compile_program(&ir, &arch, &CodegenOptions::default());
+            let mut m = TepMachine::new(&p);
+            let mut hm = RecordingHost::new();
+            hm.queue_input(0, [14]);
+            m.call("pump", &[], &mut hm).unwrap();
+            assert_eq!(hm.writes, vec![(1, 43)], "arch w={}", arch.calc.width);
+        }
+    }
+
+    #[test]
+    fn minimal_arch_is_much_slower_on_muldiv() {
+        let src = "int:16 f(int:16 a, int:16 b) { return a * b / (b + 1); }";
+        let ir = pscp_action_lang::compile(src).unwrap();
+
+        let run = |arch: &TepArch| {
+            let p = compile_program(&ir, arch, &CodegenOptions::default());
+            let mut m = TepMachine::new(&p);
+            let mut h = RecordingHost::new();
+            m.call("f", &[123, 45], &mut h).unwrap();
+            m.cycles()
+        };
+        let slow = run(&TepArch::minimal());
+        let fast = run(&TepArch::md16_unoptimized());
+        assert!(
+            slow > 4 * fast,
+            "software mul/div on 8-bit must dominate: {slow} vs {fast}"
+        );
+    }
+
+    #[test]
+    fn optimized_code_uses_fewer_cycles() {
+        let src = "int:16 f(int:16 a) { int:16 x = a + 1; int:16 y = x * 2; return y - a; }";
+        let ir = pscp_action_lang::compile(src).unwrap();
+        let run = |arch: &TepArch| {
+            let p = compile_program(&ir, arch, &CodegenOptions::default());
+            let mut m = TepMachine::new(&p);
+            let mut h = RecordingHost::new();
+            m.call("f", &[10], &mut h).unwrap();
+            m.cycles()
+        };
+        assert!(run(&TepArch::md16_optimized()) < run(&TepArch::md16_unoptimized()));
+    }
+
+    #[test]
+    fn array_programs_match() {
+        let src = r#"
+            int:16 tab[4] = {5, 10, 15, 20};
+            int:16 f(int:8 i, int:16 v) { tab[i] = v; return tab[0] + tab[i]; }
+        "#;
+        differential(src, "f", &[vec![1, 100], vec![3, -7], vec![0, 42]]);
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        let src = "void f() { while (1) { } }";
+        let ir = pscp_action_lang::compile(src).unwrap();
+        let p = compile_program(&ir, &TepArch::md16_optimized(), &CodegenOptions::default());
+        let mut m = TepMachine::new(&p).with_cycle_limit(10_000);
+        let mut h = RecordingHost::new();
+        assert!(matches!(m.call("f", &[], &mut h), Err(TepError::CycleLimit { .. })));
+    }
+}

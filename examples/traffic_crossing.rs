@@ -1,0 +1,102 @@
+//! A pedestrian-crossing controller: two parallel regions (vehicle
+//! lights, pedestrian lights) coordinated through conditions, with a
+//! request button and a blinking-green phase — a second reactive-system
+//! workload on the same toolchain.
+//!
+//! ```sh
+//! cargo run --example traffic_crossing
+//! ```
+
+use pscp::core::arch::PscpArch;
+use pscp::core::compile::compile_system;
+use pscp::core::machine::{PscpMachine, ScriptedEnvironment};
+use pscp::core::timing::{validate_timing, TimingOptions};
+use pscp::statechart::{ChartBuilder, StateKind};
+use pscp::tep::codegen::CodegenOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut b = ChartBuilder::new("crossing");
+    b.event("SECOND", Some(15_000)); // 1 s tick, generous budget
+    b.event("BUTTON", None);
+    b.internal_event("SWITCH");
+    b.condition("WALK_REQ", false);
+    b.condition("PED_GO", false);
+
+    b.state("Crossing", StateKind::And).contains(["Vehicle", "Pedestrian"]);
+
+    b.state("Vehicle", StateKind::Or)
+        .contains(["VGreen", "VYellow", "VRed"])
+        .default_child("VGreen");
+    b.state("VGreen", StateKind::Basic)
+        .transition("VYellow", "SECOND [WALK_REQ]/StartYellow()");
+    b.state("VYellow", StateKind::Basic)
+        .transition("VRed", "SECOND/OpenCrossing()");
+    b.state("VRed", StateKind::Basic)
+        .transition("VGreen", "SWITCH/CloseCrossing()");
+
+    b.state("Pedestrian", StateKind::Or)
+        .contains(["PRed", "PWalk", "PFlash"])
+        .default_child("PRed");
+    b.state("PRed", StateKind::Basic)
+        .transition("PRed", "BUTTON/Request()")
+        .transition("PWalk", "SECOND [PED_GO]");
+    b.state("PWalk", StateKind::Basic)
+        .transition("PFlash", "SECOND/CountDown()");
+    b.state("PFlash", StateKind::Basic)
+        .transition("PFlash", "SECOND [not PED_GO]/Blink()")
+        .transition("PRed", "SECOND [PED_GO]/Finish()");
+
+    let chart = b.build()?;
+
+    let actions = r#"
+        port VLIGHT : 8 @ 0x01 out;
+        port PLIGHT : 8 @ 0x02 out;
+        int:16 walkers;
+        int:8 blink;
+
+        void Request()       { WALK_REQ = 1; }
+        void StartYellow()   { VLIGHT = 2; }
+        void OpenCrossing()  { VLIGHT = 3; PED_GO = 1; PLIGHT = 1; }
+        void CountDown()     { walkers = walkers + 1; blink = 4; PED_GO = 0; }
+        void Blink() {
+            blink = blink - 1;
+            PLIGHT = blink & 1;
+            if (blink == 0) { PED_GO = 1; }
+        }
+        void Finish()        { PLIGHT = 0; WALK_REQ = 0; raise SWITCH; }
+        void CloseCrossing() { VLIGHT = 1; PED_GO = 0; }
+    "#;
+
+    let arch = PscpArch::md16_optimized();
+    let system = compile_system(&chart, actions, &arch, &CodegenOptions::default())?;
+    let report = validate_timing(&system, &TimingOptions::default());
+    println!(
+        "crossing controller compiled for {}: {} instructions, timing {}",
+        arch.label,
+        system.program.instruction_count(),
+        if report.ok() { "OK" } else { "VIOLATED" }
+    );
+
+    // One full walk cycle: button press, yellow, walk, flash out, reset.
+    let mut machine = PscpMachine::new(&system);
+    let mut script: Vec<Vec<&str>> = vec![vec!["SECOND"], vec!["BUTTON"]];
+    for _ in 0..12 {
+        script.push(vec!["SECOND"]);
+        script.push(vec![]);
+    }
+    let mut env = ScriptedEnvironment::new(script);
+    for _ in 0..26 {
+        machine.step(&mut env)?;
+    }
+    let active: Vec<String> = machine
+        .executor()
+        .configuration()
+        .active_leaves(&system.chart)
+        .map(|s| system.chart.state(s).name.clone())
+        .collect();
+    println!("active leaves after one walk cycle: {active:?}");
+    println!("walkers served: {:?}", machine.tep().global_by_name("walkers"));
+    println!("light commands: {:?}", env.port_writes);
+    assert!(active.contains(&"VGreen".to_string()), "vehicles flowing again");
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! The §6 future-work extensions in action: a watchdog built on a
+//! hardware timer, with the timeout handled at interrupt priority on a
+//! pipelined TEP.
+//!
+//! ```sh
+//! cargo run --example watchdog_timer
+//! ```
+
+use pscp::core::arch::{PscpArch, TimerSpec};
+use pscp::core::compile::compile_system;
+use pscp::core::machine::{Environment, PscpMachine};
+use pscp::core::timing::{validate_timing, TimingOptions};
+use pscp::statechart::{ChartBuilder, StateKind};
+use pscp::tep::codegen::CodegenOptions;
+
+/// Plant: feeds HEARTBEAT events until it "hangs" at a chosen cycle.
+struct FlakyPlant {
+    hang_at: u64,
+    resets_seen: u64,
+}
+
+impl Environment for FlakyPlant {
+    fn sample_events(&mut self, now: u64) -> Vec<String> {
+        if now < self.hang_at && now.is_multiple_of(97) {
+            vec!["HEARTBEAT".into()]
+        } else {
+            Vec::new()
+        }
+    }
+    fn port_write(&mut self, address: u16, _value: i64, now: u64) {
+        if address == 0x50 {
+            self.resets_seen += 1;
+            println!("  plant: reset pulse at cycle {now}");
+            // The reset "unhangs" the plant.
+            self.hang_at = u64::MAX;
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut b = ChartBuilder::new("watchdog");
+    b.event("HEARTBEAT", Some(400));
+    b.event("TIMEOUT", None);
+    b.state("Top", StateKind::Or)
+        .contains(["Monitoring", "Recovering"])
+        .default_child("Monitoring");
+    b.state("Monitoring", StateKind::Basic)
+        .on_entry("Rearm()")
+        .transition("Monitoring", "HEARTBEAT/Rearm()")
+        .transition("Recovering", "TIMEOUT/FireReset()");
+    b.state("Recovering", StateKind::Basic)
+        .transition("Monitoring", "HEARTBEAT");
+    let chart = b.build()?;
+
+    let actions = r#"
+        port WDT : 16 @ 0x40 out;
+        port RESET_LINE : 8 @ 0x50 out;
+        int:16 resets;
+        void Rearm() { WDT = 600; }
+        void FireReset() {
+            WDT = 0;
+            resets = resets + 1;
+            RESET_LINE = resets;
+        }
+    "#;
+
+    // Architecture: pipelined optimised TEP, timer block, TIMEOUT at
+    // interrupt priority.
+    let mut arch = PscpArch::md16_optimized();
+    arch.tep.pipelined = true;
+    arch.timers.push(TimerSpec {
+        name: "wdt0".into(),
+        event: "TIMEOUT".into(),
+        port_address: 0x40,
+    });
+    arch.interrupt_events.insert("TIMEOUT".into());
+    arch.label = "pipelined TEP + wdt + irq".into();
+
+    let system = compile_system(&chart, actions, &arch, &CodegenOptions::default())?;
+    let report = validate_timing(&system, &TimingOptions::default());
+    println!(
+        "compiled: {} instructions, timing {}, area {}",
+        system.program.instruction_count(),
+        if report.ok() { "OK" } else { "violated" },
+        pscp::core::area::pscp_area(&system).total(),
+    );
+
+    let mut machine = PscpMachine::new(&system);
+    let mut plant = FlakyPlant { hang_at: 3_000, resets_seen: 0 };
+    let mut interrupt_latency = None;
+    for _ in 0..2_000 {
+        let r = machine.step(&mut plant)?;
+        if r.interrupt_latency.is_some() {
+            interrupt_latency = r.interrupt_latency;
+        }
+        if plant.resets_seen > 0
+            && machine
+                .executor()
+                .configuration()
+                .is_active(system.chart.state_by_name("Monitoring").unwrap())
+        {
+            break;
+        }
+    }
+    println!(
+        "watchdog fired {} reset(s); interrupt latency {:?} cycles; recovered at cycle {}",
+        machine.tep().global_by_name("resets").unwrap_or(0),
+        interrupt_latency,
+        machine.now()
+    );
+    assert_eq!(plant.resets_seen, 1);
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! # PSCP — a scalable parallel ASIP architecture for reactive systems
+//!
+//! Facade crate re-exporting the full PSCP codesign toolchain, a
+//! from-scratch Rust reproduction of *Pyttel, Sedlmeier, Veith: "PSCP: A
+//! Scalable Parallel ASIP Architecture for Reactive Systems"* (DATE
+//! 1998).
+//!
+//! The flow takes an **extended statechart** specification of a reactive
+//! system plus **extended-C action routines**, synthesises a **Statechart
+//! Logic Array** (SLA) and compiles the routines for one or more
+//! **Transition Execution Processors** (TEPs), then validates the timing
+//! constraints statically and iteratively improves architecture and code
+//! until every event's arrival period is met.
+//!
+//! Sub-crates (re-exported as modules here):
+//!
+//! * [`statechart`] — chart model, textual parser, semantics, encoding.
+//! * [`action_lang`] — the extended-C action language compiler.
+//! * [`tep`] — the TEP processor: ISA, microcode, simulator, codegen.
+//! * [`sla`] — SLA synthesis, BLIF/VHDL export, simulation.
+//! * [`fpga`] — XC4000 device/area/floorplan substrate.
+//! * [`core`] — PSCP machine, timing validation, iterative optimisation.
+//! * [`motors`] — stepper-motor plant and the paper's SMD pickup-head
+//!   example.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete end-to-end run; the
+//! `pscp-bench` crate contains one binary per table/figure of the paper.
+
+pub use pscp_action_lang as action_lang;
+pub use pscp_core as core;
+pub use pscp_fpga as fpga;
+pub use pscp_motors as motors;
+pub use pscp_sla as sla;
+pub use pscp_statechart as statechart;
+pub use pscp_tep as tep;

@@ -1,0 +1,167 @@
+//! End-to-end co-simulation: the compiled pickup-head controller runs
+//! against the stepper-motor plant (Fig. 7 of the paper).
+
+use pscp::core::arch::PscpArch;
+use pscp::core::compile::{compile_system, CompiledSystem};
+use pscp::core::machine::PscpMachine;
+use pscp::motors::head::{Move, SmdHead};
+use pscp::motors::{pickup_head_actions, pickup_head_chart};
+use pscp::tep::codegen::CodegenOptions;
+
+fn compiled(arch: PscpArch) -> CompiledSystem {
+    compile_system(
+        &pickup_head_chart(),
+        &pickup_head_actions(),
+        &arch,
+        &CodegenOptions::default(),
+    )
+    .expect("pickup head compiles")
+}
+
+/// Runs the controller against the plant until the command stream is
+/// drained and all motors are idle (or a step budget runs out).
+fn run_moves(sys: &CompiledSystem, moves: &[Move]) -> (SmdHead, PscpStats) {
+    let mut machine = PscpMachine::new(sys);
+    let mut head = SmdHead::with_moves(moves);
+    let mut steps = 0u64;
+    while steps < 3_000_000 {
+        machine.step(&mut head).expect("no TEP faults");
+        steps += 1;
+        if head.pending_bytes() == 0 && head.all_idle() && machine.executor().configuration()
+            .is_active(sys.chart.state_by_name("Idle1").unwrap())
+        {
+            break;
+        }
+    }
+    let stats = PscpStats {
+        config_cycles: machine.stats().config_cycles,
+        clock_cycles: machine.now(),
+        max_cycle: machine.stats().max_cycle_length,
+    };
+    (head, stats)
+}
+
+struct PscpStats {
+    config_cycles: u64,
+    clock_cycles: u64,
+    max_cycle: u64,
+}
+
+#[test]
+fn dual_tep_head_completes_one_move() {
+    let sys = compiled(PscpArch::dual_md16(true));
+    let moves = [Move { x: 40, y: 25, phi: 15 }];
+    let (head, stats) = run_moves(&sys, &moves);
+
+    assert_eq!(head.motor_x.position(), 40, "X reached target");
+    assert_eq!(head.motor_y.position(), 25, "Y reached target");
+    assert_eq!(head.motor_phi.position(), 15, "phi reached target");
+    assert_eq!(head.moves_done(), 1, "controller reported the move");
+    assert_eq!(head.pending_bytes(), 0);
+    assert!(stats.config_cycles > 10);
+    assert!(stats.clock_cycles > 1000);
+    assert!(stats.max_cycle > 0);
+}
+
+#[test]
+fn dual_tep_head_completes_move_sequence() {
+    let sys = compiled(PscpArch::dual_md16(true));
+    let moves = [
+        Move { x: 30, y: 10, phi: 0 },
+        Move { x: 60, y: 40, phi: 20 },
+        Move { x: 5, y: 5, phi: 5 },
+    ];
+    let (head, _) = run_moves(&sys, &moves);
+    assert_eq!(head.motor_x.position(), 5);
+    assert_eq!(head.motor_y.position(), 5);
+    assert_eq!(head.motor_phi.position(), 5);
+    assert_eq!(head.moves_done(), 3);
+}
+
+#[test]
+fn minimal_tep_misses_pulse_deadlines() {
+    // The Table 4 story: the minimal TEP cannot update the counters in
+    // time once both X and Y run; the plant records missed pulses.
+    let sys = compiled(PscpArch::minimal());
+    let moves = [Move { x: 120, y: 120, phi: 0 }];
+    let (head, _) = run_moves(&sys, &moves);
+    assert!(
+        head.missed_pulses() > 0,
+        "software mul/div on an 8-bit TEP must blow the 300-cycle deadline"
+    );
+}
+
+#[test]
+fn optimized_dual_tep_meets_pulse_deadlines() {
+    let sys = compiled(PscpArch::dual_md16(true));
+    let moves = [Move { x: 120, y: 120, phi: 30 }];
+    let (head, _) = run_moves(&sys, &moves);
+    assert_eq!(
+        head.missed_pulses(),
+        0,
+        "the paper's final architecture must service every pulse; faults: {:?}",
+        head.faults()
+    );
+}
+
+#[test]
+fn error_event_reaches_err_state_and_recovers() {
+    use pscp::core::machine::Environment;
+
+    // Wrap the head so we can inject ERROR and INIT.
+    struct Injecting {
+        head: SmdHead,
+        inject_at: u64,
+        injected: bool,
+        reset_at: u64,
+        reset_done: bool,
+    }
+    impl Environment for Injecting {
+        fn sample_events(&mut self, now: u64) -> Vec<String> {
+            let mut evs = self.head.sample_events(now);
+            if !self.injected && now >= self.inject_at {
+                evs.push("ERROR".into());
+                self.injected = true;
+            }
+            if self.injected && !self.reset_done && now >= self.reset_at {
+                evs.push("INIT".into());
+                self.reset_done = true;
+            }
+            evs
+        }
+        fn port_read(&mut self, a: u16, now: u64) -> i64 {
+            self.head.port_read(a, now)
+        }
+        fn port_write(&mut self, a: u16, v: i64, now: u64) {
+            self.head.port_write(a, v, now)
+        }
+    }
+
+    let sys = compiled(PscpArch::dual_md16(true));
+    let mut machine = PscpMachine::new(&sys);
+    let mut env = Injecting {
+        head: SmdHead::with_moves(&[Move { x: 200, y: 200, phi: 50 }]),
+        inject_at: 40_000,
+        injected: false,
+        reset_at: 120_000,
+        reset_done: false,
+    };
+    let err_state = sys.chart.state_by_name("ErrState").unwrap();
+    let idle1 = sys.chart.state_by_name("Idle1").unwrap();
+    let mut saw_err = false;
+    for _ in 0..200_000 {
+        machine.step(&mut env).unwrap();
+        if machine.executor().configuration().is_active(err_state) {
+            saw_err = true;
+        }
+        if saw_err && machine.executor().configuration().is_active(idle1) {
+            break;
+        }
+    }
+    assert!(saw_err, "ERROR must drive the chart into ErrState");
+    assert!(
+        machine.executor().configuration().is_active(idle1),
+        "INIT must recover to Idle1"
+    );
+    assert!(env.head.stops >= 1, "Stop() must hit the STOPALL port");
+}

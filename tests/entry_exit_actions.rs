@@ -1,0 +1,133 @@
+//! Integration tests for state entry/exit actions (Statemate-style
+//! static reactions) across the whole stack: semantics ordering,
+//! textual-format round trip, compiled execution on the PSCP machine,
+//! and inclusion in the timing analysis.
+
+use pscp::core::arch::PscpArch;
+use pscp::core::compile::compile_system;
+use pscp::core::machine::{PscpMachine, ScriptedEnvironment};
+use pscp::core::timing::{transition_cost, wcet_report, TimingOptions};
+use pscp::statechart::semantics::{ActionEffects, Executor};
+use pscp::statechart::{Chart, ChartBuilder, StateKind};
+use pscp::tep::codegen::CodegenOptions;
+
+fn chart_with_actions() -> Chart {
+    let mut b = ChartBuilder::new("ee");
+    b.event("GO", Some(5_000));
+    b.event("BACK", None);
+    b.state("Top", StateKind::Or).contains(["A", "B"]).default_child("A");
+    b.state("A", StateKind::Basic)
+        .on_exit("LeaveA()")
+        .transition("B", "GO/Travel(2)");
+    b.state("B", StateKind::Basic)
+        .on_entry("EnterB(7)")
+        .on_exit("LeaveB()")
+        .transition("A", "BACK");
+    b.build().unwrap()
+}
+
+const ACTIONS: &str = r#"
+    int:16 trace;
+    int:16 entries;
+    void LeaveA()          { trace = trace * 10 + 1; }
+    void Travel(int:16 n)  { trace = trace * 10 + n; }
+    void EnterB(int:16 n)  { trace = trace * 10 + n % 10; entries = entries + 1; }
+    void LeaveB()          { trace = trace * 10 + 9; }
+"#;
+
+#[test]
+fn reference_executor_orders_exit_transition_entry() {
+    let chart = chart_with_actions();
+    let mut exec = Executor::new(&chart);
+    let mut order = Vec::new();
+    exec.step_named(["GO"], |call| {
+        order.push(call.function.clone());
+        ActionEffects::default()
+    });
+    assert_eq!(order, vec!["LeaveA", "Travel", "EnterB"]);
+}
+
+#[test]
+fn textual_format_round_trips_entry_exit() {
+    let chart = chart_with_actions();
+    let text = pscp::statechart::pretty::to_text(&chart);
+    assert!(text.contains("entry \"EnterB(7)\";"), "{text}");
+    assert!(text.contains("exit \"LeaveA()\";"));
+    let reparsed = pscp::statechart::parse::parse_chart(&text).unwrap();
+    let b = reparsed.state_by_name("B").unwrap();
+    assert_eq!(reparsed.state(b).entry_actions.len(), 1);
+    assert_eq!(reparsed.state(b).exit_actions.len(), 1);
+}
+
+#[test]
+fn machine_executes_entry_exit_routines_in_order() {
+    let chart = chart_with_actions();
+    let sys = compile_system(
+        &chart,
+        ACTIONS,
+        &PscpArch::md16_optimized(),
+        &CodegenOptions::default(),
+    )
+    .unwrap();
+    let mut m = PscpMachine::new(&sys);
+    let mut env = ScriptedEnvironment::new(vec![vec!["GO"], vec!["BACK"]]);
+    m.step(&mut env).unwrap();
+    // A->B: LeaveA (1), Travel (2), EnterB (7) => trace = 127.
+    assert_eq!(m.tep().global_by_name("trace"), Some(127));
+    m.step(&mut env).unwrap();
+    // B->A: LeaveB (9), no transition action, no entry on A => 1279.
+    assert_eq!(m.tep().global_by_name("trace"), Some(1279));
+    assert_eq!(m.tep().global_by_name("entries"), Some(1));
+}
+
+#[test]
+fn timing_includes_entry_and_exit_action_wcet() {
+    let chart = chart_with_actions();
+    let sys = compile_system(
+        &chart,
+        ACTIONS,
+        &PscpArch::md16_optimized(),
+        &CodegenOptions::default(),
+    )
+    .unwrap();
+    let wcet = wcet_report(&sys, &TimingOptions::default());
+    let t_go = chart.transition_ids().next().unwrap(); // A -> B
+    let full = transition_cost(&sys, &wcet, t_go);
+    let travel = wcet.of("Travel").unwrap();
+    let leave_a = wcet.of("LeaveA").unwrap();
+    let enter_b = wcet.of("EnterB").unwrap();
+    assert!(
+        full >= travel + leave_a + enter_b,
+        "cost {full} must cover Travel({travel}) + LeaveA({leave_a}) + EnterB({enter_b})"
+    );
+}
+
+#[test]
+fn entry_actions_run_on_default_completion_of_composites() {
+    // Entering an AND-state must trigger entry actions of every
+    // default-entered descendant.
+    let mut b = ChartBuilder::new("deep");
+    b.event("GO", None);
+    b.state("Top", StateKind::Or).contains(["Idle", "Par"]).default_child("Idle");
+    b.state("Idle", StateKind::Basic).transition("Par", "GO");
+    b.state("Par", StateKind::And)
+        .contains(["L", "R"])
+        .on_entry("Mark(1)");
+    b.state("L", StateKind::Or).contains(["L1"]).default_child("L1");
+    b.state("L1", StateKind::Basic).on_entry("Mark(2)");
+    b.state("R", StateKind::Or).contains(["R1"]).default_child("R1");
+    b.state("R1", StateKind::Basic).on_entry("Mark(3)");
+    let chart = b.build().unwrap();
+    let src = "int:16 marks;\nvoid Mark(int:16 m) { marks = marks + m; }";
+    let sys = compile_system(
+        &chart,
+        src,
+        &PscpArch::md16_unoptimized(),
+        &CodegenOptions::default(),
+    )
+    .unwrap();
+    let mut m = PscpMachine::new(&sys);
+    let mut env = ScriptedEnvironment::new(vec![vec!["GO"]]);
+    m.step(&mut env).unwrap();
+    assert_eq!(m.tep().global_by_name("marks"), Some(6), "Par + L1 + R1 all entered");
+}

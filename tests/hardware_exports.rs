@@ -1,0 +1,136 @@
+//! Cross-crate hardware-path integration: the pickup-head SLA through
+//! BLIF and VHDL export, microcode ROM synthesis, area accounting and
+//! floorplanning.
+
+use pscp::core::arch::PscpArch;
+use pscp::core::area::pscp_area;
+use pscp::core::compile::compile_system;
+use pscp::fpga::device::Device;
+use pscp::fpga::floorplan::Floorplan;
+use pscp::motors::{pickup_head_actions, pickup_head_chart};
+use pscp::sla::{blif, vhdl};
+use pscp::tep::codegen::CodegenOptions;
+use pscp::tep::microcode::{InstrKind, MicrocodeRom};
+use std::collections::BTreeSet;
+
+#[test]
+fn sla_blif_export_is_structurally_sound() {
+    let sys = compile_system(
+        &pickup_head_chart(),
+        &pickup_head_actions(),
+        &PscpArch::md16_optimized(),
+        &CodegenOptions::default(),
+    )
+    .unwrap();
+    let text = blif::to_blif(&sys.sla.net, "pickup_sla");
+
+    assert!(text.starts_with(".model pickup_sla"));
+    assert!(text.trim_end().ends_with(".end"));
+    // One fire output per transition.
+    for i in 0..sys.chart.transition_count() {
+        assert!(text.contains(&format!("T{i}")), "missing T{i}");
+    }
+    // Every CR bit is an input.
+    let inputs_line = text.lines().find(|l| l.starts_with(".inputs")).unwrap();
+    for bit in 0..sys.layout.width() {
+        assert!(inputs_line.contains(&format!("cr{bit}")), "missing cr{bit}");
+    }
+    // Next-state functions for every state field bit.
+    for f in sys.layout.fields() {
+        for b in 0..f.width {
+            assert!(text.contains(&format!("next_cr{}", f.offset + b)));
+        }
+    }
+}
+
+#[test]
+fn sla_vhdl_export_is_structurally_sound() {
+    let sys = compile_system(
+        &pickup_head_chart(),
+        &pickup_head_actions(),
+        &PscpArch::md16_optimized(),
+        &CodegenOptions::default(),
+    )
+    .unwrap();
+    let text = vhdl::to_vhdl(&sys.sla.net, "pickup_sla");
+    assert!(text.contains("entity pickup_sla is"));
+    assert!(text.contains("architecture rtl of pickup_sla is"));
+    // Balanced port list: every input/output appears as a port.
+    for bit in 0..sys.layout.width() {
+        assert!(text.contains(&format!("cr{bit} : in std_logic")));
+    }
+    assert!(text.contains("T0 : out std_logic"));
+    // No dangling signal: every assignment's LHS is declared.
+    let declared: BTreeSet<&str> = text
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix("signal "))
+        .filter_map(|l| l.split(' ').next())
+        .collect();
+    for line in text.lines() {
+        let t = line.trim();
+        if let Some(lhs) = t.strip_suffix(";").and_then(|t| t.split(" <= ").next()) {
+            if lhs.starts_with('n') && lhs[1..].chars().all(|c| c.is_ascii_digit()) {
+                assert!(declared.contains(lhs), "undeclared signal {lhs}");
+            }
+        }
+    }
+}
+
+#[test]
+fn microcode_rom_covers_exactly_the_used_kinds() {
+    let sys = compile_system(
+        &pickup_head_chart(),
+        &pickup_head_actions(),
+        &PscpArch::dual_md16(true),
+        &CodegenOptions::default(),
+    )
+    .unwrap();
+    let kinds: BTreeSet<InstrKind> = sys
+        .program
+        .functions
+        .iter()
+        .flat_map(|f| f.code.iter().map(|i| InstrKind::of(&i.instr)))
+        .collect();
+    let rom = MicrocodeRom::synthesize(&kinds, true);
+    assert_eq!(rom.entries.len(), kinds.len());
+    // ROM stays small enough for the 8-bit next-address field.
+    assert!(rom.word_count() <= 256, "ROM {} words", rom.word_count());
+    // The M/D architecture uses hardware mul/div, not the runtime.
+    assert!(kinds.contains(&InstrKind::AluMul));
+    assert!(kinds.contains(&InstrKind::AluDiv));
+    // Optimised code fused memory-operand ALU instructions.
+    assert!(kinds.contains(&InstrKind::AluMemInt) || kinds.contains(&InstrKind::AluMemReg));
+}
+
+#[test]
+fn every_table4_architecture_fits_and_floorplans() {
+    for arch in [
+        PscpArch::minimal(),
+        PscpArch::md16_unoptimized(),
+        PscpArch::md16_optimized(),
+        PscpArch::dual_md16(false),
+        PscpArch::dual_md16(true),
+    ] {
+        let sys = compile_system(
+            &pickup_head_chart(),
+            &pickup_head_actions(),
+            &arch,
+            &CodegenOptions::default(),
+        )
+        .unwrap();
+        let area = pscp_area(&sys);
+        let device = Device::xc4025();
+        assert!(
+            area.total().0 <= device.clbs(),
+            "{} exceeds the XC4025: {}",
+            arch.label,
+            area.total()
+        );
+        let plan = Floorplan::place(&device, &area.blocks);
+        assert!(plan.fits(), "{} does not floorplan: {:?}", arch.label, plan.unplaced);
+        // TEP blocks present per processing element.
+        for i in 0..arch.n_teps {
+            assert!(area.of(&format!("TEP{i}")).is_some());
+        }
+    }
+}

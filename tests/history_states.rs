@@ -1,0 +1,177 @@
+//! Shallow-history connectors, end to end: executor semantics, CR
+//! encoding (where history is free hardware — the exclusivity field of
+//! an inactive region retains its last code), SLA differential, textual
+//! round trip, and full-machine behaviour.
+
+use pscp::sla::sim::SlaSim;
+use pscp::sla::synth::synthesize;
+use pscp::statechart::encoding::{CrLayout, EncodingStyle};
+use pscp::statechart::semantics::{ActionEffects, Executor};
+use pscp::statechart::{Chart, ChartBuilder, EventId, StateKind, TransitionId};
+use std::collections::BTreeSet;
+
+/// A player with a history-OR "Mode" region: pausing and resuming must
+/// come back to the same mode.
+fn player(history: bool) -> Chart {
+    let mut b = ChartBuilder::new("player");
+    b.event("PAUSE", None);
+    b.event("RESUME", None);
+    b.event("NEXT", None);
+    b.state("Top", StateKind::Or).contains(["Playing", "Paused"]).default_child("Playing");
+    {
+        let mut s = b.state("Playing", StateKind::Or);
+        s.contains(["Radio", "Tape", "CD"]).default_child("Radio");
+        if history {
+            s.history();
+        }
+        s.transition("Paused", "PAUSE");
+    }
+    b.state("Radio", StateKind::Basic).transition("Tape", "NEXT");
+    b.state("Tape", StateKind::Basic).transition("CD", "NEXT");
+    b.state("CD", StateKind::Basic).transition("Radio", "NEXT");
+    b.state("Paused", StateKind::Basic).transition("Playing", "RESUME");
+    b.build().unwrap()
+}
+
+fn no_fx(_: &pscp::statechart::model::ActionCall) -> ActionEffects {
+    ActionEffects::default()
+}
+
+#[test]
+fn history_resumes_last_mode() {
+    let chart = player(true);
+    let mut e = Executor::new(&chart);
+    let tape = chart.state_by_name("Tape").unwrap();
+    e.step_named(["NEXT"], no_fx); // Radio -> Tape
+    assert!(e.configuration().is_active(tape));
+    e.step_named(["PAUSE"], no_fx);
+    assert!(!e.configuration().is_active(tape));
+    e.step_named(["RESUME"], no_fx);
+    assert!(e.configuration().is_active(tape), "history must restore Tape");
+}
+
+#[test]
+fn without_history_resume_goes_to_default() {
+    let chart = player(false);
+    let mut e = Executor::new(&chart);
+    e.step_named(["NEXT"], no_fx);
+    e.step_named(["PAUSE"], no_fx);
+    e.step_named(["RESUME"], no_fx);
+    assert!(e.configuration().is_active(chart.state_by_name("Radio").unwrap()));
+}
+
+#[test]
+fn first_entry_uses_default() {
+    let chart = player(true);
+    let e = Executor::new(&chart);
+    assert!(e.configuration().is_active(chart.state_by_name("Radio").unwrap()));
+}
+
+#[test]
+fn textual_format_round_trips_history() {
+    let chart = player(true);
+    let text = pscp::statechart::pretty::to_text(&chart);
+    assert!(text.contains("history;"), "{text}");
+    let reparsed = pscp::statechart::parse::parse_chart(&text).unwrap();
+    let playing = reparsed.state_by_name("Playing").unwrap();
+    assert!(reparsed.state(playing).history);
+}
+
+#[test]
+fn default_child_has_code_zero() {
+    // The encoding invariant that makes history free: an all-zero field
+    // decodes to the default child.
+    let chart = player(true);
+    let layout = CrLayout::new(&chart, EncodingStyle::Exclusivity);
+    for f in layout.fields() {
+        let owner = chart.state(f.owner);
+        if let Some(d) = owner.default {
+            let di = owner.children.iter().position(|&c| c == d).unwrap();
+            assert_eq!(f.codes[di], 0, "default of {} must take code 0", owner.name);
+        }
+    }
+}
+
+/// SLA-vs-executor differential including history, both encodings.
+#[test]
+fn sla_matches_executor_with_history() {
+    let chart = player(true);
+    let script: Vec<Vec<&str>> = vec![
+        vec!["NEXT"],
+        vec!["PAUSE"],
+        vec!["RESUME"], // back to Tape
+        vec!["NEXT"],   // Tape -> CD
+        vec!["PAUSE"],
+        vec![],
+        vec!["RESUME"], // back to CD
+        vec!["NEXT"],   // CD -> Radio
+        vec!["PAUSE"],
+        vec!["RESUME"],
+    ];
+    for style in [EncodingStyle::Exclusivity, EncodingStyle::OneHot] {
+        let layout = CrLayout::new(&chart, style);
+        let sla = synthesize(&chart, &layout);
+        let sim = SlaSim::new(&chart, &layout, &sla);
+        let mut exec = Executor::new(&chart);
+        // Track the CR bits the hardware would hold (they evolve via
+        // next_cr, not by re-encoding — that is the whole point of
+        // history-in-hardware).
+        let mut hw_bits =
+            sim.cr_bits(exec.configuration(), &BTreeSet::new(), &|_| false);
+        for (cycle, evs) in script.iter().enumerate() {
+            let events: BTreeSet<EventId> =
+                evs.iter().filter_map(|n| chart.event_by_name(n)).collect();
+            // Inject this cycle's events into the held bits.
+            for e in chart.event_ids() {
+                hw_bits[layout.event_bit(e) as usize] = events.contains(&e);
+            }
+            let expected: BTreeSet<TransitionId> =
+                exec.select_transitions(&events).into_iter().collect();
+            let fired: BTreeSet<TransitionId> = sim.fired(&hw_bits).into_iter().collect();
+            assert_eq!(fired, expected, "cycle {cycle} {evs:?} ({style:?})");
+            hw_bits = sim.next_cr(&hw_bits);
+            exec.step(&events, no_fx);
+            for s in chart.state_ids() {
+                let active = exec.configuration().is_active(s);
+                let decoded = layout.is_active_in(&chart, &hw_bits, s);
+                assert_eq!(
+                    decoded,
+                    active,
+                    "cycle {cycle} state {} ({style:?})",
+                    chart.state(s).name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_machine_respects_history() {
+    use pscp::core::arch::PscpArch;
+    use pscp::core::compile::compile_system;
+    use pscp::core::machine::{PscpMachine, ScriptedEnvironment};
+    use pscp::tep::codegen::CodegenOptions;
+
+    let chart = player(true);
+    let sys = compile_system(
+        &chart,
+        "",
+        &PscpArch::md16_optimized(),
+        &CodegenOptions::default(),
+    )
+    .unwrap();
+    let mut m = PscpMachine::new(&sys);
+    let mut env = ScriptedEnvironment::new(vec![
+        vec!["NEXT"],
+        vec!["NEXT"], // -> CD
+        vec!["PAUSE"],
+        vec!["RESUME"],
+    ]);
+    for _ in 0..4 {
+        m.step(&mut env).unwrap();
+    }
+    assert!(m
+        .executor()
+        .configuration()
+        .is_active(sys.chart.state_by_name("CD").unwrap()));
+}

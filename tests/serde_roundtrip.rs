@@ -1,0 +1,81 @@
+//! Serde round-trips: architecture descriptions and whole compiled
+//! systems serialise to JSON and come back equal — the experiment
+//! harness archives these records alongside measurements.
+
+use pscp::core::arch::{PscpArch, TimerSpec};
+use pscp::core::compile::{compile_system, CompiledSystem};
+use pscp::core::timing::{validate_timing, TimingOptions, TimingReport};
+use pscp::motors::{pickup_head_actions, pickup_head_chart};
+use pscp::statechart::Chart;
+use pscp::tep::codegen::CodegenOptions;
+
+fn sample_arch() -> PscpArch {
+    let mut a = PscpArch::dual_md16(true);
+    a.timers.push(TimerSpec { name: "t0".into(), event: "TICK".into(), port_address: 9 });
+    a.interrupt_events.insert("X_PULSE".into());
+    a.mutual_exclusion.push([1u32, 3].into());
+    a
+}
+
+fn round_trip<T: serde::Serialize + for<'de> serde::Deserialize<'de>>(value: &T) -> T {
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn arch_round_trips() {
+    let a = sample_arch();
+    assert_eq!(round_trip(&a), a);
+}
+
+#[test]
+fn chart_round_trips() {
+    let chart = pickup_head_chart();
+    let cloned: Chart = round_trip(&chart);
+    assert_eq!(cloned, chart);
+}
+
+#[test]
+fn compiled_system_round_trips() {
+    let sys = compile_system(
+        &pickup_head_chart(),
+        &pickup_head_actions(),
+        &sample_arch(),
+        &CodegenOptions::default(),
+    )
+    .unwrap();
+    let cloned: CompiledSystem = round_trip(&sys);
+    assert_eq!(cloned, sys);
+}
+
+#[test]
+fn timing_report_round_trips() {
+    let sys = compile_system(
+        &pickup_head_chart(),
+        &pickup_head_actions(),
+        &PscpArch::md16_unoptimized(),
+        &CodegenOptions::default(),
+    )
+    .unwrap();
+    let report = validate_timing(&sys, &TimingOptions::default());
+    let cloned: TimingReport = round_trip(&report);
+    assert_eq!(cloned, report);
+}
+
+#[test]
+fn deserialized_system_still_executes() {
+    use pscp::core::machine::{PscpMachine, ScriptedEnvironment};
+    let sys = compile_system(
+        &pickup_head_chart(),
+        &pickup_head_actions(),
+        &PscpArch::md16_optimized(),
+        &CodegenOptions::default(),
+    )
+    .unwrap();
+    let revived: CompiledSystem = round_trip(&sys);
+    let mut m = PscpMachine::new(&revived);
+    let mut env = ScriptedEnvironment::new(vec![vec!["POWER"], vec!["DATA_VALID"]]);
+    m.step(&mut env).unwrap();
+    m.step(&mut env).unwrap();
+    assert!(m.stats().transitions >= 2, "POWER + DATA_VALID transitions ran");
+}
