@@ -45,7 +45,7 @@ fn bench_synthesis(c: &mut Criterion) {
     let env = chart_env(&chart);
     let ir = pscp_action_lang::compile_with_env(&pickup_head_actions(), &env).unwrap();
     for arch in [PscpArch::minimal(), PscpArch::md16_optimized()] {
-        c.bench_function(&format!("tep_codegen/{}", arch.tep.calc.width), |b| {
+        c.bench_function(format!("tep_codegen/{}", arch.tep.calc.width), |b| {
             b.iter(|| compile_program(black_box(&ir), &arch.tep, &CodegenOptions::default()))
         });
     }

@@ -37,7 +37,7 @@ fn synthetic(regions: usize, chain: usize) -> Chart {
 fn bench_validation_example(c: &mut Criterion) {
     for arch in [PscpArch::md16_unoptimized(), PscpArch::dual_md16(true)] {
         let sys = example_system(&arch);
-        c.bench_function(&format!("validate_timing/{}", arch.label), |b| {
+        c.bench_function(format!("validate_timing/{}", arch.label), |b| {
             b.iter(|| example_timing(black_box(&sys)))
         });
     }

@@ -1,0 +1,112 @@
+//! Golden regression test for the configuration-cycle scheduler.
+//!
+//! Runs the pickup-head example on every Table 4 architecture with a
+//! fixed event script and compares the full `CycleReport` stream —
+//! fired transitions, per-transition cycles, TEP assignment, cycle
+//! length, raised events, interrupt latency — byte-for-byte against
+//! checked-in golden files captured before the compiled-evaluator /
+//! scratch-state refactor. Any observable behaviour change in
+//! `PscpMachine::step` shows up as a diff here.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test -p pscp-bench --test
+//! golden_cycle_reports` (only when a behaviour change is intended).
+
+use pscp_bench::{example_system, table4_architectures};
+use pscp_core::machine::{PscpMachine, ScriptedEnvironment};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The Table 3 stimulus mix: power-up, data telegrams, servo pulses,
+/// and idle cycles, repeated so raised events and timers interleave
+/// with fresh external events.
+fn script() -> Vec<Vec<&'static str>> {
+    let period: Vec<Vec<&'static str>> = vec![
+        vec!["POWER"],
+        vec!["DATA_VALID"],
+        vec!["DATA_VALID"],
+        vec!["X_PULSE", "Y_PULSE"],
+        vec![],
+        vec!["X_PULSE"],
+        vec!["DATA_VALID", "Y_PULSE"],
+        vec![],
+        vec![],
+        vec!["PHI_PULSE"],
+    ];
+    let mut out = Vec::new();
+    for _ in 0..3 {
+        out.extend(period.iter().cloned());
+    }
+    out
+}
+
+fn render(label: &str) -> String {
+    let arch = table4_architectures()
+        .into_iter()
+        .find(|a| a.label == label)
+        .expect("known architecture label");
+    let sys = example_system(&arch);
+    let mut m = PscpMachine::new(&sys);
+    let script = script();
+    let steps = script.len();
+    let mut env = ScriptedEnvironment::new(script);
+    let mut out = String::new();
+    let _ = writeln!(out, "# {label}");
+    for i in 0..steps {
+        let r = m.step(&mut env).expect("cycle executes");
+        let _ = writeln!(out, "{i:02} {r:?}");
+    }
+    let _ = writeln!(out, "now={} stats={:?}", m.now(), m.stats());
+    out
+}
+
+fn golden_path(label: &str) -> PathBuf {
+    let file: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect();
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{file}.txt"))
+}
+
+fn check(label: &str) {
+    let got = render(label);
+    let path = golden_path(label);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1", path.display()));
+    assert!(
+        got == want,
+        "cycle reports for `{label}` diverged from {}.\n--- golden ---\n{want}\n--- current ---\n{got}",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_minimal_tep() {
+    check("1 minimal TEP");
+}
+
+#[test]
+fn golden_md16_unoptimized() {
+    check("16bit M/D TEP, unoptimized code");
+}
+
+#[test]
+fn golden_md16_optimized() {
+    check("16bit M/D TEP, optimized code");
+}
+
+#[test]
+fn golden_dual_md16_unoptimized() {
+    check("2 16bit M/D TEP, unoptimized code");
+}
+
+#[test]
+fn golden_dual_md16_optimized() {
+    check("2 16bit M/D TEP, optimized code");
+}

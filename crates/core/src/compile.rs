@@ -13,7 +13,7 @@ use pscp_sla::synth::{synthesize, SlaSynthesis};
 use pscp_sla::TransitionAddressTable;
 use pscp_statechart::encoding::CrLayout;
 use pscp_statechart::model::PortDirection;
-use pscp_statechart::{Chart, TransitionId};
+use pscp_statechart::{Chart, ConditionId, EventId, TransitionId};
 use pscp_tep::codegen::{compile_program, CodegenOptions, TepProgram};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -98,6 +98,82 @@ impl From<pscp_action_lang::CompileError> for SystemError {
     }
 }
 
+/// Precomputed scheduler tables.
+///
+/// Everything the per-cycle scheduler loop would otherwise derive from
+/// strings — interrupt priority of a transition, mutual-exclusion
+/// partners, the chart ids behind the TEP program's event / condition /
+/// port indices — is resolved once here at compile time, so
+/// [`PscpMachine::step`](crate::machine::PscpMachine::step) runs without
+/// name lookups or expression scans.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerTables {
+    /// Per transition: does an interrupt-priority event (§6) appear
+    /// positively in its trigger or guard?
+    pub interrupt: Vec<bool>,
+    /// Per transition: sorted indices of the transitions it shares a
+    /// mutual-exclusion class with (self excluded).
+    pub exclusion: Vec<Vec<u32>>,
+    /// TEP-program event index → chart event id.
+    pub program_event: Vec<Option<EventId>>,
+    /// TEP-program condition index → chart condition id.
+    pub program_condition: Vec<Option<ConditionId>>,
+    /// TEP-program port index → hardware-timer index, for ports whose
+    /// address belongs to a timer.
+    pub port_timer: Vec<Option<u32>>,
+    /// Hardware-timer index → chart id of its expiry event.
+    pub timer_event: Vec<Option<EventId>>,
+}
+
+impl SchedulerTables {
+    /// Builds the tables for a chart / architecture / program triple.
+    pub fn build(chart: &Chart, arch: &PscpArch, program: &TepProgram) -> Self {
+        let interrupt = chart
+            .transitions()
+            .map(|t| {
+                arch.interrupt_events.iter().any(|ev| {
+                    t.trigger.as_ref().is_some_and(|e| e.mentions_positively(ev))
+                        || t.guard.as_ref().is_some_and(|e| e.mentions_positively(ev))
+                })
+            })
+            .collect();
+
+        let mut exclusion: Vec<Vec<u32>> = vec![Vec::new(); chart.transition_count()];
+        for class in &arch.mutual_exclusion {
+            for &a in class {
+                let Some(row) = exclusion.get_mut(a as usize) else { continue };
+                row.extend(class.iter().copied().filter(|&b| b != a));
+            }
+        }
+        for row in &mut exclusion {
+            row.sort_unstable();
+            row.dedup();
+        }
+
+        SchedulerTables {
+            interrupt,
+            exclusion,
+            program_event: program.events.iter().map(|n| chart.event_by_name(n)).collect(),
+            program_condition: program
+                .conditions
+                .iter()
+                .map(|n| chart.condition_by_name(n))
+                .collect(),
+            port_timer: program
+                .ports
+                .iter()
+                .map(|p| {
+                    arch.timers
+                        .iter()
+                        .position(|t| t.port_address == p.address)
+                        .map(|i| i as u32)
+                })
+                .collect(),
+            timer_event: arch.timers.iter().map(|t| chart.event_by_name(&t.event)).collect(),
+        }
+    }
+}
+
 /// The complete compiled system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CompiledSystem {
@@ -118,6 +194,8 @@ pub struct CompiledSystem {
     pub exit_bindings: Vec<TransitionBinding>,
     /// The PSCP architecture this system was compiled for.
     pub arch: PscpArch,
+    /// Precomputed scheduler tables (see [`SchedulerTables`]).
+    pub tables: SchedulerTables,
 }
 
 impl CompiledSystem {
@@ -199,6 +277,7 @@ pub fn compile_system_from_ir(
             entry_bindings: Vec::new(),
             exit_bindings: Vec::new(),
             arch: arch.clone(),
+            tables: SchedulerTables::default(),
         };
         crate::optimize::custom::extract_custom_ops(&mut tmp);
         program = tmp.program;
@@ -245,6 +324,9 @@ pub fn compile_system_from_ir(
         exit_bindings.push(bind(&s.exit_actions, si)?);
     }
 
+    // Built last, against the post-custom-op program and architecture.
+    let tables = SchedulerTables::build(chart, arch, &program);
+
     Ok(CompiledSystem {
         chart: chart.clone(),
         layout,
@@ -254,6 +336,7 @@ pub fn compile_system_from_ir(
         entry_bindings,
         exit_bindings,
         arch: arch.clone(),
+        tables,
     })
 }
 

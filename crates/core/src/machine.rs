@@ -22,10 +22,11 @@
 
 use crate::compile::{ArgSpec, CompiledSystem};
 use pscp_action_lang::interp::Host;
+use pscp_statechart::intern::{ConditionNamesRef, EventNamesRef};
 use pscp_statechart::semantics::{ActionEffects, ActionSite, Executor};
-use pscp_statechart::{EventId, TransitionId};
+use pscp_statechart::{ConditionId, EventId, TransitionId};
 use pscp_tep::machine::{TepError, TepMachine};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Scheduler overhead constants, in clock cycles.
@@ -73,6 +74,10 @@ impl Environment for NullEnvironment {
 }
 
 /// An environment replaying a fixed per-cycle event script.
+///
+/// The script is consumed as it is replayed: each cycle's entry is
+/// handed to the machine by move, leaving an empty `Vec` behind.
+/// Re-running a script requires a fresh environment.
 #[derive(Debug, Clone, Default)]
 pub struct ScriptedEnvironment {
     /// `script[i]` = events for the i-th configuration cycle.
@@ -103,7 +108,7 @@ impl ScriptedEnvironment {
 
 impl Environment for ScriptedEnvironment {
     fn sample_events(&mut self, _now: u64) -> Vec<String> {
-        let out = self.script.get(self.cursor).cloned().unwrap_or_default();
+        let out = self.script.get_mut(self.cursor).map(std::mem::take).unwrap_or_default();
         self.cursor += 1;
         out
     }
@@ -169,6 +174,27 @@ impl From<TepError> for MachineError {
     }
 }
 
+/// Reusable per-cycle working state. Every buffer the configuration
+/// cycle needs lives here and is cleared — not reallocated — each
+/// [`PscpMachine::step`].
+#[derive(Debug, Default)]
+struct StepScratch {
+    /// Events sampled into the CR for this cycle.
+    events: BTreeSet<EventId>,
+    /// Condition part of the CR at cycle start (the local caches).
+    cond_snapshot: Vec<bool>,
+    /// Measured execution cycles per chart transition.
+    per_transition: Vec<u64>,
+    /// Resolved arguments of the routine call being dispatched.
+    args: Vec<i64>,
+    /// Hardware-timer arms recorded during the cycle.
+    timer_writes: Vec<(usize, u64)>,
+    /// Dispatch order of the fired transitions.
+    order: Vec<usize>,
+    /// Accumulated load per TEP.
+    tep_load: Vec<u64>,
+}
+
 /// The PSCP machine.
 pub struct PscpMachine<'s> {
     system: &'s CompiledSystem,
@@ -179,7 +205,12 @@ pub struct PscpMachine<'s> {
     /// Remaining cycles of each armed hardware timer.
     timers: Vec<Option<u64>>,
     /// Timer events that expired during the previous cycle.
-    pending_timer_events: Vec<String>,
+    pending_timer_events: Vec<EventId>,
+    /// Interned name → id tables for environment-supplied names,
+    /// borrowing the chart's own strings.
+    event_names: EventNamesRef<'s>,
+    condition_names: ConditionNamesRef<'s>,
+    scratch: StepScratch,
 }
 
 impl fmt::Debug for PscpMachine<'_> {
@@ -206,6 +237,9 @@ impl<'s> PscpMachine<'s> {
             },
             timers: vec![None; system.arch.timers.len()],
             pending_timer_events: Vec::new(),
+            event_names: EventNamesRef::new(&system.chart),
+            condition_names: ConditionNamesRef::new(&system.chart),
+            scratch: StepScratch::default(),
         }
     }
 
@@ -241,23 +275,23 @@ impl<'s> PscpMachine<'s> {
     /// Returns [`MachineError`] when a routine faults (divide by zero,
     /// memory fault, cycle-limit).
     pub fn step<E: Environment>(&mut self, env: &mut E) -> Result<CycleReport, MachineError> {
-        let chart = &self.system.chart;
+        let system = self.system;
+        let chart = &system.chart;
+        let tables = &system.tables;
+        let StepScratch { events, cond_snapshot, per_transition, args, timer_writes, order, tep_load } =
+            &mut self.scratch;
 
         // 1. Sample external events, expired hardware timers and
         //    condition ports into the CR.
-        let mut events: BTreeSet<EventId> = BTreeSet::new();
+        events.clear();
         for name in env.sample_events(self.now) {
-            if let Some(e) = chart.event_by_name(&name) {
+            if let Some(e) = self.event_names.get(&name) {
                 events.insert(e);
             }
         }
-        for name in self.pending_timer_events.drain(..) {
-            if let Some(e) = chart.event_by_name(&name) {
-                events.insert(e);
-            }
-        }
+        events.extend(self.pending_timer_events.drain(..));
         for (name, v) in env.sample_conditions(self.now) {
-            if let Some(c) = chart.condition_by_name(&name) {
+            if let Some(c) = self.condition_names.get(&name) {
                 self.exec.set_condition(c, v);
             }
         }
@@ -269,18 +303,19 @@ impl<'s> PscpMachine<'s> {
         //      executes the compiled routine on the TEP image, measuring
         //      its cycles; conditions read from the cycle-start snapshot
         //      (the local condition caches).
-        let cond_snapshot: Vec<bool> =
-            chart.condition_ids().map(|c| self.exec.condition(c)).collect();
-        let system = self.system;
+        cond_snapshot.clear();
+        cond_snapshot.extend(chart.condition_ids().map(|c| self.exec.condition(c)));
+        let cond_snapshot: &[bool] = cond_snapshot;
+        per_transition.clear();
+        per_transition.resize(chart.transition_count(), 0);
+        timer_writes.clear();
         let tep = &mut self.tep;
         let now = self.now;
-        let mut per_transition: BTreeMap<usize, u64> = BTreeMap::new();
         let mut fault: Option<MachineError> = None;
         let mut last_site: Option<ActionSite> = None;
         let mut cursor = 0usize;
-        let mut timer_writes: Vec<(usize, u64)> = Vec::new();
 
-        let step = self.exec.step_with(&events, |site, _call| {
+        let step = self.exec.step_with(&*events, |site, _call| {
             if fault.is_some() {
                 return ActionEffects::default();
             }
@@ -295,32 +330,31 @@ impl<'s> PscpMachine<'s> {
             };
             let bound = &binding.calls[cursor];
             cursor += 1;
-            let args: Vec<i64> = bound
-                .args
-                .iter()
-                .map(|a| match a {
-                    ArgSpec::Const(v) => *v,
-                    ArgSpec::Global(slot) => tep.global(*slot as usize),
-                })
-                .collect();
+            args.clear();
+            args.extend(bound.args.iter().map(|a| match a {
+                ArgSpec::Const(v) => *v,
+                ArgSpec::Global(slot) => tep.global(*slot as usize),
+            }));
             let mut host = PscpHost {
                 system,
-                env,
-                cond_snapshot: &cond_snapshot,
+                env: &mut *env,
+                cond_snapshot,
                 raised: Vec::new(),
                 cond_writes: Vec::new(),
-                timer_writes: Vec::new(),
+                timer_writes: &mut *timer_writes,
                 now,
             };
             let start = tep.cycles();
-            if let Err(e) = tep.call_indexed(bound.func, &args, &mut host) {
+            if let Err(e) = tep.call_indexed(bound.func, args, &mut host) {
                 fault = Some(MachineError::Tep(e));
                 return ActionEffects::default();
             }
-            *per_transition.entry(site.transition().index()).or_default() +=
-                tep.cycles() - start;
-            timer_writes.extend(host.timer_writes);
-            ActionEffects { raise: host.raised, set_conditions: host.cond_writes }
+            per_transition[site.transition().index()] += tep.cycles() - start;
+            ActionEffects {
+                raise_ids: host.raised,
+                set_condition_ids: host.cond_writes,
+                ..Default::default()
+            }
         });
         if let Some(e) = fault {
             return Err(e);
@@ -328,7 +362,7 @@ impl<'s> PscpMachine<'s> {
 
         let mut report = CycleReport::default();
         for &tid in &step.fired {
-            let cost = per_transition.get(&tid.index()).copied().unwrap_or(0);
+            let cost = per_transition[tid.index()];
             report.transition_cycles.push(cost + overhead::DISPATCH + overhead::WRITEBACK);
             report.fired.push(tid);
         }
@@ -337,18 +371,13 @@ impl<'s> PscpMachine<'s> {
         //    exclusion forcing conflicting transitions onto one TEP and
         //    interrupt-priority transitions dispatched first (§6
         //    extension; no-op when no events are marked as interrupts).
-        let n = self.system.arch.n_teps.max(1) as usize;
-        let is_interrupt = |tid: TransitionId| -> bool {
-            let t = chart.transition(tid);
-            self.system.arch.interrupt_events.iter().any(|ev| {
-                t.trigger.as_ref().is_some_and(|e| e.mentions_positively(ev))
-                    || t.guard.as_ref().is_some_and(|e| e.mentions_positively(ev))
-            })
-        };
-        let mut order: Vec<usize> = (0..report.fired.len()).collect();
-        order.sort_by_key(|&i| (!is_interrupt(report.fired[i]), i));
+        let n = system.arch.n_teps.max(1) as usize;
+        order.clear();
+        order.extend(0..report.fired.len());
+        order.sort_by_key(|&i| (!tables.interrupt[report.fired[i].index()], i));
 
-        let mut tep_load = vec![0u64; n];
+        tep_load.clear();
+        tep_load.resize(n, 0);
         let mut assigned = vec![0u8; report.fired.len()];
         let mut interrupt_latency: Option<u64> = None;
         for (k, &i) in order.iter().enumerate() {
@@ -357,20 +386,19 @@ impl<'s> PscpMachine<'s> {
             // Mutual exclusion: co-locate with the first earlier
             // conflicting transition.
             if n > 1 {
-                for &j in &order[..k] {
-                    if !self
-                        .system
-                        .arch
-                        .may_run_parallel(report.fired[j].index() as u32, tid.index() as u32)
-                    {
-                        tep = assigned[j] as usize;
-                        break;
+                let partners = &tables.exclusion[tid.index()];
+                if !partners.is_empty() {
+                    for &j in &order[..k] {
+                        if partners.binary_search(&(report.fired[j].index() as u32)).is_ok() {
+                            tep = assigned[j] as usize;
+                            break;
+                        }
                     }
                 }
             }
             tep_load[tep] += report.transition_cycles[i];
             assigned[i] = tep as u8;
-            if is_interrupt(tid) {
+            if tables.interrupt[tid.index()] {
                 let done = overhead::SLA + tep_load[tep];
                 interrupt_latency =
                     Some(interrupt_latency.map_or(done, |cur| cur.max(done)));
@@ -391,14 +419,15 @@ impl<'s> PscpMachine<'s> {
 
         // 6b. Hardware timers: apply arm/disarm writes, then advance by
         //     the cycle just spent; expiries fire next cycle.
-        for (i, v) in timer_writes {
+        for &(i, v) in timer_writes.iter() {
             self.timers[i] = if v == 0 { None } else { Some(v) };
         }
         for (i, t) in self.timers.iter_mut().enumerate() {
             if let Some(rem) = t {
                 if *rem <= report.cycle_length {
-                    self.pending_timer_events
-                        .push(self.system.arch.timers[i].event.clone());
+                    if let Some(e) = tables.timer_event[i] {
+                        self.pending_timer_events.push(e);
+                    }
                     *t = None;
                 } else {
                     *rem -= report.cycle_length;
@@ -450,11 +479,11 @@ struct PscpHost<'a, 's, E: Environment> {
     /// The condition part of the CR at cycle start, copied into the
     /// local caches by the scheduler (§3.1).
     cond_snapshot: &'a [bool],
-    raised: Vec<String>,
-    cond_writes: Vec<(String, bool)>,
+    raised: Vec<EventId>,
+    cond_writes: Vec<(ConditionId, bool)>,
     /// Hardware-timer arms `(timer index, reload value)` recorded for
     /// end-of-cycle application.
-    timer_writes: Vec<(usize, u64)>,
+    timer_writes: &'a mut Vec<(usize, u64)>,
     now: u64,
 }
 
@@ -465,33 +494,32 @@ impl<E: Environment> Host for PscpHost<'_, '_, E> {
     }
 
     fn port_write(&mut self, port: u32, value: i64) {
-        let address = self.system.program.ports[port as usize].address;
         // Hardware-timer ports are internal to the PSCP; everything else
         // goes to the plant.
-        if let Some(i) =
-            self.system.arch.timers.iter().position(|t| t.port_address == address)
-        {
-            self.timer_writes.push((i, value.max(0) as u64));
+        if let Some(i) = self.system.tables.port_timer[port as usize] {
+            self.timer_writes.push((i as usize, value.max(0) as u64));
             return;
         }
+        let address = self.system.program.ports[port as usize].address;
         self.env.port_write(address, value, self.now);
     }
 
     fn raise_event(&mut self, event: u32) {
-        self.raised.push(self.system.program.events[event as usize].clone());
+        if let Some(e) = self.system.tables.program_event[event as usize] {
+            self.raised.push(e);
+        }
     }
 
     fn set_condition(&mut self, cond: u32, value: bool) {
-        self.cond_writes.push((self.system.program.conditions[cond as usize].clone(), value));
+        if let Some(c) = self.system.tables.program_condition[cond as usize] {
+            self.cond_writes.push((c, value));
+        }
     }
 
     fn read_condition(&mut self, cond: u32) -> bool {
         // Condition cache: snapshot of the CR at cycle start. Writes in
         // this cycle are not yet visible (write-back at cycle end).
-        let name = &self.system.program.conditions[cond as usize];
-        self.system
-            .chart
-            .condition_by_name(name)
+        self.system.tables.program_condition[cond as usize]
             .map(|c| self.cond_snapshot[c.index()])
             .unwrap_or(false)
     }

@@ -1,0 +1,204 @@
+//! Compiled evaluator for synthesised [`LogicNet`]s.
+//!
+//! [`LogicNet::eval`] takes its inputs as a `BTreeMap<String, bool>`,
+//! which forces every caller on the configuration-cycle hot path to
+//! rebuild a string-keyed map (via [`cr_input_name`] formatting) per
+//! evaluation. [`CompiledNet`] does the name resolution once: each
+//! `Input("cr{N}")` node is parsed to its CR bit index at build time
+//! and the network is flattened into an instruction list in node-id
+//! order — ids are already topological because [`LogicNet`] is
+//! append-only — so a full evaluation is a single pass over a reusable
+//! `Vec<bool>` scratch with no hashing, string formatting, or
+//! per-eval allocation.
+//!
+//! [`LogicNet::eval`] remains the reference implementation; the
+//! differential property tests in `tests/proptest_differential.rs`
+//! cross-check the two on every reachable configuration.
+//!
+//! [`cr_input_name`]: crate::synth::cr_input_name
+
+use crate::net::{LogicNet, Node, NodeId};
+
+/// One node of the flattened network. Operand lists of `And`/`Or`
+/// nodes live in a shared arena ([`CompiledNet::args`]) so the op
+/// itself stays `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// Read CR bit `n` from the input slice (out of range → false).
+    Input(u32),
+    /// An input whose name is not of the `cr{N}` form. Evaluates to
+    /// false, matching [`LogicNet::eval`] given a CR-bits-only map.
+    Missing,
+    /// Constant value.
+    Const(bool),
+    /// Conjunction over `args[start..start + len]` (empty → true).
+    And { start: u32, len: u32 },
+    /// Disjunction over `args[start..start + len]` (empty → false).
+    Or { start: u32, len: u32 },
+    /// Negation of an earlier node.
+    Not(u32),
+}
+
+/// A [`LogicNet`] compiled for repeated evaluation over CR bit slices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledNet {
+    ops: Vec<Op>,
+    args: Vec<u32>,
+}
+
+impl CompiledNet {
+    /// Compiles a network. Input nodes named `cr{N}` (the convention
+    /// used by [`crate::synth::synthesize`]) resolve to CR bit `N`;
+    /// any other input name evaluates to false.
+    pub fn compile(net: &LogicNet) -> Self {
+        let mut ops = Vec::with_capacity(net.len());
+        let mut args: Vec<u32> = Vec::new();
+        for (_, node) in net.nodes() {
+            let op = match node {
+                Node::Input(name) => match parse_cr_bit(name) {
+                    Some(bit) => Op::Input(bit),
+                    None => Op::Missing,
+                },
+                Node::Const(b) => Op::Const(*b),
+                Node::And(ids) => {
+                    let start = args.len() as u32;
+                    args.extend(ids.iter().map(|id| id.0));
+                    Op::And { start, len: ids.len() as u32 }
+                }
+                Node::Or(ids) => {
+                    let start = args.len() as u32;
+                    args.extend(ids.iter().map(|id| id.0));
+                    Op::Or { start, len: ids.len() as u32 }
+                }
+                Node::Not(id) => Op::Not(id.0),
+            };
+            ops.push(op);
+        }
+        CompiledNet { ops, args }
+    }
+
+    /// Number of compiled nodes (equals the source network's length).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the source network had no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Evaluates every node against a CR bit slice, writing node
+    /// values into `scratch` (resized to [`len`](Self::len); index by
+    /// `NodeId.0`). The scratch retains its capacity across calls, so
+    /// steady-state evaluation allocates nothing.
+    pub fn eval_into(&self, bits: &[bool], scratch: &mut Vec<bool>) {
+        scratch.clear();
+        scratch.resize(self.ops.len(), false);
+        for (i, op) in self.ops.iter().enumerate() {
+            let v = match *op {
+                Op::Input(bit) => bits.get(bit as usize).copied().unwrap_or(false),
+                Op::Missing => false,
+                Op::Const(b) => b,
+                Op::And { start, len } => self.args
+                    [start as usize..(start + len) as usize]
+                    .iter()
+                    .all(|&a| scratch[a as usize]),
+                Op::Or { start, len } => self.args
+                    [start as usize..(start + len) as usize]
+                    .iter()
+                    .any(|&a| scratch[a as usize]),
+                Op::Not(a) => !scratch[a as usize],
+            };
+            scratch[i] = v;
+        }
+    }
+
+    /// Convenience: evaluates into a fresh buffer. Equivalent to the
+    /// reference [`LogicNet::eval`] with a `cr{N}`-keyed input map.
+    pub fn eval(&self, bits: &[bool]) -> Vec<bool> {
+        let mut scratch = Vec::new();
+        self.eval_into(bits, &mut scratch);
+        scratch
+    }
+
+    /// Value of one node in a scratch filled by
+    /// [`eval_into`](Self::eval_into).
+    pub fn value(scratch: &[bool], id: NodeId) -> bool {
+        scratch[id.0 as usize]
+    }
+}
+
+/// Parses the `cr{N}` input-name convention of
+/// [`crate::synth::cr_input_name`].
+fn parse_cr_bit(name: &str) -> Option<u32> {
+    name.strip_prefix("cr").and_then(|n| n.parse::<u32>().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::cr_input_name;
+    use std::collections::BTreeMap;
+
+    fn reference_eval(net: &LogicNet, bits: &[bool]) -> Vec<bool> {
+        let inputs: BTreeMap<String, bool> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (cr_input_name(i as u32), v))
+            .collect();
+        net.eval(&inputs)
+    }
+
+    #[test]
+    fn matches_reference_on_small_net() {
+        let mut net = LogicNet::new();
+        let a = net.input(cr_input_name(0));
+        let b = net.input(cr_input_name(1));
+        let c = net.input(cr_input_name(2));
+        let nb = net.not(b);
+        let and = net.and(vec![a, nb]);
+        let or = net.or(vec![and, c]);
+        net.set_output("f", or);
+        let compiled = CompiledNet::compile(&net);
+        assert_eq!(compiled.len(), net.len());
+        let mut scratch = Vec::new();
+        for m in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|i| m & (1 << i) != 0).collect();
+            compiled.eval_into(&bits, &mut scratch);
+            assert_eq!(scratch, reference_eval(&net, &bits), "mask {m:#b}");
+        }
+    }
+
+    #[test]
+    fn foreign_inputs_read_false() {
+        let mut net = LogicNet::new();
+        let x = net.input("not_a_cr_bit");
+        let nx = net.not(x);
+        net.set_output("f", nx);
+        let compiled = CompiledNet::compile(&net);
+        let vals = compiled.eval(&[true, true]);
+        assert!(!CompiledNet::value(&vals, x));
+        assert!(CompiledNet::value(&vals, nx));
+    }
+
+    #[test]
+    fn constants_and_empty_gates() {
+        let mut net = LogicNet::new();
+        let t = net.and(vec![]); // empty AND → const true
+        let f = net.or(vec![]); // empty OR → const false
+        let compiled = CompiledNet::compile(&net);
+        let vals = compiled.eval(&[]);
+        assert!(CompiledNet::value(&vals, t));
+        assert!(!CompiledNet::value(&vals, f));
+    }
+
+    #[test]
+    fn out_of_range_bits_read_false() {
+        let mut net = LogicNet::new();
+        let hi = net.input(cr_input_name(63));
+        net.set_output("f", hi);
+        let compiled = CompiledNet::compile(&net);
+        let vals = compiled.eval(&[true]); // only bit 0 provided
+        assert!(!CompiledNet::value(&vals, hi));
+    }
+}

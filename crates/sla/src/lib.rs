@@ -21,6 +21,10 @@
 //! * [`synth`] — chart + CR layout → SLA logic (fire network with
 //!   outer-first priority inhibition, next-state field equations,
 //!   transition address table).
+//! * [`compiled`] — flattens a synthesised network into an
+//!   instruction list evaluated over a reusable scratch buffer (the
+//!   hot-path evaluator; `net::LogicNet::eval` stays as the
+//!   reference).
 //! * [`sim`] — evaluates the synthesised SLA against a CR snapshot;
 //!   cross-checked against the reference executor.
 //! * [`blif`] — Berkeley Logic Interchange Format export ("generates a
@@ -29,11 +33,13 @@
 //!   immediately synthesized").
 
 pub mod blif;
+pub mod compiled;
 pub mod net;
 pub mod sim;
 pub mod synth;
 pub mod vhdl;
 
+pub use compiled::CompiledNet;
 pub use net::{LogicNet, NodeId};
-pub use sim::SlaSim;
+pub use sim::{SlaScratch, SlaSim};
 pub use synth::{SlaSynthesis, TransitionAddressTable};

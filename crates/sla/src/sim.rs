@@ -4,12 +4,27 @@
 //! hardware path: for every reachable configuration and event subset,
 //! the SLA's fire set and next-state bits must agree with the reference
 //! executor from `pscp-statechart`.
+//!
+//! Evaluation goes through [`CompiledNet`]: the netlist is flattened
+//! once in [`SlaSim::new`] and every cycle is a single pass over a
+//! `Vec<bool>` scratch — no per-eval string formatting or map builds.
+//! The `_into` variants reuse caller-owned buffers so steady-state
+//! simulation allocates nothing.
 
-use crate::synth::{cr_input_name, SlaSynthesis};
+use crate::compiled::CompiledNet;
+use crate::net::NodeId;
+use crate::synth::SlaSynthesis;
 use pscp_statechart::encoding::CrLayout;
 use pscp_statechart::semantics::Configuration;
 use pscp_statechart::{Chart, ConditionId, EventId, TransitionId};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
+
+/// Reusable buffers for [`SlaSim`] evaluation. Construct once, pass to
+/// the `_into` methods every cycle; capacity is retained across calls.
+#[derive(Debug, Clone, Default)]
+pub struct SlaScratch {
+    vals: Vec<bool>,
+}
 
 /// Evaluator for a synthesised SLA.
 #[derive(Debug, Clone)]
@@ -17,12 +32,27 @@ pub struct SlaSim<'a> {
     chart: &'a Chart,
     layout: &'a CrLayout,
     sla: &'a SlaSynthesis,
+    compiled: CompiledNet,
+    /// CR bit index of every event, resolved once (events reset each
+    /// cycle).
+    event_bits: Vec<u32>,
+    /// `(bit, node)` pairs of the next-state functions in bit order.
+    next_state: Vec<(u32, NodeId)>,
 }
 
 impl<'a> SlaSim<'a> {
-    /// Creates a simulator.
+    /// Creates a simulator, compiling the netlist for repeated
+    /// evaluation.
     pub fn new(chart: &'a Chart, layout: &'a CrLayout, sla: &'a SlaSynthesis) -> Self {
-        SlaSim { chart, layout, sla }
+        let compiled = CompiledNet::compile(&sla.net);
+        let event_bits = chart.event_ids().map(|e| layout.event_bit(e)).collect();
+        let next_state = sla.next_state_bits.iter().map(|(&b, &n)| (b, n)).collect();
+        SlaSim { chart, layout, sla, compiled, event_bits, next_state }
+    }
+
+    /// The compiled form of the synthesised netlist.
+    pub fn compiled(&self) -> &CompiledNet {
+        &self.compiled
     }
 
     /// Builds the CR bit vector for a configuration + events + condition
@@ -43,37 +73,83 @@ impl<'a> SlaSim<'a> {
         bits
     }
 
-    /// Evaluates the network on raw CR bits; returns all node values.
-    fn eval(&self, bits: &[bool]) -> Vec<bool> {
-        let inputs: BTreeMap<String, bool> =
-            bits.iter().enumerate().map(|(i, &v)| (cr_input_name(i as u32), v)).collect();
-        self.sla.net.eval(&inputs)
-    }
-
     /// The transitions whose fire signals are asserted, in chart order.
     pub fn fired(&self, bits: &[bool]) -> Vec<TransitionId> {
-        let vals = self.eval(bits);
-        self.sla
-            .fire
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| vals[f.0 as usize])
-            .map(|(i, _)| TransitionId::from_index(i))
-            .collect()
+        let mut scratch = SlaScratch::default();
+        let mut out = Vec::new();
+        self.fired_into(bits, &mut scratch, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`fired`](Self::fired): clears and
+    /// fills `out` with the asserted transitions in chart order.
+    pub fn fired_into(
+        &self,
+        bits: &[bool],
+        scratch: &mut SlaScratch,
+        out: &mut Vec<TransitionId>,
+    ) {
+        self.compiled.eval_into(bits, &mut scratch.vals);
+        out.clear();
+        for (i, f) in self.sla.fire.iter().enumerate() {
+            if scratch.vals[f.0 as usize] {
+                out.push(TransitionId::from_index(i));
+            }
+        }
     }
 
     /// Computes the next CR state bits (events cleared, conditions held).
     pub fn next_cr(&self, bits: &[bool]) -> Vec<bool> {
-        let vals = self.eval(bits);
-        let mut next = bits.to_vec();
-        // Event part resets every cycle.
-        for e in self.chart.event_ids() {
-            next[self.layout.event_bit(e) as usize] = false;
-        }
-        for (&bit, node) in &self.sla.next_state_bits {
-            next[bit as usize] = vals[node.0 as usize];
-        }
+        let mut scratch = SlaScratch::default();
+        let mut next = Vec::new();
+        self.next_cr_into(bits, &mut scratch, &mut next);
         next
+    }
+
+    /// Buffer-reusing variant of [`next_cr`](Self::next_cr): clears and
+    /// fills `next` with the successor CR bits.
+    pub fn next_cr_into(
+        &self,
+        bits: &[bool],
+        scratch: &mut SlaScratch,
+        next: &mut Vec<bool>,
+    ) {
+        self.compiled.eval_into(bits, &mut scratch.vals);
+        next.clear();
+        next.extend_from_slice(bits);
+        // Event part resets every cycle.
+        for &bit in &self.event_bits {
+            next[bit as usize] = false;
+        }
+        for &(bit, node) in &self.next_state {
+            next[bit as usize] = scratch.vals[node.0 as usize];
+        }
+    }
+
+    /// One full SLA cycle — fire set and successor CR — reusing every
+    /// buffer. Evaluates the network once for both results.
+    pub fn step_into(
+        &self,
+        bits: &[bool],
+        scratch: &mut SlaScratch,
+        fired: &mut Vec<TransitionId>,
+        next: &mut Vec<bool>,
+    ) {
+        self.compiled.eval_into(bits, &mut scratch.vals);
+        fired.clear();
+        for (i, f) in self.sla.fire.iter().enumerate() {
+            if scratch.vals[f.0 as usize] {
+                fired.push(TransitionId::from_index(i));
+            }
+        }
+        next.clear();
+        next.extend_from_slice(bits);
+        for &bit in &self.event_bits {
+            next[bit as usize] = false;
+        }
+        for &(bit, node) in &self.next_state {
+            next[bit as usize] = scratch.vals[node.0 as usize];
+        }
     }
 }
 
@@ -90,12 +166,17 @@ mod tests {
     }
 
     /// Drives executor and SLA side by side through an event script and
-    /// checks fire sets and live state bits each cycle.
+    /// checks fire sets and live state bits each cycle. Exercises the
+    /// buffer-reusing path (`step_into`) and cross-checks it against
+    /// the allocating wrappers.
     fn differential(chart: &Chart, style: EncodingStyle, script: &[Vec<&str>]) {
         let layout = CrLayout::new(chart, style);
         let sla = synthesize(chart, &layout);
         let sim = SlaSim::new(chart, &layout, &sla);
         let mut exec = Executor::new(chart);
+        let mut scratch = SlaScratch::default();
+        let mut fired_buf = Vec::new();
+        let mut next_buf = Vec::new();
 
         for (cycle, evs) in script.iter().enumerate() {
             let events: BTreeSet<EventId> =
@@ -104,10 +185,13 @@ mod tests {
                 exec.select_transitions(&events).into_iter().collect();
 
             let bits = sim.cr_bits(exec.configuration(), &events, &|_| false);
-            let fired: BTreeSet<TransitionId> = sim.fired(&bits).into_iter().collect();
+            sim.step_into(&bits, &mut scratch, &mut fired_buf, &mut next_buf);
+            let fired: BTreeSet<TransitionId> = fired_buf.iter().copied().collect();
             assert_eq!(fired, expected, "cycle {cycle} events {evs:?} ({style:?})");
+            assert_eq!(fired_buf, sim.fired(&bits), "fired vs fired_into ({style:?})");
 
             let next = sim.next_cr(&bits);
+            assert_eq!(next_buf, next, "next_cr vs next_cr_into ({style:?})");
             exec.step(&events, no_fx);
 
             // Live state bits must match the executor's new configuration.

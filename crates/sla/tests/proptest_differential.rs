@@ -3,12 +3,15 @@
 //! agree with the reference executor, under both encodings.
 
 use proptest::prelude::*;
+use pscp_motors::pickup_head_chart;
 use pscp_sla::sim::SlaSim;
-use pscp_sla::synth::synthesize;
+use pscp_sla::synth::{synthesize, SlaSynthesis};
+use pscp_sla::CompiledNet;
 use pscp_statechart::encoding::{CrLayout, EncodingStyle};
 use pscp_statechart::semantics::{ActionEffects, Executor};
 use pscp_statechart::{Chart, ChartBuilder, EventId, StateKind, TransitionId};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::OnceLock;
 
 #[derive(Debug, Clone)]
 struct Spec {
@@ -67,6 +70,18 @@ fn spec() -> impl Strategy<Value = Spec> {
         .prop_map(|(regions, edges)| Spec { regions, edges })
 }
 
+/// The pickup-head chart of the paper, synthesised once for the whole
+/// test binary (the differential below re-walks it per proptest case).
+fn pickup_head_parts() -> &'static (Chart, CrLayout, SlaSynthesis) {
+    static PARTS: OnceLock<(Chart, CrLayout, SlaSynthesis)> = OnceLock::new();
+    PARTS.get_or_init(|| {
+        let chart = pickup_head_chart();
+        let layout = CrLayout::new(&chart, EncodingStyle::Exclusivity);
+        let sla = synthesize(&chart, &layout);
+        (chart, layout, sla)
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -109,6 +124,59 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn compiled_net_matches_reference_on_pickup_head(masks in proptest::collection::vec(any::<u32>(), 0..12)) {
+        let (chart, layout, sla) = pickup_head_parts();
+        let sim = SlaSim::new(chart, layout, sla);
+        let compiled = CompiledNet::compile(&sla.net);
+        let events: Vec<EventId> = chart.event_ids().collect();
+
+        // The reference evaluator reads named inputs; the compiled one
+        // reads the raw bit vector. Same network, whole node array.
+        let check = |bits: &[bool]| -> Result<(), TestCaseError> {
+            let mut named: BTreeMap<String, bool> = BTreeMap::new();
+            for (i, &v) in bits.iter().enumerate() {
+                named.insert(format!("cr{i}"), v);
+            }
+            prop_assert_eq!(compiled.eval(bits), sla.net.eval(&named));
+            Ok(())
+        };
+
+        // Every CR image reachable from the default configuration by
+        // single-event stimuli (capped breadth-first walk). Checking the
+        // full node array at each image covers both the fire outputs and
+        // the next-state logic of every visited configuration.
+        let initial =
+            sim.cr_bits(Executor::new(chart).configuration(), &BTreeSet::new(), &|_| false);
+        let mut seen: BTreeSet<Vec<bool>> = BTreeSet::new();
+        let mut queue: VecDeque<Vec<bool>> = VecDeque::from([initial.clone()]);
+        while let Some(bits) = queue.pop_front() {
+            if seen.len() >= 200 || !seen.insert(bits.clone()) {
+                continue;
+            }
+            check(&bits)?;
+            for &e in &events {
+                let mut stimulated = bits.clone();
+                stimulated[layout.event_bit(e) as usize] = true;
+                check(&stimulated)?;
+                let mut next = sim.next_cr(&stimulated);
+                for &clear in &events {
+                    next[layout.event_bit(clear) as usize] = false;
+                }
+                queue.push_back(next);
+            }
+        }
+
+        // Random event subsets on the initial configuration.
+        for mask in masks {
+            let mut bits = initial.clone();
+            for (k, &e) in events.iter().enumerate() {
+                bits[layout.event_bit(e) as usize] = mask >> (k % 32) & 1 == 1;
+            }
+            check(&bits)?;
         }
     }
 

@@ -22,6 +22,8 @@
 //!   orthogonality, scopes.
 //! * [`semantics`] — a reference step-semantics executor (configurations,
 //!   enabled-transition computation, exit/entry sets, default completion).
+//! * [`intern`] — name → id tables resolving environment-supplied event
+//!   and condition names without per-lookup scans.
 //! * [`encoding`] — exclusivity-set state encoding and the configuration
 //!   register (CR) layout used by the SLA and the PSCP hardware.
 //! * [`validate`] — static well-formedness checks.
@@ -53,6 +55,7 @@ pub mod builder;
 pub mod encoding;
 pub mod error;
 pub mod hierarchy;
+pub mod intern;
 pub mod model;
 pub mod parse;
 pub mod pretty;

@@ -20,7 +20,99 @@
 //! by declaration order between equals.
 
 use crate::model::{ActionCall, Chart, ConditionId, EventId, StateId, StateKind, TransitionId};
+use crate::trigger::Expr;
 use std::collections::BTreeSet;
+
+/// One node of a resolved trigger/guard expression, stored in a flat
+/// arena shared by the whole executor.
+///
+/// [`Expr`] keeps atoms as names, so evaluating one means a name → id
+/// scan per atom — per transition, per cycle, on the hot path. The
+/// resolution happens once in [`Executor::new`]; evaluation is pure id
+/// lookups over the arena, and building it is a single `Vec` rather
+/// than a box per node. Atoms naming neither an event nor a condition
+/// evaluate to false, exactly like the unresolved path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResolvedOp {
+    /// An atom naming a chart event.
+    Event(EventId),
+    /// An atom naming a chart condition.
+    Condition(ConditionId),
+    /// An atom naming nothing in the chart (always false).
+    Unknown,
+    /// Logical negation of the node at the given arena index.
+    Not(u32),
+    /// Logical conjunction.
+    And(u32, u32),
+    /// Logical disjunction.
+    Or(u32, u32),
+}
+
+/// Appends the resolved form of `expr` to the arena; returns the root's
+/// arena index.
+fn resolve_expr(
+    events: &crate::intern::EventNamesRef<'_>,
+    conditions: &crate::intern::ConditionNamesRef<'_>,
+    expr: &Expr,
+    arena: &mut Vec<ResolvedOp>,
+) -> u32 {
+    let op = match expr {
+        Expr::Atom(a) => {
+            if let Some(e) = events.get(a) {
+                ResolvedOp::Event(e)
+            } else if let Some(c) = conditions.get(a) {
+                ResolvedOp::Condition(c)
+            } else {
+                ResolvedOp::Unknown
+            }
+        }
+        Expr::Not(e) => ResolvedOp::Not(resolve_expr(events, conditions, e, arena)),
+        Expr::And(a, b) => ResolvedOp::And(
+            resolve_expr(events, conditions, a, arena),
+            resolve_expr(events, conditions, b, arena),
+        ),
+        Expr::Or(a, b) => ResolvedOp::Or(
+            resolve_expr(events, conditions, a, arena),
+            resolve_expr(events, conditions, b, arena),
+        ),
+    };
+    arena.push(op);
+    arena.len() as u32 - 1
+}
+
+/// Evaluates the arena node `root` against the current event set and
+/// condition values (indexed by [`ConditionId::index`]).
+fn eval_resolved(
+    arena: &[ResolvedOp],
+    root: u32,
+    events: &BTreeSet<EventId>,
+    conditions: &[bool],
+) -> bool {
+    match arena[root as usize] {
+        ResolvedOp::Event(e) => events.contains(&e),
+        ResolvedOp::Condition(c) => conditions[c.index()],
+        ResolvedOp::Unknown => false,
+        ResolvedOp::Not(x) => !eval_resolved(arena, x, events, conditions),
+        ResolvedOp::And(a, b) => {
+            eval_resolved(arena, a, events, conditions)
+                && eval_resolved(arena, b, events, conditions)
+        }
+        ResolvedOp::Or(a, b) => {
+            eval_resolved(arena, a, events, conditions)
+                || eval_resolved(arena, b, events, conditions)
+        }
+    }
+}
+
+/// Precomputed per-transition selection data: arena roots of the
+/// resolved trigger/guard and the priority key (scope depth,
+/// declaration index) the selection sorts by.
+#[derive(Debug, Clone, Copy)]
+struct ResolvedTransition {
+    trigger: Option<u32>,
+    guard: Option<u32>,
+    priority: (usize, usize),
+}
 
 /// A stable snapshot of which states are active.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +182,14 @@ pub struct ActionEffects {
     /// Condition assignments, applied at end of cycle (condition-cache
     /// write-back).
     pub set_conditions: Vec<(String, bool)>,
+    /// Events raised by id — same semantics as [`raise`](Self::raise)
+    /// without the name resolution. Hosts that already hold chart ids
+    /// (the PSCP machine) use these to keep the cycle loop free of
+    /// string lookups.
+    pub raise_ids: Vec<EventId>,
+    /// Condition assignments by id — same semantics as
+    /// [`set_conditions`](Self::set_conditions).
+    pub set_condition_ids: Vec<(ConditionId, bool)>,
 }
 
 /// Where an action call originated, for [`Executor::step_with`].
@@ -177,6 +277,11 @@ pub struct Executor<'c> {
     /// Shallow-history memory: last active child of each history
     /// OR-state.
     history_memory: Vec<Option<StateId>>,
+    /// Per-transition resolved triggers/guards and priority keys,
+    /// computed once so selection does no name resolution per cycle.
+    resolved: Vec<ResolvedTransition>,
+    /// Arena backing the resolved expressions.
+    expr_arena: Vec<ResolvedOp>,
     cycle: u64,
 }
 
@@ -187,12 +292,35 @@ impl<'c> Executor<'c> {
         let mut active = vec![false; chart.state_count()];
         let history_memory = vec![None; chart.state_count()];
         enter_with_defaults(chart, chart.root(), &mut active, &mut Vec::new(), &history_memory);
+        let event_names = crate::intern::EventNamesRef::new(chart);
+        let condition_names = crate::intern::ConditionNamesRef::new(chart);
+        let mut expr_arena = Vec::new();
+        let resolved = chart
+            .transition_ids()
+            .map(|tid| {
+                let t = chart.transition(tid);
+                ResolvedTransition {
+                    trigger: t.trigger.as_ref().map(|e| {
+                        resolve_expr(&event_names, &condition_names, e, &mut expr_arena)
+                    }),
+                    guard: t.guard.as_ref().map(|e| {
+                        resolve_expr(&event_names, &condition_names, e, &mut expr_arena)
+                    }),
+                    priority: (
+                        chart.depth(chart.transition_scope(t.source, t.target)),
+                        tid.index(),
+                    ),
+                }
+            })
+            .collect();
         Executor {
             chart,
             config: Configuration { active },
             conditions: chart.conditions().map(|c| c.initial).collect(),
             pending_internal: BTreeSet::new(),
             history_memory,
+            resolved,
+            expr_arena,
             cycle: 0,
         }
     }
@@ -233,32 +361,24 @@ impl<'c> Executor<'c> {
     /// addresses the SLA would emit into the Transition Address Table.
     pub fn select_transitions(&self, events: &BTreeSet<EventId>) -> Vec<TransitionId> {
         let chart = self.chart;
-        let truth = |atom: &str| -> bool {
-            if let Some(e) = chart.event_by_name(atom) {
-                return events.contains(&e);
-            }
-            if let Some(c) = chart.condition_by_name(atom) {
-                return self.conditions[c.index()];
-            }
-            false
-        };
-
         let mut enabled: Vec<TransitionId> = chart
             .transition_ids()
             .filter(|&tid| {
-                let t = chart.transition(tid);
-                self.config.is_active(t.source)
-                    && t.trigger.as_ref().is_none_or(|e| e.eval(truth))
-                    && t.guard.as_ref().is_none_or(|e| e.eval(truth))
+                let rt = self.resolved[tid.index()];
+                let holds = |root: Option<u32>| {
+                    root.is_none_or(|r| {
+                        eval_resolved(&self.expr_arena, r, events, &self.conditions)
+                    })
+                };
+                self.config.is_active(chart.transition(tid).source)
+                    && holds(rt.trigger)
+                    && holds(rt.guard)
             })
             .collect();
 
         // Outer-first priority: sort by scope depth, then declaration
         // order; then greedily keep non-conflicting transitions.
-        enabled.sort_by_key(|&tid| {
-            let t = chart.transition(tid);
-            (chart.depth(chart.transition_scope(t.source, t.target)), tid.index())
-        });
+        enabled.sort_by_key(|&tid| self.resolved[tid.index()].priority);
 
         let mut selected: Vec<TransitionId> = Vec::new();
         let mut claimed: Vec<BTreeSet<StateId>> = Vec::new();
@@ -437,17 +557,22 @@ impl<'c> Executor<'c> {
                         report.raised.push(e);
                     }
                 }
+                for e in eff.raise_ids {
+                    pending.insert(e);
+                    report.raised.push(e);
+                }
                 for (name, v) in eff.set_conditions {
                     if let Some(c) = chart.condition_by_name(&name) {
                         cond_writes.push((c, v));
                     }
                 }
+                cond_writes.extend(eff.set_condition_ids);
                 report.actions.push(call.clone());
             };
 
             let exited_now: Vec<StateId> = report.exited[exit_start..].to_vec();
             for s in exited_now {
-                for call in &chart.state(s).exit_actions.clone() {
+                for call in &chart.state(s).exit_actions {
                     apply(
                         ActionSite::Exit { state: s, transition: tid },
                         call,
@@ -470,7 +595,7 @@ impl<'c> Executor<'c> {
             }
             let entered_now: Vec<StateId> = report.entered[entry_start..].to_vec();
             for s in entered_now {
-                for call in &chart.state(s).entry_actions.clone() {
+                for call in &chart.state(s).entry_actions {
                     apply(
                         ActionSite::Entry { state: s, transition: tid },
                         call,

@@ -196,22 +196,24 @@ impl<'p> TepMachine<'p> {
     }
 
     fn read_storage(&self, s: Storage, fname: &str) -> Result<i64, TepError> {
+        // `ok_or_else`, not `ok_or`: the fault value allocates a String
+        // and must not be built on the (hot) success path.
         match s {
             Storage::Register(r) => self
                 .regs
                 .get(r as usize)
                 .copied()
-                .ok_or(TepError::MemoryFault { function: fname.into(), storage: s }),
+                .ok_or_else(|| TepError::MemoryFault { function: fname.into(), storage: s }),
             Storage::Internal(a) => self
                 .iram
                 .get(a as usize)
                 .copied()
-                .ok_or(TepError::MemoryFault { function: fname.into(), storage: s }),
+                .ok_or_else(|| TepError::MemoryFault { function: fname.into(), storage: s }),
             Storage::External(a) => self
                 .xram
                 .get(a as usize)
                 .copied()
-                .ok_or(TepError::MemoryFault { function: fname.into(), storage: s }),
+                .ok_or_else(|| TepError::MemoryFault { function: fname.into(), storage: s }),
         }
     }
 
@@ -243,7 +245,9 @@ impl<'p> TepMachine<'p> {
             return Err(TepError::CallDepth);
         }
         let f = &self.program.functions[fi as usize];
-        let fname = f.name.clone();
+        // Borrowed, not cloned: the name is only materialised on the
+        // error paths below.
+        let fname = f.name.as_str();
         let mut pc = 0usize;
         while pc < f.code.len() {
             let inst: &AsmInst = &f.code[pc];
@@ -255,25 +259,25 @@ impl<'p> TepMachine<'p> {
             match &inst.instr {
                 Instr::Nop => {}
                 Instr::Ldi(v) => self.acc = inst.wrap(*v),
-                Instr::Load(s) => self.acc = self.read_storage(*s, &fname)?,
+                Instr::Load(s) => self.acc = self.read_storage(*s, fname)?,
                 Instr::Store(s) => {
                     let v = inst.wrap(self.acc);
-                    self.write_storage(*s, v, &fname)?;
+                    self.write_storage(*s, v, fname)?;
                 }
                 Instr::LoadIndexed(base) => {
                     let s = self.indexed(*base, self.acc);
-                    self.acc = self.read_storage(s, &fname)?;
+                    self.acc = self.read_storage(s, fname)?;
                 }
                 Instr::StoreIndexed(base) => {
                     let s = self.indexed(*base, self.op);
                     let v = inst.wrap(self.acc);
-                    self.write_storage(s, v, &fname)?;
+                    self.write_storage(s, v, fname)?;
                 }
                 Instr::Tao => self.op = self.acc,
                 Instr::Alu(op) => {
                     if !self.program.arch.calc.supports(*op) {
                         return Err(TepError::MissingFeature {
-                            function: fname,
+                            function: fname.to_string(),
                             feature: "calculation-unit extension",
                         });
                     }
@@ -298,13 +302,13 @@ impl<'p> TepMachine<'p> {
                         AluOp::Mul => self.acc.wrapping_mul(self.op),
                         AluOp::Div => {
                             if self.op == 0 {
-                                return Err(TepError::DivideByZero { function: fname, pc });
+                                return Err(TepError::DivideByZero { function: fname.to_string(), pc });
                             }
                             self.acc.wrapping_div(self.op)
                         }
                         AluOp::Rem => {
                             if self.op == 0 {
-                                return Err(TepError::DivideByZero { function: fname, pc });
+                                return Err(TepError::DivideByZero { function: fname.to_string(), pc });
                             }
                             self.acc.wrapping_rem(self.op)
                         }
@@ -314,7 +318,7 @@ impl<'p> TepMachine<'p> {
                 Instr::Cmp { op, signed } => {
                     if !self.program.arch.calc.comparator {
                         return Err(TepError::MissingFeature {
-                            function: fname,
+                            function: fname.to_string(),
                             feature: "comparator",
                         });
                     }
@@ -354,7 +358,7 @@ impl<'p> TepMachine<'p> {
                 Instr::RaiseEvent(e) => host.raise_event(*e as u32),
                 Instr::Custom(id) => {
                     let custom = self.program.arch.custom_op(*id).ok_or(
-                        TepError::MissingFeature { function: fname.clone(), feature: "custom op" },
+                        TepError::MissingFeature { function: fname.to_string(), feature: "custom op" },
                     )?;
                     let mut acc = self.acc;
                     for step in &custom.steps {
@@ -370,7 +374,7 @@ impl<'p> TepMachine<'p> {
                     // Fused `Tao; Load src; Alu op`.
                     let old_acc = self.acc;
                     self.op = old_acc;
-                    let m = self.read_storage(*src, &fname)?;
+                    let m = self.read_storage(*src, fname)?;
                     let r = match op {
                         AluOp::Add => m.wrapping_add(old_acc),
                         AluOp::Sub => m.wrapping_sub(old_acc),
@@ -389,7 +393,7 @@ impl<'p> TepMachine<'p> {
                         AluOp::Sar => m.wrapping_shr((old_acc & 63) as u32),
                         _ => {
                             return Err(TepError::MissingFeature {
-                                function: fname,
+                                function: fname.to_string(),
                                 feature: "fused op kind",
                             })
                         }

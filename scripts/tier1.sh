@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 gate: what CI runs on every PR. Build + facade tests, then the
+# full workspace suite, then clippy (warnings are errors) on the crates
+# the hot-path work touches.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+cargo clippy --all-targets -p pscp-statechart -p pscp-sla -p pscp-tep \
+    -p pscp-core -p pscp-bench -- -D warnings
+
+echo "tier1: OK"

@@ -1,0 +1,156 @@
+//! Offline stand-in for `criterion`, used because this build
+//! environment has no network access to crates.io.
+//!
+//! Benchmarks run for real: each `Bencher::iter` call warms up briefly
+//! to estimate the per-iteration cost, then times a batch sized for a
+//! stable measurement and prints the mean time per iteration. There is
+//! no outlier analysis, HTML report, or baseline comparison — the
+//! printed numbers are the product.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(80);
+const MEASURE: Duration = Duration::from_millis(250);
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().0, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into() }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput rates are not derived.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    pub fn new(function: impl Into<String>, p: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), p))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        BenchmarkId(s.clone())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Workload size, for throughput-normalised reporting (ignored).
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until WARMUP has elapsed to estimate cost.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < WARMUP {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (WARMUP.as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Measurement: batch sized to fill MEASURE.
+        let batch = ((MEASURE.as_nanos() as f64 / est_ns) as u64).max(10);
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / batch as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher { mean_ns: 0.0 };
+    f(&mut b);
+    let (value, unit) = if b.mean_ns >= 1_000_000.0 {
+        (b.mean_ns / 1_000_000.0, "ms")
+    } else if b.mean_ns >= 1_000.0 {
+        (b.mean_ns / 1_000.0, "µs")
+    } else {
+        (b.mean_ns, "ns")
+    };
+    println!("{label:<50} {value:>10.3} {unit}/iter");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

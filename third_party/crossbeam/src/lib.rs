@@ -1,0 +1,2 @@
+//! Offline placeholder for `crossbeam`. Declared in `pscp-core`'s
+//! manifest but unused in code; kept resolvable for offline builds.

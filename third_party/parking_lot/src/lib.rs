@@ -1,0 +1,2 @@
+//! Offline placeholder for `parking_lot`. Declared in `pscp-core`'s
+//! manifest but unused in code; kept resolvable for offline builds.

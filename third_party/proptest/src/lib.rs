@@ -1,0 +1,629 @@
+//! Offline stand-in for `proptest`, used because this build environment
+//! has no network access to crates.io.
+//!
+//! It keeps the API surface this workspace uses — `proptest!`,
+//! `prop_oneof!`, the assertion macros, `Strategy` with `prop_map` /
+//! `prop_recursive`, `any`, ranges, `collection::vec`, `option::of`,
+//! `bool::ANY`, and simple `.{lo,hi}` string patterns — backed by a
+//! deterministic splitmix64 generator. There is no shrinking: a failing
+//! case prints its generated inputs instead of minimising them. Seeds
+//! derive from the test's module path so runs are reproducible;
+//! `PROPTEST_SEED=<u64>` overrides the seed for exploration.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Deterministic generator used by the stand-in (splitmix64).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from a test name, or from `PROPTEST_SEED` if set.
+        pub fn from_name(name: &str) -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or_else(|| {
+                    // FNV-1a over the test name.
+                    let mut h = 0xcbf29ce484222325u64;
+                    for b in name.bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x100000001b3);
+                    }
+                    h
+                });
+            TestRng { state: seed ^ 0x9e3779b97f4a7c15 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..bound` (`bound` must be non-zero).
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        pub fn next_bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+
+    /// Failure/rejection signal a `proptest!` body can return early with.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property does not hold.
+        Fail(String),
+        /// The inputs do not satisfy a precondition (`prop_assume!`).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    type Value: Clone + fmt::Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Clone + fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, func: f }
+    }
+
+    /// Recursive strategy: picks a random nesting depth up to `depth`
+    /// and composes `recurse` that many times over the base strategy.
+    /// (`_desired_size` / `_expected_branch` are accepted for signature
+    /// compatibility and ignored — there is no size-driven shrinking.)
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            rec: Rc::new(move |inner| recurse(inner).boxed()),
+            depth,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    func: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Clone + fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.func)(self.source.generate(rng))
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Clone + fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    rec: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Recursive {
+            base: self.base.clone(),
+            rec: Rc::clone(&self.rec),
+            depth: self.depth,
+        }
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for Recursive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let levels = rng.below(self.depth as usize + 1);
+        let mut s = self.base.clone();
+        for _ in 0..levels {
+            s = (self.rec)(s);
+        }
+        s.generate(rng)
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct OneOf<T> {
+    pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf { options: self.options.clone() }
+    }
+}
+
+impl<T: Clone + fmt::Debug> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = rng.below(self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the whole domain of `T`.
+pub struct AnyOf<T>(pub(crate) PhantomData<T>);
+
+impl<T> Clone for AnyOf<T> {
+    fn clone(&self) -> Self {
+        AnyOf(PhantomData)
+    }
+}
+
+impl<T: Arbitrary + Clone + fmt::Debug> Strategy for AnyOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary + Clone + fmt::Debug>() -> AnyOf<T> {
+    AnyOf(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_bool()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII, occasionally arbitrary scalar values.
+        if rng.below(8) == 0 {
+            char::from_u32(rng.next_u64() as u32 % 0xd800).unwrap_or('\u{fffd}')
+        } else {
+            (0x20u8 + (rng.next_u64() % 95) as u8) as char
+        }
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi - lo) as u128;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u128 + 1;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($t,)+) = self;
+                ($($t.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// String pattern strategy: supports the `.{lo,hi}` regex shorthand
+/// (random text of bounded length); any other pattern yields itself
+/// literally.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        if let Some(body) = self.strip_prefix(".{").and_then(|r| r.strip_suffix('}')) {
+            if let Some((lo, hi)) = body.split_once(',') {
+                if let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>())
+                {
+                    let len = lo + rng.below(hi - lo + 1);
+                    return (0..len).map(|_| char::arbitrary(rng)).collect();
+                }
+            }
+        }
+        (*self).to_string()
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for collection strategies.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        pub lo: usize,
+        pub hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below(self.size.hi - self.size.lo + 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod bool {
+    /// Whole-domain strategy for `bool` (`proptest::bool::ANY`).
+    pub const ANY: crate::AnyOf<bool> = crate::AnyOf(std::marker::PhantomData);
+}
+
+pub mod prelude {
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                $(let $arg = $strat;)+
+                let mut __rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    let __vals = ( $( $crate::Strategy::generate(&$arg, &mut __rng), )+ );
+                    let __inputs = __vals.clone();
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                                #[allow(unused_variables)]
+                                let ( $($arg,)+ ) = __inputs;
+                                $body
+                                #[allow(unreachable_code)]
+                                ::std::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    match __outcome {
+                        ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                        ::std::result::Result::Ok(::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        )) => {}
+                        ::std::result::Result::Ok(::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__reason),
+                        )) => {
+                            let ( $($arg,)+ ) = __vals;
+                            ::std::eprintln!("[proptest] case {} failed: {}", __case, __reason);
+                            $(::std::eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                            ::std::panic!("proptest case failed: {}", __reason);
+                        }
+                        ::std::result::Result::Err(__payload) => {
+                            let ( $($arg,)+ ) = __vals;
+                            ::std::eprintln!("[proptest] case {} panicked; inputs:", __case);
+                            $(::std::eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                            ::std::panic::resume_unwind(__payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf { options: ::std::vec![ $( $crate::Strategy::boxed($arm) ),+ ] }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}` ({:?} vs {:?})",
+                    stringify!($a),
+                    stringify!($b),
+                    __a,
+                    __b,
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}` ({:?} vs {:?}): {}",
+                    stringify!($a),
+                    stringify!($b),
+                    __a,
+                    __b,
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}` (both {:?})",
+                    stringify!($a),
+                    stringify!($b),
+                    __a,
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,3 @@
+//! Offline placeholder for `rand`. The workspace declares the
+//! dependency but no crate currently uses it; this keeps resolution
+//! working without network access. Grow it if code starts needing RNGs.

@@ -1,0 +1,411 @@
+//! Offline stand-in for `serde`, used because this build environment has
+//! no network access to crates.io.
+//!
+//! It keeps the public surface this workspace actually relies on — the
+//! `Serialize` / `Deserialize` traits, the derive macros, and enough
+//! standard-library impls for every derived type in the tree — but
+//! replaces serde's visitor architecture with a simple self-describing
+//! [`Value`] tree. The sibling `serde_json` stand-in renders that tree
+//! as real JSON, so `serde_json::to_string` / `from_str` round-trips
+//! behave as the tests expect.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A self-describing serialized value (the stand-in's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Null / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Key/value map in insertion order (keys need not be strings).
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(Value, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view (signed), if numeric and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Integer view (unsigned), if numeric and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Floating-point view (integers widen losslessly enough for tests).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::I64(v) => Some(*v as f64),
+            Value::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be rendered into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` into the serialization data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+///
+/// The lifetime parameter mirrors the real serde trait so generic
+/// bounds written as `for<'de> Deserialize<'de>` keep compiling.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from the serialization data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up a struct field by name in a serialized map (derive helper).
+pub fn from_field<T: for<'de> Deserialize<'de>>(
+    entries: &[(Value, Value)],
+    key: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    for (k, v) in entries {
+        if k.as_str() == Some(key) {
+            return T::from_value(v);
+        }
+    }
+    Err(Error(format!("missing field `{key}` of `{ty}`")))
+}
+
+/// Indexes into a serialized sequence (derive helper).
+pub fn from_index<T: for<'de> Deserialize<'de>>(
+    seq: &[Value],
+    idx: usize,
+    ty: &str,
+) -> Result<T, Error> {
+    seq.get(idx)
+        .ok_or_else(|| Error(format!("missing element {idx} of `{ty}`")))
+        .and_then(T::from_value)
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error(format!("expected integer, got {v:?}")))?;
+                <$t>::try_from(n).map_err(|_| Error(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error(format!("expected integer, got {v:?}")))?;
+                <$t>::try_from(n).map_err(|_| Error(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error(format!("expected float, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error(format!("expected float, got {v:?}")))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error("expected char".into()))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error(format!("expected sequence, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error("expected map-as-sequence".into()))?
+            .iter()
+            .map(|pair| {
+                let s = pair
+                    .as_seq()
+                    .filter(|s| s.len() == 2)
+                    .ok_or_else(|| Error("expected [key, value] pair".into()))?;
+                Ok((K::from_value(&s[0])?, V::from_value(&s[1])?))
+            })
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error("expected set-as-sequence".into()))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_value(_: &Value) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let s = v
+                    .as_seq()
+                    .ok_or_else(|| Error("expected tuple sequence".into()))?;
+                Ok(($($t::from_value(
+                    s.get($n).ok_or_else(|| Error("tuple too short".into()))?,
+                )?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}

@@ -1,0 +1,379 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the value-tree model of the sibling `serde` stand-in, without `syn`
+//! or `quote`: the item is parsed straight off the `TokenStream` (this
+//! workspace only derives on plain non-generic structs and enums) and
+//! the impl is emitted as a source string.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde stand-in: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde stand-in: generated Deserialize impl failed to parse")
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+/// Advances past any `#[...]` attributes (doc comments included).
+fn skip_attributes(toks: &[TokenTree], i: &mut usize) {
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances past `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde stand-in derive: expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&toks, &mut i, "type name");
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive: generic type `{name}` is not supported");
+    }
+    let kind = match kw.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g))
+                }
+                _ => Fields::Unit,
+            };
+            ItemKind::Struct(fields)
+        }
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g))
+            }
+            other => panic!("serde stand-in derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde stand-in derive: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Field names of a `{ a: T, b: U }` body. Types are skipped by scanning
+/// to the next comma outside angle brackets (delimited groups are single
+/// tokens, so only `<`/`>` need depth tracking).
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        names.push(expect_ident(&toks, &mut i, "field name"));
+        // Skip `:` and the type.
+        let mut angle_depth = 0i32;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Number of fields in a `(T, U, ...)` tuple body.
+fn count_tuple_fields(g: &Group) -> usize {
+    let mut count = 0;
+    let mut pending = false;
+    let mut angle_depth = 0i32;
+    for tok in g.stream() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    pending = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(g: &Group) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i, "variant name");
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip to the separating comma (covers `= discriminant`).
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn str_key(text: &str) -> String {
+    format!("::serde::Value::Str(::std::string::String::from(\"{text}\"))")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({}, ::serde::Serialize::to_value(&self.{f})),",
+                        str_key(f)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{entries}])")
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let elems: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{elems}])")
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(arms, "{name}::{vname} => {},", str_key(vname));
+                    }
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: String = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![({}, \
+                             ::serde::Value::Seq(::std::vec![{elems}]))]),",
+                            binders.join(", "),
+                            str_key(vname)
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        let entries: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!("({}, ::serde::Serialize::to_value({f})),", str_key(f))
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![({}, \
+                             ::serde::Value::Map(::std::vec![{entries}]))]),",
+                            fs.join(", "),
+                            str_key(vname)
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => {
+            format!("{{ let _ = __v; ::std::result::Result::Ok({name}) }}")
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_field(__entries, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "{{ let __entries = match __v {{ ::serde::Value::Map(__m) => __m.as_slice(), \
+                 _ => return ::std::result::Result::Err(::serde::Error(\
+                 ::std::string::String::from(\"expected map for `{name}`\"))) }}; \
+                 ::std::result::Result::Ok({name} {{ {inits} }}) }}"
+            )
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::from_index(__seq, {i}, \"{name}\")?,"))
+                .collect();
+            format!(
+                "{{ let __seq = match __v {{ ::serde::Value::Seq(__s) => __s.as_slice(), \
+                 _ => return ::std::result::Result::Err(::serde::Error(\
+                 ::std::string::String::from(\"expected sequence for `{name}`\"))) }}; \
+                 ::std::result::Result::Ok({name}({inits})) }}"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let inits: String = (0..*n)
+                            .map(|i| {
+                                format!("::serde::from_index(__seq, {i}, \"{name}::{vname}\")?,")
+                            })
+                            .collect();
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vname}\" => {{ let __seq = __payload.as_seq().ok_or_else(|| \
+                             ::serde::Error(::std::string::String::from(\
+                             \"expected sequence payload for `{name}::{vname}`\")))?; \
+                             ::std::result::Result::Ok({name}::{vname}({inits})) }}"
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        let inits: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::from_field(__fields, \"{f}\", \
+                                     \"{name}::{vname}\")?,"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vname}\" => {{ let __fields = __payload.as_map().ok_or_else(|| \
+                             ::serde::Error(::std::string::String::from(\
+                             \"expected map payload for `{name}::{vname}`\")))?; \
+                             ::std::result::Result::Ok({name}::{vname} {{ {inits} }}) }}"
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} \
+                 __other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                 \"unknown variant `{{__other}}` of `{name}`\"))) }}, \
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{ \
+                 let (__tag, __payload) = &__m[0]; \
+                 match __tag.as_str().unwrap_or_default() {{ {tagged_arms} \
+                 __other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                 \"unknown variant `{{__other}}` of `{name}`\"))) }} }}, \
+                 _ => ::std::result::Result::Err(::serde::Error(\
+                 ::std::string::String::from(\"invalid enum encoding for `{name}`\"))) }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl<'de> ::serde::Deserialize<'de> for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{ {body} }} }}"
+    )
+}
