@@ -4,10 +4,12 @@
 //! Criterion benches in `benches/` measure the toolchain itself. This
 //! library provides the example system builders they share.
 
+use pscp_action_lang::ir::Program;
 use pscp_core::arch::PscpArch;
 use pscp_core::compile::CompiledSystem;
 use pscp_core::timing::{validate_timing, TimingOptions, TimingReport};
 use pscp_motors::{pickup_head_actions, pickup_head_chart};
+use pscp_statechart::Chart;
 use pscp_tep::codegen::CodegenOptions;
 
 /// The five architectures of Table 4, in row order.
@@ -49,6 +51,17 @@ pub fn table3_paper_values() -> Vec<(&'static str, u64)> {
         ("{RunY, RunY}", 878),
         ("{RunPhi, RunPhi}", 878),
     ]
+}
+
+/// The pickup-head chart and compiled action IR — the raw inputs of
+/// [`pscp_core::optimize::optimize`], shared by the design-space
+/// exploration benches and the determinism tests.
+pub fn pickup_head_inputs() -> (Chart, Program) {
+    let chart = pickup_head_chart();
+    let env = pscp_core::compile::chart_env(&chart);
+    let ir = pscp_action_lang::compile_with_env(&pickup_head_actions(), &env)
+        .expect("actions compile");
+    (chart, ir)
 }
 
 /// Compiles the pickup-head example for an architecture. The

@@ -17,7 +17,12 @@
 //!   parallel-sibling upper bounds, event-cycle DFS, constraint checks
 //!   (Tables 2 and 3).
 //! * [`optimize`] — the iterative architecture/instruction improvement
-//!   loop of §4, applied "in increasing order of difficulty" (Table 4).
+//!   loop of §4, applied "in increasing order of difficulty" (Table 4),
+//!   with candidate evaluation fanned out across a worker pool.
+//! * [`pool`] — the batched multi-scenario co-simulation driver:
+//!   [`SimPool`](pool::SimPool) runs independent scenarios of one
+//!   compiled system across `PSCP_THREADS` workers, byte-identical to
+//!   the sequential run.
 //! * [`area`] — PSCP area accounting on the FPGA substrate, with a
 //!   block breakdown for the floorplanner (Fig. 8).
 //! * [`report`] — plain-text table rendering for the experiment
@@ -29,10 +34,12 @@ pub mod compile;
 pub mod library;
 pub mod machine;
 pub mod optimize;
+pub mod pool;
 pub mod report;
 pub mod timing;
 
 pub use arch::PscpArch;
 pub use compile::{compile_system, CompiledSystem};
 pub use machine::PscpMachine;
+pub use pool::{BatchOptions, BatchOutcome, SimPool};
 pub use timing::{validate_timing, EventCycle, TimingReport};

@@ -19,6 +19,21 @@
 //! Every step recompiles (or transforms) the system, re-runs the timing
 //! validation, and is recorded in the history that the Table 4 harness
 //! prints.
+//!
+//! ## Parallel exploration
+//!
+//! Each step evaluates *all* applicable improvements — its own
+//! `compile_system_from_ir` + `validate_timing` per candidate — across
+//! a scoped worker pool ([`OptimizeOptions::threads`], defaulting to
+//! `PSCP_THREADS`). The reduction is deterministic: the candidate
+//! first in the fixed difficulty order wins (the paper's
+//! increasing-difficulty policy), decided purely by candidate position,
+//! never by worker completion order — so the chosen improvement
+//! sequence is byte-identical to the sequential loop for any worker
+//! count, and the remaining evaluations ride along as a prefetched
+//! view of the whole candidate frontier. A content-keyed memo cache
+//! (architecture + storage placement → timing report + area) makes any
+//! repeated candidate content free of recompilation.
 
 pub mod custom;
 
@@ -31,7 +46,8 @@ use pscp_action_lang::ir::{Inst as IrInst, Program};
 use pscp_tep::codegen::CodegenOptions;
 use pscp_tep::StorageClass;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Mutex;
 
 /// One improvement the optimiser can apply.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -94,6 +110,11 @@ pub struct OptimizeOptions {
     pub mutual_exclusion: Vec<BTreeSet<u32>>,
     /// Upper bound on optimisation steps (safety).
     pub max_steps: usize,
+    /// Worker threads for candidate evaluation. `None` resolves via
+    /// the `PSCP_THREADS` environment variable, falling back to the
+    /// available hardware parallelism. The chosen improvement sequence
+    /// is byte-identical for every worker count.
+    pub threads: Option<usize>,
     /// Component catalog to draw from, in increasing order of
     /// difficulty. Defaults to [`Component::catalog`]; use
     /// [`Component::catalog_extended`] to allow the §6 future-work
@@ -115,6 +136,7 @@ impl Default for OptimizeOptions {
             max_teps: 4,
             mutual_exclusion: Vec::new(),
             max_steps: 24,
+            threads: None,
             catalog: Component::catalog(),
             shrink: true,
         }
@@ -136,6 +158,10 @@ pub struct OptimizationResult {
     pub history: Vec<OptimizationStep>,
     /// Whether all constraints are met.
     pub satisfied: bool,
+    /// True when the loop stopped because [`OptimizeOptions::max_steps`]
+    /// ran out while violations remained — the exploration was cut
+    /// short, not proven infeasible.
+    pub budget_exhausted: bool,
 }
 
 /// Runs the iterative improvement loop from a starting architecture.
@@ -149,91 +175,214 @@ pub fn optimize(
     start: &PscpArch,
     options: &OptimizeOptions,
 ) -> Result<OptimizationResult, SystemError> {
+    let threads = options.threads.unwrap_or_else(crate::pool::configured_threads).max(1);
     let mut arch = start.clone();
     let mut codegen = CodegenOptions::default();
     let mut system = compile_system_from_ir(chart, ir, &arch, &codegen)?;
     let mut timing = validate_timing(&system, &options.timing);
     let mut history = vec![record(None, &arch, &system, &timing)];
 
+    // Content-keyed memo cache: architecture + storage placement →
+    // (timing report, area). Workers share it; a candidate whose
+    // content was already evaluated never recompiles.
+    let cache: Mutex<HashMap<String, (TimingReport, u32)>> = Mutex::new(HashMap::new());
+    let evaluate = |cand_arch: &PscpArch,
+                    cand_codegen: &CodegenOptions|
+     -> Result<CandidateEval, SystemError> {
+        let key = cache_key(cand_arch, cand_codegen);
+        if let Some((timing, area)) = cache.lock().unwrap().get(&key).cloned() {
+            return Ok(CandidateEval { timing, area, system: None });
+        }
+        let sys = compile_system_from_ir(chart, ir, cand_arch, cand_codegen)?;
+        let timing = validate_timing(&sys, &options.timing);
+        let area = pscp_area(&sys).total().0;
+        cache.lock().unwrap().insert(key, (timing.clone(), area));
+        Ok(CandidateEval { timing, area, system: Some(sys) })
+    };
+
     let mut steps = 0usize;
     while !timing.ok() && steps < options.max_steps {
-        steps += 1;
-        let Some(improvement) = next_improvement(&arch, ir, options) else {
+        let candidates = applicable_improvements(&arch, ir, options);
+        if candidates.is_empty() {
             break;
-        };
-
-        match &improvement {
-            Improvement::EnableCodeOptimization => {
-                arch.tep.optimize_code = true;
-                arch.label = format!("{} + opt code", arch.label);
-            }
-            Improvement::PromoteGlobalsInternal => {
-                for slot in 0..ir.globals.len() as u32 {
-                    codegen.global_promotions.insert(slot, StorageClass::Internal);
-                }
-                arch.tep.global_storage = StorageClass::Internal;
-                arch.label = format!("{} + int RAM", arch.label);
-            }
-            Improvement::PromoteGlobalsRegisters => {
-                for slot in hottest_scalar_globals(ir, arch.tep.register_file as usize) {
-                    codegen.global_promotions.insert(slot, StorageClass::Register);
-                }
-                arch.label = format!("{} + reg globals", arch.label);
-            }
-            Improvement::AddComponent(c) => {
-                c.apply(&mut arch.tep);
-                arch.label = format!("{} + {c}", arch.label);
-            }
-            Improvement::ExtractCustomOps => {
-                arch.tep.custom_instructions = true;
-                arch.label = format!("{} + custom ops", arch.label);
-            }
-            Improvement::AddTep => {
-                arch.n_teps += 1;
-                arch.mutual_exclusion = options.mutual_exclusion.clone();
-                arch.label = format!("{} TEPs", arch.n_teps);
-            }
         }
+        steps += 1;
 
-        system = compile_system_from_ir(chart, ir, &arch, &codegen)?;
+        // Stage every applicable improvement against the current base
+        // and evaluate them all across the worker pool.
+        let mut staged: Vec<(Improvement, PscpArch, CodegenOptions)> = candidates
+            .into_iter()
+            .map(|imp| {
+                let mut cand_arch = arch.clone();
+                let mut cand_codegen = codegen.clone();
+                apply_improvement(&imp, &mut cand_arch, &mut cand_codegen, ir, options);
+                (imp, cand_arch, cand_codegen)
+            })
+            .collect();
+        let mut evals = crate::pool::run_indexed(&staged, threads, |_, (_, a, c)| {
+            evaluate(a, c)
+        });
+
+        // Deterministic reduction: the candidate first in the fixed
+        // difficulty order wins — the paper's increasing-difficulty
+        // policy, decided purely by candidate position, never by worker
+        // completion order. The parallel stage means every applicable
+        // alternative was timed against the same base for the
+        // wall-clock price of one compile.
+        let winner = 0;
+        let (improvement, cand_arch, cand_codegen) = staged.swap_remove(winner);
+        let eval = evals.swap_remove(winner)?;
+        let new_system = match eval.system {
+            Some(s) => s,
+            // Cache hit: the one compile the winner still needs.
+            None => compile_system_from_ir(chart, ir, &cand_arch, &cand_codegen)?,
+        };
+        arch = cand_arch;
+        codegen = cand_codegen;
         // Extraction (when enabled) ran inside the compile; pick up the
         // registered fused ops for subsequent area accounting.
-        arch.tep.custom_ops = system.arch.tep.custom_ops.clone();
-        timing = validate_timing(&system, &options.timing);
+        arch.tep.custom_ops = new_system.arch.tep.custom_ops.clone();
+        system = new_system;
+        timing = eval.timing;
         history.push(record(Some(improvement.to_string()), &arch, &system, &timing));
     }
 
+    let budget_exhausted = !timing.ok() && steps >= options.max_steps;
+    if budget_exhausted {
+        eprintln!(
+            "pscp-core::optimize: step budget ({}) exhausted with {} remaining violation(s)",
+            options.max_steps,
+            timing.violations.len()
+        );
+        for v in &timing.violations {
+            eprintln!(
+                "  {}: worst cycle {} > period {} via {:?}",
+                v.event, v.worst, v.period, v.path
+            );
+        }
+    }
+
     // Shrink phase (§1): drop hardware the final code does not need, as
-    // long as the constraints keep holding.
+    // long as the constraints keep holding. One pass over a fixed
+    // candidate list, each removal tried once against whatever base is
+    // current when its turn comes — the sequential semantics — but the
+    // not-yet-tried tail is evaluated in parallel against the current
+    // base, and re-staged only when an acceptance changes that base.
     if options.shrink && timing.ok() {
-        for removal in shrink_candidates(&arch, ir) {
-            let mut candidate = arch.clone();
-            (removal.apply)(&mut candidate.tep);
-            let Ok(new_system) = compile_system_from_ir(chart, ir, &candidate, &codegen)
-            else {
-                continue;
+        let removals = shrink_candidates(&arch, ir);
+        let mut idx = 0;
+        while idx < removals.len() {
+            let staged: Vec<(usize, PscpArch)> = (idx..removals.len())
+                .map(|i| {
+                    let mut cand = arch.clone();
+                    (removals[i].apply)(&mut cand.tep);
+                    (i, cand)
+                })
+                .collect();
+            let evals = crate::pool::run_indexed(&staged, threads, |_, (_, cand)| {
+                evaluate(cand, &codegen)
+            });
+            // Scan in fixed order for the first removal that keeps the
+            // constraints and strictly shrinks area; candidates the
+            // scan rejects are spent (each is tried exactly once).
+            let current_area = pscp_area(&system).total().0;
+            let accepted = staged
+                .into_iter()
+                .zip(evals)
+                .find_map(|((i, cand), ev)| match ev {
+                    Ok(ev) if ev.timing.ok() && ev.area < current_area => {
+                        Some((i, cand, ev))
+                    }
+                    _ => None,
+                });
+            let Some((i, mut cand, eval)) = accepted else { break };
+            let new_system = match eval.system {
+                Some(s) => s,
+                // Cache hit: recompile the accepted configuration (the
+                // compile succeeded when the cache entry was created).
+                None => compile_system_from_ir(chart, ir, &cand, &codegen)?,
             };
-            let new_timing = validate_timing(&new_system, &options.timing);
-            if new_timing.ok()
-                && pscp_area(&new_system).total().0 < pscp_area(&system).total().0
-            {
-                candidate.label = format!("{} - {}", arch.label, removal.name);
-                candidate.tep.custom_ops = new_system.arch.tep.custom_ops.clone();
-                arch = candidate;
-                system = new_system;
-                timing = new_timing;
-                history.push(record(
-                    Some(format!("remove {}", removal.name)),
-                    &arch,
-                    &system,
-                    &timing,
-                ));
-            }
+            let name = removals[i].name;
+            cand.label = format!("{} - {}", arch.label, name);
+            cand.tep.custom_ops = new_system.arch.tep.custom_ops.clone();
+            arch = cand;
+            system = new_system;
+            timing = eval.timing;
+            history.push(record(Some(format!("remove {name}")), &arch, &system, &timing));
+            idx = i + 1;
         }
     }
 
     let satisfied = timing.ok();
-    Ok(OptimizationResult { arch, codegen, system, timing, history, satisfied })
+    Ok(OptimizationResult {
+        arch,
+        codegen,
+        system,
+        timing,
+        history,
+        satisfied,
+        budget_exhausted,
+    })
+}
+
+/// One evaluated candidate: its timing report and area, plus the
+/// compiled system when this evaluation actually compiled (memo-cache
+/// hits return `None` and the winner recompiles its one system).
+struct CandidateEval {
+    timing: TimingReport,
+    area: u32,
+    system: Option<CompiledSystem>,
+}
+
+/// The memo key of a candidate: every input `compile_system_from_ir` +
+/// `validate_timing` read besides the (per-call-constant) chart, IR and
+/// timing options — the full architecture (TEP configuration, encoding,
+/// replication, exclusion classes, timers, label) and the storage-class
+/// placement decisions.
+fn cache_key(arch: &PscpArch, codegen: &CodegenOptions) -> String {
+    format!("{arch:?}|{:?}", codegen.global_promotions)
+}
+
+/// Applies one improvement to an architecture/placement pair.
+fn apply_improvement(
+    improvement: &Improvement,
+    arch: &mut PscpArch,
+    codegen: &mut CodegenOptions,
+    ir: &Program,
+    options: &OptimizeOptions,
+) {
+    match improvement {
+        Improvement::EnableCodeOptimization => {
+            arch.tep.optimize_code = true;
+            arch.label = format!("{} + opt code", arch.label);
+        }
+        Improvement::PromoteGlobalsInternal => {
+            for slot in 0..ir.globals.len() as u32 {
+                codegen.global_promotions.insert(slot, StorageClass::Internal);
+            }
+            arch.tep.global_storage = StorageClass::Internal;
+            arch.label = format!("{} + int RAM", arch.label);
+        }
+        Improvement::PromoteGlobalsRegisters => {
+            for slot in hottest_scalar_globals(ir, arch.tep.register_file as usize) {
+                codegen.global_promotions.insert(slot, StorageClass::Register);
+            }
+            arch.label = format!("{} + reg globals", arch.label);
+        }
+        Improvement::AddComponent(c) => {
+            c.apply(&mut arch.tep);
+            arch.label = format!("{} + {c}", arch.label);
+        }
+        Improvement::ExtractCustomOps => {
+            arch.tep.custom_instructions = true;
+            arch.label = format!("{} + custom ops", arch.label);
+        }
+        Improvement::AddTep => {
+            arch.n_teps += 1;
+            arch.mutual_exclusion = options.mutual_exclusion.clone();
+            arch.label = format!("{} TEPs", arch.n_teps);
+        }
+    }
 }
 
 /// A hardware element the shrink phase may try to remove.
@@ -319,19 +468,23 @@ fn record(
     }
 }
 
-/// Picks the next improvement in increasing order of difficulty.
-fn next_improvement(
+/// All improvements applicable to an architecture, in increasing order
+/// of difficulty (the paper's §4 ordering). The head of this list is
+/// what the sequential loop would apply next; the parallel loop
+/// evaluates the whole list and reduces deterministically.
+fn applicable_improvements(
     arch: &PscpArch,
     ir: &Program,
     options: &OptimizeOptions,
-) -> Option<Improvement> {
+) -> Vec<Improvement> {
+    let mut out = Vec::new();
     // 1. Simple code optimisations first.
     if !arch.tep.optimize_code {
-        return Some(Improvement::EnableCodeOptimization);
+        out.push(Improvement::EnableCodeOptimization);
     }
     // 2. Storage promotion.
     if arch.tep.global_storage == StorageClass::External && !ir.globals.is_empty() {
-        return Some(Improvement::PromoteGlobalsInternal);
+        out.push(Improvement::PromoteGlobalsInternal);
     }
     // 3. Datapath patterns, cheap to expensive.
     let hist = program_histogram(ir);
@@ -350,7 +503,7 @@ fn next_improvement(
             Component::ExtraTep => false, // handled below
         };
         if useful {
-            return Some(Improvement::AddComponent(c));
+            out.push(Improvement::AddComponent(c));
         }
     }
     // 3b. Registers for the hottest globals once a register file exists.
@@ -359,17 +512,17 @@ fn next_improvement(
         && arch.tep.global_storage == StorageClass::Internal
         && !arch.label.contains("reg globals")
     {
-        return Some(Improvement::PromoteGlobalsRegisters);
+        out.push(Improvement::PromoteGlobalsRegisters);
     }
     // 4. Custom instructions.
     if !arch.tep.custom_instructions {
-        return Some(Improvement::ExtractCustomOps);
+        out.push(Improvement::ExtractCustomOps);
     }
     // 5. Last resort: replication.
     if arch.n_teps < options.max_teps {
-        return Some(Improvement::AddTep);
+        out.push(Improvement::AddTep);
     }
-    None
+    out
 }
 
 #[derive(Debug, Default)]
@@ -532,5 +685,42 @@ mod tests {
             optimize(&chart, &ir(), &PscpArch::minimal(), &OptimizeOptions::default()).unwrap();
         assert!(!r.satisfied);
         assert!(r.history.last().unwrap().violations > 0);
+        // The loop ran out of improvements, not steps.
+        assert!(!r.budget_exhausted);
+    }
+
+    #[test]
+    fn step_budget_exhaustion_is_flagged() {
+        let chart = demanding_chart(3); // impossible
+        let options = OptimizeOptions { max_steps: 2, ..OptimizeOptions::default() };
+        let r = optimize(&chart, &ir(), &PscpArch::minimal(), &options).unwrap();
+        assert!(!r.satisfied);
+        assert!(r.budget_exhausted, "cut off at 2 steps with violations left");
+        // 1 initial entry + exactly max_steps improvement entries.
+        assert_eq!(r.history.len(), 3);
+
+        // A satisfied run never reports an exhausted budget.
+        let loose = demanding_chart(1_000_000);
+        let r2 = optimize(&loose, &ir(), &PscpArch::minimal(), &options).unwrap();
+        assert!(r2.satisfied);
+        assert!(!r2.budget_exhausted);
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_history() {
+        let chart = demanding_chart(220);
+        let run = |threads: usize| {
+            let options =
+                OptimizeOptions { threads: Some(threads), ..OptimizeOptions::default() };
+            optimize(&chart, &ir(), &PscpArch::minimal(), &options).unwrap()
+        };
+        let sequential = run(1);
+        for threads in [2, 4, 8] {
+            let parallel = run(threads);
+            assert_eq!(parallel.history, sequential.history, "threads={threads}");
+            assert_eq!(parallel.arch, sequential.arch, "threads={threads}");
+            assert_eq!(parallel.timing, sequential.timing, "threads={threads}");
+            assert_eq!(parallel.satisfied, sequential.satisfied);
+        }
     }
 }

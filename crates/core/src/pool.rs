@@ -1,0 +1,371 @@
+//! Batched multi-scenario co-simulation.
+//!
+//! The paper's co-simulation (Fig. 7) exercises one scenario at a time;
+//! design-space exploration and regression sweeps want *many* — the
+//! same controller driven by different command streams, fault
+//! injections, or plant parameters. [`SimPool`] runs N independent
+//! scenarios of one [`CompiledSystem`] across a worker pool, each
+//! worker reusing a single [`PscpMachine`] via
+//! [`PscpMachine::reset`](crate::machine::PscpMachine::reset) instead
+//! of reconstructing it per scenario, and returns the per-scenario
+//! [`CycleReport`] streams in submission order.
+//!
+//! Scenarios are fully independent (separate machine state, separate
+//! environment), so the batch output is byte-identical for any worker
+//! count — `PSCP_THREADS=1` and `PSCP_THREADS=16` produce the same
+//! bytes, only wall-clock differs. The same worker-queue primitive
+//! ([`run_indexed`]) backs the parallel candidate evaluation in
+//! [`optimize`](crate::optimize::optimize).
+
+use crate::compile::CompiledSystem;
+use crate::machine::{CycleReport, Environment, MachineError, MachineStats, PscpMachine};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Parses a `PSCP_THREADS`-style value; `None`/unparsable/zero fall
+/// back to the machine's available parallelism.
+pub fn threads_from(var: Option<&str>) -> usize {
+    match var.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// The worker-pool width configured for this process: the
+/// `PSCP_THREADS` environment variable when set to a positive integer,
+/// otherwise the available hardware parallelism.
+pub fn configured_threads() -> usize {
+    threads_from(std::env::var("PSCP_THREADS").ok().as_deref())
+}
+
+/// Runs `f` over every job index on up to `threads` scoped workers
+/// pulling from a shared queue, returning results in job order. With
+/// `threads <= 1` (or a single job) no thread is spawned and the jobs
+/// run inline, so a one-worker pool is *exactly* the sequential loop.
+pub(crate) fn run_indexed<T, R, F>(jobs: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.iter().enumerate().map(|(i, job)| f(i, job)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(jobs.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let r = f(i, job);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+/// Run limits for one scenario of a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// Stop once the simulated clock reaches this many cycles.
+    pub deadline: u64,
+    /// Stop after this many configuration cycles.
+    pub max_steps: u64,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions { deadline: u64::MAX, max_steps: 1_000_000 }
+    }
+}
+
+/// The outcome of one scenario: everything the simulation produced plus
+/// the environment handed back so callers can read its recorded
+/// outputs (port writes, fault logs, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome<E> {
+    /// Per-configuration-cycle reports, in execution order.
+    pub reports: Vec<CycleReport>,
+    /// The machine statistics at scenario end.
+    pub stats: MachineStats,
+    /// Final simulated clock.
+    pub clock_cycles: u64,
+    /// The scenario's environment, returned by move.
+    pub env: E,
+    /// The fault that ended the scenario early, if any (the reports up
+    /// to the fault are kept).
+    pub error: Option<MachineError>,
+}
+
+/// A batch driver running independent scenarios of one compiled system
+/// across a configurable worker pool.
+#[derive(Debug, Clone)]
+pub struct SimPool {
+    threads: usize,
+}
+
+impl SimPool {
+    /// A pool sized by `PSCP_THREADS` (default: available parallelism).
+    pub fn new() -> Self {
+        SimPool { threads: configured_threads() }
+    }
+
+    /// A pool with an explicit worker count (minimum 1).
+    pub fn with_threads(threads: usize) -> Self {
+        SimPool { threads: threads.max(1) }
+    }
+
+    /// The worker count this pool dispatches on.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every scenario to its [`BatchOptions`] limits. Results come
+    /// back in submission order regardless of worker interleaving.
+    pub fn run_batch<E>(
+        &self,
+        system: &CompiledSystem,
+        envs: Vec<E>,
+        limits: &BatchOptions,
+    ) -> Vec<BatchOutcome<E>>
+    where
+        E: Environment + Send,
+    {
+        self.run_batch_until(system, envs, limits, |_, _, _| false)
+    }
+
+    /// Like [`SimPool::run_batch`], but also stops a scenario once
+    /// `done` returns true for the cycle just executed (the final
+    /// report is kept). `done` must be a pure function of its inputs
+    /// for the batch to stay deterministic across worker counts.
+    pub fn run_batch_until<E, F>(
+        &self,
+        system: &CompiledSystem,
+        envs: Vec<E>,
+        limits: &BatchOptions,
+        done: F,
+    ) -> Vec<BatchOutcome<E>>
+    where
+        E: Environment + Send,
+        F: Fn(&PscpMachine<'_>, &E, &CycleReport) -> bool + Sync,
+    {
+        if envs.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.threads.min(envs.len());
+        if threads <= 1 {
+            let mut machine = PscpMachine::new(system);
+            return envs
+                .into_iter()
+                .map(|env| run_scenario(&mut machine, env, limits, &done))
+                .collect();
+        }
+
+        let queue = AtomicUsize::new(0);
+        let feed: Vec<Mutex<Option<E>>> =
+            envs.into_iter().map(|e| Mutex::new(Some(e))).collect();
+        let slots: Vec<Mutex<Option<BatchOutcome<E>>>> =
+            feed.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    // One machine per worker, reset between scenarios.
+                    let mut machine = PscpMachine::new(system);
+                    loop {
+                        let i = queue.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = feed.get(i) else { break };
+                        let env = slot.lock().unwrap().take().expect("scenario taken once");
+                        let outcome = run_scenario(&mut machine, env, limits, &done);
+                        *slots[i].lock().unwrap() = Some(outcome);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+            .collect()
+    }
+}
+
+impl Default for SimPool {
+    fn default() -> Self {
+        SimPool::new()
+    }
+}
+
+/// Runs one scenario on a (dirty) machine after resetting it.
+fn run_scenario<E, F>(
+    machine: &mut PscpMachine<'_>,
+    mut env: E,
+    limits: &BatchOptions,
+    done: &F,
+) -> BatchOutcome<E>
+where
+    E: Environment,
+    F: Fn(&PscpMachine<'_>, &E, &CycleReport) -> bool,
+{
+    machine.reset();
+    let mut reports = Vec::new();
+    let mut error = None;
+    let mut steps = 0u64;
+    while machine.now() < limits.deadline && steps < limits.max_steps {
+        match machine.step(&mut env) {
+            Ok(report) => {
+                let stop = done(machine, &env, &report);
+                reports.push(report);
+                if stop {
+                    break;
+                }
+            }
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        }
+        steps += 1;
+    }
+    BatchOutcome {
+        reports,
+        stats: machine.stats().clone(),
+        clock_cycles: machine.now(),
+        env,
+        error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::PscpArch;
+    use crate::compile::compile_system;
+    use crate::machine::ScriptedEnvironment;
+    use pscp_statechart::{Chart, ChartBuilder, StateKind};
+    use pscp_tep::codegen::CodegenOptions;
+
+    fn counter_chart() -> Chart {
+        let mut b = ChartBuilder::new("counter");
+        b.event("TICK", Some(400));
+        b.condition("OVER", false);
+        b.state("Top", StateKind::Or).contains(["Run", "Stop"]).default_child("Run");
+        b.state("Run", StateKind::Basic)
+            .transition("Run", "TICK [not OVER]/Bump(5)")
+            .transition("Stop", "TICK [OVER]");
+        b.basic("Stop");
+        b.build().unwrap()
+    }
+
+    const COUNTER_ACTIONS: &str = r#"
+        int:16 total;
+        void Bump(int:16 n) {
+            total = total + n;
+            OVER = total >= 20;
+        }
+    "#;
+
+    fn system() -> crate::compile::CompiledSystem {
+        compile_system(
+            &counter_chart(),
+            COUNTER_ACTIONS,
+            &PscpArch::dual_md16(true),
+            &CodegenOptions::default(),
+        )
+        .unwrap()
+    }
+
+    fn scenarios(n: usize) -> Vec<ScriptedEnvironment> {
+        (0..n)
+            .map(|i| {
+                // Scenario i ticks on a different sparse cadence.
+                let script: Vec<Vec<&str>> = (0..12)
+                    .map(|k| if k % (1 + i % 3) == 0 { vec!["TICK"] } else { vec![] })
+                    .collect();
+                ScriptedEnvironment::new(script)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_reference() {
+        let sys = system();
+        let limits = BatchOptions { deadline: u64::MAX, max_steps: 12 };
+        // Reference: a fresh machine per scenario, no pool.
+        let reference: Vec<_> = scenarios(7)
+            .into_iter()
+            .map(|mut env| {
+                let mut m = PscpMachine::new(&sys);
+                let mut reports = Vec::new();
+                for _ in 0..12 {
+                    reports.push(m.step(&mut env).unwrap());
+                }
+                (reports, m.stats().clone(), m.now())
+            })
+            .collect();
+        for threads in [1, 2, 4] {
+            let got =
+                SimPool::with_threads(threads).run_batch(&sys, scenarios(7), &limits);
+            assert_eq!(got.len(), reference.len());
+            for (out, (reports, stats, clock)) in got.iter().zip(&reference) {
+                assert_eq!(&out.reports, reports, "threads={threads}");
+                assert_eq!(&out.stats, stats, "threads={threads}");
+                assert_eq!(&out.clock_cycles, clock, "threads={threads}");
+                assert!(out.error.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn done_predicate_stops_scenarios() {
+        let sys = system();
+        let stop_state = sys.chart.state_by_name("Stop").unwrap();
+        let limits = BatchOptions { deadline: u64::MAX, max_steps: 1_000 };
+        let envs: Vec<_> =
+            (0..4).map(|_| ScriptedEnvironment::new(vec![vec!["TICK"]; 1_000])).collect();
+        let out = SimPool::with_threads(2).run_batch_until(
+            &sys,
+            envs,
+            &limits,
+            |m, _, _| m.executor().configuration().is_active(stop_state),
+        );
+        for o in &out {
+            // 4 bumps of 5 reach 20, the 5th tick sees OVER and stops.
+            assert_eq!(o.reports.len(), 5);
+            assert_eq!(o.stats.transitions, 5);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let sys = system();
+        let out = SimPool::with_threads(4)
+            .run_batch::<ScriptedEnvironment>(&sys, Vec::new(), &BatchOptions::default());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn threads_from_parses_env_shapes() {
+        assert_eq!(threads_from(Some("3")), 3);
+        assert_eq!(threads_from(Some(" 8 ")), 8);
+        let fallback = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(threads_from(Some("0")), fallback);
+        assert_eq!(threads_from(Some("lots")), fallback);
+        assert_eq!(threads_from(None), fallback);
+    }
+
+    #[test]
+    fn run_indexed_preserves_order() {
+        let jobs: Vec<usize> = (0..37).collect();
+        for threads in [1, 3, 8] {
+            let out = run_indexed(&jobs, threads, |i, &j| {
+                assert_eq!(i, j);
+                j * 10
+            });
+            assert_eq!(out, (0..37).map(|j| j * 10).collect::<Vec<_>>());
+        }
+    }
+}

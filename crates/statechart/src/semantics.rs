@@ -325,6 +325,29 @@ impl<'c> Executor<'c> {
         }
     }
 
+    /// Returns the executor to its post-construction state — default
+    /// configuration, conditions at their declared reset values, no
+    /// pending internal events, history memory cleared — while keeping
+    /// the resolved-expression arenas built by [`Executor::new`]. A
+    /// reset executor behaves byte-identically to a freshly constructed
+    /// one.
+    pub fn reset(&mut self) {
+        let chart = self.chart;
+        self.config.active.iter_mut().for_each(|a| *a = false);
+        self.history_memory.iter_mut().for_each(|h| *h = None);
+        enter_with_defaults(
+            chart,
+            chart.root(),
+            &mut self.config.active,
+            &mut Vec::new(),
+            &self.history_memory,
+        );
+        self.conditions.clear();
+        self.conditions.extend(chart.conditions().map(|c| c.initial));
+        self.pending_internal.clear();
+        self.cycle = 0;
+    }
+
     /// The remembered child of a shallow-history OR-state, if any.
     pub fn history_of(&self, s: StateId) -> Option<StateId> {
         self.history_memory[s.index()]
@@ -872,6 +895,40 @@ mod tests {
         let r = e.step_named(Vec::<&str>::new(), no_effects);
         assert_eq!(r.actions.len(), 1);
         assert!(e.configuration().is_active(c.state_by_name("Run").unwrap()));
+    }
+
+    #[test]
+    fn reset_matches_fresh_executor() {
+        let c = motorish();
+        let all: Vec<String> = c.events().map(|ev| ev.name.clone()).collect();
+        let walk = |e: &mut Executor| {
+            let mut seed = 0xdeadbeefu64;
+            let mut trace = Vec::new();
+            for _ in 0..100 {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let mask = seed >> 32;
+                let evs: Vec<&str> = all
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, n)| n.as_str())
+                    .collect();
+                let r = e.step_named(evs, no_effects);
+                trace.push((r.fired.clone(), r.entered.clone(), r.exited.clone()));
+            }
+            trace
+        };
+        let mut fresh = Executor::new(&c);
+        let reference = walk(&mut fresh);
+        // A dirtied then reset executor replays the identical trace.
+        let mut reused = Executor::new(&c);
+        walk(&mut reused);
+        reused.reset();
+        assert_eq!(reused.cycle(), 0);
+        assert_eq!(walk(&mut reused), reference);
+        assert!(reused.configuration().is_consistent(&c));
     }
 
     #[test]

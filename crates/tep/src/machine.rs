@@ -118,6 +118,21 @@ impl<'p> TepMachine<'p> {
         self
     }
 
+    /// Full power-on reset: zeroes every register and memory word,
+    /// clears the cycle and retired counters, and reloads the globals'
+    /// reset values. A reset machine behaves byte-identically to one
+    /// built by [`TepMachine::new`]; the memory allocations are reused.
+    pub fn reset(&mut self) {
+        self.acc = 0;
+        self.op = 0;
+        self.regs.iter_mut().for_each(|r| *r = 0);
+        self.iram.iter_mut().for_each(|w| *w = 0);
+        self.xram.iter_mut().for_each(|w| *w = 0);
+        self.cycles = 0;
+        self.retired = 0;
+        self.reset_globals();
+    }
+
     /// Reinitialises all globals to their reset values.
     pub fn reset_globals(&mut self) {
         for g in &self.program.globals {
@@ -459,6 +474,36 @@ mod tests {
         let mut i = Interp::new(&ir);
         let mut h = RecordingHost::new();
         i.call(func, args, &mut h).unwrap().unwrap_or(0)
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let src = r#"
+            int:16 total = 7;
+            int:16 scratch;
+            void Bump(int:16 n) { scratch = scratch + n; total = total + scratch; }
+        "#;
+        let ir = pscp_action_lang::compile(src).unwrap();
+        let p = compile_program(&ir, &TepArch::md16_optimized(), &CodegenOptions::default());
+        let mut m = TepMachine::new(&p);
+        let mut h = RecordingHost::new();
+        m.call("Bump", &[3], &mut h).unwrap();
+        m.call("Bump", &[4], &mut h).unwrap();
+        assert_ne!(m.global_by_name("total"), Some(7));
+        assert!(m.cycles() > 0);
+        m.reset();
+        assert_eq!(m.global_by_name("total"), Some(7));
+        assert_eq!(m.global_by_name("scratch"), Some(0));
+        assert_eq!(m.cycles(), 0);
+        assert_eq!(m.retired(), 0);
+        // The reset machine replays the fresh machine's exact trace.
+        let fresh_cost = {
+            let mut f = TepMachine::new(&p);
+            f.call("Bump", &[3], &mut h).unwrap();
+            (f.cycles(), f.global_by_name("total"))
+        };
+        m.call("Bump", &[3], &mut h).unwrap();
+        assert_eq!((m.cycles(), m.global_by_name("total")), fresh_cost);
     }
 
     fn differential(src: &str, func: &str, cases: &[Vec<i64>]) {
