@@ -1,22 +1,26 @@
 //! Fixed-workload performance smoke test.
 //!
 //! Runs the PR-1 hot-path workloads (SLA evaluation, configuration
-//! cycles, one full pick-and-place co-sim move) plus the PR-2 breadth
-//! workloads (parallel design-space exploration, batched multi-scenario
-//! co-simulation) with plain wall-clock timing and writes
-//! `BENCH_2.json` into the current directory so the perf trajectory is
-//! tracked across PRs.
+//! cycles, one full pick-and-place co-sim move), the PR-2 batched
+//! co-simulation sweep, and the PR-3 incremental-revalidation
+//! workloads with plain wall-clock timing, and writes `BENCH_3.json`
+//! into the current directory so the perf trajectory is tracked across
+//! PRs.
 //!
-//! The `pscp_config_cycles` microbench hoists machine construction out
-//! of the timed region (the BENCH_1 number was dominated by
-//! construction, not simulation) and reports the two costs separately.
+//! The PR-3 comparison is algorithmic, not parallel: `dse_explore`
+//! runs the same single-threaded design-space exploration twice — once
+//! re-running the full §4 DFS per candidate, once revalidating from
+//! the shared `TimingGraph` dirty set — and `memo_store` compares a
+//! cold run against one warm-started from the persisted candidate
+//! memo, plus a corrupted-file probe that must degrade to a cold
+//! start.
 //!
 //! Run with `cargo run --release -p pscp-bench --bin bench-smoke`.
 
 use pscp_bench::{example_system, pickup_head_inputs};
 use pscp_core::arch::PscpArch;
 use pscp_core::machine::{PscpMachine, ScriptedEnvironment};
-use pscp_core::optimize::{optimize, OptimizeOptions};
+use pscp_core::optimize::{optimize, MemoPersistence, OptimizationResult, OptimizeOptions};
 use pscp_core::pool::{BatchOptions, SimPool};
 use pscp_motors::head::{Move, SmdHead};
 use pscp_sla::sim::SlaSim;
@@ -24,6 +28,7 @@ use pscp_sla::synth::synthesize;
 use pscp_statechart::encoding::{CrLayout, EncodingStyle};
 use pscp_statechart::semantics::Executor;
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Pre-optimisation baselines, measured on this machine with the seed's
@@ -124,24 +129,76 @@ fn cosim_one_move() -> (f64, u64, u64) {
     (secs, configs, sim_cycles)
 }
 
-/// Design-space exploration of the pickup-head system from the minimal
-/// architecture: (1-worker seconds, n-worker seconds, histories
-/// identical, steps recorded).
-fn dse_explore(workers: usize) -> (f64, f64, bool, usize) {
-    let (chart, ir) = pickup_head_inputs();
-    let run = |threads: usize| {
-        let options = OptimizeOptions { threads: Some(threads), ..OptimizeOptions::default() };
-        optimize(&chart, &ir, &PscpArch::minimal(), &options).expect("optimize")
+/// One single-threaded pickup-head exploration from the minimal
+/// architecture, with the validation strategy and memo policy under
+/// test.
+fn dse_run(
+    chart: &pscp_statechart::Chart,
+    ir: &pscp_action_lang::ir::Program,
+    incremental: bool,
+    memo: MemoPersistence,
+) -> OptimizationResult {
+    let options = OptimizeOptions {
+        threads: Some(1),
+        incremental,
+        verify_incremental: false,
+        memo,
+        ..OptimizeOptions::default()
     };
+    optimize(chart, ir, &PscpArch::minimal(), &options).expect("optimize")
+}
+
+/// Full-DFS-per-candidate vs incremental dirty-set revalidation, both
+/// single-threaded (the win is algorithmic, not parallel): (full
+/// seconds, incremental seconds, results identical, steps recorded).
+fn dse_explore() -> (f64, f64, bool, usize) {
+    let (chart, ir) = pickup_head_inputs();
     let mut steps = 0;
-    let one = time(2, || {
-        let r = run(1);
+    let full_s = time(2, || {
+        let r = dse_run(&chart, &ir, false, MemoPersistence::Disabled);
         steps = r.history.len();
         r.satisfied
     });
-    let many = time(2, || run(workers).satisfied);
-    let identical = run(1).history == run(workers).history;
-    (one, many, identical, steps)
+    let inc_s = time(2, || dse_run(&chart, &ir, true, MemoPersistence::Disabled).satisfied);
+    let a = dse_run(&chart, &ir, false, MemoPersistence::Disabled);
+    let b = dse_run(&chart, &ir, true, MemoPersistence::Disabled);
+    let identical = a.history == b.history
+        && serde_json::to_string(&a.timing).unwrap() == serde_json::to_string(&b.timing).unwrap();
+    (full_s, inc_s, identical, steps)
+}
+
+/// Cold vs warm memo-store exploration, plus the corruption probe:
+/// (cold seconds, warm seconds, warm result == cold result, corrupted
+/// file degraded to a working cold run).
+fn memo_store(path: &PathBuf) -> (f64, f64, bool, bool) {
+    let (chart, ir) = pickup_head_inputs();
+    let _ = std::fs::remove_file(path);
+
+    // Cold: one genuine first run — every candidate compiles.
+    let start = Instant::now();
+    let cold_result = dse_run(&chart, &ir, true, MemoPersistence::Path(path.clone()));
+    let cold_s = start.elapsed().as_secs_f64();
+
+    // Warm: every run starts from the persisted candidate memo.
+    let mut warm_result = None;
+    let warm_s = time(2, || {
+        warm_result = Some(dse_run(&chart, &ir, true, MemoPersistence::Path(path.clone())));
+    });
+    let identical = warm_result
+        .map(|w| {
+            w.history == cold_result.history
+                && serde_json::to_string(&w.timing).unwrap()
+                    == serde_json::to_string(&cold_result.timing).unwrap()
+        })
+        .unwrap_or(false);
+
+    // Corruption probe: a clobbered memo file must mean a cold start,
+    // never a failure.
+    std::fs::write(path, "definitely not json").expect("clobber memo file");
+    let corrupt = dse_run(&chart, &ir, true, MemoPersistence::Path(path.clone()));
+    let corrupt_ok = corrupt.history == cold_result.history;
+    let _ = std::fs::remove_file(path);
+    (cold_s, warm_s, identical, corrupt_ok)
 }
 
 /// A 16-scenario pick-and-place sweep through `SimPool`: (1-worker
@@ -186,26 +243,28 @@ fn batch_cosim(workers: usize) -> (f64, f64, bool, usize) {
 
 fn main() {
     let wall = Instant::now();
-    // The comparison is pinned at 4 workers (PSCP_THREADS overrides) so
-    // the parallel path is exercised even on narrow hosts; the speedup
-    // only materialises when the hardware has the cores to back it.
+    // The batch comparison is pinned at 4 workers (PSCP_THREADS
+    // overrides) so the parallel path is exercised even on narrow
+    // hosts; the speedup only materialises with the cores to back it.
     let workers = std::env::var("PSCP_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(4);
+    let memo_path = PathBuf::from("target").join("pscp-bench-memo.json");
     let sla_excl = sla_eval_us(EncodingStyle::Exclusivity);
     let sla_onehot = sla_eval_us(EncodingStyle::OneHot);
     let (construct_us, steady_us) = config_cycles_us();
     let (cosim_s, configs, sim_cycles) = cosim_one_move();
-    let (dse_one, dse_many, dse_identical, dse_steps) = dse_explore(workers);
+    let (dse_full, dse_inc, dse_identical, dse_steps) = dse_explore();
+    let (memo_cold, memo_warm, memo_identical, memo_corrupt_ok) = memo_store(&memo_path);
     let (batch_one, batch_many, batch_identical, batch_n) = batch_cosim(workers);
 
     let configs_per_sec = configs as f64 / cosim_s;
     let sim_cycles_per_sec = sim_cycles as f64 / cosim_s;
     let json = format!(
         r#"{{
-  "bench": 2,
+  "bench": 3,
   "workers": {workers},
   "workloads": {{
     "sla_eval": {{
@@ -229,12 +288,21 @@ fn main() {
       "configs_per_sec": {configs_per_sec:.0},
       "sim_cycles_per_sec": {sim_cycles_per_sec:.0}
     }},
-    "dse_explore": {{
-      "one_worker_ms": {dse_one_ms:.3},
-      "n_worker_ms": {dse_many_ms:.3},
-      "speedup": {dse_speedup:.2},
-      "histories_identical": {dse_identical},
+    "dse_explore_full": {{
+      "ms": {dse_full_ms:.3},
       "history_steps": {dse_steps}
+    }},
+    "dse_explore_incremental": {{
+      "ms": {dse_inc_ms:.3},
+      "speedup_vs_full": {dse_speedup:.2},
+      "results_identical": {dse_identical}
+    }},
+    "memo_store": {{
+      "cold_ms": {memo_cold_ms:.3},
+      "warm_ms": {memo_warm_ms:.3},
+      "warm_speedup": {memo_speedup:.2},
+      "warm_results_identical": {memo_identical},
+      "corrupt_file_cold_start_ok": {memo_corrupt_ok}
     }},
     "batch_cosim": {{
       "scenarios": {batch_n},
@@ -256,14 +324,17 @@ fn main() {
         cosim_ms = cosim_s * 1e3,
         bcosim = baseline::COSIM_MS,
         scosim = baseline::COSIM_MS / (cosim_s * 1e3),
-        dse_one_ms = dse_one * 1e3,
-        dse_many_ms = dse_many * 1e3,
-        dse_speedup = dse_one / dse_many,
+        dse_full_ms = dse_full * 1e3,
+        dse_inc_ms = dse_inc * 1e3,
+        dse_speedup = dse_full / dse_inc,
+        memo_cold_ms = memo_cold * 1e3,
+        memo_warm_ms = memo_warm * 1e3,
+        memo_speedup = memo_cold / memo_warm,
         batch_one_ms = batch_one * 1e3,
         batch_many_ms = batch_many * 1e3,
         batch_speedup = batch_one / batch_many,
         wall_s = wall.elapsed().as_secs_f64(),
     );
-    std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
+    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
     print!("{json}");
 }

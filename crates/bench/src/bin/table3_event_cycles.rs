@@ -18,13 +18,16 @@ fn main() {
     // Keep the per-event maximum cycles plus all distinct short ones,
     // mirroring the granularity of the paper's table.
     let mut shown = 0;
-    let mut seen_paths: Vec<Vec<String>> = Vec::new();
+    let mut seen_paths: Vec<Vec<pscp_statechart::StateId>> = Vec::new();
     for c in &report.cycles {
         if seen_paths.contains(&c.path) {
             continue;
         }
         seen_paths.push(c.path.clone());
-        t.row([format!("{{{}}}", c.path.join(", ")), c.length.to_string()]);
+        t.row([
+            format!("{{{}}}", c.path_names(&sys.chart).join(", ")),
+            c.length.to_string(),
+        ]);
         shown += 1;
         if shown >= 24 {
             break;
@@ -41,9 +44,12 @@ fn main() {
 
     // The structural endpoints of the paper's cycles must all appear.
     for name in ["Idle1", "OpReady", "NoData", "RunX", "RunY", "RunPhi"] {
+        let id = sys.chart.state_by_name(name).unwrap();
         assert!(
-            report.cycles.iter().any(|c| c.path.first().map(String::as_str) == Some(name)
-                || c.path.last().map(String::as_str) == Some(name)),
+            report
+                .cycles
+                .iter()
+                .any(|c| c.path.first() == Some(&id) || c.path.last() == Some(&id)),
             "no cycle touches {name}"
         );
     }

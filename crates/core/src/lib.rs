@@ -42,4 +42,7 @@ pub use arch::PscpArch;
 pub use compile::{compile_system, CompiledSystem};
 pub use machine::PscpMachine;
 pub use pool::{BatchOptions, BatchOutcome, SimPool};
-pub use timing::{validate_timing, EventCycle, TimingReport};
+pub use timing::{
+    validate_timing, validate_timing_full, EventCycle, TimingEval, TimingGraph,
+    TimingReport,
+};

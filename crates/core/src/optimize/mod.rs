@@ -33,20 +33,40 @@
 //! count, and the remaining evaluations ride along as a prefetched
 //! view of the whole candidate frontier. A content-keyed memo cache
 //! (architecture + storage placement → timing report + area) makes any
-//! repeated candidate content free of recompilation.
+//! repeated candidate content free of recompilation; see [`memo`] for
+//! the stable key derivation and the optional cross-run persistence.
+//!
+//! ## Incremental revalidation
+//!
+//! The timing structure — consumer states, enumerated event-cycle
+//! paths, the sibling-bound tree — is identical for every candidate;
+//! only the per-transition costs and the TEP count vary. The loop
+//! builds one [`TimingGraph`] up front and revalidates each candidate
+//! from the *dirty set* (transitions whose cost changed against the
+//! current base), re-pricing only the cycles and bounds that delta can
+//! reach ([`TimingGraph::revalidate`]). The incremental report is
+//! byte-identical to the full §4 DFS; with
+//! [`OptimizeOptions::verify_incremental`] a differential oracle
+//! asserts exactly that on every candidate.
 
 pub mod custom;
+pub mod memo;
+
+pub use memo::{MemoEntry, MemoPersistence, MemoStore};
 
 use crate::arch::PscpArch;
 use crate::area::pscp_area;
 use crate::compile::{compile_system_from_ir, CompiledSystem, SystemError};
 use crate::library::Component;
-use crate::timing::{validate_timing, TimingOptions, TimingReport};
+use crate::timing::{
+    transition_costs, validate_timing_full, wcet_report, EventCycle, TimingEval,
+    TimingGraph, TimingOptions, TimingReport,
+};
 use pscp_action_lang::ir::{Inst as IrInst, Program};
 use pscp_tep::codegen::CodegenOptions;
 use pscp_tep::StorageClass;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
 
 /// One improvement the optimiser can apply.
@@ -127,6 +147,17 @@ pub struct OptimizeOptions {
     /// microoperations", §1). Each removal is kept only when the timing
     /// constraints still hold and the area shrank.
     pub shrink: bool,
+    /// Revalidate candidates incrementally from the shared
+    /// [`TimingGraph`] (dirty-set re-pricing) instead of re-running the
+    /// full §4 DFS per candidate. The two are byte-identical; this
+    /// switch exists for the differential bench and as an escape hatch.
+    pub incremental: bool,
+    /// Run the differential oracle: assert every incremental candidate
+    /// report equals the full DFS. Defaults on for debug builds (so the
+    /// test suite exercises the oracle everywhere) and off for release.
+    pub verify_incremental: bool,
+    /// Candidate memo persistence across runs.
+    pub memo: MemoPersistence,
 }
 
 impl Default for OptimizeOptions {
@@ -139,6 +170,9 @@ impl Default for OptimizeOptions {
             threads: None,
             catalog: Component::catalog(),
             shrink: true,
+            incremental: true,
+            verify_incremental: cfg!(debug_assertions),
+            memo: MemoPersistence::Default,
         }
     }
 }
@@ -162,6 +196,10 @@ pub struct OptimizationResult {
     /// ran out while violations remained — the exploration was cut
     /// short, not proven infeasible.
     pub budget_exhausted: bool,
+    /// When the budget was exhausted, the surviving worst event-cycle
+    /// per violated event, so callers can act on the offending paths
+    /// (empty otherwise).
+    pub exhausted_worst_cycles: Vec<EventCycle>,
 }
 
 /// Runs the iterative improvement loop from a starting architecture.
@@ -179,25 +217,66 @@ pub fn optimize(
     let mut arch = start.clone();
     let mut codegen = CodegenOptions::default();
     let mut system = compile_system_from_ir(chart, ir, &arch, &codegen)?;
-    let mut timing = validate_timing(&system, &options.timing);
+
+    // The timing IR: one structural build shared by every candidate.
+    // Candidates never change the chart or the interrupt-event set, so
+    // only the cost table and the TEP count vary per evaluation.
+    let graph = TimingGraph::build(&system, &options.timing);
+    let wcet = wcet_report(&system, &options.timing);
+    let mut base_eval = graph.evaluate(transition_costs(&system, &wcet), arch.n_teps);
+    let mut timing = if options.incremental {
+        graph.report(&base_eval)
+    } else {
+        validate_timing_full(&system, &options.timing)
+    };
     let mut history = vec![record(None, &arch, &system, &timing)];
 
-    // Content-keyed memo cache: architecture + storage placement →
-    // (timing report, area). Workers share it; a candidate whose
-    // content was already evaluated never recompiles.
-    let cache: Mutex<HashMap<String, (TimingReport, u32)>> = Mutex::new(HashMap::new());
+    // Content-keyed memo cache: a stable hash of (chart, IR, timing
+    // options, architecture, storage placement) → (timing report,
+    // area). Workers share it; a candidate whose content was already
+    // evaluated — this run or, with persistence, a previous one —
+    // never recompiles.
+    let store = Mutex::new(MemoStore::open(&options.memo));
+    let fingerprint = memo::fingerprint(chart, ir, &options.timing);
     let evaluate = |cand_arch: &PscpArch,
-                    cand_codegen: &CodegenOptions|
+                    cand_codegen: &CodegenOptions,
+                    base: &TimingEval|
      -> Result<CandidateEval, SystemError> {
-        let key = cache_key(cand_arch, cand_codegen);
-        if let Some((timing, area)) = cache.lock().unwrap().get(&key).cloned() {
-            return Ok(CandidateEval { timing, area, system: None });
+        let key = memo::cache_key(&fingerprint, cand_arch, cand_codegen);
+        if let Some(entry) = store.lock().unwrap().get(&key) {
+            return Ok(CandidateEval {
+                timing: entry.timing.clone(),
+                area: entry.area,
+                system: None,
+                eval: None,
+            });
         }
         let sys = compile_system_from_ir(chart, ir, cand_arch, cand_codegen)?;
-        let timing = validate_timing(&sys, &options.timing);
+        let use_incremental = options.incremental && graph.matches(&sys, &options.timing);
+        let (timing, eval) = if use_incremental {
+            let wcet = wcet_report(&sys, &options.timing);
+            let ev = graph.revalidate(base, transition_costs(&sys, &wcet), cand_arch.n_teps);
+            let report = graph.report(&ev);
+            (report, Some(ev))
+        } else {
+            (validate_timing_full(&sys, &options.timing), None)
+        };
+        if use_incremental && options.verify_incremental {
+            // Differential oracle: the dirty-set revalidation must be
+            // byte-identical to the full §4 DFS.
+            let full = validate_timing_full(&sys, &options.timing);
+            assert_eq!(
+                timing, full,
+                "incremental timing diverged from full DFS for '{}'",
+                cand_arch.label
+            );
+        }
         let area = pscp_area(&sys).total().0;
-        cache.lock().unwrap().insert(key, (timing.clone(), area));
-        Ok(CandidateEval { timing, area, system: Some(sys) })
+        store
+            .lock()
+            .unwrap()
+            .insert(key, MemoEntry { timing: timing.clone(), area });
+        Ok(CandidateEval { timing, area, system: Some(sys), eval })
     };
 
     let mut steps = 0usize;
@@ -220,7 +299,7 @@ pub fn optimize(
             })
             .collect();
         let mut evals = crate::pool::run_indexed(&staged, threads, |_, (_, a, c)| {
-            evaluate(a, c)
+            evaluate(a, c, &base_eval)
         });
 
         // Deterministic reduction: the candidate first in the fixed
@@ -243,11 +322,23 @@ pub fn optimize(
         // registered fused ops for subsequent area accounting.
         arch.tep.custom_ops = new_system.arch.tep.custom_ops.clone();
         system = new_system;
+        // The winner's evaluation becomes the next round's dirty-set
+        // base; memo hits re-price from the recompiled system.
+        if options.incremental {
+            base_eval = match eval.eval {
+                Some(ev) => ev,
+                None => {
+                    let wcet = wcet_report(&system, &options.timing);
+                    graph.evaluate(transition_costs(&system, &wcet), arch.n_teps)
+                }
+            };
+        }
         timing = eval.timing;
         history.push(record(Some(improvement.to_string()), &arch, &system, &timing));
     }
 
     let budget_exhausted = !timing.ok() && steps >= options.max_steps;
+    let mut exhausted_worst_cycles: Vec<EventCycle> = Vec::new();
     if budget_exhausted {
         eprintln!(
             "pscp-core::optimize: step budget ({}) exhausted with {} remaining violation(s)",
@@ -257,8 +348,21 @@ pub fn optimize(
         for v in &timing.violations {
             eprintln!(
                 "  {}: worst cycle {} > period {} via {:?}",
-                v.event, v.worst, v.period, v.path
+                v.event,
+                v.worst,
+                v.period,
+                v.path_names(&system.chart)
             );
+            // Surface the surviving worst cycle itself, not just a log
+            // line, so callers can act on the offending path.
+            if let Some(worst) = timing
+                .cycles
+                .iter()
+                .filter(|c| c.event == v.event)
+                .max_by_key(|c| c.length)
+            {
+                exhausted_worst_cycles.push(worst.clone());
+            }
         }
     }
 
@@ -280,7 +384,7 @@ pub fn optimize(
                 })
                 .collect();
             let evals = crate::pool::run_indexed(&staged, threads, |_, (_, cand)| {
-                evaluate(cand, &codegen)
+                evaluate(cand, &codegen, &base_eval)
             });
             // Scan in fixed order for the first removal that keeps the
             // constraints and strictly shrinks area; candidates the
@@ -307,11 +411,22 @@ pub fn optimize(
             cand.tep.custom_ops = new_system.arch.tep.custom_ops.clone();
             arch = cand;
             system = new_system;
+            if options.incremental {
+                base_eval = match eval.eval {
+                    Some(ev) => ev,
+                    None => {
+                        let wcet = wcet_report(&system, &options.timing);
+                        graph.evaluate(transition_costs(&system, &wcet), arch.n_teps)
+                    }
+                };
+            }
             timing = eval.timing;
             history.push(record(Some(format!("remove {name}")), &arch, &system, &timing));
             idx = i + 1;
         }
     }
+
+    store.into_inner().unwrap().save();
 
     let satisfied = timing.ok();
     Ok(OptimizationResult {
@@ -322,25 +437,20 @@ pub fn optimize(
         history,
         satisfied,
         budget_exhausted,
+        exhausted_worst_cycles,
     })
 }
 
 /// One evaluated candidate: its timing report and area, plus the
 /// compiled system when this evaluation actually compiled (memo-cache
-/// hits return `None` and the winner recompiles its one system).
+/// hits return `None` and the winner recompiles its one system) and
+/// the graph evaluation when the incremental path priced it (the
+/// winner's becomes the next round's dirty-set base).
 struct CandidateEval {
     timing: TimingReport,
     area: u32,
     system: Option<CompiledSystem>,
-}
-
-/// The memo key of a candidate: every input `compile_system_from_ir` +
-/// `validate_timing` read besides the (per-call-constant) chart, IR and
-/// timing options — the full architecture (TEP configuration, encoding,
-/// replication, exclusion classes, timers, label) and the storage-class
-/// placement decisions.
-fn cache_key(arch: &PscpArch, codegen: &CodegenOptions) -> String {
-    format!("{arch:?}|{:?}", codegen.global_promotions)
+    eval: Option<TimingEval>,
 }
 
 /// Applies one improvement to an architecture/placement pair.

@@ -7,6 +7,14 @@
 //! reaches a consumer state again. The combined step costs of the path
 //! bound how long the chart can be busy before it can consume the next
 //! occurrence of the event.
+//!
+//! The search itself is purely *structural*: which paths exist depends
+//! only on the chart and the depth cap, never on the per-transition
+//! costs. [`enumerate_event_cycles`] produces those raw [`CyclePath`]s
+//! once; costing them is a separate, cheap pass — this split is what
+//! lets the [`TimingGraph`](crate::timing::graph::TimingGraph) reuse
+//! one enumeration across every candidate of a design-space
+//! exploration.
 
 use crate::compile::CompiledSystem;
 use crate::timing::bounds::sibling_penalties;
@@ -15,12 +23,17 @@ use pscp_statechart::{Chart, StateId, TransitionId};
 use serde::{Deserialize, Serialize};
 
 /// One event cycle, Table 3 style.
+///
+/// The path is stored as interned [`StateId`]s; resolve to names only
+/// at display time via [`EventCycle::path_names`] or
+/// [`EventCycle::display`] — the hot validation loop never touches
+/// strings.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EventCycle {
     /// The constrained event.
     pub event: String,
-    /// Visited state names, consumer to consumer.
-    pub path: Vec<String>,
+    /// Visited states, consumer to consumer.
+    pub path: Vec<StateId>,
     /// Transitions taken.
     pub transitions: Vec<TransitionId>,
     /// Total length in cycles (step costs + parallel-sibling penalties,
@@ -29,10 +42,28 @@ pub struct EventCycle {
 }
 
 impl EventCycle {
-    /// `{A, B, C}  length` rendering as in Table 3.
-    pub fn display(&self) -> String {
-        format!("{{{}}} {}", self.path.join(", "), self.length)
+    /// The path resolved to state names.
+    pub fn path_names(&self, chart: &Chart) -> Vec<String> {
+        self.path.iter().map(|&s| chart.state(s).name.clone()).collect()
     }
+
+    /// `{A, B, C}  length` rendering as in Table 3.
+    pub fn display(&self, chart: &Chart) -> String {
+        let names: Vec<&str> =
+            self.path.iter().map(|&s| chart.state(s).name.as_str()).collect();
+        format!("{{{}}} {}", names.join(", "), self.length)
+    }
+}
+
+/// One structural event-cycle path: the states visited (consumer to
+/// consumer, one more entry than transitions) and the transitions
+/// taken. Step `k` fires `transitions[k]` while at `states[k]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CyclePath {
+    /// Visited states.
+    pub states: Vec<StateId>,
+    /// Transitions taken.
+    pub transitions: Vec<TransitionId>,
 }
 
 /// States with an outgoing transition consuming `event`.
@@ -53,6 +84,10 @@ pub fn consumer_states(chart: &Chart, event: &str) -> Vec<StateId> {
 /// Cost of taking transition `t` from `at`: the transition's own cost
 /// plus the parallel-sibling bounds, distributed over the PSCP's TEPs
 /// (makespan lower bound: `max(largest piece, ceil(total/m))`).
+///
+/// This is the reference (re-walking) implementation; the
+/// [`TimingGraph`](crate::timing::graph::TimingGraph) evaluates the
+/// same formula from precomputed sibling-bound tables.
 pub fn step_cost<F>(
     system: &CompiledSystem,
     cost_of: &F,
@@ -86,7 +121,33 @@ where
     own.max(total.div_ceil(m))
 }
 
-/// Finds the event cycles for one event.
+/// Enumerates every structural event-cycle path for one event, up to
+/// `max_depth` transitions, in DFS discovery order.
+pub fn enumerate_event_cycles(
+    chart: &Chart,
+    event: &str,
+    max_depth: usize,
+) -> Vec<CyclePath> {
+    let consumers = consumer_states(chart, event);
+    let mut paths = Vec::new();
+    for &start in &consumers {
+        let mut path_states = vec![start];
+        let mut path_transitions = Vec::new();
+        dfs(
+            chart,
+            &consumers,
+            start,
+            max_depth,
+            &mut path_states,
+            &mut path_transitions,
+            &mut paths,
+        );
+    }
+    paths
+}
+
+/// Finds the event cycles for one event: structural enumeration plus
+/// the per-step costing, sorted by length descending then path.
 pub fn event_cycles<F>(
     system: &CompiledSystem,
     event: &str,
@@ -96,30 +157,34 @@ pub fn event_cycles<F>(
 where
     F: Fn(TransitionId) -> u64,
 {
-    let chart = &system.chart;
-    let consumers = consumer_states(chart, event);
-    let mut cycles = Vec::new();
+    let paths = enumerate_event_cycles(&system.chart, event, options.max_depth);
+    let mut cycles: Vec<EventCycle> = paths
+        .into_iter()
+        .map(|p| {
+            let length = p
+                .states
+                .iter()
+                .zip(&p.transitions)
+                .map(|(&s, &t)| step_cost(system, cost_of, s, t))
+                .sum();
+            EventCycle {
+                event: event.to_string(),
+                path: p.states,
+                transitions: p.transitions,
+                length,
+            }
+        })
+        .collect();
+    sort_and_dedup_cycles(&mut cycles);
+    cycles
+}
 
-    for &start in &consumers {
-        let mut path_states = vec![start];
-        let mut path_transitions = Vec::new();
-        dfs(
-            system,
-            event,
-            cost_of,
-            &consumers,
-            start,
-            0,
-            options.max_depth,
-            &mut path_states,
-            &mut path_transitions,
-            &mut cycles,
-        );
-    }
-    // Deterministic order: by length descending, then path.
+/// Deterministic cycle order: by length descending, then path; exact
+/// duplicates (same path and length) collapse. Shared by the reference
+/// walker and the graph evaluator so their reports stay byte-identical.
+pub(crate) fn sort_and_dedup_cycles(cycles: &mut Vec<EventCycle>) {
     cycles.sort_by(|a, b| b.length.cmp(&a.length).then_with(|| a.path.cmp(&b.path)));
     cycles.dedup_by(|a, b| a.path == b.path && a.length == b.length);
-    cycles
 }
 
 /// Transitions a step can take from `state`: its own outgoing plus the
@@ -134,55 +199,37 @@ fn steps_from(chart: &Chart, state: StateId) -> Vec<TransitionId> {
     out
 }
 
-#[allow(clippy::too_many_arguments)]
-fn dfs<F>(
-    system: &CompiledSystem,
-    event: &str,
-    cost_of: &F,
+fn dfs(
+    chart: &Chart,
     consumers: &[StateId],
     at: StateId,
-    acc: u64,
     depth_left: usize,
     path_states: &mut Vec<StateId>,
     path_transitions: &mut Vec<TransitionId>,
-    cycles: &mut Vec<EventCycle>,
-) where
-    F: Fn(TransitionId) -> u64,
-{
+    paths: &mut Vec<CyclePath>,
+) {
     if depth_left == 0 {
         return;
     }
-    let chart = &system.chart;
     for t in steps_from(chart, at) {
         let target = chart.transition(t).target;
-        let cost = step_cost(system, cost_of, at, t);
-        let total = acc + cost;
         path_transitions.push(t);
         if consumers.contains(&target) {
-            let mut names: Vec<String> =
-                path_states.iter().map(|&s| chart.state(s).name.clone()).collect();
-            names.push(chart.state(target).name.clone());
-            cycles.push(EventCycle {
-                event: event.to_string(),
-                path: names,
-                transitions: path_transitions.clone(),
-                length: total,
-            });
+            let mut states = path_states.clone();
+            states.push(target);
+            paths.push(CyclePath { states, transitions: path_transitions.clone() });
             // A consumer closes this cycle; do not extend further —
             // longer paths are covered by cycles starting at `target`.
         } else if !path_states.contains(&target) {
             path_states.push(target);
             dfs(
-                system,
-                event,
-                cost_of,
+                chart,
                 consumers,
                 target,
-                total,
                 depth_left - 1,
                 path_states,
                 path_transitions,
-                cycles,
+                paths,
             );
             path_states.pop();
         }
@@ -245,10 +292,24 @@ mod tests {
         let cycles = event_cycles(&sys, "E", &cost, &TimingOptions::default());
         // A -> B -> C -> A: 100 + 200 + 50 = 350.
         assert!(
-            cycles.iter().any(|c| c.length == 350 && c.path == ["A", "B", "C", "A"]),
+            cycles.iter().any(|c| c.length == 350
+                && c.path_names(&sys.chart) == ["A", "B", "C", "A"]),
             "cycles: {:?}",
-            cycles.iter().map(EventCycle::display).collect::<Vec<_>>()
+            cycles.iter().map(|c| c.display(&sys.chart)).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn enumeration_is_structural() {
+        // The same chart with different costs enumerates the same paths.
+        let chart = costed_chart();
+        let paths = enumerate_event_cycles(&chart, "E", 8);
+        assert!(!paths.is_empty());
+        for p in &paths {
+            assert_eq!(p.states.len(), p.transitions.len() + 1);
+        }
+        // No costs were consulted: a second enumeration is identical.
+        assert_eq!(paths, enumerate_event_cycles(&chart, "E", 8));
     }
 
     #[test]
@@ -300,11 +361,11 @@ mod tests {
         let cost = |t: TransitionId| sys.chart.transition(t).explicit_cost.unwrap_or(0);
         let cycles = event_cycles(&sys, "E", &cost, &TimingOptions::default());
         assert!(
-            cycles
-                .iter()
-                .any(|c| c.path == ["NoData", "ErrState", "Idle1"] && c.length == 80),
+            cycles.iter().any(|c| c.path_names(&sys.chart)
+                == ["NoData", "ErrState", "Idle1"]
+                && c.length == 80),
             "cycles: {:?}",
-            cycles.iter().map(EventCycle::display).collect::<Vec<_>>()
+            cycles.iter().map(|c| c.display(&sys.chart)).collect::<Vec<_>>()
         );
     }
 

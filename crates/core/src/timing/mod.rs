@@ -20,13 +20,15 @@
 
 pub mod bounds;
 pub mod cycles;
+pub mod graph;
 
 pub use bounds::subtree_bound;
 pub use cycles::{event_cycles, EventCycle};
+pub use graph::{TimingEval, TimingGraph};
 
 use crate::compile::CompiledSystem;
 use crate::machine::overhead;
-use pscp_statechart::TransitionId;
+use pscp_statechart::{Chart, StateId, TransitionId};
 use pscp_tep::timing::WcetReport;
 use pscp_tep::WcetAnalysis;
 use serde::{Deserialize, Serialize};
@@ -55,8 +57,16 @@ pub struct Violation {
     pub period: u64,
     /// Worst event-cycle length found.
     pub worst: u64,
-    /// The offending cycle's state names.
-    pub path: Vec<String>,
+    /// The offending cycle's states (interned; resolve with
+    /// [`Violation::path_names`]).
+    pub path: Vec<StateId>,
+}
+
+impl Violation {
+    /// The offending cycle's path resolved to state names.
+    pub fn path_names(&self, chart: &Chart) -> Vec<String> {
+        self.path.iter().map(|&s| chart.state(s).name.clone()).collect()
+    }
 }
 
 /// Result of validating a compiled system.
@@ -130,11 +140,37 @@ pub fn wcet_report(system: &CompiledSystem, options: &TimingOptions) -> WcetRepo
         .analyze(&system.program)
 }
 
+/// The full per-transition cost table of a system under one WCET
+/// report, indexed by `TransitionId::index`. This is the only
+/// cost-bearing input of the timing validation — two candidates with
+/// equal tables (and TEP counts) have identical timing reports.
+pub fn transition_costs(system: &CompiledSystem, wcet: &WcetReport) -> Vec<u64> {
+    system.chart.transition_ids().map(|t| transition_cost(system, wcet, t)).collect()
+}
+
 /// Validates every event with an arrival-period constraint.
+///
+/// Builds the [`TimingGraph`] timing IR and prices it once. Callers
+/// validating many cost variants of one structure (the optimiser)
+/// should build the graph themselves and use
+/// [`TimingGraph::revalidate`] between candidates.
 pub fn validate_timing(system: &CompiledSystem, options: &TimingOptions) -> TimingReport {
+    let graph = TimingGraph::build(system, options);
     let wcet = wcet_report(system, options);
-    let costs: Vec<u64> =
-        system.chart.transition_ids().map(|t| transition_cost(system, &wcet, t)).collect();
+    let eval = graph.evaluate(transition_costs(system, &wcet), system.arch.n_teps);
+    graph.report(&eval)
+}
+
+/// Reference implementation of [`validate_timing`]: re-walks the chart
+/// per event with the §4 DFS instead of evaluating the graph. Kept as
+/// the differential oracle — the graph path is pinned byte-identical
+/// to this one.
+pub fn validate_timing_full(
+    system: &CompiledSystem,
+    options: &TimingOptions,
+) -> TimingReport {
+    let wcet = wcet_report(system, options);
+    let costs = transition_costs(system, &wcet);
     let cost_of = |t: TransitionId| costs[t.index()];
 
     let mut all_cycles = Vec::new();
@@ -227,6 +263,26 @@ mod tests {
         let wcet = wcet_report(&sys, &TimingOptions::default());
         let t0 = chart.transition_ids().next().unwrap();
         assert_eq!(transition_cost(&sys, &wcet, t0), 7);
+    }
+
+    #[test]
+    fn graph_path_matches_reference_walk() {
+        for period in [100_000, 10] {
+            let chart = chain_chart(period);
+            let sys = compile_system(
+                &chart,
+                ACTIONS,
+                &PscpArch::md16_unoptimized(),
+                &CodegenOptions::default(),
+            )
+            .unwrap();
+            let options = TimingOptions::default();
+            assert_eq!(
+                validate_timing(&sys, &options),
+                validate_timing_full(&sys, &options),
+                "period {period}"
+            );
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::arch::TepArch;
 use crate::codegen::TepProgram;
 use crate::isa::{AsmFunction, AsmInst, Instr};
 use crate::microcode::{micro_len, InstrKind};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-instruction cycle-cost model for one architecture.
 #[derive(Debug, Clone)]
@@ -89,12 +89,56 @@ impl CostModel {
 pub struct WcetReport {
     /// Per-function worst-case cycles (including callees).
     pub per_function: BTreeMap<String, u64>,
+    /// Cost provenance: the instruction kinds each routine's WCET
+    /// depends on, callees included. A routine's WCET can only change
+    /// between two architectures/code generations if the per-cycle cost
+    /// of one of these kinds changes or the routine's instruction
+    /// stream itself changes — incremental consumers use this to reason
+    /// about which architectural knobs touch which routines.
+    pub provenance: BTreeMap<String, BTreeSet<InstrKind>>,
 }
 
 impl WcetReport {
     /// WCET of a routine by name.
     pub fn of(&self, name: &str) -> Option<u64> {
         self.per_function.get(name).copied()
+    }
+
+    /// The instruction kinds a routine's WCET depends on (callees
+    /// included), if the routine exists.
+    pub fn depends_on(&self, name: &str) -> Option<&BTreeSet<InstrKind>> {
+        self.provenance.get(name)
+    }
+
+    /// Routines whose WCET may be affected by a cost change to any of
+    /// `kinds`, in name order.
+    pub fn affected_by<'a>(
+        &'a self,
+        kinds: &'a BTreeSet<InstrKind>,
+    ) -> impl Iterator<Item = &'a str> + 'a {
+        self.provenance
+            .iter()
+            .filter(|(_, deps)| !deps.is_disjoint(kinds))
+            .map(|(name, _)| name.as_str())
+    }
+
+    /// Routines present in either report whose WCET differs between
+    /// `self` and `other`.
+    pub fn changed_routines<'a>(
+        &'a self,
+        other: &'a WcetReport,
+    ) -> impl Iterator<Item = &'a str> + 'a {
+        self.per_function
+            .iter()
+            .filter(move |(name, w)| other.of(name) != Some(**w))
+            .map(|(name, _)| name.as_str())
+            .chain(
+                other
+                    .per_function
+                    .keys()
+                    .filter(|name| !self.per_function.contains_key(*name))
+                    .map(|name| name.as_str()),
+            )
     }
 }
 
@@ -129,7 +173,10 @@ impl WcetAnalysis {
     /// programs).
     pub fn analyze(&self, program: &TepProgram) -> WcetReport {
         let mut per_function: BTreeMap<String, u64> = BTreeMap::new();
+        let mut provenance: BTreeMap<String, BTreeSet<InstrKind>> = BTreeMap::new();
         let mut done: Vec<Option<u64>> = vec![None; program.functions.len()];
+        let mut kinds_done: Vec<Option<BTreeSet<InstrKind>>> =
+            vec![None; program.functions.len()];
 
         // Iterate to fixpoint in bounded passes (call graph is a DAG, so
         // |functions| passes suffice).
@@ -142,6 +189,9 @@ impl WcetAnalysis {
                 if let Some(w) = self.function_wcet(f, &done, program) {
                     done[fi] = Some(w);
                     per_function.insert(f.name.clone(), w);
+                    let kinds = function_kinds(f, &kinds_done);
+                    provenance.insert(f.name.clone(), kinds.clone());
+                    kinds_done[fi] = Some(kinds);
                     progressed = true;
                 }
             }
@@ -153,7 +203,7 @@ impl WcetAnalysis {
             done.iter().all(Option::is_some),
             "call graph not a DAG or dangling callee"
         );
-        WcetReport { per_function }
+        WcetReport { per_function, provenance }
     }
 
     /// WCET of a single function given already-computed callees; `None`
@@ -177,6 +227,23 @@ impl WcetAnalysis {
         let _ = program;
         Some(range_wcet(&f.code, &costs, 0, f.code.len(), bound))
     }
+}
+
+/// The instruction kinds a function's WCET depends on: its own
+/// instructions plus (transitively) those of every callee. Callees are
+/// resolved in the same fixpoint order as the WCET itself, so a
+/// function's kinds are only computed once all its callees' are known.
+fn function_kinds(f: &AsmFunction, callees: &[Option<BTreeSet<InstrKind>>]) -> BTreeSet<InstrKind> {
+    let mut kinds = BTreeSet::new();
+    for inst in &f.code {
+        kinds.insert(InstrKind::of(&inst.instr));
+        if let Instr::Call(target) = inst.instr {
+            if let Some(Some(callee)) = callees.get(target as usize) {
+                kinds.extend(callee.iter().copied());
+            }
+        }
+    }
+    kinds
 }
 
 /// Longest-path cost of `code[lo..hi)` with back edges collapsed into
@@ -428,6 +495,71 @@ mod tests {
         let wu = wcet_of(func(code.clone(), None), &unopt);
         let wo = wcet_of(func(code, None), &opt);
         assert!(wo < wu, "peepholed microcode must be faster: {wo} vs {wu}");
+    }
+
+    #[test]
+    fn provenance_tracks_instruction_kinds() {
+        let arch = TepArch::md16_unoptimized();
+        let code = vec![
+            inst(Instr::Ldi(1)),
+            inst(Instr::Tao),
+            inst(Instr::Alu(AluOp::Mul)),
+            inst(Instr::Return),
+        ];
+        let program = TepProgram::for_tests(vec![func(code, None)], arch.clone());
+        let report = WcetAnalysis::new(&arch).analyze(&program);
+        let deps = report.depends_on("t").expect("provenance recorded");
+        for k in [InstrKind::Ldi, InstrKind::Tao, InstrKind::AluMul, InstrKind::Return] {
+            assert!(deps.contains(&k), "missing {k:?} in {deps:?}");
+        }
+        assert!(!deps.contains(&InstrKind::AluDiv));
+        // affected_by finds the routine through any of its kinds.
+        let probe: std::collections::BTreeSet<InstrKind> = [InstrKind::AluMul].into();
+        assert_eq!(report.affected_by(&probe).collect::<Vec<_>>(), vec!["t"]);
+        let miss: std::collections::BTreeSet<InstrKind> = [InstrKind::AluShift].into();
+        assert_eq!(report.affected_by(&miss).count(), 0);
+    }
+
+    #[test]
+    fn provenance_includes_callee_kinds() {
+        let arch = TepArch::md16_unoptimized();
+        let leaf = AsmFunction {
+            name: "leaf".into(),
+            param_count: 0,
+            frame: Vec::new(),
+            code: vec![inst(Instr::Alu(AluOp::Div)), inst(Instr::Return)],
+            loop_bound: None,
+        };
+        let top = AsmFunction {
+            name: "top".into(),
+            param_count: 0,
+            frame: Vec::new(),
+            code: vec![inst(Instr::Call(0)), inst(Instr::Return)],
+            loop_bound: None,
+        };
+        let program = TepProgram::for_tests(vec![leaf, top], arch.clone());
+        let report = WcetAnalysis::new(&arch).analyze(&program);
+        let top_deps = report.depends_on("top").unwrap();
+        assert!(top_deps.contains(&InstrKind::AluDiv), "callee kinds propagate");
+        assert!(top_deps.contains(&InstrKind::Call));
+        assert!(!report.depends_on("leaf").unwrap().contains(&InstrKind::Call));
+    }
+
+    #[test]
+    fn changed_routines_diffs_reports() {
+        let unopt = TepArch::md16_unoptimized();
+        let opt = TepArch::md16_optimized();
+        let code = vec![
+            inst(Instr::Load(Storage::Internal(0))),
+            inst(Instr::Alu(AluOp::Add)),
+            inst(Instr::Return),
+        ];
+        let pu = TepProgram::for_tests(vec![func(code.clone(), None)], unopt.clone());
+        let po = TepProgram::for_tests(vec![func(code, None)], opt.clone());
+        let ru = WcetAnalysis::new(&unopt).analyze(&pu);
+        let ro = WcetAnalysis::new(&opt).analyze(&po);
+        assert_eq!(ru.changed_routines(&ro).collect::<Vec<_>>(), vec!["t"]);
+        assert_eq!(ru.changed_routines(&ru).count(), 0);
     }
 
     #[test]

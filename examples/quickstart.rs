@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.violations.len()
     );
     for c in report.cycles.iter().take(4) {
-        println!("  {}", c.display());
+        println!("  {}", c.display(&system.chart));
     }
 
     // 3. Run it.

@@ -11,11 +11,13 @@ cargo test --workspace -q
 cargo clippy --all-targets -p pscp-statechart -p pscp-sla -p pscp-tep \
     -p pscp-core -p pscp-bench -- -D warnings
 
-# Perf smoke: the bench binary must run and report the PR-2 workloads.
-# This asserts presence, not thresholds — speedups depend on host cores.
+# Perf smoke: the bench binary must run and report the PR-3 workloads.
+# This asserts presence, not thresholds — speedups depend on the host.
 cargo run --release -p pscp-bench --bin bench-smoke > /dev/null
-test -f BENCH_2.json
-grep -q '"dse_explore"' BENCH_2.json
-grep -q '"batch_cosim"' BENCH_2.json
+test -f BENCH_3.json
+grep -q '"dse_explore_incremental"' BENCH_3.json
+grep -q '"dse_explore_full"' BENCH_3.json
+grep -q '"memo_store"' BENCH_3.json
+grep -q '"batch_cosim"' BENCH_3.json
 
 echo "tier1: OK"
