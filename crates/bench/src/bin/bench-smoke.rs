@@ -3,9 +3,16 @@
 //! Runs the PR-1 hot-path workloads (SLA evaluation, configuration
 //! cycles, one full pick-and-place co-sim move), the PR-2 batched
 //! co-simulation sweep, and the PR-3 incremental-revalidation
-//! workloads with plain wall-clock timing, and writes `BENCH_3.json`
+//! workloads with plain wall-clock timing, and writes `BENCH_4.json`
 //! into the current directory so the perf trajectory is tracked across
 //! PRs.
+//!
+//! PR-4 adds the observability cost ledger: the co-sim move is re-timed
+//! with obs off, metrics-only, and metrics+trace, and the measured
+//! overheads go into the JSON (`obs_overhead_pct`,
+//! `trace_overhead_pct`). A metrics-on exploration + batch run also
+//! dumps its counter snapshot to `BENCH_4_metrics.json` so the obs
+//! report tooling has a fixture.
 //!
 //! The PR-3 comparison is algorithmic, not parallel: `dse_explore`
 //! runs the same single-threaded design-space exploration twice — once
@@ -241,8 +248,60 @@ fn batch_cosim(workers: usize) -> (f64, f64, bool, usize) {
     (one, many, identical, SCENARIOS)
 }
 
+/// Re-times the co-sim move under each obs configuration and collects
+/// a metrics snapshot from an instrumented exploration + batch run:
+/// (metrics-only seconds, metrics+trace seconds, snapshot JSON).
+fn obs_ledger(workers: usize) -> (f64, f64, String) {
+    pscp_obs::set_flags(pscp_obs::METRICS);
+    let (metrics_s, _, _) = cosim_one_move();
+
+    pscp_obs::trace::clear();
+    pscp_obs::set_flags(pscp_obs::METRICS | pscp_obs::TRACE);
+    let (trace_s, _, _) = cosim_one_move();
+    pscp_obs::trace::clear();
+
+    // Snapshot fixture: a fresh metrics-only exploration plus a small
+    // batch, so every counter family has a chance to be nonzero.
+    pscp_obs::set_flags(pscp_obs::METRICS);
+    pscp_obs::metrics::reset_all();
+    let (chart, ir) = pickup_head_inputs();
+    let options = OptimizeOptions {
+        threads: Some(workers),
+        verify_incremental: false,
+        memo: MemoPersistence::Disabled,
+        ..OptimizeOptions::default()
+    };
+    optimize(&chart, &ir, &PscpArch::minimal(), &options).expect("optimize");
+    let sys = example_system(&PscpArch::dual_md16(true));
+    let idle1 = sys.chart.state_by_name("Idle1").unwrap();
+    let scenarios: Vec<SmdHead> = (0..workers)
+        .map(|i| {
+            let i = i as u16;
+            SmdHead::with_moves(&[Move { x: 10 + i, y: 8 + i, phi: 5 + i % 4 }])
+        })
+        .collect();
+    SimPool::with_threads(workers).run_batch_until(
+        &sys,
+        scenarios,
+        &BatchOptions { deadline: u64::MAX, max_steps: 500_000 },
+        |m, head, _| {
+            head.pending_bytes() == 0
+                && head.all_idle()
+                && m.executor().configuration().is_active(idle1)
+        },
+    );
+    let snapshot = pscp_obs::metrics::snapshot().to_json();
+
+    pscp_obs::set_flags(0);
+    (metrics_s, trace_s, snapshot)
+}
+
 fn main() {
     let wall = Instant::now();
+    // Pin the obs flags off for the baseline workloads — overheads are
+    // measured explicitly below, and a PSCP_OBS left over in the
+    // environment must not skew the trajectory numbers.
+    pscp_obs::set_flags(0);
     // The batch comparison is pinned at 4 workers (PSCP_THREADS
     // overrides) so the parallel path is exercised even on narrow
     // hosts; the speedup only materialises with the cores to back it.
@@ -259,12 +318,13 @@ fn main() {
     let (dse_full, dse_inc, dse_identical, dse_steps) = dse_explore();
     let (memo_cold, memo_warm, memo_identical, memo_corrupt_ok) = memo_store(&memo_path);
     let (batch_one, batch_many, batch_identical, batch_n) = batch_cosim(workers);
+    let (obs_metrics_s, obs_trace_s, metrics_snapshot) = obs_ledger(workers);
 
     let configs_per_sec = configs as f64 / cosim_s;
     let sim_cycles_per_sec = sim_cycles as f64 / cosim_s;
     let json = format!(
         r#"{{
-  "bench": 3,
+  "bench": 4,
   "workers": {workers},
   "workloads": {{
     "sla_eval": {{
@@ -310,6 +370,13 @@ fn main() {
       "n_worker_ms": {batch_many_ms:.3},
       "speedup": {batch_speedup:.2},
       "outputs_identical": {batch_identical}
+    }},
+    "obs": {{
+      "cosim_off_ms": {cosim_ms:.3},
+      "cosim_metrics_ms": {obs_metrics_ms:.3},
+      "cosim_trace_ms": {obs_trace_ms:.3},
+      "obs_overhead_pct": {obs_overhead_pct:.2},
+      "trace_overhead_pct": {trace_overhead_pct:.2}
     }}
   }},
   "wall_seconds_total": {wall_s:.2}
@@ -333,8 +400,14 @@ fn main() {
         batch_one_ms = batch_one * 1e3,
         batch_many_ms = batch_many * 1e3,
         batch_speedup = batch_one / batch_many,
+        obs_metrics_ms = obs_metrics_s * 1e3,
+        obs_trace_ms = obs_trace_s * 1e3,
+        obs_overhead_pct = (obs_metrics_s / cosim_s - 1.0) * 100.0,
+        trace_overhead_pct = (obs_trace_s / cosim_s - 1.0) * 100.0,
         wall_s = wall.elapsed().as_secs_f64(),
     );
-    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
+    std::fs::write("BENCH_4.json", &json).expect("write BENCH_4.json");
+    std::fs::write("BENCH_4_metrics.json", &metrics_snapshot)
+        .expect("write BENCH_4_metrics.json");
     print!("{json}");
 }

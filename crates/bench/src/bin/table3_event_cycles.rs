@@ -7,11 +7,53 @@
 use pscp_bench::{example_system, example_timing, table3_paper_values};
 use pscp_core::arch::PscpArch;
 use pscp_core::report::Table;
+use pscp_obs::json::JsonWriter;
 
 fn main() {
     let arch = PscpArch::md16_unoptimized();
     let sys = example_system(&arch);
     let report = example_timing(&sys);
+
+    // `--json` emits the machine-readable form on stdout — same
+    // bucket-free scalar shape as the pscp-obs metrics snapshot
+    // (`{"counters": {...}}` plus the cycle list) so one parser covers
+    // both.
+    if std::env::args().any(|a| a == "--json") {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        w.key("cycles_detected");
+        w.u64(report.cycles.len() as u64);
+        w.key("violations");
+        w.u64(report.violations.len() as u64);
+        w.end_object();
+        w.key("arch");
+        w.string(&arch.label);
+        w.key("cycles");
+        w.begin_array();
+        let mut seen_paths: Vec<Vec<pscp_statechart::StateId>> = Vec::new();
+        for c in &report.cycles {
+            if seen_paths.contains(&c.path) {
+                continue;
+            }
+            seen_paths.push(c.path.clone());
+            w.begin_object();
+            w.key("path");
+            w.begin_array();
+            for name in c.path_names(&sys.chart) {
+                w.string(&name);
+            }
+            w.end_array();
+            w.key("length");
+            w.u64(c.length);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        println!("{}", w.finish());
+        return;
+    }
 
     println!("Table 3: Event Cycles ({})\n", arch.label);
     let mut t = Table::new(["Cycle", "Length"]);

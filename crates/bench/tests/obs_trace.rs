@@ -1,0 +1,68 @@
+//! With `PSCP_OBS=trace` a multi-worker batch must come back as a valid
+//! Chrome `trace_event` document with one named lane per worker. Runs
+//! the pickup-head example across a 4-worker [`SimPool`] and checks the
+//! exported JSON with the crate's own parser.
+//!
+//! Single `#[test]`: the trace collector is process-global, and a
+//! sibling test running concurrently would add lanes of its own.
+
+use pscp_core::arch::PscpArch;
+use pscp_core::machine::ScriptedEnvironment;
+use pscp_core::pool::{BatchOptions, SimPool};
+use pscp_obs::json;
+
+#[test]
+fn batch_trace_exports_worker_lanes() {
+    pscp_obs::set_flags(pscp_obs::TRACE);
+    pscp_obs::trace::clear();
+
+    let system = pscp_bench::example_system(&PscpArch::md16_optimized());
+    let scenarios: Vec<ScriptedEnvironment> = (0..8)
+        .map(|i| {
+            let mut script = vec![vec!["POWER"]];
+            for _ in 0..=i {
+                script.push(vec!["DATA_VALID"]);
+                script.push(vec![]);
+            }
+            ScriptedEnvironment::new(script)
+        })
+        .collect();
+    let outcomes = SimPool::with_threads(4).run_batch(
+        &system,
+        scenarios,
+        &BatchOptions { deadline: u64::MAX, max_steps: 64 },
+    );
+    assert_eq!(outcomes.len(), 8);
+
+    let trace = pscp_obs::trace::export_chrome_trace();
+    pscp_obs::set_flags(pscp_obs::env_flags());
+
+    let doc = json::parse(&trace).expect("trace JSON parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    let lanes: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+        .filter_map(|e| e.get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str()))
+        .collect();
+    assert!(
+        lanes.iter().filter(|l| l.starts_with("sim-worker")).count() >= 2,
+        "expected >= 2 sim-worker lanes under 4 workers, got {lanes:?}"
+    );
+    let spans = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .count();
+    assert!(spans >= 8, "expected >= 8 scenario spans, got {spans}");
+    assert!(
+        events.iter().any(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                && e.get("name").and_then(|n| n.as_str()) == Some("scenario")
+        }),
+        "no `scenario` span in trace"
+    );
+
+    pscp_obs::trace::clear();
+}

@@ -1,0 +1,94 @@
+//! Golden test for the VCD waveform probe: a two-state toggle chart is
+//! run with the probe attached and the dump is compared byte-for-byte
+//! against a checked-in golden file. The dumper is deterministic by
+//! construction (no `$date`/`$version` headers, change-only emission),
+//! so any drift in signal declaration order, id codes, or timestamping
+//! shows up here.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test -p pscp-bench --test
+//! obs_vcd` (only when a format change is intended).
+
+use pscp_core::arch::PscpArch;
+use pscp_core::compile::compile_system;
+use pscp_core::machine::{PscpMachine, ScriptedEnvironment};
+use pscp_statechart::parse::parse_chart;
+use pscp_tep::codegen::CodegenOptions;
+use std::path::PathBuf;
+
+const CHART: &str = r#"
+    chart Toggle;
+    event TICK period 2000;
+    condition HIGH;
+
+    orstate Top {
+        contains Low, High;
+        default Low;
+    }
+    basicstate Low {
+        transition { target High; label "TICK/Up()"; }
+    }
+    basicstate High {
+        transition { target Low; label "TICK [HIGH]/Down()"; }
+    }
+"#;
+
+const ACTIONS: &str = r#"
+    port OUT : 8 @ 0x20 out;
+    int:16 phase;
+
+    void Up() { phase = phase + 1; HIGH = 1; OUT = 1; }
+    void Down() { phase = phase + 1; OUT = 0; }
+"#;
+
+fn render() -> String {
+    let chart = parse_chart(CHART).expect("chart parses");
+    let arch = PscpArch::minimal();
+    let system = compile_system(&chart, ACTIONS, &arch, &CodegenOptions::default())
+        .expect("system compiles");
+    let mut machine = PscpMachine::new(&system);
+    machine.attach_vcd();
+    let mut env = ScriptedEnvironment::new(vec![
+        vec!["TICK"],
+        vec![],
+        vec!["TICK"],
+        vec!["TICK"],
+        vec![],
+        vec!["TICK"],
+    ]);
+    for _ in 0..6 {
+        machine.step(&mut env).expect("cycle executes");
+    }
+    machine.detach_vcd().expect("probe was attached")
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/toggle.vcd")
+}
+
+#[test]
+fn toggle_waveform_matches_golden() {
+    let got = render();
+    // Structural sanity independent of the golden bytes.
+    assert!(got.starts_with("$timescale 1 ns $end\n"), "header: {got}");
+    assert!(got.contains("$var wire 1"), "no 1-bit wires declared:\n{got}");
+    assert!(got.contains("st_Low"), "state signal missing:\n{got}");
+    assert!(got.contains("ev_TICK"), "event signal missing:\n{got}");
+    assert!(got.contains("cond_HIGH"), "condition signal missing:\n{got}");
+    assert!(got.contains("tep0_busy"), "TEP signal missing:\n{got}");
+    assert!(got.contains("$dumpvars"), "no baseline dump:\n{got}");
+
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1", path.display())
+    });
+    assert!(
+        got == want,
+        "VCD dump diverged from {}.\n--- golden ---\n{want}\n--- current ---\n{got}",
+        path.display()
+    );
+}

@@ -27,6 +27,10 @@
 //!   block breakdown for the floorplanner (Fig. 8).
 //! * [`report`] — plain-text table rendering for the experiment
 //!   harness.
+//! * [`obs`] — re-export of `pscp-obs`: gated metrics, span tracing
+//!   with Chrome `trace_event` export, and VCD waveform capture
+//!   (`PSCP_OBS=metrics,trace,vcd`; everything off — and the hot path
+//!   allocation-free — by default).
 
 pub mod arch;
 pub mod area;
@@ -37,6 +41,8 @@ pub mod optimize;
 pub mod pool;
 pub mod report;
 pub mod timing;
+
+pub use pscp_obs as obs;
 
 pub use arch::PscpArch;
 pub use compile::{compile_system, CompiledSystem};

@@ -22,9 +22,10 @@
 
 use crate::compile::{ArgSpec, CompiledSystem};
 use pscp_action_lang::interp::Host;
+use pscp_obs::vcd::{SignalId, VcdWriter};
 use pscp_statechart::intern::{ConditionNamesRef, EventNamesRef};
 use pscp_statechart::semantics::{ActionEffects, ActionSite, Executor};
-use pscp_statechart::{ConditionId, EventId, TransitionId};
+use pscp_statechart::{ConditionId, EventId, StateId, TransitionId};
 use pscp_tep::machine::{TepError, TepMachine};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -195,6 +196,89 @@ struct StepScratch {
     tep_load: Vec<u64>,
 }
 
+/// Opt-in waveform capture: one VCD sample per configuration cycle,
+/// taken at the cycle's end time — per-state activity bits, sampled
+/// event bits, condition bits, per-TEP busy flags, timer remainders
+/// and the cycle length. Attached with [`PscpMachine::attach_vcd`];
+/// the machine pays one pointer test per step while detached.
+#[derive(Debug)]
+struct VcdProbe {
+    writer: VcdWriter,
+    states: Vec<(StateId, SignalId)>,
+    events: Vec<(EventId, SignalId)>,
+    conditions: Vec<(ConditionId, SignalId)>,
+    teps: Vec<SignalId>,
+    timers: Vec<SignalId>,
+    cycle_len: SignalId,
+}
+
+impl VcdProbe {
+    fn new(system: &CompiledSystem, exec: &Executor<'_>) -> Self {
+        let chart = &system.chart;
+        let mut writer = VcdWriter::new();
+        let states: Vec<_> = chart
+            .state_ids()
+            .filter(|&s| s != chart.root())
+            .map(|s| {
+                let sig = writer.add_signal(&format!("st_{}", chart.state(s).name), 1);
+                (s, sig)
+            })
+            .collect();
+        let events: Vec<_> = chart
+            .event_ids()
+            .map(|e| (e, writer.add_signal(&format!("ev_{}", chart.event(e).name), 1)))
+            .collect();
+        let conditions: Vec<_> = chart
+            .condition_ids()
+            .map(|c| (c, writer.add_signal(&format!("cond_{}", chart.condition(c).name), 1)))
+            .collect();
+        let teps: Vec<_> = (0..system.arch.n_teps.max(1))
+            .map(|i| writer.add_signal(&format!("tep{i}_busy"), 1))
+            .collect();
+        let timers: Vec<_> =
+            (0..system.arch.timers.len()).map(|i| writer.add_signal(&format!("timer{i}"), 32)).collect();
+        let cycle_len = writer.add_signal("cycle_len", 32);
+        // Initial values: the reset configuration, nothing sampled,
+        // everything idle.
+        for &(s, sig) in &states {
+            writer.change(sig, exec.configuration().is_active(s) as u64);
+        }
+        for &(c, sig) in &conditions {
+            writer.change(sig, exec.condition(c) as u64);
+        }
+        VcdProbe { writer, states, events, conditions, teps, timers, cycle_len }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        t: u64,
+        exec: &Executor<'_>,
+        sampled: &BTreeSet<EventId>,
+        tep_load: &[u64],
+        timers: &[Option<u64>],
+        report: &CycleReport,
+    ) {
+        self.writer.set_time(t);
+        for &(s, sig) in &self.states {
+            self.writer.change(sig, exec.configuration().is_active(s) as u64);
+        }
+        for &(e, sig) in &self.events {
+            self.writer.change(sig, sampled.contains(&e) as u64);
+        }
+        for &(c, sig) in &self.conditions {
+            self.writer.change(sig, exec.condition(c) as u64);
+        }
+        for (i, &sig) in self.teps.iter().enumerate() {
+            self.writer.change(sig, (tep_load.get(i).copied().unwrap_or(0) > 0) as u64);
+        }
+        for (i, &sig) in self.timers.iter().enumerate() {
+            self.writer.change(sig, timers.get(i).copied().flatten().unwrap_or(0));
+        }
+        self.writer.change(self.cycle_len, report.cycle_length);
+    }
+}
+
 /// The PSCP machine.
 pub struct PscpMachine<'s> {
     system: &'s CompiledSystem,
@@ -211,6 +295,9 @@ pub struct PscpMachine<'s> {
     event_names: EventNamesRef<'s>,
     condition_names: ConditionNamesRef<'s>,
     scratch: StepScratch,
+    /// Waveform probe; boxed so the detached (default) machine carries
+    /// one pointer, and `None` costs one branch per step.
+    vcd: Option<Box<VcdProbe>>,
 }
 
 impl fmt::Debug for PscpMachine<'_> {
@@ -240,7 +327,22 @@ impl<'s> PscpMachine<'s> {
             event_names: EventNamesRef::new(&system.chart),
             condition_names: ConditionNamesRef::new(&system.chart),
             scratch: StepScratch::default(),
+            vcd: None,
         }
+    }
+
+    /// Attaches a waveform probe: from now on every [`PscpMachine::step`]
+    /// appends one VCD sample (state/event/condition bits, TEP
+    /// busy flags, timer remainders, cycle length) at the cycle's end
+    /// time. The current configuration becomes the `$dumpvars` baseline.
+    pub fn attach_vcd(&mut self) {
+        self.vcd = Some(Box::new(VcdProbe::new(self.system, &self.exec)));
+    }
+
+    /// Detaches the waveform probe, returning the rendered VCD
+    /// document; `None` when no probe was attached.
+    pub fn detach_vcd(&mut self) -> Option<String> {
+        self.vcd.take().map(|p| p.writer.finish())
     }
 
     /// Returns the machine to its power-on state — default chart
@@ -262,6 +364,9 @@ impl<'s> PscpMachine<'s> {
         self.stats.tep_busy.iter_mut().for_each(|b| *b = 0);
         self.timers.iter_mut().for_each(|t| *t = None);
         self.pending_timer_events.clear();
+        // A reset starts a new run at time zero; a probe's timestamps
+        // must stay monotonic, so capture does not survive reset.
+        self.vcd = None;
     }
 
     /// Remaining cycles of hardware timer `i`, if armed.
@@ -296,6 +401,7 @@ impl<'s> PscpMachine<'s> {
     /// Returns [`MachineError`] when a routine faults (divide by zero,
     /// memory fault, cycle-limit).
     pub fn step<E: Environment>(&mut self, env: &mut E) -> Result<CycleReport, MachineError> {
+        let _step_span = pscp_obs::trace::span("step");
         let system = self.system;
         let chart = &system.chart;
         let tables = &system.tables;
@@ -464,6 +570,11 @@ impl<'s> PscpMachine<'s> {
         self.stats.max_cycle_length = self.stats.max_cycle_length.max(report.cycle_length);
         for (i, &t) in report.assigned_tep.iter().enumerate() {
             self.stats.tep_busy[t as usize] += report.transition_cycles[i];
+        }
+        pscp_obs::metrics::MACHINE_STEPS.inc();
+        pscp_obs::metrics::MACHINE_TRANSITIONS.add(report.fired.len() as u64);
+        if let Some(probe) = self.vcd.as_deref_mut() {
+            probe.record(self.now, &self.exec, events, tep_load, &self.timers, &report);
         }
         Ok(report)
     }

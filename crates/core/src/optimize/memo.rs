@@ -76,7 +76,13 @@ impl MemoStore {
     /// other condition is a cold start, not an error.
     pub fn at(path: impl Into<PathBuf>) -> MemoStore {
         let path = path.into();
-        let entries = load_entries(&path).unwrap_or_default();
+        let entries = load_entries(&path);
+        if entries.is_none() && path.exists() {
+            // Present but unreadable, corrupt, or stale-versioned:
+            // recovered by discarding it.
+            pscp_obs::metrics::MEMO_CORRUPT_RECOVERIES.inc();
+        }
+        let entries = entries.unwrap_or_default();
         let loaded = entries.len();
         MemoStore { path: Some(path), entries, loaded, dirty: false }
     }
@@ -95,7 +101,12 @@ impl MemoStore {
 
     /// Looks up a candidate by key.
     pub fn get(&self, key: &str) -> Option<&MemoEntry> {
-        self.entries.get(key)
+        let entry = self.entries.get(key);
+        match entry {
+            Some(_) => pscp_obs::metrics::MEMO_HITS.inc(),
+            None => pscp_obs::metrics::MEMO_MISSES.inc(),
+        }
+        entry
     }
 
     /// Records a candidate evaluation.

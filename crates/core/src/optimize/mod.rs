@@ -213,6 +213,7 @@ pub fn optimize(
     start: &PscpArch,
     options: &OptimizeOptions,
 ) -> Result<OptimizationResult, SystemError> {
+    let _opt_span = pscp_obs::trace::span("optimize");
     let threads = options.threads.unwrap_or_else(crate::pool::configured_threads).max(1);
     let mut arch = start.clone();
     let mut codegen = CodegenOptions::default();
@@ -242,6 +243,7 @@ pub fn optimize(
                     cand_codegen: &CodegenOptions,
                     base: &TimingEval|
      -> Result<CandidateEval, SystemError> {
+        let _cand_span = pscp_obs::trace::span("candidate");
         let key = memo::cache_key(&fingerprint, cand_arch, cand_codegen);
         if let Some(entry) = store.lock().unwrap().get(&key) {
             return Ok(CandidateEval {
@@ -251,7 +253,10 @@ pub fn optimize(
                 eval: None,
             });
         }
+        let compile_watch = pscp_obs::StopWatch::start();
         let sys = compile_system_from_ir(chart, ir, cand_arch, cand_codegen)?;
+        pscp_obs::metrics::OPT_COMPILE_NS.add(compile_watch.elapsed_ns());
+        let validate_watch = pscp_obs::StopWatch::start();
         let use_incremental = options.incremental && graph.matches(&sys, &options.timing);
         let (timing, eval) = if use_incremental {
             let wcet = wcet_report(&sys, &options.timing);
@@ -261,6 +266,7 @@ pub fn optimize(
         } else {
             (validate_timing_full(&sys, &options.timing), None)
         };
+        pscp_obs::metrics::OPT_VALIDATE_NS.add(validate_watch.elapsed_ns());
         if use_incremental && options.verify_incremental {
             // Differential oracle: the dirty-set revalidation must be
             // byte-identical to the full §4 DFS.
@@ -286,6 +292,8 @@ pub fn optimize(
             break;
         }
         steps += 1;
+        let _step_span = pscp_obs::trace::span("optimize.step");
+        pscp_obs::metrics::OPT_STEPS.inc();
 
         // Stage every applicable improvement against the current base
         // and evaluate them all across the worker pool.
@@ -298,6 +306,8 @@ pub fn optimize(
                 (imp, cand_arch, cand_codegen)
             })
             .collect();
+        pscp_obs::metrics::OPT_CANDIDATES.add(staged.len() as u64);
+        pscp_obs::metrics::OPT_STEP_CANDIDATES.record(staged.len() as u64);
         let mut evals = crate::pool::run_indexed(&staged, threads, |_, (_, a, c)| {
             evaluate(a, c, &base_eval)
         });

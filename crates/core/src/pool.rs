@@ -54,12 +54,23 @@ where
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
-        for _ in 0..threads.min(jobs.len()) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let r = f(i, job);
-                *slots[i].lock().unwrap() = Some(r);
+        for w in 0..threads.min(jobs.len()) {
+            let next = &next;
+            let slots = &slots;
+            let f = &f;
+            s.spawn(move || {
+                if pscp_obs::trace_enabled() {
+                    pscp_obs::trace::set_thread_lane_indexed("worker", w);
+                }
+                // Lifetime span so every spawned worker shows up in the
+                // trace, even one the queue starved (free when off).
+                let _worker_span = pscp_obs::trace::span("worker.run");
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let r = f(i, job);
+                    *slots[i].lock().unwrap() = Some(r);
+                }
             });
         }
     });
@@ -162,7 +173,7 @@ impl SimPool {
             let mut machine = PscpMachine::new(system);
             return envs
                 .into_iter()
-                .map(|env| run_scenario(&mut machine, env, limits, &done))
+                .map(|env| run_scenario(0, &mut machine, env, limits, &done))
                 .collect();
         }
 
@@ -172,15 +183,28 @@ impl SimPool {
         let slots: Vec<Mutex<Option<BatchOutcome<E>>>> =
             feed.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| {
+            for w in 0..threads {
+                let queue = &queue;
+                let feed = &feed;
+                let slots = &slots;
+                let done = &done;
+                s.spawn(move || {
+                    if pscp_obs::trace_enabled() {
+                        pscp_obs::trace::set_thread_lane_indexed("sim-worker", w);
+                    }
+                    // Lifetime span so every spawned worker shows up in
+                    // the trace, even one the queue starved.
+                    let _worker_span = pscp_obs::trace::span("worker.run");
                     // One machine per worker, reset between scenarios.
                     let mut machine = PscpMachine::new(system);
                     loop {
                         let i = queue.fetch_add(1, Ordering::Relaxed);
-                        let Some(slot) = feed.get(i) else { break };
+                        let Some(slot) = feed.get(i) else {
+                            pscp_obs::metrics::POOL_IDLE_POLLS.add(w, 1);
+                            break;
+                        };
                         let env = slot.lock().unwrap().take().expect("scenario taken once");
-                        let outcome = run_scenario(&mut machine, env, limits, &done);
+                        let outcome = run_scenario(w, &mut machine, env, limits, &done);
                         *slots[i].lock().unwrap() = Some(outcome);
                     }
                 });
@@ -201,6 +225,7 @@ impl Default for SimPool {
 
 /// Runs one scenario on a (dirty) machine after resetting it.
 fn run_scenario<E, F>(
+    worker: usize,
     machine: &mut PscpMachine<'_>,
     mut env: E,
     limits: &BatchOptions,
@@ -210,6 +235,7 @@ where
     E: Environment,
     F: Fn(&PscpMachine<'_>, &E, &CycleReport) -> bool,
 {
+    let _span = pscp_obs::trace::span("scenario");
     machine.reset();
     let mut reports = Vec::new();
     let mut error = None;
@@ -230,6 +256,8 @@ where
         }
         steps += 1;
     }
+    pscp_obs::metrics::POOL_SCENARIOS.add(worker, 1);
+    pscp_obs::metrics::POOL_STEPS.add(worker, reports.len() as u64);
     BatchOutcome {
         reports,
         stats: machine.stats().clone(),

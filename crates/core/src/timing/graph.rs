@@ -228,15 +228,19 @@ impl TimingGraph {
     /// whose cost changed) can reach. Byte-identical to
     /// [`TimingGraph::evaluate`] on the same inputs.
     pub fn revalidate(&self, base: &TimingEval, costs: Vec<u64>, n_teps: u8) -> TimingEval {
+        pscp_obs::metrics::REVALIDATE_CALLS.inc();
         if n_teps != base.n_teps {
             // A TEP-count change re-prices every distributed step; no
             // locality to exploit.
+            pscp_obs::metrics::REVALIDATE_FULL_FALLBACKS.inc();
             return self.evaluate(costs, n_teps);
         }
         debug_assert_eq!(costs.len(), base.costs.len());
         let dirty: Vec<usize> =
             (0..costs.len()).filter(|&t| costs[t] != base.costs[t]).collect();
+        pscp_obs::metrics::REVALIDATE_DIRTY.record(dirty.len() as u64);
         if dirty.is_empty() {
+            pscp_obs::metrics::CYCLES_COPIED.add(base.lengths.len() as u64);
             return TimingEval {
                 costs,
                 bounds: base.bounds.clone(),
@@ -288,6 +292,8 @@ impl TimingGraph {
         for &c in &affected {
             lengths[c] = self.cycle_length(c, &costs, &bounds, n_teps);
         }
+        pscp_obs::metrics::CYCLES_REPRICED.add(affected.len() as u64);
+        pscp_obs::metrics::CYCLES_COPIED.add((lengths.len() - affected.len()) as u64);
         TimingEval { costs, bounds, lengths, n_teps }
     }
 

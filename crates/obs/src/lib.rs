@@ -1,0 +1,175 @@
+//! Observability substrate for the PSCP workspace.
+//!
+//! Three layers, all designed around a single cheap runtime gate so the
+//! PR-1 allocation-free hot path is untouched when observability is
+//! off (the default):
+//!
+//! * [`metrics`] — a hand-rolled registry of atomic [`metrics::Counter`]s
+//!   and fixed-bucket log2 [`metrics::Histogram`]s. Every mutator checks
+//!   the global flag word first; disabled, a counter update is one
+//!   relaxed atomic load and a predictable branch.
+//! * [`trace`] — per-thread fixed-capacity ring-buffer span recording
+//!   (no locks on the hot path) with a Chrome `trace_event` JSON
+//!   exporter; the output loads in `chrome://tracing` / Perfetto with
+//!   one lane per named worker thread.
+//! * [`vcd`] — a deterministic Value Change Dump writer (no timestamps
+//!   or tool banners in the header, so output is golden-file friendly).
+//!   Capture is explicit opt-in: callers attach a probe, the flag word
+//!   only decides whether drivers do so.
+//!
+//! Configuration comes from two environment variables, read once:
+//!
+//! * `PSCP_OBS` — comma-separated layer list: `metrics`, `trace`,
+//!   `vcd`, or `all`. Unset or empty means everything is off.
+//! * `PSCP_OBS_DIR` — directory where drivers place exported artifacts
+//!   (trace JSON, metrics snapshots, VCD files). Default `target/obs`.
+//!
+//! Tests and benchmarks can override the environment with
+//! [`set_flags`], which also lets one process measure the same workload
+//! with observability off, metrics-only, and full tracing.
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+pub mod vcd;
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Environment variable selecting the enabled layers.
+pub const OBS_ENV: &str = "PSCP_OBS";
+/// Environment variable naming the artifact output directory.
+pub const OBS_DIR_ENV: &str = "PSCP_OBS_DIR";
+
+/// Flag bit: atomic counters and histograms record.
+pub const METRICS: u8 = 1 << 0;
+/// Flag bit: span guards record into the per-thread rings.
+pub const TRACE: u8 = 1 << 1;
+/// Flag bit: drivers should attach waveform probes.
+pub const VCD: u8 = 1 << 2;
+
+/// All three layers at once.
+pub const ALL: u8 = METRICS | TRACE | VCD;
+/// Sentinel: the environment has not been consulted yet.
+const UNINIT: u8 = u8::MAX;
+
+static FLAGS: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// Parses a `PSCP_OBS`-style comma-separated layer list. Unknown
+/// tokens are ignored; `all` enables every layer.
+pub fn parse_flags(spec: &str) -> u8 {
+    let mut f = 0;
+    for tok in spec.split(',') {
+        match tok.trim() {
+            "metrics" => f |= METRICS,
+            "trace" => f |= TRACE,
+            "vcd" => f |= VCD,
+            "all" => f |= ALL,
+            _ => {}
+        }
+    }
+    f
+}
+
+/// The flag word parsed from `PSCP_OBS` (whatever the process
+/// environment says right now, ignoring [`set_flags`] overrides).
+pub fn env_flags() -> u8 {
+    std::env::var(OBS_ENV).map(|v| parse_flags(&v)).unwrap_or(0)
+}
+
+/// The active flag word. First call reads `PSCP_OBS`; later calls are
+/// a single relaxed atomic load.
+#[inline]
+pub fn flags() -> u8 {
+    let f = FLAGS.load(Ordering::Relaxed);
+    if f != UNINIT {
+        f
+    } else {
+        init_flags()
+    }
+}
+
+#[cold]
+fn init_flags() -> u8 {
+    let parsed = env_flags();
+    // First writer wins so a concurrent `set_flags` is not clobbered.
+    match FLAGS.compare_exchange(UNINIT, parsed, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => parsed,
+        Err(current) => current,
+    }
+}
+
+/// Overrides the flag word for the whole process, bypassing the
+/// environment. Intended for tests and benchmarks that toggle layers
+/// mid-run.
+pub fn set_flags(f: u8) {
+    FLAGS.store(f & ALL, Ordering::Relaxed);
+}
+
+/// Whether the metrics layer records.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    flags() & METRICS != 0
+}
+
+/// Whether the tracing layer records.
+#[inline]
+pub fn trace_enabled() -> bool {
+    flags() & TRACE != 0
+}
+
+/// Whether drivers should capture waveforms.
+#[inline]
+pub fn vcd_enabled() -> bool {
+    flags() & VCD != 0
+}
+
+/// The artifact output directory (`PSCP_OBS_DIR`, default
+/// `target/obs`). Callers create it.
+pub fn obs_dir() -> PathBuf {
+    std::env::var_os(OBS_DIR_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/obs"))
+}
+
+/// A wall-clock stopwatch that only arms when metrics are enabled;
+/// disarmed it costs one branch and reports zero.
+#[derive(Debug)]
+pub struct StopWatch(Option<std::time::Instant>);
+
+impl StopWatch {
+    /// Starts timing iff metrics are enabled.
+    #[inline]
+    pub fn start() -> Self {
+        StopWatch(if metrics_enabled() { Some(std::time::Instant::now()) } else { None })
+    }
+
+    /// Nanoseconds since [`StopWatch::start`], or 0 when disarmed.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.0.map_or(0, |t| t.elapsed().as_nanos() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flags_tokens() {
+        assert_eq!(parse_flags(""), 0);
+        assert_eq!(parse_flags("metrics"), METRICS);
+        assert_eq!(parse_flags("trace,vcd"), TRACE | VCD);
+        assert_eq!(parse_flags(" metrics , trace "), METRICS | TRACE);
+        assert_eq!(parse_flags("all"), ALL);
+        assert_eq!(parse_flags("bogus,metrics"), METRICS);
+    }
+
+    #[test]
+    fn obs_dir_defaults() {
+        // The test environment never sets PSCP_OBS_DIR for unit tests.
+        if std::env::var_os(OBS_DIR_ENV).is_none() {
+            assert_eq!(obs_dir(), PathBuf::from("target/obs"));
+        }
+    }
+}

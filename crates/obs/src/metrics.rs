@@ -1,0 +1,512 @@
+//! Gated atomic counters and log2 histograms.
+//!
+//! Every mutator first checks [`crate::metrics_enabled`]; with metrics
+//! off the cost is one relaxed atomic load of the flag word and a
+//! predictable branch — no stores, no allocation. The well-known
+//! instruments below are plain statics (the registry is the explicit
+//! list in [`snapshot`], not a lock-protected map), so recording never
+//! takes a lock either.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use crate::json::JsonWriter;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter (usable in statics).
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` when metrics are enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::metrics_enabled() {
+            self.0.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Adds 1 when metrics are enabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` unconditionally — for flushing locally batched counts
+    /// that were themselves accumulated under the gate.
+    #[inline]
+    pub fn add_flushed(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+
+    /// Zeroes the counter.
+    pub fn reset(&self) {
+        self.0.store(0, Relaxed);
+    }
+}
+
+/// Bucket count of [`Histogram`]: one bucket for zero plus one per
+/// power of two up to `u64::MAX`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed-bucket log2 histogram: bucket 0 holds the value 0, bucket
+/// `i >= 1` holds values in `[2^(i-1), 2^i - 1]`; `u64::MAX` lands in
+/// bucket 64. `sum` wraps on overflow.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A zeroed histogram (usable in statics).
+    pub const fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+        }
+    }
+
+    /// The bucket index a value falls into.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// The `[lo, hi]` value range covered by bucket `i`.
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records a sample when metrics are enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::metrics_enabled() {
+            self.count.fetch_add(1, Relaxed);
+            self.sum.fetch_add(v, Relaxed);
+            self.buckets[Self::bucket_index(v)].fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Wrapping sum of samples recorded.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Sample count of bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i].load(Relaxed)
+    }
+
+    /// Zeroes every cell.
+    pub fn reset(&self) {
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+    }
+}
+
+/// Slots of a [`PerWorker`] instrument; workers beyond the last slot
+/// share it.
+pub const WORKER_SLOTS: usize = 16;
+
+/// A counter fanned out per pool worker.
+#[derive(Debug)]
+pub struct PerWorker(pub [Counter; WORKER_SLOTS]);
+
+impl PerWorker {
+    /// Zeroed slots (usable in statics).
+    pub const fn new() -> Self {
+        PerWorker([const { Counter::new() }; WORKER_SLOTS])
+    }
+
+    /// Adds `n` to `worker`'s slot (clamped to the last slot).
+    #[inline]
+    pub fn add(&self, worker: usize, n: u64) {
+        self.0[worker.min(WORKER_SLOTS - 1)].add(n);
+    }
+
+    /// The value of `worker`'s slot.
+    pub fn get(&self, worker: usize) -> u64 {
+        self.0[worker.min(WORKER_SLOTS - 1)].get()
+    }
+
+    fn reset(&self) {
+        self.0.iter().for_each(Counter::reset);
+    }
+
+    /// Slot values up to the last non-zero slot.
+    pub fn values(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.0.iter().map(Counter::get).collect();
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        v
+    }
+}
+
+impl Default for PerWorker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// --- Well-known instruments -------------------------------------------------
+
+/// Optimiser memo lookups that found an entry.
+pub static MEMO_HITS: Counter = Counter::new();
+/// Optimiser memo lookups that missed.
+pub static MEMO_MISSES: Counter = Counter::new();
+/// Memo files that existed but were unreadable, corrupt, or
+/// stale-versioned and were discarded for a cold start.
+pub static MEMO_CORRUPT_RECOVERIES: Counter = Counter::new();
+
+/// `TimingGraph::revalidate` invocations (including full fallbacks).
+pub static REVALIDATE_CALLS: Counter = Counter::new();
+/// Revalidations that fell back to a full evaluation (TEP count
+/// changed).
+pub static REVALIDATE_FULL_FALLBACKS: Counter = Counter::new();
+/// Event cycles re-priced by dirty-set revalidation.
+pub static CYCLES_REPRICED: Counter = Counter::new();
+/// Event cycles copied unchanged from the base evaluation.
+pub static CYCLES_COPIED: Counter = Counter::new();
+/// Dirty-set size per incremental revalidation.
+pub static REVALIDATE_DIRTY: Histogram = Histogram::new();
+
+/// Improvement steps taken by `optimize()`.
+pub static OPT_STEPS: Counter = Counter::new();
+/// Candidates evaluated across all optimisation steps.
+pub static OPT_CANDIDATES: Counter = Counter::new();
+/// Staged candidate count per optimisation step.
+pub static OPT_STEP_CANDIDATES: Histogram = Histogram::new();
+/// Wall-clock nanoseconds spent compiling candidate systems.
+pub static OPT_COMPILE_NS: Counter = Counter::new();
+/// Wall-clock nanoseconds spent in timing validation of candidates.
+pub static OPT_VALIDATE_NS: Counter = Counter::new();
+
+/// Configuration cycles stepped by `PscpMachine`.
+pub static MACHINE_STEPS: Counter = Counter::new();
+/// Transitions fired across all machine steps.
+pub static MACHINE_TRANSITIONS: Counter = Counter::new();
+
+/// `CompiledNet` arena evaluations.
+pub static SLA_NET_EVALS: Counter = Counter::new();
+
+/// Scenarios completed per `SimPool` worker.
+pub static POOL_SCENARIOS: PerWorker = PerWorker::new();
+/// Machine steps executed per `SimPool` worker.
+pub static POOL_STEPS: PerWorker = PerWorker::new();
+/// Queue polls that found no work, per `SimPool` worker.
+pub static POOL_IDLE_POLLS: PerWorker = PerWorker::new();
+
+/// Instruction-kind slots of [`TEP_INSTR`]. The order mirrors
+/// `pscp_tep::isa::Instr` variant order (pinned by a test over there).
+pub const TEP_KINDS: usize = 22;
+
+/// Display names of the TEP instruction kinds, in slot order.
+pub static TEP_KIND_NAMES: [&str; TEP_KINDS] = [
+    "nop",
+    "ldi",
+    "load",
+    "store",
+    "load_indexed",
+    "store_indexed",
+    "tao",
+    "alu",
+    "cmp",
+    "jump",
+    "jump_if_zero",
+    "jump_if_not_zero",
+    "call",
+    "return",
+    "port_read",
+    "port_write",
+    "read_cond",
+    "set_cond",
+    "raise_event",
+    "custom",
+    "alu_mem",
+    "halt",
+];
+
+/// Executed-instruction counts by kind, across every TEP machine.
+pub static TEP_INSTR: [Counter; TEP_KINDS] = [const { Counter::new() }; TEP_KINDS];
+
+/// Folds a machine-local kind-count array (accumulated under the
+/// metrics gate) into the global [`TEP_INSTR`] counters.
+pub fn flush_tep_instr(counts: &[u64]) {
+    for (c, &n) in TEP_INSTR.iter().zip(counts) {
+        if n > 0 {
+            c.add_flushed(n);
+        }
+    }
+}
+
+// --- Snapshot ---------------------------------------------------------------
+
+/// Point-in-time values of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    pub name: &'static str,
+    pub count: u64,
+    pub sum: u64,
+    /// `(lo, hi, samples)` for each non-empty bucket.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+/// Point-in-time values of every well-known instrument.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Scalar counters, in declaration order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Per-worker counters: values indexed by worker slot.
+    pub per_worker: Vec<(&'static str, Vec<u64>)>,
+    /// Executed TEP instructions by kind (non-zero kinds only).
+    pub tep_instr: Vec<(&'static str, u64)>,
+    /// Histograms (recorded ones only).
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+const SCALARS: &[(&str, &Counter)] = &[
+    ("memo_hits", &MEMO_HITS),
+    ("memo_misses", &MEMO_MISSES),
+    ("memo_corrupt_recoveries", &MEMO_CORRUPT_RECOVERIES),
+    ("revalidate_calls", &REVALIDATE_CALLS),
+    ("revalidate_full_fallbacks", &REVALIDATE_FULL_FALLBACKS),
+    ("cycles_repriced", &CYCLES_REPRICED),
+    ("cycles_copied", &CYCLES_COPIED),
+    ("opt_steps", &OPT_STEPS),
+    ("opt_candidates", &OPT_CANDIDATES),
+    ("opt_compile_ns", &OPT_COMPILE_NS),
+    ("opt_validate_ns", &OPT_VALIDATE_NS),
+    ("machine_steps", &MACHINE_STEPS),
+    ("machine_transitions", &MACHINE_TRANSITIONS),
+    ("sla_net_evals", &SLA_NET_EVALS),
+];
+
+const PER_WORKER: &[(&str, &PerWorker)] = &[
+    ("pool_scenarios", &POOL_SCENARIOS),
+    ("pool_steps", &POOL_STEPS),
+    ("pool_idle_polls", &POOL_IDLE_POLLS),
+];
+
+const HISTOGRAMS: &[(&str, &Histogram)] = &[
+    ("revalidate_dirty", &REVALIDATE_DIRTY),
+    ("opt_step_candidates", &OPT_STEP_CANDIDATES),
+];
+
+/// Captures the current value of every well-known instrument.
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: SCALARS.iter().map(|&(n, c)| (n, c.get())).collect(),
+        per_worker: PER_WORKER.iter().map(|&(n, w)| (n, w.values())).collect(),
+        tep_instr: TEP_KIND_NAMES
+            .iter()
+            .zip(&TEP_INSTR)
+            .filter(|(_, c)| c.get() > 0)
+            .map(|(&n, c)| (n, c.get()))
+            .collect(),
+        histograms: HISTOGRAMS
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|&(name, h)| HistogramSnapshot {
+                name,
+                count: h.count(),
+                sum: h.sum(),
+                buckets: (0..HIST_BUCKETS)
+                    .filter(|&i| h.bucket(i) > 0)
+                    .map(|i| {
+                        let (lo, hi) = Histogram::bucket_range(i);
+                        (lo, hi, h.bucket(i))
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Zeroes every well-known instrument.
+pub fn reset_all() {
+    SCALARS.iter().for_each(|(_, c)| c.reset());
+    PER_WORKER.iter().for_each(|(_, w)| w.reset());
+    TEP_INSTR.iter().for_each(Counter::reset);
+    HISTOGRAMS.iter().for_each(|(_, h)| h.reset());
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a JSON document (the format
+    /// `obs_report` and the bench tooling consume).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("counters").begin_object();
+        for &(name, v) in &self.counters {
+            w.key(name).u64(v);
+        }
+        w.end_object();
+        w.key("per_worker").begin_object();
+        for (name, values) in &self.per_worker {
+            w.key(name).begin_array();
+            for &v in values {
+                w.u64(v);
+            }
+            w.end_array();
+        }
+        w.end_object();
+        w.key("tep_instr").begin_object();
+        for &(name, v) in &self.tep_instr {
+            w.key(name).u64(v);
+        }
+        w.end_object();
+        w.key("histograms").begin_object();
+        for h in &self.histograms {
+            w.key(h.name).begin_object();
+            w.key("count").u64(h.count);
+            w.key("sum").u64(h.sum);
+            w.key("buckets").begin_array();
+            for &(lo, hi, n) in &h.buckets {
+                w.begin_object();
+                w.key("lo").u64(lo);
+                w.key("hi").u64(hi);
+                w.key("n").u64(n);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Serialises tests that flip the global flag word.
+#[cfg(test)]
+pub(crate) fn flag_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1 << 63), 64);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_domain() {
+        assert_eq!(Histogram::bucket_range(0), (0, 0));
+        assert_eq!(Histogram::bucket_range(1), (1, 1));
+        assert_eq!(Histogram::bucket_range(2), (2, 3));
+        assert_eq!(Histogram::bucket_range(64), (1 << 63, u64::MAX));
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = Histogram::bucket_range(i);
+            assert!(lo <= hi);
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(hi), i);
+            if i + 1 < HIST_BUCKETS {
+                assert_eq!(hi + 1, Histogram::bucket_range(i + 1).0);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_extremes_when_enabled() {
+        let _g = super::flag_lock();
+        let prev = crate::flags();
+        crate::set_flags(crate::METRICS);
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(64), 1);
+        // Wrapping sum: 0 + u64::MAX.
+        assert_eq!(h.sum(), u64::MAX);
+        crate::set_flags(prev);
+    }
+
+    #[test]
+    fn counter_is_inert_when_disabled() {
+        let _g = super::flag_lock();
+        let prev = crate::flags();
+        crate::set_flags(0);
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 0);
+        crate::set_flags(crate::METRICS);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        crate::set_flags(prev);
+    }
+
+    #[test]
+    fn snapshot_json_parses_and_lists_counters() {
+        let _g = super::flag_lock();
+        let prev = crate::flags();
+        crate::set_flags(crate::METRICS);
+        reset_all();
+        MEMO_HITS.add(3);
+        REVALIDATE_DIRTY.record(5);
+        flush_tep_instr(&{
+            let mut a = [0u64; TEP_KINDS];
+            a[1] = 9; // ldi
+            a
+        });
+        let snap = snapshot();
+        let doc = crate::json::parse(&snap.to_json()).unwrap();
+        assert_eq!(
+            doc.get("counters").and_then(|c| c.get("memo_hits")).and_then(|v| v.as_u64()),
+            Some(3)
+        );
+        assert_eq!(
+            doc.get("tep_instr").and_then(|c| c.get("ldi")).and_then(|v| v.as_u64()),
+            Some(9)
+        );
+        assert!(doc.get("histograms").and_then(|h| h.get("revalidate_dirty")).is_some());
+        reset_all();
+        crate::set_flags(prev);
+    }
+}

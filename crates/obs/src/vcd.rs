@@ -1,0 +1,211 @@
+//! A deterministic Value Change Dump (VCD) writer.
+//!
+//! Output is golden-file friendly: no `$date`/`$version` banners, a
+//! fixed `1 ns` timescale (one nanosecond per PSCP clock cycle), and
+//! values emitted only when they change. Usage:
+//!
+//! 1. declare signals with [`VcdWriter::add_signal`] and set their
+//!    initial values with [`VcdWriter::change`];
+//! 2. per sample point call [`VcdWriter::set_time`] then
+//!    [`VcdWriter::change`] for whatever moved;
+//! 3. [`VcdWriter::finish`] returns the document.
+
+use std::fmt::Write as _;
+
+/// Handle of a declared signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalId(usize);
+
+#[derive(Debug)]
+struct Signal {
+    name: String,
+    width: u32,
+    code: String,
+    last: Option<u64>,
+}
+
+/// Incremental VCD document builder.
+#[derive(Debug, Default)]
+pub struct VcdWriter {
+    signals: Vec<Signal>,
+    out: String,
+    header_done: bool,
+    /// Time set by the caller; the `#t` line is emitted lazily with
+    /// the first change at that time.
+    pending_time: Option<u64>,
+    time_written: bool,
+}
+
+/// Short identifier code for signal `i` over the printable ASCII
+/// alphabet VCD uses (`!`..`~`).
+fn id_code(mut i: usize) -> String {
+    let mut code = String::new();
+    loop {
+        code.push((33 + (i % 94)) as u8 as char);
+        i /= 94;
+        if i == 0 {
+            return code;
+        }
+        i -= 1;
+    }
+}
+
+/// Replaces characters VCD identifiers cannot contain.
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect()
+}
+
+impl VcdWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a signal (before the first [`VcdWriter::set_time`]).
+    /// `width` is in bits; 1-bit signals dump as scalars.
+    pub fn add_signal(&mut self, name: &str, width: u32) -> SignalId {
+        assert!(!self.header_done, "signals must be declared before the first set_time");
+        let id = SignalId(self.signals.len());
+        self.signals.push(Signal {
+            name: sanitize(name),
+            width: width.max(1),
+            code: id_code(id.0),
+            last: None,
+        });
+        id
+    }
+
+    fn write_header(&mut self) {
+        self.out.push_str("$timescale 1 ns $end\n$scope module pscp $end\n");
+        for s in &self.signals {
+            let _ = writeln!(self.out, "$var wire {} {} {} $end", s.width, s.code, s.name);
+        }
+        self.out.push_str("$upscope $end\n$enddefinitions $end\n#0\n$dumpvars\n");
+        for i in 0..self.signals.len() {
+            let v = self.signals[i].last.unwrap_or(0);
+            self.write_value(i, v);
+        }
+        self.out.push_str("$end\n");
+        self.header_done = true;
+    }
+
+    fn write_value(&mut self, i: usize, v: u64) {
+        let s = &self.signals[i];
+        if s.width == 1 {
+            let _ = writeln!(self.out, "{}{}", v & 1, s.code);
+        } else {
+            let _ = writeln!(self.out, "b{:b} {}", v, s.code);
+        }
+    }
+
+    /// Starts a new sample point at absolute time `t` (monotonically
+    /// increasing). Writes the header on first call; initial values
+    /// recorded so far become the `$dumpvars` section.
+    pub fn set_time(&mut self, t: u64) {
+        if !self.header_done {
+            self.write_header();
+        }
+        self.pending_time = Some(t);
+        self.time_written = false;
+    }
+
+    /// Records `value` for `sig`. Before the first `set_time` this
+    /// sets the signal's initial value; afterwards it emits a change
+    /// line iff the value differs from the last one written.
+    pub fn change(&mut self, sig: SignalId, value: u64) {
+        let i = sig.0;
+        let masked = if self.signals[i].width >= 64 {
+            value
+        } else {
+            value & ((1u64 << self.signals[i].width) - 1)
+        };
+        if !self.header_done {
+            self.signals[i].last = Some(masked);
+            return;
+        }
+        if self.signals[i].last == Some(masked) {
+            return;
+        }
+        if !self.time_written {
+            if let Some(t) = self.pending_time {
+                let _ = writeln!(self.out, "#{t}");
+                self.time_written = true;
+            }
+        }
+        self.signals[i].last = Some(masked);
+        self.write_value(i, masked);
+    }
+
+    /// Renders the document (writes the header even if no sample point
+    /// was ever recorded).
+    pub fn finish(mut self) -> String {
+        if !self.header_done {
+            self.write_header();
+        }
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_codes_are_printable_and_distinct() {
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94), "!!");
+        let codes: Vec<String> = (0..300).map(id_code).collect();
+        let mut dedup = codes.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len());
+    }
+
+    #[test]
+    fn emits_only_changes_after_dumpvars() {
+        let mut w = VcdWriter::new();
+        let clk = w.add_signal("clk", 1);
+        let bus = w.add_signal("bus", 8);
+        w.change(clk, 0);
+        w.change(bus, 5);
+        w.set_time(10);
+        w.change(clk, 1);
+        w.change(bus, 5); // unchanged: no line
+        w.set_time(20);
+        w.change(clk, 1); // unchanged: no line, and no #20 marker
+        w.set_time(30);
+        w.change(clk, 0);
+        w.change(bus, 0x2a);
+        let text = w.finish();
+        assert_eq!(
+            text,
+            "$timescale 1 ns $end\n\
+             $scope module pscp $end\n\
+             $var wire 1 ! clk $end\n\
+             $var wire 8 \" bus $end\n\
+             $upscope $end\n\
+             $enddefinitions $end\n\
+             #0\n\
+             $dumpvars\n\
+             0!\n\
+             b101 \"\n\
+             $end\n\
+             #10\n\
+             1!\n\
+             #30\n\
+             0!\n\
+             b101010 \"\n"
+        );
+    }
+
+    #[test]
+    fn wide_values_mask_to_width() {
+        let mut w = VcdWriter::new();
+        let s = w.add_signal("nibble", 4);
+        w.change(s, 0);
+        w.set_time(1);
+        w.change(s, 0xff);
+        assert!(w.finish().contains("b1111 !"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Regression tests for `JsonWriter` scope handling. The original
+//! `end_object`/`end_array` popped the scope stack *inside* a
+//! `debug_assert_eq!`, so release builds never popped and every
+//! element after a closed container lost its comma. Run under
+//! `--release` too (tier-1 does) to keep that from coming back.
+
+use pscp_obs::json::{parse, JsonWriter};
+
+#[test]
+fn commas_survive_closed_containers() {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("a").begin_array();
+    w.u64(1).u64(2);
+    w.end_array();
+    w.key("b").begin_object();
+    w.key("x").u64(3);
+    w.end_object();
+    w.key("c").u64(4);
+    w.end_object();
+    assert_eq!(w.finish(), r#"{"a":[1,2],"b":{"x":3},"c":4}"#);
+}
+
+#[test]
+fn nested_arrays_of_objects_round_trip() {
+    let mut w = JsonWriter::new();
+    w.begin_array();
+    for i in 0..3u64 {
+        w.begin_object();
+        w.key("i").u64(i);
+        w.key("tags").begin_array();
+        w.string("a").string("b");
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    let text = w.finish();
+    let doc = parse(&text).expect("round-trips through own parser");
+    let items = doc.as_array().unwrap();
+    assert_eq!(items.len(), 3);
+    assert_eq!(items[2].get("i").and_then(|v| v.as_u64()), Some(2));
+}

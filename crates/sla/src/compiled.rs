@@ -92,6 +92,7 @@ impl CompiledNet {
     /// `NodeId.0`). The scratch retains its capacity across calls, so
     /// steady-state evaluation allocates nothing.
     pub fn eval_into(&self, bits: &[bool], scratch: &mut Vec<bool>) {
+        pscp_obs::metrics::SLA_NET_EVALS.inc();
         scratch.clear();
         scratch.resize(self.ops.len(), false);
         for (i, op) in self.ops.iter().enumerate() {

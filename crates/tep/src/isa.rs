@@ -204,6 +204,37 @@ pub enum Instr {
     Halt,
 }
 
+/// The instruction's slot in the observability kind counters
+/// (`pscp_obs::metrics::TEP_INSTR`); the order and the display names
+/// in `pscp_obs::metrics::TEP_KIND_NAMES` mirror the variant order
+/// here (pinned by a test below).
+pub fn kind_index(i: &Instr) -> usize {
+    match i {
+        Instr::Nop => 0,
+        Instr::Ldi(_) => 1,
+        Instr::Load(_) => 2,
+        Instr::Store(_) => 3,
+        Instr::LoadIndexed(_) => 4,
+        Instr::StoreIndexed(_) => 5,
+        Instr::Tao => 6,
+        Instr::Alu(_) => 7,
+        Instr::Cmp { .. } => 8,
+        Instr::Jump(_) => 9,
+        Instr::JumpIfZero(_) => 10,
+        Instr::JumpIfNotZero(_) => 11,
+        Instr::Call(_) => 12,
+        Instr::Return => 13,
+        Instr::PortRead(_) => 14,
+        Instr::PortWrite(_) => 15,
+        Instr::ReadCond(_) => 16,
+        Instr::SetCond(_) => 17,
+        Instr::RaiseEvent(_) => 18,
+        Instr::Custom(_) => 19,
+        Instr::AluMem { .. } => 20,
+        Instr::Halt => 21,
+    }
+}
+
 impl Instr {
     /// The branch target, if this is a control-transfer within the
     /// function.
@@ -311,5 +342,40 @@ mod tests {
         assert_eq!(Storage::Register(3).to_string(), "r3");
         assert_eq!(Storage::Internal(10).to_string(), "iram[10]");
         assert_eq!(Storage::External(5).to_string(), "xram[5]");
+    }
+
+    #[test]
+    fn kind_index_matches_obs_slot_names() {
+        use pscp_obs::metrics::{TEP_KINDS, TEP_KIND_NAMES};
+        // One representative per variant, in variant order; the name
+        // table over in pscp-obs must line up slot for slot.
+        let reps: [(Instr, &str); TEP_KINDS] = [
+            (Instr::Nop, "nop"),
+            (Instr::Ldi(0), "ldi"),
+            (Instr::Load(Storage::Register(0)), "load"),
+            (Instr::Store(Storage::Register(0)), "store"),
+            (Instr::LoadIndexed(Storage::Internal(0)), "load_indexed"),
+            (Instr::StoreIndexed(Storage::Internal(0)), "store_indexed"),
+            (Instr::Tao, "tao"),
+            (Instr::Alu(AluOp::Add), "alu"),
+            (Instr::Cmp { op: CmpOp::Eq, signed: false }, "cmp"),
+            (Instr::Jump(0), "jump"),
+            (Instr::JumpIfZero(0), "jump_if_zero"),
+            (Instr::JumpIfNotZero(0), "jump_if_not_zero"),
+            (Instr::Call(0), "call"),
+            (Instr::Return, "return"),
+            (Instr::PortRead(0), "port_read"),
+            (Instr::PortWrite(0), "port_write"),
+            (Instr::ReadCond(0), "read_cond"),
+            (Instr::SetCond(0), "set_cond"),
+            (Instr::RaiseEvent(0), "raise_event"),
+            (Instr::Custom(0), "custom"),
+            (Instr::AluMem { op: AluOp::Add, src: Storage::Register(0) }, "alu_mem"),
+            (Instr::Halt, "halt"),
+        ];
+        for (slot, (inst, name)) in reps.iter().enumerate() {
+            assert_eq!(kind_index(inst), slot, "{name} slot");
+            assert_eq!(TEP_KIND_NAMES[slot], *name);
+        }
     }
 }

@@ -90,6 +90,13 @@ pub struct TepMachine<'p> {
     /// Executed instructions.
     retired: u64,
     cycle_limit: u64,
+    /// Locally batched per-kind retire counts, folded into the global
+    /// `pscp_obs::metrics::TEP_INSTR` counters on drop/reset so the
+    /// execution loop never touches an atomic.
+    kind_counts: [u64; pscp_obs::metrics::TEP_KINDS],
+    /// Whether this call sequence records kind counts (sampled from
+    /// the obs flag word once per routine call).
+    count_kinds: bool,
 }
 
 impl<'p> TepMachine<'p> {
@@ -107,6 +114,8 @@ impl<'p> TepMachine<'p> {
             cycles: 0,
             retired: 0,
             cycle_limit: 100_000_000,
+            kind_counts: [0; pscp_obs::metrics::TEP_KINDS],
+            count_kinds: false,
         };
         m.reset_globals();
         m
@@ -123,6 +132,7 @@ impl<'p> TepMachine<'p> {
     /// reset values. A reset machine behaves byte-identically to one
     /// built by [`TepMachine::new`]; the memory allocations are reused.
     pub fn reset(&mut self) {
+        self.flush_kind_counts();
         self.acc = 0;
         self.op = 0;
         self.regs.iter_mut().for_each(|r| *r = 0);
@@ -206,8 +216,21 @@ impl<'p> TepMachine<'p> {
             let slot = f.frame[i];
             self.write_storage(slot, a, &f.name)?;
         }
+        self.count_kinds = pscp_obs::metrics_enabled();
         self.exec(fi, host, 0)?;
         Ok(self.acc)
+    }
+
+    /// Folds the locally batched instruction-kind counts into the
+    /// global observability counters. Runs automatically on reset and
+    /// drop; the counts are not part of the machine's architectural
+    /// state (a reset machine stays byte-identical in behaviour to a
+    /// fresh one).
+    fn flush_kind_counts(&mut self) {
+        if self.kind_counts.iter().any(|&n| n > 0) {
+            pscp_obs::metrics::flush_tep_instr(&self.kind_counts);
+            self.kind_counts = [0; pscp_obs::metrics::TEP_KINDS];
+        }
     }
 
     fn read_storage(&self, s: Storage, fname: &str) -> Result<i64, TepError> {
@@ -270,6 +293,9 @@ impl<'p> TepMachine<'p> {
             self.retired += 1;
             if self.cycles > self.cycle_limit {
                 return Err(TepError::CycleLimit { limit: self.cycle_limit });
+            }
+            if self.count_kinds {
+                self.kind_counts[crate::isa::kind_index(&inst.instr)] += 1;
             }
             match &inst.instr {
                 Instr::Nop => {}
@@ -420,6 +446,12 @@ impl<'p> TepMachine<'p> {
             pc += 1;
         }
         Ok(())
+    }
+}
+
+impl Drop for TepMachine<'_> {
+    fn drop(&mut self) {
+        self.flush_kind_counts();
     }
 }
 

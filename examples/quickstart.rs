@@ -7,8 +7,9 @@
 //! ```
 
 use pscp::core::arch::PscpArch;
-use pscp::core::compile::compile_system;
+use pscp::core::compile::{chart_env, compile_system};
 use pscp::core::machine::{PscpMachine, ScriptedEnvironment};
+use pscp::core::optimize::{optimize, MemoPersistence, OptimizeOptions};
 use pscp::core::timing::{validate_timing, TimingOptions};
 use pscp::statechart::parse::parse_chart;
 use pscp::tep::codegen::CodegenOptions;
@@ -97,5 +98,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("lamp levels written: {:?}", env.port_writes);
     println!("final level = {:?}", machine.tep().global_by_name("level"));
+
+    // 4. When the improvement loop runs out of step budget, the result
+    // says so structurally: `budget_exhausted` plus the surviving worst
+    // cycle per violated event — no need to scrape stderr. Force it
+    // here with an impossible TICK period and a one-step budget.
+    let tight = parse_chart(&CHART.replace("period 2000", "period 10"))?;
+    let ir = pscp::action_lang::compile_with_env(ACTIONS, &chart_env(&tight))?;
+    let options = OptimizeOptions {
+        max_steps: 1,
+        threads: Some(1),
+        memo: MemoPersistence::Disabled,
+        ..OptimizeOptions::default()
+    };
+    let result = optimize(&tight, &ir, &PscpArch::minimal(), &options)?;
+    println!(
+        "tight-deadline run: satisfied={}, budget_exhausted={}",
+        result.satisfied, result.budget_exhausted
+    );
+    for cycle in &result.exhausted_worst_cycles {
+        println!(
+            "  unresolved: {} needs {} cycles through {{{}}}",
+            cycle.event,
+            cycle.length,
+            cycle.path_names(&result.system.chart).join(", ")
+        );
+    }
     Ok(())
 }

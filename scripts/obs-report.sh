@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Pretty-prints a pscp-obs metrics snapshot.
+#
+#   scripts/obs-report.sh [metrics.json]
+#
+# Default input: $PSCP_OBS_DIR/metrics.json (target/obs/metrics.json).
+set -eu
+cd "$(dirname "$0")/.."
+cargo run -q --release -p pscp-bench --bin obs_report -- "$@"

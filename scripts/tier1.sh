@@ -9,15 +9,30 @@ cargo build --release
 cargo test -q
 cargo test --workspace -q
 cargo clippy --all-targets -p pscp-statechart -p pscp-sla -p pscp-tep \
-    -p pscp-core -p pscp-bench -- -D warnings
+    -p pscp-obs -p pscp-core -p pscp-bench -- -D warnings
 
-# Perf smoke: the bench binary must run and report the PR-3 workloads.
-# This asserts presence, not thresholds — speedups depend on the host.
+# Perf smoke: the bench binary must run and report the PR-3/PR-4
+# workloads. This asserts presence, not thresholds — speedups depend on
+# the host.
 cargo run --release -p pscp-bench --bin bench-smoke > /dev/null
-test -f BENCH_3.json
-grep -q '"dse_explore_incremental"' BENCH_3.json
-grep -q '"dse_explore_full"' BENCH_3.json
-grep -q '"memo_store"' BENCH_3.json
-grep -q '"batch_cosim"' BENCH_3.json
+test -f BENCH_4.json
+grep -q '"dse_explore_incremental"' BENCH_4.json
+grep -q '"dse_explore_full"' BENCH_4.json
+grep -q '"memo_store"' BENCH_4.json
+grep -q '"batch_cosim"' BENCH_4.json
+grep -q '"obs_overhead_pct"' BENCH_4.json
+grep -q '"trace_overhead_pct"' BENCH_4.json
+test -f BENCH_4_metrics.json
+python3 -m json.tool BENCH_4_metrics.json > /dev/null
+
+# Observability smoke: one traced + waveform-dumped pickup-head run.
+# The trace must be valid Chrome trace_event JSON, the VCD and metrics
+# snapshot non-empty, and the report tool must render the snapshot.
+PSCP_OBS=metrics,trace,vcd PSCP_OBS_DIR=target/obs \
+    cargo run --release -p pscp-bench --bin obs_pickup_head > /dev/null
+python3 -m json.tool target/obs/trace.json > /dev/null
+test -s target/obs/pickup_head.vcd
+test -s target/obs/metrics.json
+scripts/obs-report.sh target/obs/metrics.json > /dev/null
 
 echo "tier1: OK"
