@@ -3,9 +3,14 @@
 //! Runs the PR-1 hot-path workloads (SLA evaluation, configuration
 //! cycles, one full pick-and-place co-sim move), the PR-2 batched
 //! co-simulation sweep, and the PR-3 incremental-revalidation
-//! workloads with plain wall-clock timing, and writes `BENCH_4.json`
+//! workloads with plain wall-clock timing, and writes `BENCH_5.json`
 //! into the current directory so the perf trajectory is tracked across
 //! PRs.
+//!
+//! PR-5 adds `serve_smoke`: the same pickup-head scenario mix through
+//! a loopback `pscp_core::serve` server at 1/4/16 concurrent clients,
+//! against the in-process `SimPool` floor, with every wire outcome
+//! byte-checked against the pool's canonical encoding.
 //!
 //! PR-4 adds the observability cost ledger: the co-sim move is re-timed
 //! with obs off, metrics-only, and metrics+trace, and the measured
@@ -29,6 +34,7 @@ use pscp_core::arch::PscpArch;
 use pscp_core::machine::{PscpMachine, ScriptedEnvironment};
 use pscp_core::optimize::{optimize, MemoPersistence, OptimizationResult, OptimizeOptions};
 use pscp_core::pool::{BatchOptions, SimPool};
+use pscp_core::serve::{self, wire::WireOutcome, ScenarioClient, ServeOptions};
 use pscp_motors::head::{Move, SmdHead};
 use pscp_sla::sim::SlaSim;
 use pscp_sla::synth::synthesize;
@@ -248,6 +254,98 @@ fn batch_cosim(workers: usize) -> (f64, f64, bool, usize) {
     (one, many, identical, SCENARIOS)
 }
 
+/// Loopback scenario serving vs. the in-process pool: the same 16
+/// pickup-head scenarios, batched through `SimPool` directly and then
+/// streamed through a local TCP server at 1, 4 and 16 concurrent
+/// clients. Returns (in-process seconds, seconds per client count,
+/// all outcomes byte-identical).
+fn serve_smoke(workers: usize) -> (f64, [f64; 3], bool) {
+    const TOTAL: usize = 16;
+    let sys = std::sync::Arc::new(example_system(&PscpArch::dual_md16(true)));
+    let limits = BatchOptions { deadline: u64::MAX, max_steps: 16 };
+    let menu: [&[&str]; 6] =
+        [&["POWER"], &["DATA_VALID"], &["DATA_VALID"], &["X_PULSE"], &["X_PULSE", "Y_PULSE"], &[]];
+    let script_for = |i: usize| -> Vec<Vec<String>> {
+        (0..3 + i % 5)
+            .map(|step| {
+                menu[(i * 3 + step) % menu.len()].iter().map(|e| (*e).to_string()).collect()
+            })
+            .collect()
+    };
+    let scripts: Vec<Vec<Vec<String>>> = (0..TOTAL).map(script_for).collect();
+
+    let pool = SimPool::with_threads(workers);
+    let inproc_s = time(3, || {
+        pool.run_batch(
+            &sys,
+            scripts.iter().cloned().map(ScriptedEnvironment::new).collect(),
+            &limits,
+        )
+        .len()
+    });
+    let expected: Vec<Vec<u8>> = pool
+        .run_batch(&sys, scripts.iter().cloned().map(ScriptedEnvironment::new).collect(), &limits)
+        .iter()
+        .map(|o| WireOutcome::from_batch(o).encode())
+        .collect();
+
+    let mut identical = true;
+    let mut loopback_s = [0.0f64; 3];
+    for (slot, &clients) in [1usize, 4, 16].iter().enumerate() {
+        let opts = ServeOptions { threads: workers, ..ServeOptions::default() };
+        let server = serve::spawn(std::sync::Arc::clone(&sys), "127.0.0.1:0", opts)
+            .expect("loopback server");
+        let addr = server.addr();
+        let per_client = TOTAL / clients;
+        loopback_s[slot] = time(3, || {
+            let ok = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let scripts = &scripts;
+                        let expected = &expected;
+                        s.spawn(move || {
+                            let mut client =
+                                ScenarioClient::connect(addr).expect("client connects");
+                            let share =
+                                &scripts[c * per_client..(c + 1) * per_client];
+                            let outcomes =
+                                client.run_batch(share, limits).expect("batch");
+                            outcomes.iter().enumerate().all(|(i, o)| {
+                                o.encode() == expected[c * per_client + i]
+                            })
+                        })
+                    })
+                    .collect();
+                handles.into_iter().all(|h| h.join().expect("client thread"))
+            });
+            ok
+        });
+        // One checked pass outside the timed region, so `identical`
+        // reflects a definite verdict even if timing reruns vary.
+        identical &= std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let scripts = &scripts;
+                    let expected = &expected;
+                    s.spawn(move || {
+                        let mut client =
+                            ScenarioClient::connect(addr).expect("client connects");
+                        let share = &scripts[c * per_client..(c + 1) * per_client];
+                        let outcomes = client.run_batch(share, limits).expect("batch");
+                        outcomes
+                            .iter()
+                            .enumerate()
+                            .all(|(i, o)| o.encode() == expected[c * per_client + i])
+                    })
+                })
+                .collect();
+            handles.into_iter().all(|h| h.join().expect("client thread"))
+        });
+        server.stop().expect("server stops cleanly");
+    }
+    (inproc_s, loopback_s, identical)
+}
+
 /// Re-times the co-sim move under each obs configuration and collects
 /// a metrics snapshot from an instrumented exploration + batch run:
 /// (metrics-only seconds, metrics+trace seconds, snapshot JSON).
@@ -318,13 +416,14 @@ fn main() {
     let (dse_full, dse_inc, dse_identical, dse_steps) = dse_explore();
     let (memo_cold, memo_warm, memo_identical, memo_corrupt_ok) = memo_store(&memo_path);
     let (batch_one, batch_many, batch_identical, batch_n) = batch_cosim(workers);
+    let (serve_inproc, serve_clients, serve_identical) = serve_smoke(workers);
     let (obs_metrics_s, obs_trace_s, metrics_snapshot) = obs_ledger(workers);
 
     let configs_per_sec = configs as f64 / cosim_s;
     let sim_cycles_per_sec = sim_cycles as f64 / cosim_s;
     let json = format!(
         r#"{{
-  "bench": 4,
+  "bench": 5,
   "workers": {workers},
   "workloads": {{
     "sla_eval": {{
@@ -371,6 +470,15 @@ fn main() {
       "speedup": {batch_speedup:.2},
       "outputs_identical": {batch_identical}
     }},
+    "serve_smoke": {{
+      "scenarios": 16,
+      "inproc_pool_ms": {serve_inproc_ms:.3},
+      "loopback_1_client_ms": {serve_1_ms:.3},
+      "loopback_4_clients_ms": {serve_4_ms:.3},
+      "loopback_16_clients_ms": {serve_16_ms:.3},
+      "wire_overhead_pct_1_client": {serve_overhead_pct:.2},
+      "outputs_identical": {serve_identical}
+    }},
     "obs": {{
       "cosim_off_ms": {cosim_ms:.3},
       "cosim_metrics_ms": {obs_metrics_ms:.3},
@@ -400,14 +508,19 @@ fn main() {
         batch_one_ms = batch_one * 1e3,
         batch_many_ms = batch_many * 1e3,
         batch_speedup = batch_one / batch_many,
+        serve_inproc_ms = serve_inproc * 1e3,
+        serve_1_ms = serve_clients[0] * 1e3,
+        serve_4_ms = serve_clients[1] * 1e3,
+        serve_16_ms = serve_clients[2] * 1e3,
+        serve_overhead_pct = (serve_clients[0] / serve_inproc - 1.0) * 100.0,
         obs_metrics_ms = obs_metrics_s * 1e3,
         obs_trace_ms = obs_trace_s * 1e3,
         obs_overhead_pct = (obs_metrics_s / cosim_s - 1.0) * 100.0,
         trace_overhead_pct = (obs_trace_s / cosim_s - 1.0) * 100.0,
         wall_s = wall.elapsed().as_secs_f64(),
     );
-    std::fs::write("BENCH_4.json", &json).expect("write BENCH_4.json");
-    std::fs::write("BENCH_4_metrics.json", &metrics_snapshot)
-        .expect("write BENCH_4_metrics.json");
+    std::fs::write("BENCH_5.json", &json).expect("write BENCH_5.json");
+    std::fs::write("BENCH_5_metrics.json", &metrics_snapshot)
+        .expect("write BENCH_5_metrics.json");
     print!("{json}");
 }

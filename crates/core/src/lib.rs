@@ -23,6 +23,10 @@
 //!   [`SimPool`](pool::SimPool) runs independent scenarios of one
 //!   compiled system across `PSCP_THREADS` workers, byte-identical to
 //!   the sequential run.
+//! * [`serve`] — the sharded scenario server: streams scripted
+//!   scenarios over a versioned binary TCP protocol with credit-based
+//!   backpressure, byte-identical to an in-process
+//!   [`SimPool`](pool::SimPool) run.
 //! * [`area`] — PSCP area accounting on the FPGA substrate, with a
 //!   block breakdown for the floorplanner (Fig. 8).
 //! * [`report`] — plain-text table rendering for the experiment
@@ -40,6 +44,7 @@ pub mod machine;
 pub mod optimize;
 pub mod pool;
 pub mod report;
+pub mod serve;
 pub mod timing;
 
 pub use pscp_obs as obs;
@@ -48,6 +53,7 @@ pub use arch::PscpArch;
 pub use compile::{compile_system, CompiledSystem};
 pub use machine::PscpMachine;
 pub use pool::{BatchOptions, BatchOutcome, SimPool};
+pub use serve::{ScenarioClient, ServeOptions, ServerHandle};
 pub use timing::{
     validate_timing, validate_timing_full, EventCycle, TimingEval, TimingGraph,
     TimingReport,

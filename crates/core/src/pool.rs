@@ -223,8 +223,11 @@ impl Default for SimPool {
     }
 }
 
-/// Runs one scenario on a (dirty) machine after resetting it.
-fn run_scenario<E, F>(
+/// Runs one scenario on a (dirty) machine after resetting it. Shared
+/// with the scenario server ([`crate::serve`]), whose shard workers
+/// must be byte-identical to an in-process [`SimPool`] run — both go
+/// through this one function.
+pub(crate) fn run_scenario<E, F>(
     worker: usize,
     machine: &mut PscpMachine<'_>,
     mut env: E,
@@ -373,6 +376,94 @@ mod tests {
         let out = SimPool::with_threads(4)
             .run_batch::<ScriptedEnvironment>(&sys, Vec::new(), &BatchOptions::default());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_batch_with_predicate_is_empty() {
+        // Regression pin: the `run_batch_until` early return must fire
+        // before any machine is constructed or the predicate consulted.
+        let sys = system();
+        let out = SimPool::with_threads(4).run_batch_until::<ScriptedEnvironment, _>(
+            &sys,
+            Vec::new(),
+            &BatchOptions::default(),
+            |_, _, _| panic!("predicate must not run on an empty batch"),
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn predicate_stopping_at_step_zero_keeps_one_report() {
+        // Regression pin for the `slots` reassembly path: a predicate
+        // that is true for the very first cycle must leave exactly one
+        // report per scenario, identically across worker counts —
+        // including pools wider than the batch.
+        let sys = system();
+        let limits = BatchOptions { deadline: u64::MAX, max_steps: 1_000 };
+        let mk = || scenarios(5);
+        let reference = SimPool::with_threads(1).run_batch_until(
+            &sys,
+            mk(),
+            &limits,
+            |_, _, _| true,
+        );
+        assert_eq!(reference.len(), 5);
+        for o in &reference {
+            assert_eq!(o.reports.len(), 1, "stop at step 0 keeps the first report");
+            assert_eq!(o.stats.config_cycles, 1);
+            assert_eq!(o.clock_cycles, o.reports[0].cycle_length);
+        }
+        for threads in [2, 4, 8] {
+            let got = SimPool::with_threads(threads).run_batch_until(
+                &sys,
+                mk(),
+                &limits,
+                |_, _, _| true,
+            );
+            assert_eq!(got.len(), reference.len(), "threads={threads}");
+            for (a, b) in got.iter().zip(&reference) {
+                assert_eq!(a.reports, b.reports, "threads={threads}");
+                assert_eq!(a.stats, b.stats, "threads={threads}");
+                assert_eq!(a.clock_cycles, b.clock_cycles, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_step_limit_yields_empty_reports() {
+        let sys = system();
+        let limits = BatchOptions { deadline: u64::MAX, max_steps: 0 };
+        for threads in [1, 4] {
+            let out = SimPool::with_threads(threads).run_batch(&sys, scenarios(3), &limits);
+            assert_eq!(out.len(), 3, "threads={threads}");
+            for o in &out {
+                assert!(o.reports.is_empty());
+                assert_eq!(o.clock_cycles, 0);
+                assert_eq!(o.stats.config_cycles, 0);
+                assert!(o.error.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn scenarios_with_empty_scripts_idle_to_the_limit() {
+        // An empty script is a valid scenario: the machine idles for
+        // `max_steps` cycles. Byte-identical across worker counts.
+        let sys = system();
+        let limits = BatchOptions { deadline: u64::MAX, max_steps: 4 };
+        let envs = || -> Vec<ScriptedEnvironment> {
+            (0..3).map(|_| ScriptedEnvironment::new(Vec::<Vec<&str>>::new())).collect()
+        };
+        let reference = SimPool::with_threads(1).run_batch(&sys, envs(), &limits);
+        for o in &reference {
+            assert_eq!(o.reports.len(), 4);
+            assert!(o.reports.iter().all(|r| r.fired.is_empty()));
+        }
+        let got = SimPool::with_threads(2).run_batch(&sys, envs(), &limits);
+        for (a, b) in got.iter().zip(&reference) {
+            assert_eq!(a.reports, b.reports);
+            assert_eq!(a.stats, b.stats);
+        }
     }
 
     #[test]

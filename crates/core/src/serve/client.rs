@@ -1,0 +1,209 @@
+//! The scenario client: streams submissions, obeys the credit window,
+//! and reassembles outcomes in submission order.
+
+use super::wire::{self, Frame, Submit, WireError, WireOutcome, DEFAULT_MAX_FRAME, DEFAULT_WINDOW};
+use crate::pool::BatchOptions;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connection to a scenario server.
+///
+/// Submissions are numbered internally; [`ScenarioClient::recv`]
+/// always yields the next outcome in **submission order**, buffering
+/// whatever arrives early, so out-of-order completion on the server's
+/// shard pool is invisible to callers. Submitting past the granted
+/// credit window blocks (draining incoming frames) until the server
+/// returns a credit.
+#[derive(Debug)]
+pub struct ScenarioClient {
+    stream: TcpStream,
+    cursor: wire::FrameCursor,
+    max_frame: u32,
+    /// Window granted by the server's Hello.
+    window: u32,
+    /// Credits currently available for submission.
+    credits: u32,
+    next_seq: u64,
+    next_deliver: u64,
+    pending: BTreeMap<u64, WireOutcome>,
+}
+
+impl ScenarioClient {
+    /// Connects with the default window, accepting any served system.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        Self::connect_with(addr, DEFAULT_WINDOW, 0)
+    }
+
+    /// Connects requesting a credit window and (optionally) pinning the
+    /// compiled system by fingerprint — pass 0 to accept any.
+    ///
+    /// # Errors
+    ///
+    /// Connection failure, or a typed remote error (e.g. a
+    /// system-fingerprint mismatch).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        window: u32,
+        fingerprint: u64,
+    ) -> Result<Self, WireError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        wire::write_frame(&mut stream, &Frame::Hello { window, fingerprint })?;
+        let mut client = ScenarioClient {
+            stream,
+            cursor: wire::FrameCursor::new(),
+            max_frame: DEFAULT_MAX_FRAME,
+            window: 0,
+            credits: 0,
+            next_seq: 0,
+            next_deliver: 0,
+            pending: BTreeMap::new(),
+        };
+        match client.read_frame()? {
+            Frame::Hello { window: granted, .. } => {
+                client.window = granted.max(1);
+                client.credits = client.window;
+                Ok(client)
+            }
+            Frame::Error { code, message } => Err(WireError::Remote { code, message }),
+            other => Err(WireError::Protocol(format!(
+                "expected Hello from server, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The credit window granted at handshake.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Outcomes received but not yet delivered in order.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submits one scripted scenario; returns its sequence number.
+    /// Blocks while no credits are available, draining incoming frames.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, a malformed stream, or a typed remote error.
+    pub fn submit(
+        &mut self,
+        script: Vec<Vec<String>>,
+        limits: BatchOptions,
+    ) -> Result<u64, WireError> {
+        if self.credits == 0 {
+            pscp_obs::metrics::SERVE_CREDIT_STALLS.inc();
+            while self.credits == 0 {
+                self.pump()?;
+            }
+        }
+        self.credits -= 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        wire::write_frame(&mut self.stream, &Frame::Submit(Submit { seq, limits, script }))?;
+        Ok(seq)
+    }
+
+    /// Receives the next outcome **in submission order**, blocking
+    /// until it arrives.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, a malformed stream, or a typed remote error.
+    pub fn recv(&mut self) -> Result<(u64, WireOutcome), WireError> {
+        loop {
+            if let Some(outcome) = self.pending.remove(&self.next_deliver) {
+                let seq = self.next_deliver;
+                self.next_deliver += 1;
+                return Ok((seq, outcome));
+            }
+            self.pump()?;
+        }
+    }
+
+    /// Submits every script and returns their outcomes in submission
+    /// order — the streaming equivalent of
+    /// [`SimPool::run_batch`](crate::pool::SimPool::run_batch) with the
+    /// same limits applied to each scenario.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, a malformed stream, or a typed remote error.
+    pub fn run_batch(
+        &mut self,
+        scripts: &[Vec<Vec<String>>],
+        limits: BatchOptions,
+    ) -> Result<Vec<WireOutcome>, WireError> {
+        for script in scripts {
+            self.submit(script.clone(), limits)?;
+        }
+        let mut outcomes = Vec::with_capacity(scripts.len());
+        for _ in scripts {
+            outcomes.push(self.recv()?.1);
+        }
+        Ok(outcomes)
+    }
+
+    /// Reads one frame and folds it into the client state.
+    fn pump(&mut self) -> Result<(), WireError> {
+        match self.read_frame()? {
+            Frame::Outcome { seq, outcome } => {
+                self.pending.insert(seq, outcome);
+                Ok(())
+            }
+            Frame::Credit { n } => {
+                self.credits = (self.credits + n).min(self.window);
+                Ok(())
+            }
+            Frame::Error { code, message } => Err(WireError::Remote { code, message }),
+            other => Err(WireError::Protocol(format!(
+                "unexpected frame from server: {other:?}"
+            ))),
+        }
+    }
+
+    /// Blocking read of the next complete frame.
+    fn read_frame(&mut self) -> Result<Frame, WireError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(frame) = self.cursor.next_frame(self.max_frame)? {
+                return Ok(frame);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(if self.cursor.buffered() == 0 {
+                        WireError::Closed
+                    } else {
+                        WireError::Truncated
+                    });
+                }
+                Ok(n) => self.cursor.feed(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+    }
+
+    /// Sends raw bytes down the connection — test hook for corrupt
+    /// frame injection; not part of the protocol.
+    #[doc(hidden)]
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next frame regardless of type — test hook for
+    /// asserting on typed Error frames.
+    #[doc(hidden)]
+    pub fn recv_frame(&mut self) -> Result<Frame, WireError> {
+        self.read_frame()
+    }
+}

@@ -1,0 +1,485 @@
+//! The sharded scenario server.
+//!
+//! One loaded [`CompiledSystem`], many concurrent client connections.
+//! Work is sharded across a persistent pool of scenario workers — one
+//! [`PscpMachine`] per worker, reused across scenarios via
+//! [`PscpMachine::reset`] exactly like a
+//! [`SimPool`](crate::pool::SimPool) worker. Every scenario runs
+//! through the same `run_scenario` function the in-process pool uses,
+//! which is what makes server round-trips byte-identical to
+//! `SimPool::run_batch` (the differential suite pins this).
+//!
+//! Per-connection flow control is credit-based: the handshake grants a
+//! window of `W` in-flight scenarios; each completed outcome is
+//! followed by a `Credit` frame returning one slot. A client that
+//! submits past its window is cut off with a typed `Error` frame. A
+//! stalled client (slow to read) blocks only its own connection's
+//! writer thread — outcomes for other connections keep flowing, and
+//! the server buffers at most `W` outcomes for the stalled peer.
+
+use super::wire::{self, error_code, Frame, Submit, WireError, WireOutcome};
+use super::ServeOptions;
+use crate::compile::CompiledSystem;
+use crate::machine::{PscpMachine, ScriptedEnvironment};
+use crate::pool::BatchOptions;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How often blocked loops re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(5);
+
+/// One queued scenario.
+struct Job {
+    conn: Arc<Conn>,
+    seq: u64,
+    env: ScriptedEnvironment,
+    limits: BatchOptions,
+}
+
+/// The shared job queue all connections feed and all workers drain.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    open: AtomicBool,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            open: AtomicBool::new(true),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut q = self.queue.lock().unwrap();
+        q.push_back(job);
+        pscp_obs::metrics::SERVE_QUEUE_DEPTH.record(q.len() as u64);
+        drop(q);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed and
+    /// drained.
+    fn pop(&self) -> Option<Job> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if !self.open.load(Ordering::Acquire) {
+                return None;
+            }
+            let (guard, _) = self.ready.wait_timeout(q, POLL).unwrap();
+            q = guard;
+        }
+    }
+
+    fn close(&self) {
+        self.open.store(false, Ordering::Release);
+        self.ready.notify_all();
+    }
+}
+
+/// Messages queued for a connection's writer thread.
+enum Msg {
+    /// A fully encoded `Outcome` frame; the writer follows it with a
+    /// `Credit { n: 1 }` and releases the in-flight slot.
+    Outcome(Vec<u8>),
+    /// A fatal error frame; the writer sends it and stops.
+    Error { code: u16, message: String },
+    /// Orderly end of the connection.
+    Close,
+}
+
+/// Per-connection shared state between reader, writer, and workers.
+struct Conn {
+    id: usize,
+    /// Scenarios submitted but not yet credited back.
+    inflight: AtomicU32,
+    /// Set once the connection is beyond saving (write error, protocol
+    /// error); workers drop outcomes for dead connections.
+    dead: AtomicBool,
+    outbound: Mutex<VecDeque<Msg>>,
+    ready: Condvar,
+}
+
+impl Conn {
+    fn new(id: usize) -> Self {
+        Conn {
+            id,
+            inflight: AtomicU32::new(0),
+            dead: AtomicBool::new(false),
+            outbound: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, msg: Msg) {
+        if self.dead.load(Ordering::Acquire) {
+            return;
+        }
+        self.outbound.lock().unwrap().push_back(msg);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self) -> Option<Msg> {
+        let mut q = self.outbound.lock().unwrap();
+        loop {
+            if let Some(msg) = q.pop_front() {
+                return Some(msg);
+            }
+            if self.dead.load(Ordering::Acquire) {
+                return None;
+            }
+            let (guard, _) = self.ready.wait_timeout(q, POLL).unwrap();
+            q = guard;
+        }
+    }
+
+    fn kill(&self) {
+        self.dead.store(true, Ordering::Release);
+        self.ready.notify_all();
+    }
+}
+
+/// What the reader loop saw next.
+enum ReadEvent {
+    Frame(Frame),
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// The server is shutting down.
+    Shutdown,
+}
+
+/// Reads the next frame with short timeouts so shutdown is honoured
+/// even on an idle connection. The cursor preserves partial frames
+/// across timeouts.
+fn next_event(
+    stream: &mut TcpStream,
+    cursor: &mut wire::FrameCursor,
+    max_frame: u32,
+    shutdown: &AtomicBool,
+) -> Result<ReadEvent, WireError> {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if let Some(frame) = cursor.next_frame(max_frame)? {
+            return Ok(ReadEvent::Frame(frame));
+        }
+        if shutdown.load(Ordering::Acquire) {
+            return Ok(ReadEvent::Shutdown);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if cursor.buffered() == 0 {
+                    Ok(ReadEvent::Eof)
+                } else {
+                    Err(WireError::Truncated)
+                };
+            }
+            Ok(n) => cursor.feed(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+}
+
+/// One scenario worker: a persistent machine serving the shared queue.
+fn worker(w: usize, system: &CompiledSystem, shared: &Shared) {
+    if pscp_obs::trace_enabled() {
+        pscp_obs::trace::set_thread_lane_indexed("serve-worker", w);
+    }
+    let _worker_span = pscp_obs::trace::span("worker.run");
+    let mut machine = PscpMachine::new(system);
+    while let Some(job) = shared.pop() {
+        let outcome =
+            crate::pool::run_scenario(w, &mut machine, job.env, &job.limits, &|_, _, _| false);
+        let frame =
+            Frame::Outcome { seq: job.seq, outcome: WireOutcome::from_batch(&outcome) };
+        job.conn.push(Msg::Outcome(wire::encode_frame(&frame)));
+    }
+}
+
+/// The writer half of a connection: drains the outbound queue to the
+/// socket. Only this thread writes after the handshake, so a stalled
+/// peer blocks here — never a worker.
+fn writer(conn: &Conn, stream: &mut TcpStream) {
+    while let Some(msg) = conn.pop() {
+        let result = match msg {
+            Msg::Outcome(frame_bytes) => stream
+                .write_all(&frame_bytes)
+                .and_then(|()| {
+                    // Release the slot BEFORE the credit hits the wire:
+                    // the client may react to the credit instantly, and
+                    // its next submit must not race a stale count into a
+                    // false violation.
+                    conn.inflight.fetch_sub(1, Ordering::AcqRel);
+                    stream.write_all(&wire::encode_frame(&Frame::Credit { n: 1 }))
+                })
+                .map(|()| pscp_obs::metrics::SERVE_FRAMES_OUT.add(conn.id, 2)),
+            Msg::Error { code, message } => {
+                let r = stream
+                    .write_all(&wire::encode_frame(&Frame::Error { code, message }));
+                if r.is_ok() {
+                    pscp_obs::metrics::SERVE_FRAMES_OUT.add(conn.id, 1);
+                }
+                conn.kill();
+                r
+            }
+            Msg::Close => break,
+        };
+        if result.is_err() {
+            conn.kill();
+            break;
+        }
+    }
+    let _ = stream.flush();
+}
+
+/// The reader half of a connection: handshake, then submissions.
+fn handle_connection(
+    mut stream: TcpStream,
+    conn_id: usize,
+    fingerprint: u64,
+    shared: &Shared,
+    opts: &ServeOptions,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    pscp_obs::metrics::SERVE_CONNECTIONS.inc();
+    let mut cursor = wire::FrameCursor::new();
+
+    // Handshake: the first frame must be a Hello.
+    let window = match next_event(&mut stream, &mut cursor, opts.max_frame, shutdown) {
+        Ok(ReadEvent::Frame(Frame::Hello { window, fingerprint: fp })) => {
+            pscp_obs::metrics::SERVE_FRAMES_IN.add(conn_id, 1);
+            if fp != 0 && fp != fingerprint {
+                pscp_obs::metrics::SERVE_ERRORS.inc();
+                let _ = wire::write_frame(
+                    &mut stream,
+                    &Frame::Error {
+                        code: error_code::SYSTEM_MISMATCH,
+                        message: format!(
+                            "server system fingerprint {fingerprint:#018x}, client expected {fp:#018x}"
+                        ),
+                    },
+                );
+                return;
+            }
+            window.clamp(1, opts.max_window.max(1))
+        }
+        Ok(ReadEvent::Frame(_)) => {
+            pscp_obs::metrics::SERVE_ERRORS.inc();
+            let _ = wire::write_frame(
+                &mut stream,
+                &Frame::Error {
+                    code: error_code::UNEXPECTED_FRAME,
+                    message: "expected Hello".into(),
+                },
+            );
+            return;
+        }
+        Ok(ReadEvent::Eof) | Ok(ReadEvent::Shutdown) => return,
+        Err(e) => {
+            pscp_obs::metrics::SERVE_ERRORS.inc();
+            let _ = wire::write_frame(
+                &mut stream,
+                &Frame::Error { code: e.code(), message: e.to_string() },
+            );
+            return;
+        }
+    };
+    if wire::write_frame(&mut stream, &Frame::Hello { window, fingerprint }).is_err() {
+        return;
+    }
+    pscp_obs::metrics::SERVE_FRAMES_OUT.add(conn_id, 1);
+
+    let conn = Arc::new(Conn::new(conn_id));
+    let writer_conn = Arc::clone(&conn);
+    let Ok(mut write_stream) = stream.try_clone() else { return };
+    let writer_thread = std::thread::spawn(move || writer(&writer_conn, &mut write_stream));
+
+    // Submission loop.
+    loop {
+        match next_event(&mut stream, &mut cursor, opts.max_frame, shutdown) {
+            Ok(ReadEvent::Frame(Frame::Submit(Submit { seq, limits, script }))) => {
+                pscp_obs::metrics::SERVE_FRAMES_IN.add(conn_id, 1);
+                let inflight = conn.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+                if inflight > window {
+                    pscp_obs::metrics::SERVE_ERRORS.inc();
+                    conn.push(Msg::Error {
+                        code: error_code::CREDIT_VIOLATION,
+                        message: format!("{inflight} scenarios in flight, window is {window}"),
+                    });
+                    break;
+                }
+                pscp_obs::metrics::SERVE_INFLIGHT.record(u64::from(inflight));
+                shared.push(Job {
+                    conn: Arc::clone(&conn),
+                    seq,
+                    env: ScriptedEnvironment::new(script),
+                    limits,
+                });
+            }
+            Ok(ReadEvent::Frame(_)) => {
+                pscp_obs::metrics::SERVE_ERRORS.inc();
+                conn.push(Msg::Error {
+                    code: error_code::UNEXPECTED_FRAME,
+                    message: "only Submit frames are valid after the handshake".into(),
+                });
+                break;
+            }
+            Ok(ReadEvent::Eof) => break,
+            Ok(ReadEvent::Shutdown) => break,
+            // A peer that closes with unread credits in its socket
+            // buffer surfaces as a reset, not EOF — still a clean end.
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::BrokenPipe
+                ) =>
+            {
+                break;
+            }
+            Err(e) => {
+                pscp_obs::metrics::SERVE_ERRORS.inc();
+                conn.push(Msg::Error { code: e.code(), message: e.to_string() });
+                break;
+            }
+        }
+    }
+
+    // Drain: let queued scenarios finish and their outcomes flush, then
+    // stop the writer. A dead connection (write failure, protocol
+    // error) skips straight to the join.
+    while conn.inflight.load(Ordering::Acquire) > 0
+        && !conn.dead.load(Ordering::Acquire)
+        && !shutdown.load(Ordering::Acquire)
+    {
+        std::thread::sleep(POLL);
+    }
+    conn.push(Msg::Close);
+    conn.kill();
+    let _ = writer_thread.join();
+}
+
+/// Serves scenario batches for one compiled system until `shutdown` is
+/// set. Blocks the calling thread; every worker and connection thread
+/// lives inside a scope that borrows `system`.
+///
+/// # Errors
+///
+/// Returns the underlying listener error when accepting fails for a
+/// reason other than an empty backlog.
+pub fn serve(
+    system: &CompiledSystem,
+    listener: TcpListener,
+    opts: &ServeOptions,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let fingerprint = super::system_fingerprint(system);
+    let shared = Shared::new();
+    let threads = opts.threads.max(1);
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let shared = &shared;
+            s.spawn(move || worker(w, system, shared));
+        }
+        let mut next_conn = 0usize;
+        let result = loop {
+            if shutdown.load(Ordering::Acquire) {
+                break Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let conn_id = next_conn;
+                    next_conn += 1;
+                    let shared = &shared;
+                    s.spawn(move || {
+                        handle_connection(stream, conn_id, fingerprint, shared, opts, shutdown)
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        shared.close();
+        result
+    })
+}
+
+/// A background scenario server bound to a local address.
+///
+/// Owns its system via `Arc` so the serving thread is `'static`; drop
+/// the handle only through [`ServerHandle::stop`] to get a clean join.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins the serving thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server loop's listener error, if any.
+    pub fn stop(mut self) -> std::io::Result<()> {
+        self.shutdown.store(true, Ordering::Release);
+        match self.thread.take() {
+            Some(t) => t.join().unwrap_or(Ok(())),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves `system` on a background thread.
+///
+/// # Errors
+///
+/// Returns the bind error.
+pub fn spawn(
+    system: Arc<CompiledSystem>,
+    addr: impl ToSocketAddrs,
+    opts: ServeOptions,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let thread =
+        std::thread::spawn(move || serve(&system, listener, &opts, &flag));
+    Ok(ServerHandle { addr: local, shutdown, thread: Some(thread) })
+}

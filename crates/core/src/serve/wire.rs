@@ -1,0 +1,970 @@
+//! The scenario-serving wire format.
+//!
+//! A dependency-free binary codec for streaming scenario batches over a
+//! byte stream. Every frame is length-prefixed and checksummed:
+//!
+//! ```text
+//! +---------------+---------+--------+----------+-------------------+
+//! | len: u32 LE   | version | type   | body ... | checksum: u32 LE  |
+//! | (payload len) | u8 = 1  | u8     |          | FNV-1a over       |
+//! |               |         |        |          | version..body     |
+//! +---------------+---------+--------+----------+-------------------+
+//! ```
+//!
+//! All integers are little-endian. Strings are `u32` length + UTF-8
+//! bytes. The length prefix counts everything after itself (version,
+//! type, body, checksum), and is capped at [`DEFAULT_MAX_FRAME`] by
+//! default — an oversized prefix is rejected *before* any allocation,
+//! so a corrupt or hostile peer cannot balloon memory.
+//!
+//! Frame types:
+//!
+//! | tag | frame             | direction       | purpose                              |
+//! |-----|-------------------|-----------------|--------------------------------------|
+//! | 0   | [`Frame::Hello`]  | both            | version/window/fingerprint handshake |
+//! | 1   | [`Frame::Submit`] | client → server | one scripted scenario + limits       |
+//! | 2   | [`Frame::Outcome`]| server → client | one [`WireOutcome`], tagged by seq   |
+//! | 3   | [`Frame::Credit`] | server → client | in-flight window replenishment       |
+//! | 4   | [`Frame::Error`]  | both            | typed fatal error, then close        |
+//!
+//! [`WireOutcome`] is the canonical serialisation of a
+//! [`BatchOutcome`]`<`[`ScriptedEnvironment`]`>`; the differential
+//! harness compares server round-trips against in-process
+//! [`SimPool`](crate::pool::SimPool) runs byte-for-byte through
+//! [`WireOutcome::encode`].
+
+use crate::machine::{CycleReport, MachineStats, ScriptedEnvironment};
+use crate::pool::{BatchOptions, BatchOutcome};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Version byte every frame carries; bumped on incompatible change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Default cap on one frame's payload length (16 MiB).
+pub const DEFAULT_MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Default credit window requested by clients / granted by servers.
+pub const DEFAULT_WINDOW: u32 = 32;
+
+/// Bytes of framing around a payload: the four length-prefix bytes.
+const LEN_PREFIX: usize = 4;
+/// Minimum payload: version + type + checksum.
+const MIN_PAYLOAD: u32 = 6;
+
+const T_HELLO: u8 = 0;
+const T_SUBMIT: u8 = 1;
+const T_OUTCOME: u8 = 2;
+const T_CREDIT: u8 = 3;
+const T_ERROR: u8 = 4;
+
+/// Error codes carried by [`Frame::Error`].
+pub mod error_code {
+    /// Peer spoke an unknown protocol version.
+    pub const BAD_VERSION: u16 = 1;
+    /// Frame checksum mismatch.
+    pub const BAD_CHECKSUM: u16 = 2;
+    /// Frame body malformed (truncated, trailing bytes, bad UTF-8…).
+    pub const MALFORMED: u16 = 3;
+    /// Length prefix above the frame cap.
+    pub const TOO_LARGE: u16 = 4;
+    /// Client submitted past its credit window.
+    pub const CREDIT_VIOLATION: u16 = 5;
+    /// Frame type valid but not allowed in this direction/state.
+    pub const UNEXPECTED_FRAME: u16 = 6;
+    /// Client fingerprint does not match the loaded system.
+    pub const SYSTEM_MISMATCH: u16 = 7;
+    /// Server-side internal failure.
+    pub const INTERNAL: u16 = 8;
+}
+
+/// 32-bit FNV-1a, the frame checksum.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h = 0x811c_9dc5u32;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Codec and protocol failures.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying transport error.
+    Io(std::io::Error),
+    /// The peer closed the stream at a frame boundary.
+    Closed,
+    /// The stream ended (or the body ran out) mid-frame.
+    Truncated,
+    /// Length prefix above the configured frame cap.
+    TooLarge {
+        /// The offending declared payload length.
+        len: u64,
+        /// The cap it exceeded.
+        max: u32,
+    },
+    /// Unknown protocol version byte.
+    BadVersion {
+        /// The version byte received.
+        got: u8,
+    },
+    /// Frame checksum mismatch.
+    BadChecksum,
+    /// Unknown frame-type tag.
+    UnknownFrame {
+        /// The tag received.
+        tag: u8,
+    },
+    /// Structurally invalid frame body.
+    Malformed(&'static str),
+    /// The peer reported a typed [`Frame::Error`] and closed.
+    Remote {
+        /// One of [`error_code`].
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The peer sent a well-formed frame that violates the protocol
+    /// state machine (e.g. an `Outcome` sent to the server).
+    Protocol(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds cap {max}")
+            }
+            WireError::BadVersion { got } => {
+                write!(f, "unknown protocol version {got} (expected {PROTOCOL_VERSION})")
+            }
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+            WireError::UnknownFrame { tag } => write!(f, "unknown frame type {tag}"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::Remote { code, message } => {
+                write!(f, "peer error {code}: {message}")
+            }
+            WireError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// The [`error_code`] a server reports this failure under.
+    pub fn code(&self) -> u16 {
+        match self {
+            WireError::BadVersion { .. } => error_code::BAD_VERSION,
+            WireError::BadChecksum => error_code::BAD_CHECKSUM,
+            WireError::TooLarge { .. } => error_code::TOO_LARGE,
+            WireError::Protocol(_) => error_code::UNEXPECTED_FRAME,
+            WireError::Remote { code, .. } => *code,
+            _ => error_code::MALFORMED,
+        }
+    }
+}
+
+/// One scripted scenario submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Submit {
+    /// Client-chosen sequence number; outcomes echo it, so clients can
+    /// reassemble submission order under out-of-order completion.
+    pub seq: u64,
+    /// Run limits for this scenario.
+    pub limits: BatchOptions,
+    /// `script[i]` = external event names for the i-th cycle.
+    pub script: Vec<Vec<String>>,
+}
+
+/// A decoded protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Handshake. The client sends its requested window and the
+    /// fingerprint of the system it expects (0 = any); the server
+    /// replies with the negotiated window and the fingerprint of the
+    /// system it actually serves.
+    Hello {
+        /// Requested (client) / granted (server) credit window.
+        window: u32,
+        /// Compiled-system fingerprint; 0 means "unknown/any".
+        fingerprint: u64,
+    },
+    /// One scenario submission (client → server).
+    Submit(Submit),
+    /// One finished scenario (server → client).
+    Outcome {
+        /// The submission's sequence number.
+        seq: u64,
+        /// The canonical outcome serialisation.
+        outcome: WireOutcome,
+    },
+    /// Window replenishment: the client may have `n` more scenarios in
+    /// flight (server → client).
+    Credit {
+        /// Credits granted.
+        n: u32,
+    },
+    /// Fatal typed error; the sender closes after writing it.
+    Error {
+        /// One of [`error_code`].
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One configuration cycle on the wire — [`CycleReport`] with ids
+/// flattened to indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireReport {
+    /// Fired transition indices, in execution order.
+    pub fired: Vec<u32>,
+    /// Measured cycles per fired transition (same order).
+    pub transition_cycles: Vec<u64>,
+    /// TEP assignment per fired transition (same order).
+    pub assigned_tep: Vec<u8>,
+    /// Configuration-cycle length in clock cycles.
+    pub cycle_length: u64,
+    /// Event indices raised by routines.
+    pub raised: Vec<u32>,
+    /// Interrupt-servicing latency, when an interrupt fired.
+    pub interrupt_latency: Option<u64>,
+}
+
+impl WireReport {
+    /// Flattens a [`CycleReport`].
+    pub fn from_report(r: &CycleReport) -> Self {
+        WireReport {
+            fired: r.fired.iter().map(|t| t.index() as u32).collect(),
+            transition_cycles: r.transition_cycles.clone(),
+            assigned_tep: r.assigned_tep.clone(),
+            cycle_length: r.cycle_length,
+            raised: r.raised.iter().map(|e| e.index() as u32).collect(),
+            interrupt_latency: r.interrupt_latency,
+        }
+    }
+}
+
+/// [`MachineStats`] on the wire.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Configuration cycles executed.
+    pub config_cycles: u64,
+    /// Transitions executed.
+    pub transitions: u64,
+    /// Total clock cycles.
+    pub clock_cycles: u64,
+    /// Longest configuration cycle seen.
+    pub max_cycle_length: u64,
+    /// Busy clock cycles per TEP.
+    pub tep_busy: Vec<u64>,
+}
+
+impl WireStats {
+    /// Copies a [`MachineStats`].
+    pub fn from_stats(s: &MachineStats) -> Self {
+        WireStats {
+            config_cycles: s.config_cycles,
+            transitions: s.transitions,
+            clock_cycles: s.clock_cycles,
+            max_cycle_length: s.max_cycle_length,
+            tep_busy: s.tep_busy.clone(),
+        }
+    }
+}
+
+/// The canonical serialisation of one scenario outcome. Everything a
+/// [`BatchOutcome`]`<`[`ScriptedEnvironment`]`>` observably contains:
+/// per-cycle reports, final statistics, the simulated clock, the
+/// environment's recorded port writes and leftover script, and the
+/// fault (as its display string) if one ended the run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireOutcome {
+    /// Per-configuration-cycle reports, in execution order.
+    pub reports: Vec<WireReport>,
+    /// Machine statistics at scenario end.
+    pub stats: WireStats,
+    /// Final simulated clock.
+    pub clock_cycles: u64,
+    /// The script rows as the scenario left them (consumed rows are
+    /// empty).
+    pub leftover_script: Vec<Vec<String>>,
+    /// Recorded port writes `(address, value, cycle)`.
+    pub port_writes: Vec<(u16, i64, u64)>,
+    /// The fault that ended the scenario early, rendered.
+    pub error: Option<String>,
+}
+
+impl WireOutcome {
+    /// The canonical projection of an in-process outcome — the
+    /// differential harness compares `from_batch(local).encode()`
+    /// against server bytes.
+    pub fn from_batch(o: &BatchOutcome<ScriptedEnvironment>) -> Self {
+        WireOutcome {
+            reports: o.reports.iter().map(WireReport::from_report).collect(),
+            stats: WireStats::from_stats(&o.stats),
+            clock_cycles: o.clock_cycles,
+            leftover_script: o.env.script.clone(),
+            port_writes: o.env.port_writes.clone(),
+            error: o.error.as_ref().map(|e| e.to_string()),
+        }
+    }
+
+    /// Canonical body bytes (no framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        enc_outcome(&mut e, self);
+        e.buf
+    }
+
+    /// Decodes canonical body bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut d = Dec::new(bytes);
+        let o = dec_outcome(&mut d)?;
+        d.finish()?;
+        Ok(o)
+    }
+}
+
+// --- Primitive encoder/decoder ---------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("bad UTF-8"))
+    }
+    /// A declared element count, sanity-bounded by the bytes left
+    /// (every element costs at least `min_elem_bytes`), so a corrupt
+    /// count can never drive a huge allocation.
+    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+    fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Malformed("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+fn enc_script(e: &mut Enc, script: &[Vec<String>]) {
+    e.u32(script.len() as u32);
+    for row in script {
+        e.u32(row.len() as u32);
+        for ev in row {
+            e.str(ev);
+        }
+    }
+}
+
+fn dec_script(d: &mut Dec<'_>) -> Result<Vec<Vec<String>>, WireError> {
+    let rows = d.count(4)?;
+    let mut script = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let events = d.count(4)?;
+        let mut row = Vec::with_capacity(events);
+        for _ in 0..events {
+            row.push(d.str()?);
+        }
+        script.push(row);
+    }
+    Ok(script)
+}
+
+fn enc_outcome(e: &mut Enc, o: &WireOutcome) {
+    e.u32(o.reports.len() as u32);
+    for r in &o.reports {
+        e.u32(r.fired.len() as u32);
+        for &t in &r.fired {
+            e.u32(t);
+        }
+        for &c in &r.transition_cycles {
+            e.u64(c);
+        }
+        for &t in &r.assigned_tep {
+            e.u8(t);
+        }
+        e.u64(r.cycle_length);
+        e.u32(r.raised.len() as u32);
+        for &ev in &r.raised {
+            e.u32(ev);
+        }
+        match r.interrupt_latency {
+            Some(l) => {
+                e.u8(1);
+                e.u64(l);
+            }
+            None => e.u8(0),
+        }
+    }
+    e.u64(o.stats.config_cycles);
+    e.u64(o.stats.transitions);
+    e.u64(o.stats.clock_cycles);
+    e.u64(o.stats.max_cycle_length);
+    e.u32(o.stats.tep_busy.len() as u32);
+    for &b in &o.stats.tep_busy {
+        e.u64(b);
+    }
+    e.u64(o.clock_cycles);
+    enc_script(e, &o.leftover_script);
+    e.u32(o.port_writes.len() as u32);
+    for &(addr, value, cycle) in &o.port_writes {
+        e.u16(addr);
+        e.i64(value);
+        e.u64(cycle);
+    }
+    match &o.error {
+        Some(msg) => {
+            e.u8(1);
+            e.str(msg);
+        }
+        None => e.u8(0),
+    }
+}
+
+fn dec_outcome(d: &mut Dec<'_>) -> Result<WireOutcome, WireError> {
+    let n_reports = d.count(14)?;
+    let mut reports = Vec::with_capacity(n_reports);
+    for _ in 0..n_reports {
+        let fired_n = d.count(13)?;
+        let mut fired = Vec::with_capacity(fired_n);
+        for _ in 0..fired_n {
+            fired.push(d.u32()?);
+        }
+        let mut transition_cycles = Vec::with_capacity(fired_n);
+        for _ in 0..fired_n {
+            transition_cycles.push(d.u64()?);
+        }
+        let mut assigned_tep = Vec::with_capacity(fired_n);
+        for _ in 0..fired_n {
+            assigned_tep.push(d.u8()?);
+        }
+        let cycle_length = d.u64()?;
+        let raised_n = d.count(4)?;
+        let mut raised = Vec::with_capacity(raised_n);
+        for _ in 0..raised_n {
+            raised.push(d.u32()?);
+        }
+        let interrupt_latency = match d.u8()? {
+            0 => None,
+            1 => Some(d.u64()?),
+            _ => return Err(WireError::Malformed("bad option tag")),
+        };
+        reports.push(WireReport {
+            fired,
+            transition_cycles,
+            assigned_tep,
+            cycle_length,
+            raised,
+            interrupt_latency,
+        });
+    }
+    let stats = WireStats {
+        config_cycles: d.u64()?,
+        transitions: d.u64()?,
+        clock_cycles: d.u64()?,
+        max_cycle_length: d.u64()?,
+        tep_busy: {
+            let n = d.count(8)?;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(d.u64()?);
+            }
+            v
+        },
+    };
+    let clock_cycles = d.u64()?;
+    let leftover_script = dec_script(d)?;
+    let n_writes = d.count(18)?;
+    let mut port_writes = Vec::with_capacity(n_writes);
+    for _ in 0..n_writes {
+        port_writes.push((d.u16()?, d.i64()?, d.u64()?));
+    }
+    let error = match d.u8()? {
+        0 => None,
+        1 => Some(d.str()?),
+        _ => return Err(WireError::Malformed("bad option tag")),
+    };
+    Ok(WireOutcome { reports, stats, clock_cycles, leftover_script, port_writes, error })
+}
+
+// --- Frame encode/decode -----------------------------------------------------
+
+/// Encodes a frame's payload (version, type, body, checksum — no
+/// length prefix).
+pub fn encode_payload(frame: &Frame) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(PROTOCOL_VERSION);
+    match frame {
+        Frame::Hello { window, fingerprint } => {
+            e.u8(T_HELLO);
+            e.u32(*window);
+            e.u64(*fingerprint);
+        }
+        Frame::Submit(s) => {
+            e.u8(T_SUBMIT);
+            e.u64(s.seq);
+            e.u64(s.limits.deadline);
+            e.u64(s.limits.max_steps);
+            enc_script(&mut e, &s.script);
+        }
+        Frame::Outcome { seq, outcome } => {
+            e.u8(T_OUTCOME);
+            e.u64(*seq);
+            enc_outcome(&mut e, outcome);
+        }
+        Frame::Credit { n } => {
+            e.u8(T_CREDIT);
+            e.u32(*n);
+        }
+        Frame::Error { code, message } => {
+            e.u8(T_ERROR);
+            e.u16(*code);
+            e.str(message);
+        }
+    }
+    let checksum = fnv1a32(&e.buf);
+    e.u32(checksum);
+    e.buf
+}
+
+/// Encodes a complete frame, length prefix included.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let payload = encode_payload(frame);
+    let mut out = Vec::with_capacity(LEN_PREFIX + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes one payload (version, type, body, checksum).
+///
+/// # Errors
+///
+/// [`WireError::BadVersion`], [`WireError::BadChecksum`],
+/// [`WireError::UnknownFrame`], [`WireError::Truncated`] or
+/// [`WireError::Malformed`] for structural damage.
+pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
+    if (payload.len() as u32) < MIN_PAYLOAD {
+        return Err(WireError::Truncated);
+    }
+    let (body, tail) = payload.split_at(payload.len() - 4);
+    if body[0] != PROTOCOL_VERSION {
+        return Err(WireError::BadVersion { got: body[0] });
+    }
+    let declared = u32::from_le_bytes(tail.try_into().unwrap());
+    if fnv1a32(body) != declared {
+        return Err(WireError::BadChecksum);
+    }
+    let mut d = Dec::new(&body[1..]);
+    let tag = d.u8()?;
+    let frame = match tag {
+        T_HELLO => Frame::Hello { window: d.u32()?, fingerprint: d.u64()? },
+        T_SUBMIT => {
+            let seq = d.u64()?;
+            let limits = BatchOptions { deadline: d.u64()?, max_steps: d.u64()? };
+            Frame::Submit(Submit { seq, limits, script: dec_script(&mut d)? })
+        }
+        T_OUTCOME => Frame::Outcome { seq: d.u64()?, outcome: dec_outcome(&mut d)? },
+        T_CREDIT => Frame::Credit { n: d.u32()? },
+        T_ERROR => Frame::Error { code: d.u16()?, message: d.str()? },
+        tag => return Err(WireError::UnknownFrame { tag }),
+    };
+    d.finish()?;
+    Ok(frame)
+}
+
+/// Incremental frame parser: feed raw bytes in, pull complete frames
+/// out. Lets socket readers use short read timeouts without ever
+/// losing the bytes of a partially received frame.
+#[derive(Debug, Default)]
+pub struct FrameCursor {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameCursor {
+    /// An empty cursor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact lazily so the buffer doesn't grow without bound on a
+        // long-lived connection.
+        if self.start > 0 && self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 4096 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed buffered bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Tries to parse the next complete frame. `Ok(None)` means more
+    /// bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Decode failures ([`WireError::TooLarge`] as soon as the length
+    /// prefix arrives, the rest once the payload is complete). The
+    /// cursor is poisoned conceptually after an error — callers close
+    /// the connection.
+    pub fn next_frame(&mut self, max_frame: u32) -> Result<Option<Frame>, WireError> {
+        let avail = self.buffered();
+        if avail < LEN_PREFIX {
+            return Ok(None);
+        }
+        let len_bytes = &self.buf[self.start..self.start + LEN_PREFIX];
+        let len = u32::from_le_bytes(len_bytes.try_into().unwrap());
+        if len > max_frame {
+            return Err(WireError::TooLarge { len: u64::from(len), max: max_frame });
+        }
+        if len < MIN_PAYLOAD {
+            return Err(WireError::Truncated);
+        }
+        let total = LEN_PREFIX + len as usize;
+        if avail < total {
+            return Ok(None);
+        }
+        let payload = &self.buf[self.start + LEN_PREFIX..self.start + total];
+        let frame = decode_payload(payload)?;
+        self.start += total;
+        Ok(Some(frame))
+    }
+}
+
+/// Writes one frame to a stream.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    w.write_all(&encode_frame(frame))?;
+    Ok(())
+}
+
+/// Blocking read of one frame. Returns [`WireError::Closed`] on EOF at
+/// a frame boundary and [`WireError::Truncated`] on EOF mid-frame.
+///
+/// # Errors
+///
+/// Transport and decode failures.
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Frame, WireError> {
+    let mut cursor = FrameCursor::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(frame) = cursor.next_frame(max_frame)? {
+            return Ok(frame);
+        }
+        match r.read(&mut chunk) {
+            Ok(0) => {
+                return Err(if cursor.buffered() == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::Truncated
+                });
+            }
+            Ok(n) => cursor.feed(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_outcome() -> WireOutcome {
+        WireOutcome {
+            reports: vec![
+                WireReport {
+                    fired: vec![3, 1],
+                    transition_cycles: vec![40, 17],
+                    assigned_tep: vec![0, 1],
+                    cycle_length: 46,
+                    raised: vec![2],
+                    interrupt_latency: Some(12),
+                },
+                WireReport::default(),
+            ],
+            stats: WireStats {
+                config_cycles: 2,
+                transitions: 2,
+                clock_cycles: 50,
+                max_cycle_length: 46,
+                tep_busy: vec![40, 17],
+            },
+            clock_cycles: 50,
+            leftover_script: vec![vec![], vec!["TICK".into(), "GO".into()]],
+            port_writes: vec![(0x20, -7, 46)],
+            error: Some("divide by zero in `f` at pc 3".into()),
+        }
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        let frames = vec![
+            Frame::Hello { window: 8, fingerprint: 0xdead_beef },
+            Frame::Submit(Submit {
+                seq: 42,
+                limits: BatchOptions { deadline: u64::MAX, max_steps: 17 },
+                script: vec![vec!["TICK".into()], vec![], vec!["A".into(), "B".into()]],
+            }),
+            Frame::Outcome { seq: 7, outcome: sample_outcome() },
+            Frame::Credit { n: 3 },
+            Frame::Error { code: error_code::BAD_CHECKSUM, message: "bad".into() },
+        ];
+        for f in frames {
+            let bytes = encode_frame(&f);
+            let mut cursor = FrameCursor::new();
+            cursor.feed(&bytes);
+            let got = cursor.next_frame(DEFAULT_MAX_FRAME).unwrap().unwrap();
+            assert_eq!(got, f);
+            assert_eq!(cursor.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn outcome_body_round_trips() {
+        let o = sample_outcome();
+        assert_eq!(WireOutcome::decode(&o.encode()).unwrap(), o);
+    }
+
+    #[test]
+    fn cursor_handles_split_and_batched_frames() {
+        let a = encode_frame(&Frame::Credit { n: 1 });
+        let b = encode_frame(&Frame::Credit { n: 2 });
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        // Feed one byte at a time: frames appear exactly at their
+        // boundaries.
+        let mut cursor = FrameCursor::new();
+        let mut seen = Vec::new();
+        for &byte in &all {
+            cursor.feed(&[byte]);
+            while let Some(f) = cursor.next_frame(DEFAULT_MAX_FRAME).unwrap() {
+                seen.push(f);
+            }
+        }
+        assert_eq!(seen, vec![Frame::Credit { n: 1 }, Frame::Credit { n: 2 }]);
+    }
+
+    #[test]
+    fn bad_version_is_typed() {
+        let mut bytes = encode_frame(&Frame::Credit { n: 1 });
+        bytes[LEN_PREFIX] = 9; // version byte
+        let mut cursor = FrameCursor::new();
+        cursor.feed(&bytes);
+        assert!(matches!(
+            cursor.next_frame(DEFAULT_MAX_FRAME),
+            Err(WireError::BadVersion { got: 9 })
+        ));
+    }
+
+    #[test]
+    fn corrupt_checksum_is_typed() {
+        let mut bytes = encode_frame(&Frame::Credit { n: 1 });
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        let mut cursor = FrameCursor::new();
+        cursor.feed(&bytes);
+        assert!(matches!(cursor.next_frame(DEFAULT_MAX_FRAME), Err(WireError::BadChecksum)));
+    }
+
+    #[test]
+    fn corrupt_body_fails_checksum_first() {
+        let mut bytes = encode_frame(&Frame::Credit { n: 1 });
+        bytes[LEN_PREFIX + 2] ^= 0x40; // a body byte
+        let mut cursor = FrameCursor::new();
+        cursor.feed(&bytes);
+        assert!(matches!(cursor.next_frame(DEFAULT_MAX_FRAME), Err(WireError::BadChecksum)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_buffering() {
+        let mut cursor = FrameCursor::new();
+        cursor.feed(&u32::MAX.to_le_bytes());
+        match cursor.next_frame(DEFAULT_MAX_FRAME) {
+            Err(WireError::TooLarge { len, max }) => {
+                assert_eq!(len, u64::from(u32::MAX));
+                assert_eq!(max, DEFAULT_MAX_FRAME);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_stream_reports_truncated() {
+        let bytes = encode_frame(&Frame::Hello { window: 4, fingerprint: 1 });
+        let cut = &bytes[..bytes.len() - 3];
+        let mut reader = std::io::Cursor::new(cut.to_vec());
+        assert!(matches!(
+            read_frame(&mut reader, DEFAULT_MAX_FRAME),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn eof_at_boundary_is_closed() {
+        let mut reader = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut reader, DEFAULT_MAX_FRAME), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn undersized_length_prefix_is_truncated() {
+        let mut cursor = FrameCursor::new();
+        cursor.feed(&2u32.to_le_bytes());
+        cursor.feed(&[PROTOCOL_VERSION, T_CREDIT]);
+        assert!(matches!(cursor.next_frame(DEFAULT_MAX_FRAME), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn huge_declared_count_cannot_balloon_memory() {
+        // A Submit frame whose script row count is enormous but whose
+        // payload is tiny: the count guard must reject it as truncated
+        // without attempting the allocation. Build the body by hand and
+        // checksum it so only the count is wrong.
+        let mut e = Enc::new();
+        e.u8(PROTOCOL_VERSION);
+        e.u8(T_SUBMIT);
+        e.u64(0); // seq
+        e.u64(u64::MAX); // deadline
+        e.u64(1); // max_steps
+        e.u32(u32::MAX); // declared rows — lie
+        let checksum = fnv1a32(&e.buf);
+        e.u32(checksum);
+        let mut bytes = (e.buf.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&e.buf);
+        let mut cursor = FrameCursor::new();
+        cursor.feed(&bytes);
+        assert!(matches!(cursor.next_frame(DEFAULT_MAX_FRAME), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        let mut e = Enc::new();
+        e.u8(PROTOCOL_VERSION);
+        e.u8(T_CREDIT);
+        e.u32(5);
+        e.u8(0xaa); // trailing garbage inside the checksummed region
+        let checksum = fnv1a32(&e.buf);
+        e.u32(checksum);
+        let mut bytes = (e.buf.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&e.buf);
+        let mut cursor = FrameCursor::new();
+        cursor.feed(&bytes);
+        assert!(matches!(
+            cursor.next_frame(DEFAULT_MAX_FRAME),
+            Err(WireError::Malformed("trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn unknown_frame_tag_is_typed() {
+        let mut e = Enc::new();
+        e.u8(PROTOCOL_VERSION);
+        e.u8(200);
+        let checksum = fnv1a32(&e.buf);
+        e.u32(checksum);
+        let mut bytes = (e.buf.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&e.buf);
+        let mut cursor = FrameCursor::new();
+        cursor.feed(&bytes);
+        assert!(matches!(
+            cursor.next_frame(DEFAULT_MAX_FRAME),
+            Err(WireError::UnknownFrame { tag: 200 })
+        ));
+    }
+}

@@ -1,0 +1,177 @@
+//! Backpressure pins for the scenario server.
+//!
+//! A slow client with credit window 1 must not grow server memory:
+//! the in-flight gauge and the shard-queue depth may never exceed the
+//! window. A stalled client (submits, never reads) must not block
+//! other connections' outcomes. A client that *ignores* its credits
+//! is cut off with a typed `CREDIT_VIOLATION`.
+//!
+//! Everything lives in one `#[test]` because the pins read
+//! process-global metrics — parallel test threads would pollute the
+//! histograms. (`serve_differential` and `serve_wire` are separate
+//! binaries, i.e. separate processes, so they cannot interfere.)
+
+use pscp_core::arch::PscpArch;
+use pscp_core::compile::{compile_system, CompiledSystem};
+use pscp_core::pool::BatchOptions;
+use pscp_core::serve::wire::{self, error_code, Frame, Submit, DEFAULT_MAX_FRAME};
+use pscp_core::serve::{self, ScenarioClient, ServeOptions};
+use pscp_obs::metrics::{
+    Histogram, SERVE_CREDIT_STALLS, SERVE_INFLIGHT, SERVE_QUEUE_DEPTH,
+};
+use pscp_statechart::{ChartBuilder, StateKind};
+use pscp_tep::codegen::CodegenOptions;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_system() -> CompiledSystem {
+    let mut b = ChartBuilder::new("tiny");
+    b.event("TICK", Some(400));
+    b.state("Top", StateKind::Or).contains(["A", "B"]).default_child("A");
+    b.state("A", StateKind::Basic).transition("B", "TICK");
+    b.basic("B");
+    let chart = b.build().unwrap();
+    compile_system(&chart, "", &PscpArch::md16_optimized(), &CodegenOptions::default())
+        .unwrap()
+}
+
+const LIMITS: BatchOptions = BatchOptions { deadline: u64::MAX, max_steps: 4 };
+
+fn script() -> Vec<Vec<String>> {
+    vec![vec!["TICK".to_string()], vec![], vec!["TICK".to_string()]]
+}
+
+/// Largest value ever recorded in a histogram, by bucket upper bound
+/// (conservative: a bucket's upper bound is >= any value in it).
+fn max_recorded_at_most(h: &Histogram, bound: u64) -> bool {
+    (0..pscp_obs::metrics::HIST_BUCKETS)
+        .filter(|&i| Histogram::bucket_range(i).0 > bound)
+        .all(|i| h.bucket(i) == 0)
+}
+
+#[test]
+fn backpressure_suite() {
+    pscp_obs::set_flags(pscp_obs::flags() | pscp_obs::METRICS);
+    pscp_obs::metrics::reset_all();
+    let sys = Arc::new(tiny_system());
+
+    // -- Pin 1: window 1 bounds server state, and submits past the
+    //    window stall on credits (counted) instead of queueing.
+    {
+        let opts = ServeOptions { threads: 2, max_window: 1, ..ServeOptions::default() };
+        let server = serve::spawn(Arc::clone(&sys), "127.0.0.1:0", opts).unwrap();
+        let mut client = ScenarioClient::connect_with(server.addr(), 8, 0).unwrap();
+        assert_eq!(client.window(), 1, "server must clamp the requested window");
+
+        let scripts: Vec<_> = (0..10).map(|_| script()).collect();
+        let outcomes = client.run_batch(&scripts, LIMITS).unwrap();
+        assert_eq!(outcomes.len(), 10);
+
+        drop(client);
+        server.stop().unwrap();
+
+        assert!(
+            SERVE_CREDIT_STALLS.get() > 0,
+            "a window-1 client streaming 10 scenarios must have stalled on credits"
+        );
+        assert!(
+            SERVE_INFLIGHT.count() > 0 && max_recorded_at_most(&SERVE_INFLIGHT, 1),
+            "in-flight gauge exceeded the credit window"
+        );
+        assert!(
+            SERVE_QUEUE_DEPTH.count() > 0 && max_recorded_at_most(&SERVE_QUEUE_DEPTH, 1),
+            "shard queue grew beyond the client's window"
+        );
+    }
+
+    // -- Pin 2: a stalled window-1 client never blocks another
+    //    connection's outcomes.
+    {
+        let opts = ServeOptions { threads: 1, max_window: 1, ..ServeOptions::default() };
+        let server = serve::spawn(Arc::clone(&sys), "127.0.0.1:0", opts).unwrap();
+        let addr = server.addr();
+
+        // The staller: submits one scenario and goes silent without
+        // reading its outcome.
+        let mut staller = ScenarioClient::connect_with(addr, 1, 0).unwrap();
+        staller.submit(script(), LIMITS).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+
+        // A healthy client must complete a full batch regardless —
+        // watchdogged so a regression fails instead of hanging.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let healthy = std::thread::spawn(move || {
+            let mut client = ScenarioClient::connect_with(addr, 1, 0).unwrap();
+            let scripts: Vec<_> = (0..8).map(|_| script()).collect();
+            let n = client.run_batch(&scripts, LIMITS).unwrap().len();
+            let _ = tx.send(n);
+        });
+        match rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(n) => assert_eq!(n, 8),
+            Err(_) => panic!("healthy client starved behind a stalled connection"),
+        }
+        healthy.join().unwrap();
+
+        // The staller's own outcome is still there once it wakes up.
+        let (seq, _outcome) = staller.recv().unwrap();
+        assert_eq!(seq, 0);
+        drop(staller);
+        server.stop().unwrap();
+    }
+
+    // -- Pin 3: ignoring credits is a typed protocol violation, not
+    //    unbounded queueing.
+    {
+        let opts = ServeOptions { threads: 1, max_window: 1, ..ServeOptions::default() };
+        let server = serve::spawn(Arc::clone(&sys), "127.0.0.1:0", opts).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+        wire::write_frame(&mut stream, &Frame::Hello { window: 1, fingerprint: 0 })
+            .unwrap();
+        match wire::read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap() {
+            Frame::Hello { window, .. } => assert_eq!(window, 1),
+            other => panic!("expected Hello, got {other:?}"),
+        }
+
+        // Two submissions on a window of one, shipped in a SINGLE
+        // write so both frames land in the server's cursor together and
+        // are decoded back-to-back — two separate writes can straddle
+        // TCP segments, and a fast outcome would then return the credit
+        // before the reader ever sees the second frame, leaving nothing
+        // to violate. The first scenario additionally idles the single
+        // worker for tens of thousands of steps as belt and braces.
+        let slow = BatchOptions { deadline: u64::MAX, max_steps: 50_000 };
+        let mut both =
+            wire::encode_frame(&Frame::Submit(Submit { seq: 0, limits: slow, script: vec![] }));
+        both.extend_from_slice(&wire::encode_frame(&Frame::Submit(Submit {
+            seq: 1,
+            limits: LIMITS,
+            script: script(),
+        })));
+        stream.write_all(&both).unwrap();
+
+        // The first scenario's outcome/credit may arrive first; the
+        // violation must follow within a few frames.
+        let mut cut_off = false;
+        for _ in 0..8 {
+            match wire::read_frame(&mut stream, DEFAULT_MAX_FRAME) {
+                Ok(Frame::Error { code, .. }) => {
+                    assert_eq!(code, error_code::CREDIT_VIOLATION);
+                    cut_off = true;
+                    break;
+                }
+                Ok(Frame::Outcome { .. } | Frame::Credit { .. }) => {}
+                Ok(other) => panic!("unexpected frame: {other:?}"),
+                Err(wire::WireError::Closed) => {
+                    panic!("connection closed without a typed violation")
+                }
+                Err(e) => panic!("read failed: {e}"),
+            }
+        }
+        assert!(cut_off, "credit violation was never reported");
+        server.stop().unwrap();
+    }
+}

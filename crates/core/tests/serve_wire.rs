@@ -1,0 +1,348 @@
+//! Wire-format torture tests: round-trip properties for every frame
+//! type, and corrupt-input pins against a **live** server — a
+//! truncated frame, a bad version byte, a wrong checksum, and an
+//! oversized length prefix must each end the connection with a typed
+//! `Error` frame, never a panic or a hang.
+
+use proptest::prelude::*;
+use pscp_core::arch::PscpArch;
+use pscp_core::compile::{compile_system, CompiledSystem};
+use pscp_core::pool::BatchOptions;
+use pscp_core::serve::wire::{
+    self, error_code, Frame, Submit, WireError, WireOutcome, WireReport, WireStats,
+    DEFAULT_MAX_FRAME,
+};
+use pscp_core::serve::{self, ScenarioClient, ServeOptions, ServerHandle};
+use pscp_statechart::{ChartBuilder, StateKind};
+use pscp_tep::codegen::CodegenOptions;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Round-trip properties
+// ---------------------------------------------------------------------
+
+fn arb_script() -> impl Strategy<Value = Vec<Vec<String>>> {
+    let event = prop_oneof![
+        Just("TICK".to_string()),
+        Just("PING".to_string()),
+        Just("T_EXP".to_string()),
+        Just(String::new()),
+        Just("λ-événement".to_string()), // non-ASCII survives the wire
+    ];
+    proptest::collection::vec(proptest::collection::vec(event, 0..4), 0..6)
+}
+
+fn arb_outcome() -> impl Strategy<Value = WireOutcome> {
+    // fired / transition_cycles / assigned_tep share one length — the
+    // CycleReport invariant the canonical encoding relies on.
+    let report = (
+        proptest::collection::vec((any::<u32>(), any::<u64>(), any::<u8>()), 0..4),
+        any::<u64>(),
+        proptest::collection::vec(any::<u32>(), 0..3),
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(firings, len, raised, has_lat, lat)| WireReport {
+            fired: firings.iter().map(|f| f.0).collect(),
+            transition_cycles: firings.iter().map(|f| f.1).collect(),
+            assigned_tep: firings.iter().map(|f| f.2).collect(),
+            cycle_length: len,
+            raised,
+            interrupt_latency: has_lat.then_some(lat),
+        });
+    let stats = (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u64>(), 0..3),
+    )
+        .prop_map(|(c, t, k, m, busy)| WireStats {
+            config_cycles: c,
+            transitions: t,
+            clock_cycles: k,
+            max_cycle_length: m,
+            tep_busy: busy,
+        });
+    (
+        proptest::collection::vec(report, 0..4),
+        stats,
+        any::<u64>(),
+        arb_script(),
+        proptest::collection::vec((any::<u16>(), any::<i64>(), any::<u64>()), 0..4),
+        prop_oneof![Just(None), Just(Some("TEP fault: stack overflow".to_string()))],
+    )
+        .prop_map(|(reports, stats, clock_cycles, leftover_script, port_writes, error)| {
+            WireOutcome { reports, stats, clock_cycles, leftover_script, port_writes, error }
+        })
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(window, fingerprint)| Frame::Hello { window, fingerprint }),
+        (any::<u64>(), any::<u64>(), 1u64..=1_000_000, arb_script()).prop_map(
+            |(seq, deadline, max_steps, script)| {
+                Frame::Submit(Submit {
+                    seq,
+                    limits: BatchOptions { deadline, max_steps },
+                    script,
+                })
+            }
+        ),
+        (any::<u64>(), arb_outcome())
+            .prop_map(|(seq, outcome)| Frame::Outcome { seq, outcome }),
+        any::<u32>().prop_map(|n| Frame::Credit { n }),
+        (any::<u16>(), ".{0,12}").prop_map(|(code, message)| Frame::Error { code, message }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every frame survives encode → cursor → decode bit-exactly.
+    #[test]
+    fn every_frame_round_trips_through_the_cursor(frame in arb_frame()) {
+        let bytes = wire::encode_frame(&frame);
+        let mut cursor = wire::FrameCursor::new();
+        cursor.feed(&bytes);
+        let decoded = cursor.next_frame(DEFAULT_MAX_FRAME).unwrap().expect("one frame");
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(cursor.buffered(), 0);
+        prop_assert!(cursor.next_frame(DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    /// Concatenated frames split at arbitrary chunk boundaries decode
+    /// to the same sequence.
+    #[test]
+    fn chunked_streams_decode_identically(
+        frames in proptest::collection::vec(arb_frame(), 1..5),
+        chunk in 1usize..=17,
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&wire::encode_frame(f));
+        }
+        let mut cursor = wire::FrameCursor::new();
+        let mut decoded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            cursor.feed(piece);
+            while let Some(f) = cursor.next_frame(DEFAULT_MAX_FRAME).unwrap() {
+                decoded.push(f);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// Flipping any single byte of a frame's payload never round-trips
+    /// silently: the cursor either reports a typed error or (for a
+    /// length-prefix flip) keeps waiting for more bytes — it never
+    /// yields the original frame as if nothing happened.
+    #[test]
+    fn single_byte_corruption_never_passes(
+        frame in arb_frame(),
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut bytes = wire::encode_frame(&frame);
+        let i = flip_at % bytes.len();
+        bytes[i] ^= 1 << flip_bit;
+        let mut cursor = wire::FrameCursor::new();
+        cursor.feed(&bytes);
+        match cursor.next_frame(DEFAULT_MAX_FRAME) {
+            Ok(Some(decoded)) => prop_assert_ne!(decoded, frame),
+            Ok(None) => {} // length prefix grew: cursor waits for more
+            Err(_) => {}   // typed rejection
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live-server corrupt-input pins
+// ---------------------------------------------------------------------
+
+fn tiny_system() -> CompiledSystem {
+    let mut b = ChartBuilder::new("tiny");
+    b.event("TICK", Some(400));
+    b.state("Top", StateKind::Or).contains(["A", "B"]).default_child("A");
+    b.state("A", StateKind::Basic).transition("B", "TICK");
+    b.basic("B");
+    let chart = b.build().unwrap();
+    compile_system(&chart, "", &PscpArch::md16_optimized(), &CodegenOptions::default())
+        .unwrap()
+}
+
+fn live_server() -> ServerHandle {
+    let sys = Arc::new(tiny_system());
+    serve::spawn(sys, "127.0.0.1:0", ServeOptions { threads: 1, ..ServeOptions::default() })
+        .unwrap()
+}
+
+/// Sends raw bytes to a live server, half-closes the write side, and
+/// returns the typed Error frame the server answers with. Panics if
+/// the server hangs past the read timeout or answers anything else.
+fn poke(server: &ServerHandle, bytes: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+    stream.write_all(bytes).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    match wire::read_frame(&mut stream, DEFAULT_MAX_FRAME) {
+        Ok(Frame::Error { code, message }) => (code, message),
+        other => panic!("expected a typed Error frame, got {other:?}"),
+    }
+}
+
+/// After the Error frame the server closes; reading again must yield
+/// EOF, not data and not a hang.
+fn assert_closed(server: &ServerHandle, bytes: &[u8]) {
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+    stream.write_all(bytes).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    match wire::read_frame(&mut stream, DEFAULT_MAX_FRAME) {
+        Ok(Frame::Error { .. }) => {}
+        other => panic!("expected Error, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server kept talking after a fatal Error frame");
+}
+
+#[test]
+fn truncated_frame_gets_a_typed_error() {
+    let server = live_server();
+    let full = wire::encode_frame(&Frame::Hello { window: 4, fingerprint: 0 });
+    let (code, _) = poke(&server, &full[..full.len() - 3]);
+    assert_eq!(code, error_code::MALFORMED);
+    server.stop().unwrap();
+}
+
+#[test]
+fn bad_version_byte_gets_a_typed_error() {
+    let server = live_server();
+    let mut bytes = wire::encode_frame(&Frame::Hello { window: 4, fingerprint: 0 });
+    bytes[4] = wire::PROTOCOL_VERSION + 1; // version byte follows the length prefix
+    let (code, message) = poke(&server, &bytes);
+    assert_eq!(code, error_code::BAD_VERSION);
+    assert!(message.contains("version"), "unhelpful message: {message}");
+    server.stop().unwrap();
+}
+
+#[test]
+fn wrong_checksum_gets_a_typed_error() {
+    let server = live_server();
+    let mut bytes = wire::encode_frame(&Frame::Hello { window: 4, fingerprint: 0 });
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF; // trailing checksum byte
+    let (code, _) = poke(&server, &bytes);
+    assert_eq!(code, error_code::BAD_CHECKSUM);
+    server.stop().unwrap();
+}
+
+#[test]
+fn oversized_length_prefix_gets_a_typed_error() {
+    let server = live_server();
+    // Claims a 64 MiB frame; the server must refuse on the prefix
+    // alone without buffering anything.
+    let mut bytes = (64u32 * 1024 * 1024).to_le_bytes().to_vec();
+    bytes.extend_from_slice(&[0u8; 32]);
+    let (code, _) = poke(&server, &bytes);
+    assert_eq!(code, error_code::TOO_LARGE);
+    assert_closed(&server, &bytes);
+    server.stop().unwrap();
+}
+
+#[test]
+fn unknown_frame_tag_gets_a_typed_error() {
+    let server = live_server();
+    // A checksummed, well-formed frame with an unassigned tag byte.
+    let payload = [wire::PROTOCOL_VERSION, 0x7F];
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(u32::try_from(payload.len() + 4).unwrap()).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes.extend_from_slice(&wire::fnv1a32(&payload).to_le_bytes());
+    let (code, _) = poke(&server, &bytes);
+    assert_eq!(code, error_code::MALFORMED);
+    server.stop().unwrap();
+}
+
+#[test]
+fn non_hello_first_frame_gets_a_typed_error() {
+    let server = live_server();
+    let bytes = wire::encode_frame(&Frame::Credit { n: 1 });
+    let (code, _) = poke(&server, &bytes);
+    assert_eq!(code, error_code::UNEXPECTED_FRAME);
+    server.stop().unwrap();
+}
+
+#[test]
+fn corrupt_frame_after_handshake_gets_a_typed_error() {
+    let server = live_server();
+    let mut client = ScenarioClient::connect(server.addr()).unwrap();
+
+    // A healthy scenario first, proving the session was live.
+    let limits = BatchOptions { deadline: u64::MAX, max_steps: 3 };
+    client.submit(vec![vec!["TICK".to_string()]], limits).unwrap();
+    client.recv().unwrap();
+
+    // Now a frame with a stomped checksum.
+    let mut bytes = wire::encode_frame(&Frame::Submit(Submit {
+        seq: 1,
+        limits,
+        script: vec![],
+    }));
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    client.send_raw(&bytes).unwrap();
+
+    match client.recv_frame() {
+        Ok(Frame::Error { code, .. }) => assert_eq!(code, error_code::BAD_CHECKSUM),
+        Ok(Frame::Credit { .. }) => {
+            // The credit for the healthy scenario may still be in
+            // flight; the Error must follow it.
+            match client.recv_frame() {
+                Ok(Frame::Error { code, .. }) => {
+                    assert_eq!(code, error_code::BAD_CHECKSUM);
+                }
+                other => panic!("expected Error after credit, got {other:?}"),
+            }
+        }
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+    drop(client);
+    server.stop().unwrap();
+}
+
+/// The client, too, rejects corruption with typed errors instead of
+/// trusting the transport.
+#[test]
+fn client_side_decode_rejects_corruption() {
+    let frame = wire::encode_frame(&Frame::Credit { n: 3 });
+
+    // Wrong checksum.
+    let mut bad = frame.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 1;
+    let mut cursor = wire::FrameCursor::new();
+    cursor.feed(&bad);
+    assert!(matches!(cursor.next_frame(DEFAULT_MAX_FRAME), Err(WireError::BadChecksum)));
+
+    // Truncation at EOF.
+    let mut reader = std::io::Cursor::new(&frame[..frame.len() - 2]);
+    assert!(matches!(
+        wire::read_frame(&mut reader, DEFAULT_MAX_FRAME),
+        Err(WireError::Truncated)
+    ));
+
+    // Oversized prefix.
+    let mut huge = u32::MAX.to_le_bytes().to_vec();
+    huge.extend_from_slice(&[0; 8]);
+    let mut cursor = wire::FrameCursor::new();
+    cursor.feed(&huge);
+    assert!(matches!(
+        cursor.next_frame(DEFAULT_MAX_FRAME),
+        Err(WireError::TooLarge { .. })
+    ));
+}

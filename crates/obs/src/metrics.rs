@@ -230,6 +230,24 @@ pub static POOL_STEPS: PerWorker = PerWorker::new();
 /// Queue polls that found no work, per `SimPool` worker.
 pub static POOL_IDLE_POLLS: PerWorker = PerWorker::new();
 
+/// Scenario-server connections accepted.
+pub static SERVE_CONNECTIONS: Counter = Counter::new();
+/// Scenario-server protocol errors (malformed frames, credit
+/// violations, system mismatches) that ended a connection.
+pub static SERVE_ERRORS: Counter = Counter::new();
+/// Client-side submissions that had to wait for a credit frame.
+pub static SERVE_CREDIT_STALLS: Counter = Counter::new();
+/// Frames received by the server, per connection slot.
+pub static SERVE_FRAMES_IN: PerWorker = PerWorker::new();
+/// Frames written by the server, per connection slot.
+pub static SERVE_FRAMES_OUT: PerWorker = PerWorker::new();
+/// Per-connection in-flight scenario count, sampled at each submit
+/// receipt. Bounded by the negotiated credit window — the backpressure
+/// tests pin every sample at or below it.
+pub static SERVE_INFLIGHT: Histogram = Histogram::new();
+/// Shared job-queue depth, sampled at each enqueue.
+pub static SERVE_QUEUE_DEPTH: Histogram = Histogram::new();
+
 /// Instruction-kind slots of [`TEP_INSTR`]. The order mirrors
 /// `pscp_tep::isa::Instr` variant order (pinned by a test over there).
 pub const TEP_KINDS: usize = 22;
@@ -313,17 +331,24 @@ const SCALARS: &[(&str, &Counter)] = &[
     ("machine_steps", &MACHINE_STEPS),
     ("machine_transitions", &MACHINE_TRANSITIONS),
     ("sla_net_evals", &SLA_NET_EVALS),
+    ("serve_connections", &SERVE_CONNECTIONS),
+    ("serve_errors", &SERVE_ERRORS),
+    ("serve_credit_stalls", &SERVE_CREDIT_STALLS),
 ];
 
 const PER_WORKER: &[(&str, &PerWorker)] = &[
     ("pool_scenarios", &POOL_SCENARIOS),
     ("pool_steps", &POOL_STEPS),
     ("pool_idle_polls", &POOL_IDLE_POLLS),
+    ("serve_frames_in", &SERVE_FRAMES_IN),
+    ("serve_frames_out", &SERVE_FRAMES_OUT),
 ];
 
 const HISTOGRAMS: &[(&str, &Histogram)] = &[
     ("revalidate_dirty", &REVALIDATE_DIRTY),
     ("opt_step_candidates", &OPT_STEP_CANDIDATES),
+    ("serve_inflight", &SERVE_INFLIGHT),
+    ("serve_queue_depth", &SERVE_QUEUE_DEPTH),
 ];
 
 /// Captures the current value of every well-known instrument.

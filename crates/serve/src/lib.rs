@@ -1,0 +1,15 @@
+//! The deployable face of the PSCP scenario server.
+//!
+//! The implementation lives in [`pscp_core::serve`] (so the server,
+//! the pool, and the differential tests share one crate boundary);
+//! this crate re-exports it and ships the `pscp-serve` binary:
+//!
+//! ```text
+//! pscp-serve                       # serve the pickup-head example
+//! pscp-serve session --clients 4   # loopback differential session
+//! ```
+//!
+//! Environment: `PSCP_SERVE_ADDR` (default `127.0.0.1:7971`),
+//! `PSCP_SERVE_WINDOW` (default 32), `PSCP_THREADS` (shard workers).
+
+pub use pscp_core::serve::*;

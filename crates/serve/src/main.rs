@@ -1,0 +1,187 @@
+//! `pscp-serve` — the PSCP scenario server binary.
+//!
+//! * `pscp-serve` — serve the pickup-head example system on
+//!   `PSCP_SERVE_ADDR` (default `127.0.0.1:7971`) until killed.
+//! * `pscp-serve session --clients N [--scenarios M]` — spin up a
+//!   loopback server, run `N` concurrent clients submitting `M`
+//!   pickup-head scenarios each, differential-check every outcome
+//!   against an in-process `SimPool`, and write the obs metrics
+//!   snapshot to `<obs_dir>/serve_metrics.json`. Exits non-zero on
+//!   any byte mismatch.
+
+use pscp_core::arch::PscpArch;
+use pscp_core::machine::ScriptedEnvironment;
+use pscp_core::pool::{BatchOptions, SimPool};
+use pscp_core::serve::{
+    self, wire::WireOutcome, ScenarioClient, ServeOptions,
+};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+fn usage() {
+    eprintln!(
+        "usage: pscp-serve [session --clients N [--scenarios M] [--window W]]\n\
+         env:   PSCP_SERVE_ADDR (default 127.0.0.1:7971), PSCP_SERVE_WINDOW, PSCP_THREADS"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => run_server(),
+        Some("session") => session(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("pscp-serve: unknown mode `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Foreground server on `PSCP_SERVE_ADDR`.
+fn run_server() -> ExitCode {
+    let system = pscp_bench::example_system(&PscpArch::dual_md16(true));
+    let opts = ServeOptions::from_env();
+    let addr = serve::addr_from_env();
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("pscp-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = listener.local_addr().expect("bound listener has an address");
+    println!(
+        "pscp-serve: serving pickup-head on {local} (workers={}, window<={}, fingerprint={:#018x})",
+        opts.threads,
+        opts.max_window,
+        serve::system_fingerprint(&system)
+    );
+    let shutdown = AtomicBool::new(false);
+    match serve::serve(&system, listener, &opts, &shutdown) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pscp-serve: server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// A deterministic pickup-head script for (client, scenario) — mixes
+/// power-up, data, and pulse traffic so shard workers see varied work.
+fn script_for(client: usize, scenario: usize) -> Vec<Vec<String>> {
+    const MENU: [&[&str]; 6] = [
+        &["POWER"],
+        &["DATA_VALID"],
+        &["DATA_VALID"],
+        &["X_PULSE"],
+        &["X_PULSE", "Y_PULSE"],
+        &[],
+    ];
+    let len = 3 + (client + scenario) % 5;
+    (0..len)
+        .map(|step| {
+            MENU[(client * 7 + scenario * 3 + step) % MENU.len()]
+                .iter()
+                .map(|e| (*e).to_string())
+                .collect()
+        })
+        .collect()
+}
+
+fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Loopback differential session.
+fn session(args: &[String]) -> ExitCode {
+    let clients = parse_flag(args, "--clients", 4).max(1);
+    let per_client = parse_flag(args, "--scenarios", 8).max(1);
+    let window = parse_flag(args, "--window", serve::DEFAULT_WINDOW as usize) as u32;
+
+    pscp_obs::set_flags(pscp_obs::flags() | pscp_obs::METRICS);
+    pscp_obs::metrics::reset_all();
+
+    let system = Arc::new(pscp_bench::example_system(&PscpArch::dual_md16(true)));
+    let limits = BatchOptions { deadline: u64::MAX, max_steps: 16 };
+
+    // The reference: every scenario through the in-process pool.
+    let scripts: Vec<Vec<Vec<String>>> = (0..clients)
+        .flat_map(|c| (0..per_client).map(move |i| script_for(c, i)))
+        .collect();
+    let envs = scripts.iter().cloned().map(ScriptedEnvironment::new).collect();
+    let expected: Vec<Vec<u8>> = SimPool::new()
+        .run_batch(&system, envs, &limits)
+        .iter()
+        .map(|o| WireOutcome::from_batch(o).encode())
+        .collect();
+
+    let opts = ServeOptions { max_window: window, ..ServeOptions::from_env() };
+    let server = match serve::spawn(Arc::clone(&system), "127.0.0.1:0", opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pscp-serve: cannot start loopback server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.addr();
+    let fingerprint = serve::system_fingerprint(&system);
+
+    let mismatches: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let expected = &expected;
+                s.spawn(move || -> usize {
+                    let mut client = ScenarioClient::connect_with(addr, window, fingerprint)
+                        .expect("session client connects");
+                    let scripts: Vec<_> =
+                        (0..per_client).map(|i| script_for(c, i)).collect();
+                    let outcomes = client
+                        .run_batch(&scripts, limits)
+                        .expect("session batch completes");
+                    outcomes
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, o)| o.encode() != expected[c * per_client + i])
+                        .count()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).sum()
+    });
+
+    let _ = server.stop();
+
+    let dir = pscp_obs::obs_dir();
+    let snapshot_path = dir.join("serve_metrics.json");
+    if let Err(e) = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(&snapshot_path, pscp_obs::metrics::snapshot().to_json()))
+    {
+        eprintln!("pscp-serve: cannot write {}: {e}", snapshot_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    let total = clients * per_client;
+    println!(
+        "pscp-serve session: clients={clients} scenarios={total} window={window} \
+         mismatches={mismatches} metrics={}",
+        snapshot_path.display()
+    );
+    if mismatches == 0 {
+        println!("pscp-serve session: differential OK (server byte-identical to SimPool)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("pscp-serve session: DIFFERENTIAL FAILURE");
+        ExitCode::FAILURE
+    }
+}

@@ -9,21 +9,36 @@ cargo build --release
 cargo test -q
 cargo test --workspace -q
 cargo clippy --all-targets -p pscp-statechart -p pscp-sla -p pscp-tep \
-    -p pscp-obs -p pscp-core -p pscp-bench -- -D warnings
+    -p pscp-obs -p pscp-core -p pscp-bench -p pscp-serve -- -D warnings
 
-# Perf smoke: the bench binary must run and report the PR-3/PR-4
+# The scenario-server differential suite is the serving layer's spec:
+# wire round-trips must be byte-identical to the in-process SimPool.
+cargo test --release -p pscp-core --test serve_differential -q
+cargo test --release -p pscp-core --test serve_wire -q
+cargo test --release -p pscp-core --test serve_backpressure -q
+
+# Perf smoke: the bench binary must run and report the PR-3/PR-4/PR-5
 # workloads. This asserts presence, not thresholds — speedups depend on
 # the host.
 cargo run --release -p pscp-bench --bin bench-smoke > /dev/null
-test -f BENCH_4.json
-grep -q '"dse_explore_incremental"' BENCH_4.json
-grep -q '"dse_explore_full"' BENCH_4.json
-grep -q '"memo_store"' BENCH_4.json
-grep -q '"batch_cosim"' BENCH_4.json
-grep -q '"obs_overhead_pct"' BENCH_4.json
-grep -q '"trace_overhead_pct"' BENCH_4.json
-test -f BENCH_4_metrics.json
-python3 -m json.tool BENCH_4_metrics.json > /dev/null
+test -f BENCH_5.json
+grep -q '"dse_explore_incremental"' BENCH_5.json
+grep -q '"dse_explore_full"' BENCH_5.json
+grep -q '"memo_store"' BENCH_5.json
+grep -q '"batch_cosim"' BENCH_5.json
+grep -q '"serve_smoke"' BENCH_5.json
+grep -q '"outputs_identical": true' BENCH_5.json
+grep -q '"obs_overhead_pct"' BENCH_5.json
+grep -q '"trace_overhead_pct"' BENCH_5.json
+test -f BENCH_5_metrics.json
+python3 -m json.tool BENCH_5_metrics.json > /dev/null
+
+# Serving smoke: a loopback server + 4-client pickup-head session; every
+# outcome is differentially checked against the in-process pool, and
+# the per-connection metrics snapshot must be valid JSON.
+PSCP_OBS_DIR=target/obs \
+    cargo run --release -p pscp-serve -- session --clients 4 > /dev/null
+python3 -m json.tool target/obs/serve_metrics.json > /dev/null
 
 # Observability smoke: one traced + waveform-dumped pickup-head run.
 # The trace must be valid Chrome trace_event JSON, the VCD and metrics

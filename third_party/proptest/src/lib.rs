@@ -364,6 +364,8 @@ tuple_strategy! {
     (A, B, C, D)
     (A, B, C, D, E)
     (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
 }
 
 /// String pattern strategy: supports the `.{lo,hi}` regex shorthand
