@@ -3,9 +3,19 @@
 //! Runs the PR-1 hot-path workloads (SLA evaluation, configuration
 //! cycles, one full pick-and-place co-sim move), the PR-2 batched
 //! co-simulation sweep, and the PR-3 incremental-revalidation
-//! workloads with plain wall-clock timing, and writes `BENCH_5.json`
+//! workloads with plain wall-clock timing, and writes `BENCH_6.json`
 //! into the current directory so the perf trajectory is tracked across
 //! PRs.
+//!
+//! PR-6 adds `gang_cosim`: the SLA-bound gang workload at bit-slice
+//! widths 1/8/64 on a *single* worker, so the recorded speedup is the
+//! algorithmic win of word-parallel SLA/CR evaluation, not thread
+//! parallelism; every gang outcome is checked identical to the scalar
+//! width-1 run. `serve_smoke` is re-baselined against BENCH_5's
+//! 1-client loopback latency (the accept loop and queue handoffs are
+//! now condvar-driven instead of 5 ms polls), and the obs ledger gains
+//! a `PSCP_OBS_SAMPLE=64` sampled-tracing row against BENCH_5's
+//! every-span overhead.
 //!
 //! PR-5 adds `serve_smoke`: the same pickup-head scenario mix through
 //! a loopback `pscp_core::serve` server at 1/4/16 concurrent clients,
@@ -56,6 +66,11 @@ mod baseline {
     pub const CONFIG_CYCLES_WITH_CONSTRUCT_US: f64 = 12.377;
     /// `cosim_one_move/dual_md16_opt`, ms per move.
     pub const COSIM_MS: f64 = 102.379;
+    /// BENCH_5 `serve_smoke` 1-client loopback, ms for the 16-scenario
+    /// mix (accept loop and shard handoffs still on 5 ms polls).
+    pub const SERVE_1_CLIENT_MS: f64 = 4.13;
+    /// BENCH_5 `trace_overhead_pct`: every span recorded, no sampling.
+    pub const TRACE_OVERHEAD_PCT: f64 = 45.0;
 }
 
 /// Times `iters` runs of `f` after `iters / 10` warm-up runs, five
@@ -229,8 +244,10 @@ fn batch_cosim(workers: usize) -> (f64, f64, bool, usize) {
             .collect()
     };
     let limits = BatchOptions { deadline: u64::MAX, max_steps: 500_000 };
+    // Gang width pinned to 1: this row tracks the PR-2 thread-parallel
+    // speedup; the bit-sliced gang gets its own `gang_cosim` row.
     let sweep = |threads: usize| {
-        SimPool::with_threads(threads).run_batch_until(
+        SimPool::with_threads(threads).with_gang(1).run_batch_until(
             &sys,
             scenarios(),
             &limits,
@@ -252,6 +269,40 @@ fn batch_cosim(workers: usize) -> (f64, f64, bool, usize) {
             })
     };
     (one, many, identical, SCENARIOS)
+}
+
+/// The gang-simulation sweep: the SLA-bound gang workload (12 parallel
+/// rotor regions, sparse scripts) at bit-slice widths 1, 8 and 64 on a
+/// single worker — the speedup on record is algorithmic, from the
+/// shared word-parallel SLA/CR pass and the idle-lane fast path, not
+/// from threads. Returns (seconds per width, all gang outcomes
+/// identical to the scalar width-1 run, scenarios).
+fn gang_cosim() -> ([f64; 3], bool, usize) {
+    const SCENARIOS: usize = 256;
+    const CYCLES: usize = 256;
+    let sys = pscp_bench::gang_system();
+    let scripts = pscp_bench::gang_scripts(SCENARIOS, CYCLES);
+    let limits = BatchOptions { deadline: u64::MAX, max_steps: CYCLES as u64 };
+    let run = |w: usize| {
+        SimPool::with_threads(1).with_gang(w).run_batch(
+            &sys,
+            scripts.iter().cloned().map(ScriptedEnvironment::new).collect(),
+            &limits,
+        )
+    };
+    let mut secs = [0.0f64; 3];
+    for (slot, &w) in [1usize, 8, 64].iter().enumerate() {
+        secs[slot] = time(2, || run(w).len());
+    }
+    let reference = run(1);
+    let identical = [8usize, 64].iter().all(|&w| {
+        let got = run(w);
+        got.len() == reference.len()
+            && got.iter().zip(&reference).all(|(x, y)| {
+                x.reports == y.reports && x.stats == y.stats && x.clock_cycles == y.clock_cycles
+            })
+    });
+    (secs, identical, SCENARIOS)
 }
 
 /// Loopback scenario serving vs. the in-process pool: the same 16
@@ -348,14 +399,23 @@ fn serve_smoke(workers: usize) -> (f64, [f64; 3], bool) {
 
 /// Re-times the co-sim move under each obs configuration and collects
 /// a metrics snapshot from an instrumented exploration + batch run:
-/// (metrics-only seconds, metrics+trace seconds, snapshot JSON).
-fn obs_ledger(workers: usize) -> (f64, f64, String) {
+/// (metrics-only seconds, metrics+trace seconds, metrics+trace seconds
+/// at `PSCP_OBS_SAMPLE=64`, snapshot JSON).
+fn obs_ledger(workers: usize) -> (f64, f64, f64, String) {
     pscp_obs::set_flags(pscp_obs::METRICS);
     let (metrics_s, _, _) = cosim_one_move();
 
     pscp_obs::trace::clear();
     pscp_obs::set_flags(pscp_obs::METRICS | pscp_obs::TRACE);
     let (trace_s, _, _) = cosim_one_move();
+    pscp_obs::trace::clear();
+
+    // Sampled tracing: record one `step` span in 64. The cadence-based
+    // span sites stay index-aligned, so the trace keeps its shape at a
+    // fraction of the recording cost.
+    pscp_obs::set_sample(64);
+    let (trace_sampled_s, _, _) = cosim_one_move();
+    pscp_obs::set_sample(1);
     pscp_obs::trace::clear();
 
     // Snapshot fixture: a fresh metrics-only exploration plus a small
@@ -391,7 +451,7 @@ fn obs_ledger(workers: usize) -> (f64, f64, String) {
     let snapshot = pscp_obs::metrics::snapshot().to_json();
 
     pscp_obs::set_flags(0);
-    (metrics_s, trace_s, snapshot)
+    (metrics_s, trace_s, trace_sampled_s, snapshot)
 }
 
 fn main() {
@@ -416,14 +476,16 @@ fn main() {
     let (dse_full, dse_inc, dse_identical, dse_steps) = dse_explore();
     let (memo_cold, memo_warm, memo_identical, memo_corrupt_ok) = memo_store(&memo_path);
     let (batch_one, batch_many, batch_identical, batch_n) = batch_cosim(workers);
+    let (gang_secs, gang_identical, gang_n) = gang_cosim();
     let (serve_inproc, serve_clients, serve_identical) = serve_smoke(workers);
-    let (obs_metrics_s, obs_trace_s, metrics_snapshot) = obs_ledger(workers);
+    let (obs_metrics_s, obs_trace_s, obs_trace_sampled_s, metrics_snapshot) =
+        obs_ledger(workers);
 
     let configs_per_sec = configs as f64 / cosim_s;
     let sim_cycles_per_sec = sim_cycles as f64 / cosim_s;
     let json = format!(
         r#"{{
-  "bench": 5,
+  "bench": 6,
   "workers": {workers},
   "workloads": {{
     "sla_eval": {{
@@ -470,6 +532,18 @@ fn main() {
       "speedup": {batch_speedup:.2},
       "outputs_identical": {batch_identical}
     }},
+    "gang_cosim": {{
+      "scenarios": {gang_n},
+      "cycles_per_scenario": 256,
+      "width_1_ms": {gang_1_ms:.3},
+      "width_8_ms": {gang_8_ms:.3},
+      "width_64_ms": {gang_64_ms:.3},
+      "scenarios_per_sec_w1": {gang_sps_w1:.0},
+      "scenarios_per_sec_w64": {gang_sps_w64:.0},
+      "speedup_w8": {gang_speedup_w8:.2},
+      "speedup_w64": {gang_speedup_w64:.2},
+      "outputs_identical": {gang_identical}
+    }},
     "serve_smoke": {{
       "scenarios": 16,
       "inproc_pool_ms": {serve_inproc_ms:.3},
@@ -477,14 +551,20 @@ fn main() {
       "loopback_4_clients_ms": {serve_4_ms:.3},
       "loopback_16_clients_ms": {serve_16_ms:.3},
       "wire_overhead_pct_1_client": {serve_overhead_pct:.2},
+      "baseline_bench5_1_client_ms": {bserve},
+      "latency_speedup_vs_bench5": {serve_speedup:.2},
       "outputs_identical": {serve_identical}
     }},
     "obs": {{
       "cosim_off_ms": {cosim_ms:.3},
       "cosim_metrics_ms": {obs_metrics_ms:.3},
       "cosim_trace_ms": {obs_trace_ms:.3},
+      "cosim_trace_sampled_ms": {obs_trace_sampled_ms:.3},
       "obs_overhead_pct": {obs_overhead_pct:.2},
-      "trace_overhead_pct": {trace_overhead_pct:.2}
+      "trace_overhead_pct": {trace_overhead_pct:.2},
+      "trace_sample_every": 64,
+      "trace_sampled_overhead_pct": {trace_sampled_overhead_pct:.2},
+      "baseline_bench5_trace_overhead_pct": {btrace}
     }}
   }},
   "wall_seconds_total": {wall_s:.2}
@@ -508,19 +588,31 @@ fn main() {
         batch_one_ms = batch_one * 1e3,
         batch_many_ms = batch_many * 1e3,
         batch_speedup = batch_one / batch_many,
+        gang_1_ms = gang_secs[0] * 1e3,
+        gang_8_ms = gang_secs[1] * 1e3,
+        gang_64_ms = gang_secs[2] * 1e3,
+        gang_sps_w1 = gang_n as f64 / gang_secs[0],
+        gang_sps_w64 = gang_n as f64 / gang_secs[2],
+        gang_speedup_w8 = gang_secs[0] / gang_secs[1],
+        gang_speedup_w64 = gang_secs[0] / gang_secs[2],
         serve_inproc_ms = serve_inproc * 1e3,
         serve_1_ms = serve_clients[0] * 1e3,
         serve_4_ms = serve_clients[1] * 1e3,
         serve_16_ms = serve_clients[2] * 1e3,
         serve_overhead_pct = (serve_clients[0] / serve_inproc - 1.0) * 100.0,
+        bserve = baseline::SERVE_1_CLIENT_MS,
+        serve_speedup = baseline::SERVE_1_CLIENT_MS / (serve_clients[0] * 1e3),
         obs_metrics_ms = obs_metrics_s * 1e3,
         obs_trace_ms = obs_trace_s * 1e3,
+        obs_trace_sampled_ms = obs_trace_sampled_s * 1e3,
         obs_overhead_pct = (obs_metrics_s / cosim_s - 1.0) * 100.0,
         trace_overhead_pct = (obs_trace_s / cosim_s - 1.0) * 100.0,
+        trace_sampled_overhead_pct = (obs_trace_sampled_s / cosim_s - 1.0) * 100.0,
+        btrace = baseline::TRACE_OVERHEAD_PCT,
         wall_s = wall.elapsed().as_secs_f64(),
     );
-    std::fs::write("BENCH_5.json", &json).expect("write BENCH_5.json");
-    std::fs::write("BENCH_5_metrics.json", &metrics_snapshot)
-        .expect("write BENCH_5_metrics.json");
+    std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
+    std::fs::write("BENCH_6_metrics.json", &metrics_snapshot)
+        .expect("write BENCH_6_metrics.json");
     print!("{json}");
 }

@@ -9,7 +9,7 @@ use pscp_core::arch::PscpArch;
 use pscp_core::compile::CompiledSystem;
 use pscp_core::timing::{validate_timing, TimingOptions, TimingReport};
 use pscp_motors::{pickup_head_actions, pickup_head_chart};
-use pscp_statechart::Chart;
+use pscp_statechart::{Chart, ChartBuilder, StateKind};
 use pscp_tep::codegen::CodegenOptions;
 
 /// The five architectures of Table 4, in row order.
@@ -85,6 +85,94 @@ pub fn example_system(arch: &PscpArch) -> CompiledSystem {
     }
     pscp_core::compile::compile_system_from_ir(&chart, &ir, arch, &options)
         .expect("pickup-head example compiles")
+}
+
+/// How many parallel regions [`gang_system`] builds.
+pub const GANG_REGIONS: usize = 16;
+/// States (and ring transitions) per region in [`gang_system`].
+pub const GANG_STATES: usize = 5;
+/// Shared probe events; every state listens to six of them.
+pub const GANG_PROBES: usize = 8;
+
+/// An SLA-bound workload for gang-simulation benchmarking: one AND
+/// state of [`GANG_REGIONS`] independent rotors, each an OR-state ring
+/// of [`GANG_STATES`] basic states advanced by its own event, plus
+/// six shared probe events per state that also advance the ring.
+/// With 560 transitions (112 of them on active sources every cycle)
+/// and a wide CR, per-cycle cost is dominated by transition selection /
+/// SLA evaluation rather than TEP execution — exactly the plane the
+/// bit-sliced gang collapses to `1/64` of a word-parallel pass. One
+/// rotor carries a counting action so the TEP path is still exercised
+/// on firing cycles.
+pub fn gang_chart() -> Chart {
+    let mut b = ChartBuilder::new("gangload");
+    for r in 0..GANG_REGIONS {
+        b.event(format!("E{r}"), None);
+    }
+    for p in 0..GANG_PROBES {
+        b.event(format!("P{p}"), None);
+    }
+    let regions: Vec<String> = (0..GANG_REGIONS).map(|r| format!("R{r}")).collect();
+    b.state("Top", StateKind::Or).contains(["Run"]).default_child("Run");
+    b.state("Run", StateKind::And).contains(regions.clone());
+    for (r, region) in regions.iter().enumerate() {
+        let states: Vec<String> =
+            (0..GANG_STATES).map(|s| format!("R{r}S{s}")).collect();
+        b.state(region, StateKind::Or)
+            .contains(states.clone())
+            .default_child(&states[0]);
+        for s in 0..GANG_STATES {
+            let next = &states[(s + 1) % GANG_STATES];
+            let label = if r == 0 && s == GANG_STATES - 1 {
+                format!("E{r}/Bump()")
+            } else {
+                format!("E{r}")
+            };
+            let mut scope = b.state(&states[s], StateKind::Basic);
+            scope.transition(next, &label);
+            for j in 0..6 {
+                scope.transition(next, &format!("P{}", (r + s + j) % GANG_PROBES));
+            }
+        }
+    }
+    b.build().expect("gang workload chart builds")
+}
+
+/// Action source for [`gang_chart`].
+pub const GANG_ACTIONS: &str = "int:16 laps; void Bump() { laps = laps + 1; }";
+
+/// Compiles the gang workload for the paper's final architecture.
+pub fn gang_system() -> CompiledSystem {
+    pscp_core::compile::compile_system(
+        &gang_chart(),
+        GANG_ACTIONS,
+        &PscpArch::dual_md16(true),
+        &CodegenOptions::default(),
+    )
+    .expect("gang workload compiles")
+}
+
+/// Deterministic sparse scripts for [`gang_system`]: scenario `i` gets
+/// `cycles` script steps with roughly 3% of them carrying one region
+/// event and a rare probe event (~0.2%, firing every region at once),
+/// so gang lanes idle most cycles and fire out of phase — the regime
+/// the bit-sliced fast path is built for.
+pub fn gang_scripts(scenarios: usize, cycles: usize) -> Vec<Vec<Vec<String>>> {
+    (0..scenarios)
+        .map(|i| {
+            (0..cycles)
+                .map(|c| {
+                    if (i * 7 + c) % 37 == 0 {
+                        vec![format!("E{}", (i + c) % GANG_REGIONS)]
+                    } else if (i * 11 + c) % 499 == 0 {
+                        vec![format!("P{}", (i + c) % GANG_PROBES)]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Runs the timing validation with default options.

@@ -1,7 +1,8 @@
 //! With `PSCP_OBS=trace` a multi-worker batch must come back as a valid
 //! Chrome `trace_event` document with one named lane per worker. Runs
-//! the pickup-head example across a 4-worker [`SimPool`] and checks the
-//! exported JSON with the crate's own parser.
+//! the pickup-head example across a 4-worker [`SimPool`] twice — once
+//! on the default gang-packed path, once pinned to the scalar path —
+//! and checks the exported JSON with the crate's own parser.
 //!
 //! Single `#[test]`: the trace collector is process-global, and a
 //! sibling test running concurrently would add lanes of its own.
@@ -11,13 +12,8 @@ use pscp_core::machine::ScriptedEnvironment;
 use pscp_core::pool::{BatchOptions, SimPool};
 use pscp_obs::json;
 
-#[test]
-fn batch_trace_exports_worker_lanes() {
-    pscp_obs::set_flags(pscp_obs::TRACE);
-    pscp_obs::trace::clear();
-
-    let system = pscp_bench::example_system(&PscpArch::md16_optimized());
-    let scenarios: Vec<ScriptedEnvironment> = (0..8)
+fn scenarios() -> Vec<ScriptedEnvironment> {
+    (0..8)
         .map(|i| {
             let mut script = vec![vec!["POWER"]];
             for _ in 0..=i {
@@ -26,43 +22,72 @@ fn batch_trace_exports_worker_lanes() {
             }
             ScriptedEnvironment::new(script)
         })
-        .collect();
-    let outcomes = SimPool::with_threads(4).run_batch(
+        .collect()
+}
+
+/// Runs one traced 4-worker batch and returns (worker lane names,
+/// complete-span names) from the exported Chrome trace.
+fn traced_batch(pool: &SimPool) -> (Vec<String>, Vec<String>) {
+    pscp_obs::set_flags(pscp_obs::TRACE);
+    pscp_obs::trace::clear();
+
+    let system = pscp_bench::example_system(&PscpArch::md16_optimized());
+    let outcomes = pool.run_batch(
         &system,
-        scenarios,
+        scenarios(),
         &BatchOptions { deadline: u64::MAX, max_steps: 64 },
     );
     assert_eq!(outcomes.len(), 8);
 
     let trace = pscp_obs::trace::export_chrome_trace();
     pscp_obs::set_flags(pscp_obs::env_flags());
+    pscp_obs::trace::clear();
 
     let doc = json::parse(&trace).expect("trace JSON parses");
     let events = doc
         .get("traceEvents")
         .and_then(|e| e.as_array())
         .expect("traceEvents array");
-    let lanes: Vec<&str> = events
+    let lanes = events
         .iter()
         .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
         .filter_map(|e| e.get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str()))
+        .map(str::to_string)
         .collect();
-    assert!(
-        lanes.iter().filter(|l| l.starts_with("sim-worker")).count() >= 2,
-        "expected >= 2 sim-worker lanes under 4 workers, got {lanes:?}"
-    );
     let spans = events
         .iter()
         .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
-        .count();
-    assert!(spans >= 8, "expected >= 8 scenario spans, got {spans}");
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .map(str::to_string)
+        .collect();
+    (lanes, spans)
+}
+
+#[test]
+fn batch_trace_exports_worker_lanes() {
+    // Default pool: the gang-packed path. Workers still claim named
+    // lanes, and each chunk shows up as a `gang.run` span with its
+    // per-cycle `gang.step` children.
+    let (lanes, spans) = traced_batch(&SimPool::with_threads(4));
     assert!(
-        events.iter().any(|e| {
-            e.get("ph").and_then(|p| p.as_str()) == Some("X")
-                && e.get("name").and_then(|n| n.as_str()) == Some("scenario")
-        }),
-        "no `scenario` span in trace"
+        lanes.iter().filter(|l| l.starts_with("sim-worker")).count() >= 2,
+        "expected >= 2 sim-worker lanes under 4 gang workers, got {lanes:?}"
+    );
+    assert!(spans.len() >= 8, "expected >= 8 spans, got {}", spans.len());
+    assert!(
+        spans.iter().any(|s| s == "gang.run"),
+        "no `gang.run` span in gang-path trace"
     );
 
-    pscp_obs::trace::clear();
+    // Scalar path (gang width 1): one `scenario` span per scenario.
+    let (lanes, spans) = traced_batch(&SimPool::with_threads(4).with_gang(1));
+    assert!(
+        lanes.iter().filter(|l| l.starts_with("sim-worker")).count() >= 2,
+        "expected >= 2 sim-worker lanes under 4 scalar workers, got {lanes:?}"
+    );
+    assert!(spans.len() >= 8, "expected >= 8 spans, got {}", spans.len());
+    assert!(
+        spans.iter().any(|s| s == "scenario"),
+        "no `scenario` span in scalar-path trace"
+    );
 }

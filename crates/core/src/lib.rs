@@ -23,6 +23,11 @@
 //!   [`SimPool`](pool::SimPool) runs independent scenarios of one
 //!   compiled system across `PSCP_THREADS` workers, byte-identical to
 //!   the sequential run.
+//! * [`gang`] — 64-wide bit-sliced gang simulation: each worker packs
+//!   up to `PSCP_GANG` scenarios into `u64` lane words and evaluates
+//!   the SLA/CR plane for the whole gang in one word-parallel pass,
+//!   byte-identical to the scalar path (idle lanes take a verified
+//!   fast path; firing lanes run the full scalar execute phase).
 //! * [`serve`] — the sharded scenario server: streams scripted
 //!   scenarios over a versioned binary TCP protocol with credit-based
 //!   backpressure, byte-identical to an in-process
@@ -39,6 +44,7 @@
 pub mod arch;
 pub mod area;
 pub mod compile;
+pub mod gang;
 pub mod library;
 pub mod machine;
 pub mod optimize;

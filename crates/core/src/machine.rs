@@ -401,15 +401,21 @@ impl<'s> PscpMachine<'s> {
     /// Returns [`MachineError`] when a routine faults (divide by zero,
     /// memory fault, cycle-limit).
     pub fn step<E: Environment>(&mut self, env: &mut E) -> Result<CycleReport, MachineError> {
-        let _step_span = pscp_obs::trace::span("step");
-        let system = self.system;
-        let chart = &system.chart;
-        let tables = &system.tables;
-        let StepScratch { events, cond_snapshot, per_transition, args, timer_writes, order, tep_load } =
-            &mut self.scratch;
+        let _step_span = pscp_obs::trace::span_sampled("step", self.stats.config_cycles);
+        self.sample_phase(env);
+        self.execute_phase(env)
+    }
 
-        // 1. Sample external events, expired hardware timers and
-        //    condition ports into the CR.
+    /// Phase 1 of a configuration cycle: sample external events,
+    /// expired hardware timers and condition ports into the CR. Split
+    /// out so the gang runner ([`crate::gang`]) can sample every lane
+    /// *before* its shared bit-sliced SLA pass decides which lanes
+    /// fire. Sampling consumes environment state (scripted rows are
+    /// taken exactly once), so a sampled cycle must be completed by
+    /// exactly one of [`execute_phase`](Self::execute_phase) or
+    /// [`idle_phase`](Self::idle_phase).
+    pub(crate) fn sample_phase<E: Environment>(&mut self, env: &mut E) {
+        let events = &mut self.scratch.events;
         events.clear();
         for name in env.sample_events(self.now) {
             if let Some(e) = self.event_names.get(&name) {
@@ -422,6 +428,28 @@ impl<'s> PscpMachine<'s> {
                 self.exec.set_condition(c, v);
             }
         }
+    }
+
+    /// The events sampled by the last [`sample_phase`](Self::sample_phase)
+    /// (external + expired timers; raised internal events live in the
+    /// executor's pending set, see `Executor::pending_events`).
+    pub(crate) fn sampled_events(&self) -> &BTreeSet<EventId> {
+        &self.scratch.events
+    }
+
+    /// Phases 2–7 of a configuration cycle, operating on the events
+    /// captured by [`sample_phase`](Self::sample_phase). Behaviour of
+    /// `sample_phase` + `execute_phase` is bit-identical to the
+    /// original monolithic step.
+    pub(crate) fn execute_phase<E: Environment>(
+        &mut self,
+        env: &mut E,
+    ) -> Result<CycleReport, MachineError> {
+        let system = self.system;
+        let chart = &system.chart;
+        let tables = &system.tables;
+        let StepScratch { events, cond_snapshot, per_transition, args, timer_writes, order, tep_load } =
+            &mut self.scratch;
 
         // 2–4. The chart executor drives the cycle (its selection is the
         //      SLA's — differentially checked in the pscp-sla tests) and
@@ -577,6 +605,53 @@ impl<'s> PscpMachine<'s> {
             probe.record(self.now, &self.exec, events, tep_load, &self.timers, &report);
         }
         Ok(report)
+    }
+
+    /// Completes a sampled cycle that the gang's bit-sliced SLA pass
+    /// has proven idle — no transition fires for the sampled events
+    /// plus the pending internal ones. Bit-identical to
+    /// [`execute_phase`](Self::execute_phase) on an idle cycle (same
+    /// report, clock advance, timer decrement, statistics and VCD
+    /// sample) but skips transition selection, the condition snapshot
+    /// and the per-transition buffers entirely — the source of the
+    /// gang speedup. The executor re-checks the idle claim in debug
+    /// builds (`Executor::step_idle`).
+    pub(crate) fn idle_phase(&mut self) -> CycleReport {
+        self.exec.step_idle(&self.scratch.events);
+
+        let report = CycleReport {
+            cycle_length: overhead::SLA + overhead::IDLE,
+            ..Default::default()
+        };
+
+        // Timers advance by the idle cycle just spent; no arm/disarm
+        // writes can have happened (no routine ran).
+        let tables = &self.system.tables;
+        for (i, t) in self.timers.iter_mut().enumerate() {
+            if let Some(rem) = t {
+                if *rem <= report.cycle_length {
+                    if let Some(e) = tables.timer_event[i] {
+                        self.pending_timer_events.push(e);
+                    }
+                    *t = None;
+                } else {
+                    *rem -= report.cycle_length;
+                }
+            }
+        }
+
+        self.now += report.cycle_length;
+        self.stats.config_cycles += 1;
+        self.stats.clock_cycles += report.cycle_length;
+        self.stats.max_cycle_length = self.stats.max_cycle_length.max(report.cycle_length);
+        pscp_obs::metrics::MACHINE_STEPS.inc();
+        if let Some(probe) = self.vcd.as_deref_mut() {
+            let StepScratch { events, tep_load, .. } = &mut self.scratch;
+            tep_load.clear();
+            tep_load.resize(self.system.arch.n_teps.max(1) as usize, 0);
+            probe.record(self.now, &self.exec, events, tep_load, &self.timers, &report);
+        }
+        report
     }
 
     /// Runs configuration cycles until the clock passes `deadline`

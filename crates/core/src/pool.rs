@@ -16,9 +16,17 @@
 //! bytes, only wall-clock differs. The same worker-queue primitive
 //! ([`run_indexed`]) backs the parallel candidate evaluation in
 //! [`optimize`](crate::optimize::optimize).
+//!
+//! On top of the thread pool, each worker packs up to `PSCP_GANG`
+//! scenarios (default 64) into one bit-sliced gang ([`crate::gang`])
+//! whose SLA/CR plane evaluates word-parallel — also byte-identical,
+//! for any gang width. `PSCP_GANG=1` keeps the scalar loop verbatim as
+//! the differential oracle.
 
 use crate::compile::CompiledSystem;
+use crate::gang::GangRig;
 use crate::machine::{CycleReport, Environment, MachineError, MachineStats, PscpMachine};
+use pscp_sla::gang::GANG_WIDTH;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -36,6 +44,27 @@ pub fn threads_from(var: Option<&str>) -> usize {
 /// otherwise the available hardware parallelism.
 pub fn configured_threads() -> usize {
     threads_from(std::env::var("PSCP_THREADS").ok().as_deref())
+}
+
+/// Parses a `PSCP_GANG`-style value: the number of scenarios packed
+/// into one bit-sliced gang per worker. Unset, empty, `auto`,
+/// unparsable or zero select the full machine-word width
+/// ([`GANG_WIDTH`]); explicit values clamp to `1..=64`. Width 1 is the
+/// scalar path, kept verbatim as the differential oracle.
+pub fn gang_from(var: Option<&str>) -> usize {
+    match var.map(str::trim) {
+        Some("") | Some("auto") | None => GANG_WIDTH,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n.min(GANG_WIDTH),
+            _ => GANG_WIDTH,
+        },
+    }
+}
+
+/// The gang width configured for this process via `PSCP_GANG`
+/// (default: the full 64-lane word).
+pub fn configured_gang() -> usize {
+    gang_from(std::env::var("PSCP_GANG").ok().as_deref())
 }
 
 /// Runs `f` over every job index on up to `threads` scoped workers
@@ -118,22 +147,38 @@ pub struct BatchOutcome<E> {
 #[derive(Debug, Clone)]
 pub struct SimPool {
     threads: usize,
+    gang: usize,
 }
 
 impl SimPool {
-    /// A pool sized by `PSCP_THREADS` (default: available parallelism).
+    /// A pool sized by `PSCP_THREADS` (default: available parallelism)
+    /// with the `PSCP_GANG` gang width (default: 64).
     pub fn new() -> Self {
-        SimPool { threads: configured_threads() }
+        SimPool { threads: configured_threads(), gang: configured_gang() }
     }
 
-    /// A pool with an explicit worker count (minimum 1).
+    /// A pool with an explicit worker count (minimum 1); gang width
+    /// still comes from `PSCP_GANG`.
     pub fn with_threads(threads: usize) -> Self {
-        SimPool { threads: threads.max(1) }
+        SimPool { threads: threads.max(1), gang: configured_gang() }
+    }
+
+    /// Overrides the gang width: how many scenarios each worker packs
+    /// into one bit-sliced gang (clamped to `1..=64`; 1 selects the
+    /// scalar differential-oracle path).
+    pub fn with_gang(mut self, width: usize) -> Self {
+        self.gang = width.clamp(1, GANG_WIDTH);
+        self
     }
 
     /// The worker count this pool dispatches on.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The gang width this pool packs scenarios with.
+    pub fn gang_width(&self) -> usize {
+        self.gang
     }
 
     /// Runs every scenario to its [`BatchOptions`] limits. Results come
@@ -167,6 +212,9 @@ impl SimPool {
     {
         if envs.is_empty() {
             return Vec::new();
+        }
+        if self.gang > 1 {
+            return self.run_batch_gang(system, envs, limits, &done);
         }
         let threads = self.threads.min(envs.len());
         if threads <= 1 {
@@ -215,6 +263,92 @@ impl SimPool {
             .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
             .collect()
     }
+
+    /// Gang-packed batch: scenarios are chunked into gangs of
+    /// `self.gang` in submission order and each chunk runs lock-step on
+    /// a [`GangRig`] (one rig per worker, reused across chunks).
+    /// Byte-identical to the scalar path for any gang width and worker
+    /// count — the gang differential suite pins this.
+    fn run_batch_gang<E, F>(
+        &self,
+        system: &CompiledSystem,
+        envs: Vec<E>,
+        limits: &BatchOptions,
+        done: &F,
+    ) -> Vec<BatchOutcome<E>>
+    where
+        E: Environment + Send,
+        F: Fn(&PscpMachine<'_>, &E, &CycleReport) -> bool + Sync,
+    {
+        // Shrink the gang width when the batch is too small to keep
+        // every worker busy at the configured width: parallel workers
+        // beat wide gangs until each worker has a full gang of its own.
+        // Deterministic in (envs, threads), so outcomes stay pinned.
+        let gang = self
+            .gang
+            .min(envs.len().div_ceil(self.threads.max(1)))
+            .max(1);
+        let mut chunks: Vec<Vec<E>> = Vec::with_capacity(envs.len().div_ceil(gang));
+        let mut cur: Vec<E> = Vec::with_capacity(gang.min(envs.len()));
+        for env in envs {
+            cur.push(env);
+            if cur.len() == gang {
+                chunks.push(std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            chunks.push(cur);
+        }
+
+        let threads = self.threads.min(chunks.len());
+        if threads <= 1 {
+            let mut rig = GangRig::new(system);
+            let mut out = Vec::new();
+            for chunk in chunks {
+                let jobs: Vec<(E, BatchOptions)> =
+                    chunk.into_iter().map(|e| (e, *limits)).collect();
+                out.extend(rig.run(0, jobs, done));
+            }
+            return out;
+        }
+
+        let queue = AtomicUsize::new(0);
+        let feed: Vec<Mutex<Option<Vec<E>>>> =
+            chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        let slots: Vec<Mutex<Option<Vec<BatchOutcome<E>>>>> =
+            feed.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for w in 0..threads {
+                let queue = &queue;
+                let feed = &feed;
+                let slots = &slots;
+                s.spawn(move || {
+                    if pscp_obs::trace_enabled() {
+                        pscp_obs::trace::set_thread_lane_indexed("sim-worker", w);
+                    }
+                    let _worker_span = pscp_obs::trace::span("worker.run");
+                    // One gang rig per worker, lanes reset per chunk.
+                    let mut rig = GangRig::new(system);
+                    loop {
+                        let i = queue.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = feed.get(i) else {
+                            pscp_obs::metrics::POOL_IDLE_POLLS.add(w, 1);
+                            break;
+                        };
+                        let chunk =
+                            slot.lock().unwrap().take().expect("chunk taken once");
+                        let jobs: Vec<(E, BatchOptions)> =
+                            chunk.into_iter().map(|e| (e, *limits)).collect();
+                        *slots[i].lock().unwrap() = Some(rig.run(w, jobs, done));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .flat_map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+            .collect()
+    }
 }
 
 impl Default for SimPool {
@@ -238,7 +372,17 @@ where
     E: Environment,
     F: Fn(&PscpMachine<'_>, &E, &CycleReport) -> bool,
 {
-    let _span = pscp_obs::trace::span("scenario");
+    // Scenario spans respect PSCP_OBS_SAMPLE: with a period of N each
+    // worker thread records every Nth scenario it runs.
+    thread_local! {
+        static SCENARIO_SEQ: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+    let seq = SCENARIO_SEQ.with(|c| {
+        let v = c.get();
+        c.set(v.wrapping_add(1));
+        v
+    });
+    let _span = pscp_obs::trace::span_sampled("scenario", seq);
     machine.reset();
     let mut reports = Vec::new();
     let mut error = None;
@@ -474,6 +618,44 @@ mod tests {
         assert_eq!(threads_from(Some("0")), fallback);
         assert_eq!(threads_from(Some("lots")), fallback);
         assert_eq!(threads_from(None), fallback);
+    }
+
+    #[test]
+    fn gang_from_parses_env_shapes() {
+        assert_eq!(gang_from(None), GANG_WIDTH);
+        assert_eq!(gang_from(Some("")), GANG_WIDTH);
+        assert_eq!(gang_from(Some("auto")), GANG_WIDTH);
+        assert_eq!(gang_from(Some(" auto ")), GANG_WIDTH);
+        assert_eq!(gang_from(Some("0")), GANG_WIDTH);
+        assert_eq!(gang_from(Some("bogus")), GANG_WIDTH);
+        assert_eq!(gang_from(Some("1")), 1);
+        assert_eq!(gang_from(Some("8")), 8);
+        assert_eq!(gang_from(Some(" 63 ")), 63);
+        assert_eq!(gang_from(Some("64")), 64);
+        assert_eq!(gang_from(Some("1000")), GANG_WIDTH, "clamped to the word width");
+    }
+
+    #[test]
+    fn gang_widths_match_scalar_oracle() {
+        // The scalar path (width 1) is the oracle; every other width
+        // and thread count must reproduce it byte-for-byte.
+        let sys = system();
+        let limits = BatchOptions { deadline: u64::MAX, max_steps: 12 };
+        let reference = SimPool::with_threads(1).with_gang(1).run_batch(&sys, scenarios(7), &limits);
+        for gang in [2, 8, 64] {
+            for threads in [1, 4] {
+                let got = SimPool::with_threads(threads)
+                    .with_gang(gang)
+                    .run_batch(&sys, scenarios(7), &limits);
+                assert_eq!(got.len(), reference.len());
+                for (a, b) in got.iter().zip(&reference) {
+                    assert_eq!(a.reports, b.reports, "gang={gang} threads={threads}");
+                    assert_eq!(a.stats, b.stats, "gang={gang} threads={threads}");
+                    assert_eq!(a.clock_cycles, b.clock_cycles, "gang={gang} threads={threads}");
+                    assert!(a.error.is_none());
+                }
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | `PSCP_SERVE_ADDR`   | listen address for the server binary  | `127.0.0.1:7971`  |
 //! | `PSCP_SERVE_WINDOW` | max per-connection credit window      | `32`              |
 //! | `PSCP_THREADS`      | shard worker count (shared with pool) | available cores   |
+//! | `PSCP_GANG`         | per-worker gang width (shared with pool) | `64` (`auto`)  |
 
 pub mod wire;
 
@@ -43,6 +44,11 @@ pub struct ServeOptions {
     pub max_window: u32,
     /// Largest accepted frame in bytes.
     pub max_frame: u32,
+    /// Gang width: each shard worker packs up to this many queued
+    /// scenarios into one bit-sliced gang when queue depth allows
+    /// (clamped to `1..=64`; 1 is the scalar path). Outcomes stay
+    /// byte-identical either way — the differential suite pins it.
+    pub gang: usize,
 }
 
 impl Default for ServeOptions {
@@ -51,13 +57,16 @@ impl Default for ServeOptions {
             threads: crate::pool::configured_threads(),
             max_window: DEFAULT_WINDOW,
             max_frame: DEFAULT_MAX_FRAME,
+            gang: crate::pool::configured_gang(),
         }
     }
 }
 
 impl ServeOptions {
-    /// Defaults overridden by `PSCP_SERVE_WINDOW` (and `PSCP_THREADS`
-    /// via [`configured_threads`](crate::pool::configured_threads)).
+    /// Defaults overridden by `PSCP_SERVE_WINDOW` (plus `PSCP_THREADS`
+    /// via [`configured_threads`](crate::pool::configured_threads) and
+    /// `PSCP_GANG` via
+    /// [`configured_gang`](crate::pool::configured_gang)).
     pub fn from_env() -> Self {
         let mut opts = Self::default();
         if let Ok(v) = std::env::var("PSCP_SERVE_WINDOW") {

@@ -20,6 +20,7 @@
 use super::wire::{self, error_code, Frame, Submit, WireError, WireOutcome};
 use super::ServeOptions;
 use crate::compile::CompiledSystem;
+use crate::gang::GangRig;
 use crate::machine::{PscpMachine, ScriptedEnvironment};
 use crate::pool::BatchOptions;
 use std::collections::VecDeque;
@@ -29,8 +30,17 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-/// How often blocked loops re-check the shutdown flag.
+/// Read timeout on connection sockets, so an idle reader re-checks the
+/// shutdown flag. Reads with data pending return immediately; this
+/// bounds only how long a *quiet* connection takes to notice shutdown.
 const POLL: Duration = Duration::from_millis(5);
+
+/// Backstop for the drain wait: the external shutdown flag has no
+/// condvar, so the drain loop re-checks it at this period. Completion
+/// and death wake the drain immediately via [`Conn::drained`]; this
+/// bound is only how long a drain takes to notice a *process-level*
+/// shutdown.
+const DRAIN_BACKSTOP: Duration = Duration::from_millis(50);
 
 /// One queued scenario.
 struct Job {
@@ -65,7 +75,10 @@ impl Shared {
     }
 
     /// Blocks for the next job; `None` once the queue is closed and
-    /// drained.
+    /// drained. Pure condvar wait — [`push`](Self::push) mutates the
+    /// queue and [`close`](Self::close) flips the flag under the same
+    /// lock, so a wakeup can never be missed and an idle worker costs
+    /// nothing until signalled.
     fn pop(&self) -> Option<Job> {
         let mut q = self.queue.lock().unwrap();
         loop {
@@ -75,12 +88,31 @@ impl Shared {
             if !self.open.load(Ordering::Acquire) {
                 return None;
             }
-            let (guard, _) = self.ready.wait_timeout(q, POLL).unwrap();
-            q = guard;
+            q = self.ready.wait(q).unwrap();
+        }
+    }
+
+    /// Non-blocking: moves up to `max` more queued jobs into `out`, so
+    /// a gang worker fills its lanes exactly when queue depth allows
+    /// and never waits for lanemates.
+    fn pop_extra(&self, max: usize, out: &mut Vec<Job>) {
+        if max == 0 {
+            return;
+        }
+        let mut q = self.queue.lock().unwrap();
+        for _ in 0..max {
+            match q.pop_front() {
+                Some(job) => out.push(job),
+                None => break,
+            }
         }
     }
 
     fn close(&self) {
+        // The flag must flip under the queue lock: a worker that just
+        // found the queue empty holds the lock until its wait begins,
+        // so this store+notify cannot slip into that gap and strand it.
+        let _q = self.queue.lock().unwrap();
         self.open.store(false, Ordering::Release);
         self.ready.notify_all();
     }
@@ -107,6 +139,11 @@ struct Conn {
     dead: AtomicBool,
     outbound: Mutex<VecDeque<Msg>>,
     ready: Condvar,
+    /// Signalled (under [`flow`](Self::flow)) whenever `inflight`
+    /// drops or the connection dies — what the reader's drain loop
+    /// sleeps on instead of polling.
+    flow: Mutex<()>,
+    drained: Condvar,
 }
 
 impl Conn {
@@ -117,6 +154,8 @@ impl Conn {
             dead: AtomicBool::new(false),
             outbound: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            flow: Mutex::new(()),
+            drained: Condvar::new(),
         }
     }
 
@@ -128,6 +167,9 @@ impl Conn {
         self.ready.notify_one();
     }
 
+    /// Blocks for the next outbound message. Pure condvar wait; the
+    /// queue mutates under the lock and [`kill`](Self::kill) flips the
+    /// dead flag under the same lock, so no wakeup is ever missed.
     fn pop(&self) -> Option<Msg> {
         let mut q = self.outbound.lock().unwrap();
         loop {
@@ -137,14 +179,26 @@ impl Conn {
             if self.dead.load(Ordering::Acquire) {
                 return None;
             }
-            let (guard, _) = self.ready.wait_timeout(q, POLL).unwrap();
-            q = guard;
+            q = self.ready.wait(q).unwrap();
         }
     }
 
+    /// Signals the drain loop that an in-flight slot was released.
+    fn notify_drained(&self) {
+        let _g = self.flow.lock().unwrap();
+        self.drained.notify_all();
+    }
+
     fn kill(&self) {
-        self.dead.store(true, Ordering::Release);
-        self.ready.notify_all();
+        // Flag flips under the outbound lock so a writer between its
+        // empty-check and its wait cannot miss the wakeup (same
+        // pattern as `Shared::close`).
+        {
+            let _q = self.outbound.lock().unwrap();
+            self.dead.store(true, Ordering::Release);
+            self.ready.notify_all();
+        }
+        self.notify_drained();
     }
 }
 
@@ -195,19 +249,47 @@ fn next_event(
     }
 }
 
-/// One scenario worker: a persistent machine serving the shared queue.
-fn worker(w: usize, system: &CompiledSystem, shared: &Shared) {
+/// One scenario worker serving the shared queue. With `gang <= 1` it
+/// is the classic scalar shard: one persistent machine, one scenario
+/// at a time. With a wider gang it pops one job (blocking), then
+/// opportunistically drains up to `gang - 1` more without waiting and
+/// runs the chunk lock-step on a [`GangRig`] — scenarios from
+/// different connections can share a gang, since every lane carries
+/// its own environment and limits. Outcomes are byte-identical either
+/// way (the differential suite pins it), so gang packing is purely a
+/// throughput choice.
+fn worker(w: usize, system: &CompiledSystem, shared: &Shared, gang: usize) {
     if pscp_obs::trace_enabled() {
         pscp_obs::trace::set_thread_lane_indexed("serve-worker", w);
     }
     let _worker_span = pscp_obs::trace::span("worker.run");
-    let mut machine = PscpMachine::new(system);
+    if gang <= 1 {
+        let mut machine = PscpMachine::new(system);
+        while let Some(job) = shared.pop() {
+            let outcome =
+                crate::pool::run_scenario(w, &mut machine, job.env, &job.limits, &|_, _, _| false);
+            let frame =
+                Frame::Outcome { seq: job.seq, outcome: WireOutcome::from_batch(&outcome) };
+            job.conn.push(Msg::Outcome(wire::encode_frame(&frame)));
+        }
+        return;
+    }
+    let mut rig = GangRig::new(system);
+    let mut batch: Vec<Job> = Vec::with_capacity(gang);
     while let Some(job) = shared.pop() {
-        let outcome =
-            crate::pool::run_scenario(w, &mut machine, job.env, &job.limits, &|_, _, _| false);
-        let frame =
-            Frame::Outcome { seq: job.seq, outcome: WireOutcome::from_batch(&outcome) };
-        job.conn.push(Msg::Outcome(wire::encode_frame(&frame)));
+        batch.push(job);
+        shared.pop_extra(gang - 1, &mut batch);
+        let mut routes = Vec::with_capacity(batch.len());
+        let mut jobs = Vec::with_capacity(batch.len());
+        for job in batch.drain(..) {
+            routes.push((job.conn, job.seq));
+            jobs.push((job.env, job.limits));
+        }
+        let outcomes = rig.run(w, jobs, &|_, _, _| false);
+        for ((conn, seq), outcome) in routes.into_iter().zip(outcomes) {
+            let frame = Frame::Outcome { seq, outcome: WireOutcome::from_batch(&outcome) };
+            conn.push(Msg::Outcome(wire::encode_frame(&frame)));
+        }
     }
 }
 
@@ -225,6 +307,7 @@ fn writer(conn: &Conn, stream: &mut TcpStream) {
                     // its next submit must not race a stale count into a
                     // false violation.
                     conn.inflight.fetch_sub(1, Ordering::AcqRel);
+                    conn.notify_drained();
                     stream.write_all(&wire::encode_frame(&Frame::Credit { n: 1 }))
                 })
                 .map(|()| pscp_obs::metrics::SERVE_FRAMES_OUT.add(conn.id, 2)),
@@ -365,12 +448,19 @@ fn handle_connection(
 
     // Drain: let queued scenarios finish and their outcomes flush, then
     // stop the writer. A dead connection (write failure, protocol
-    // error) skips straight to the join.
-    while conn.inflight.load(Ordering::Acquire) > 0
-        && !conn.dead.load(Ordering::Acquire)
-        && !shutdown.load(Ordering::Acquire)
+    // error) skips straight to the join. The writer signals `drained`
+    // on every released slot, so completion wakes this immediately; the
+    // timeout is only a backstop for the condvar-less external
+    // shutdown flag.
     {
-        std::thread::sleep(POLL);
+        let mut g = conn.flow.lock().unwrap();
+        while conn.inflight.load(Ordering::Acquire) > 0
+            && !conn.dead.load(Ordering::Acquire)
+            && !shutdown.load(Ordering::Acquire)
+        {
+            let (guard, _) = conn.drained.wait_timeout(g, DRAIN_BACKSTOP).unwrap();
+            g = guard;
+        }
     }
     conn.push(Msg::Close);
     conn.kill();
@@ -380,6 +470,12 @@ fn handle_connection(
 /// Serves scenario batches for one compiled system until `shutdown` is
 /// set. Blocks the calling thread; every worker and connection thread
 /// lives inside a scope that borrows `system`.
+///
+/// The accept loop blocks in `accept()` — no polling — so a new
+/// connection is picked up the moment it arrives. Setting `shutdown`
+/// alone therefore does not wake an idle loop: after storing the flag,
+/// nudge the listener by dialing its address (what
+/// [`ServerHandle::stop`] does).
 ///
 /// # Errors
 ///
@@ -391,14 +487,14 @@ pub fn serve(
     opts: &ServeOptions,
     shutdown: &AtomicBool,
 ) -> std::io::Result<()> {
-    listener.set_nonblocking(true)?;
     let fingerprint = super::system_fingerprint(system);
     let shared = Shared::new();
     let threads = opts.threads.max(1);
+    let gang = opts.gang.clamp(1, pscp_sla::gang::GANG_WIDTH);
     std::thread::scope(|s| {
         for w in 0..threads {
             let shared = &shared;
-            s.spawn(move || worker(w, system, shared));
+            s.spawn(move || worker(w, system, shared, gang));
         }
         let mut next_conn = 0usize;
         let result = loop {
@@ -407,6 +503,10 @@ pub fn serve(
             }
             match listener.accept() {
                 Ok((stream, _peer)) => {
+                    // A post-shutdown connection is most likely the
+                    // stop() nudge; hand it to a connection thread
+                    // anyway (it sees EOF and exits) and re-check the
+                    // flag at the top of the loop.
                     let conn_id = next_conn;
                     next_conn += 1;
                     let shared = &shared;
@@ -414,9 +514,7 @@ pub fn serve(
                         handle_connection(stream, conn_id, fingerprint, shared, opts, shutdown)
                     });
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(POLL);
-                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => break Err(e),
             }
         };
@@ -442,13 +540,17 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Signals shutdown and joins the serving thread.
+    /// Signals shutdown and joins the serving thread. The accept loop
+    /// blocks in `accept()`, so after setting the flag this dials the
+    /// listener once — the throwaway connection wakes the loop, which
+    /// re-checks the flag and exits.
     ///
     /// # Errors
     ///
     /// Propagates the server loop's listener error, if any.
     pub fn stop(mut self) -> std::io::Result<()> {
         self.shutdown.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
         match self.thread.take() {
             Some(t) => t.join().unwrap_or(Ok(())),
             None => Ok(()),
@@ -459,6 +561,7 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }

@@ -1,0 +1,251 @@
+//! Differential harness for gang simulation: a batch run through the
+//! bit-sliced gang path must be byte-identical to the scalar pool at
+//! every gang width, worker count and batch size — that equivalence is
+//! the spec (ISSUE 6 acceptance: widths {1,8,64} × workers {1,4},
+//! including mid-scenario lane retirement).
+//!
+//! The chart reuses the serve-differential timer pattern (§6 hardware
+//! timer armed by port write, expiry raising a chart event) so the
+//! differential covers timer countdown state carried across idle gang
+//! cycles, alongside events, conditions, step limits and the `done`
+//! predicate.
+
+use proptest::prelude::*;
+use pscp_core::arch::{PscpArch, TimerSpec};
+use pscp_core::compile::{compile_system, CompiledSystem};
+use pscp_core::machine::ScriptedEnvironment;
+use pscp_core::pool::{BatchOptions, SimPool};
+use pscp_core::serve::wire::WireOutcome;
+use pscp_statechart::{Chart, ChartBuilder, StateKind};
+use pscp_tep::codegen::CodegenOptions;
+
+/// Timer reload port address (must match the `TLOAD` data port).
+const TLOAD_ADDR: u16 = 0x40;
+
+fn timer_chart() -> Chart {
+    let mut b = ChartBuilder::new("timed");
+    b.event("TICK", Some(400));
+    b.event("PING", None);
+    b.event("T_EXP", Some(2_000));
+    b.condition("OVER", false);
+    use pscp_statechart::model::PortDirection::Output;
+    b.data_port("TLOAD", 16, TLOAD_ADDR, Output);
+    b.state("Top", StateKind::Or)
+        .contains(["Idle", "Armed", "Fired", "Done"])
+        .default_child("Idle");
+    b.state("Idle", StateKind::Basic).transition("Armed", "TICK/Arm(3)");
+    b.state("Armed", StateKind::Basic)
+        .transition("Fired", "T_EXP/Note(1)")
+        .transition("Idle", "PING/Disarm()");
+    b.state("Fired", StateKind::Basic)
+        .transition("Idle", "TICK [not OVER]/Note(2)")
+        .transition("Done", "TICK [OVER]");
+    b.basic("Done");
+    b.build().unwrap()
+}
+
+const TIMER_ACTIONS: &str = r#"
+    int:16 fired;
+    void Arm(int:16 n) { TLOAD = n; }
+    void Disarm() { TLOAD = 0; }
+    void Note(int:16 k) { fired = fired + k; OVER = fired >= 6; }
+"#;
+
+fn timer_system() -> CompiledSystem {
+    let mut arch = PscpArch::dual_md16(true);
+    arch.timers.push(TimerSpec {
+        name: "t0".into(),
+        event: "T_EXP".into(),
+        port_address: TLOAD_ADDR,
+    });
+    compile_system(&timer_chart(), TIMER_ACTIONS, &arch, &CodegenOptions::default())
+        .unwrap()
+}
+
+/// A deterministic, varied script for scenario `i` of a batch — mixes
+/// external events, direct timer-expiry injection, and idle cycles so
+/// gang lanes fire and idle out of phase with each other.
+fn script_for(i: usize) -> Vec<Vec<String>> {
+    const MENU: [&[&str]; 6] = [
+        &["TICK"],
+        &["PING"],
+        &["T_EXP"],
+        &["TICK", "T_EXP"],
+        &["TICK", "PING"],
+        &[],
+    ];
+    let len = 2 + (i * 5) % 9;
+    (0..len)
+        .map(|step| {
+            MENU[(i * 7 + step * 3) % MENU.len()]
+                .iter()
+                .map(|e| (*e).to_string())
+                .collect()
+        })
+        .collect()
+}
+
+fn envs_for(n: usize) -> Vec<ScriptedEnvironment> {
+    (0..n).map(|i| ScriptedEnvironment::new(script_for(i))).collect()
+}
+
+/// Canonical per-outcome bytes — the same encoding the wire pins.
+fn outcome_bytes(outs: &[pscp_core::pool::BatchOutcome<ScriptedEnvironment>]) -> Vec<Vec<u8>> {
+    outs.iter().map(|o| WireOutcome::from_batch(o).encode()).collect()
+}
+
+/// The acceptance grid: batch sizes around the 64-lane boundary, every
+/// required gang width × worker count, byte-identical to the scalar
+/// single-thread oracle.
+#[test]
+fn gang_grid_matches_scalar_oracle() {
+    let sys = timer_system();
+    let limits = BatchOptions { deadline: u64::MAX, max_steps: 16 };
+    for batch in [1usize, 63, 65, 127] {
+        let reference = outcome_bytes(&SimPool::with_threads(1).with_gang(1).run_batch(
+            &sys,
+            envs_for(batch),
+            &limits,
+        ));
+        for gang in [1usize, 8, 64] {
+            for workers in [1usize, 4] {
+                let got = outcome_bytes(
+                    &SimPool::with_threads(workers)
+                        .with_gang(gang)
+                        .run_batch(&sys, envs_for(batch), &limits),
+                );
+                assert_eq!(
+                    got, reference,
+                    "batch={batch} gang={gang} workers={workers} diverged from scalar"
+                );
+            }
+        }
+    }
+}
+
+/// Every lane fires on the very first gang cycle (all scripts lead with
+/// `TICK` from `Idle`), so no lane ever takes the idle fast path until
+/// the scripts run dry at different lengths.
+#[test]
+fn all_lanes_fire_on_first_cycle() {
+    let sys = timer_system();
+    let limits = BatchOptions { deadline: u64::MAX, max_steps: 10 };
+    let make = |n: usize| -> Vec<ScriptedEnvironment> {
+        (0..n)
+            .map(|i| {
+                let mut script = vec![vec!["TICK".to_string()]];
+                script.extend(script_for(i));
+                ScriptedEnvironment::new(script)
+            })
+            .collect()
+    };
+    let reference =
+        outcome_bytes(&SimPool::with_threads(1).with_gang(1).run_batch(&sys, make(64), &limits));
+    let got =
+        outcome_bytes(&SimPool::with_threads(1).with_gang(64).run_batch(&sys, make(64), &limits));
+    assert_eq!(got, reference);
+}
+
+/// Empty scripts: every lane idles every cycle until `max_steps`
+/// retires it; the gang's idle fast path must account cycles, timers
+/// and stats exactly like the scalar loop. A zero-step limit must
+/// produce zero-report outcomes from both paths.
+#[test]
+fn empty_scripts_and_zero_limits() {
+    let sys = timer_system();
+    let empty = |n: usize| -> Vec<ScriptedEnvironment> {
+        (0..n).map(|_| ScriptedEnvironment::new(Vec::<Vec<String>>::new())).collect()
+    };
+
+    let limits = BatchOptions { deadline: u64::MAX, max_steps: 7 };
+    let reference =
+        outcome_bytes(&SimPool::with_threads(1).with_gang(1).run_batch(&sys, empty(65), &limits));
+    let got =
+        outcome_bytes(&SimPool::with_threads(1).with_gang(64).run_batch(&sys, empty(65), &limits));
+    assert_eq!(got, reference, "all-idle gang diverged from scalar");
+
+    let none = BatchOptions { deadline: u64::MAX, max_steps: 0 };
+    let gang_out = SimPool::with_threads(1).with_gang(64).run_batch(&sys, empty(3), &none);
+    let scalar_out = SimPool::with_threads(1).with_gang(1).run_batch(&sys, empty(3), &none);
+    assert_eq!(outcome_bytes(&gang_out), outcome_bytes(&scalar_out));
+    assert!(gang_out.iter().all(|o| o.reports.is_empty()));
+}
+
+/// Mid-scenario lane retirement via the `done` predicate: lanes retire
+/// at different gang cycles while the rest continue, and every outcome
+/// still matches the scalar `run_batch_until`.
+#[test]
+fn done_predicate_retires_lanes_mid_gang() {
+    let sys = timer_system();
+    let limits = BatchOptions { deadline: u64::MAX, max_steps: 24 };
+    // Retire a scenario as soon as a cycle fires any transition — lanes
+    // hit this at different cycles because their scripts differ.
+    let done = |_: &pscp_core::machine::PscpMachine<'_>,
+                _: &ScriptedEnvironment,
+                r: &pscp_core::machine::CycleReport| !r.fired.is_empty();
+    let reference = outcome_bytes(&SimPool::with_threads(1).with_gang(1).run_batch_until(
+        &sys,
+        envs_for(70),
+        &limits,
+        done,
+    ));
+    for workers in [1usize, 4] {
+        let got = outcome_bytes(&SimPool::with_threads(workers).with_gang(64).run_batch_until(
+            &sys,
+            envs_for(70),
+            &limits,
+            done,
+        ));
+        assert_eq!(got, reference, "workers={workers}");
+    }
+}
+
+/// One random script: external events and direct timer-expiry
+/// injections in arbitrary interleavings, including idle cycles.
+fn script() -> impl Strategy<Value = Vec<Vec<String>>> {
+    let cycle = prop_oneof![
+        Just(Vec::<String>::new()),
+        Just(vec!["TICK".to_string()]),
+        Just(vec!["PING".to_string()]),
+        Just(vec!["T_EXP".to_string()]),
+        Just(vec!["TICK".to_string(), "PING".to_string()]),
+        Just(vec!["TICK".to_string(), "T_EXP".to_string()]),
+    ];
+    proptest::collection::vec(cycle, 0..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random scripts and timer injections: the gang path is
+    /// byte-identical to the scalar oracle at every width and worker
+    /// count. Scenarios in one batch share limits (the pool contract),
+    /// so the per-case limit is drawn once.
+    #[test]
+    fn gang_is_byte_identical_on_random_scripts(
+        scripts in proptest::collection::vec(script(), 1..80),
+        max_steps in 1u64..=20,
+    ) {
+        let sys = timer_system();
+        let limits = BatchOptions { deadline: u64::MAX, max_steps };
+        let envs = |ss: &[Vec<Vec<String>>]| -> Vec<ScriptedEnvironment> {
+            ss.iter().map(|s| ScriptedEnvironment::new(s.clone())).collect()
+        };
+        let reference = outcome_bytes(
+            &SimPool::with_threads(1).with_gang(1).run_batch(&sys, envs(&scripts), &limits),
+        );
+        for gang in [8usize, 64] {
+            for workers in [1usize, 4] {
+                let got = outcome_bytes(
+                    &SimPool::with_threads(workers)
+                        .with_gang(gang)
+                        .run_batch(&sys, envs(&scripts), &limits),
+                );
+                prop_assert_eq!(
+                    &got, &reference,
+                    "gang={} workers={} diverged", gang, workers
+                );
+            }
+        }
+    }
+}

@@ -244,6 +244,56 @@ fn concurrent_clients_1_4_16_are_byte_identical() {
     }
 }
 
+/// Gang-packed shards: a worker that packs queued scenarios into a
+/// bit-sliced gang must produce wire outcomes byte-identical to the
+/// scalar shard path at every width. The client floods submissions so
+/// queue depth actually lets workers pack multi-lane gangs.
+#[test]
+fn gang_packed_shards_are_byte_identical() {
+    let sys = Arc::new(timer_system());
+    let menu: [&[&str]; 5] = [&["TICK"], &["PING"], &["T_EXP"], &["TICK", "T_EXP"], &[]];
+    let scripts: Vec<Vec<Vec<String>>> = (0..96)
+        .map(|i| {
+            (0..3 + i % 7)
+                .map(|step| {
+                    menu[(i * 5 + step * 3) % menu.len()]
+                        .iter()
+                        .map(|e| (*e).to_string())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let limits = BatchOptions { deadline: u64::MAX, max_steps: 14 };
+    let scenarios: Vec<Scenario> =
+        scripts.iter().map(|s| Scenario { script: s.clone(), limits }).collect();
+    let expected = reference_bytes(&sys, &scenarios);
+
+    for gang in [1usize, 8, 64] {
+        for workers in [1usize, 4] {
+            let opts = ServeOptions {
+                threads: workers,
+                gang,
+                max_window: 128,
+                ..ServeOptions::default()
+            };
+            let server = serve::spawn(Arc::clone(&sys), "127.0.0.1:0", opts).unwrap();
+            let mut client =
+                ScenarioClient::connect_with(server.addr(), 128, 0).unwrap();
+            let outcomes = client.run_batch(&scripts, limits).unwrap();
+            for (i, out) in outcomes.iter().enumerate() {
+                assert_eq!(
+                    out.encode(),
+                    expected[i],
+                    "outcome {i} diverged (gang={gang}, workers={workers})"
+                );
+            }
+            drop(client);
+            server.stop().unwrap();
+        }
+    }
+}
+
 /// A client pinning the wrong system fingerprint is refused with a
 /// typed mismatch error before any scenario runs.
 #[test]

@@ -17,12 +17,17 @@
 //!   Capture is explicit opt-in: callers attach a probe, the flag word
 //!   only decides whether drivers do so.
 //!
-//! Configuration comes from two environment variables, read once:
+//! Configuration comes from three environment variables, read once:
 //!
 //! * `PSCP_OBS` — comma-separated layer list: `metrics`, `trace`,
 //!   `vcd`, or `all`. Unset or empty means everything is off.
 //! * `PSCP_OBS_DIR` — directory where drivers place exported artifacts
 //!   (trace JSON, metrics snapshots, VCD files). Default `target/obs`.
+//! * `PSCP_OBS_SAMPLE` — span sampling period `N` for the high-rate
+//!   per-cycle/per-scenario spans recorded via
+//!   [`trace::span_sampled`]: only every `N`th index is recorded.
+//!   Default 1 (record everything); larger values make always-on
+//!   tracing viable on hot paths.
 //!
 //! Tests and benchmarks can override the environment with
 //! [`set_flags`], which also lets one process measure the same workload
@@ -34,12 +39,14 @@ pub mod trace;
 pub mod vcd;
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Environment variable selecting the enabled layers.
 pub const OBS_ENV: &str = "PSCP_OBS";
 /// Environment variable naming the artifact output directory.
 pub const OBS_DIR_ENV: &str = "PSCP_OBS_DIR";
+/// Environment variable setting the sampled-span period.
+pub const OBS_SAMPLE_ENV: &str = "PSCP_OBS_SAMPLE";
 
 /// Flag bit: atomic counters and histograms record.
 pub const METRICS: u8 = 1 << 0;
@@ -104,6 +111,45 @@ fn init_flags() -> u8 {
 /// mid-run.
 pub fn set_flags(f: u8) {
     FLAGS.store(f & ALL, Ordering::Relaxed);
+}
+
+/// Sampling period for [`trace::span_sampled`]; 0 doubles as the
+/// "environment not consulted yet" sentinel (a period of 0 would be
+/// meaningless anyway).
+static SAMPLE: AtomicU64 = AtomicU64::new(0);
+
+/// The sampled-span period. First call reads `PSCP_OBS_SAMPLE` (unset,
+/// empty, unparsable or zero → 1); later calls are a single relaxed
+/// atomic load.
+#[inline]
+pub fn sample_every() -> u64 {
+    let n = SAMPLE.load(Ordering::Relaxed);
+    if n != 0 {
+        n
+    } else {
+        init_sample()
+    }
+}
+
+#[cold]
+fn init_sample() -> u64 {
+    let parsed = std::env::var(OBS_SAMPLE_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
+    // First writer wins so a concurrent `set_sample` is not clobbered.
+    match SAMPLE.compare_exchange(0, parsed, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => parsed,
+        Err(current) => current,
+    }
+}
+
+/// Overrides the sampled-span period for the whole process, bypassing
+/// the environment (0 is clamped to 1). Intended for tests and
+/// benchmarks.
+pub fn set_sample(n: u64) {
+    SAMPLE.store(n.max(1), Ordering::Relaxed);
 }
 
 /// Whether the metrics layer records.

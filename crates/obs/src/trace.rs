@@ -174,6 +174,21 @@ pub fn span(name: &'static str) -> Span {
     }
 }
 
+/// Opens a sampled span: records only when tracing is enabled *and*
+/// `index` falls on the `PSCP_OBS_SAMPLE` period (every `N`th index,
+/// anchored at 0). High-rate call sites — the per-configuration-cycle
+/// machine step, the per-scenario pool span — pass a monotonically
+/// increasing index so a period of `N` keeps exactly one span in `N`
+/// and the rest cost a flag load.
+#[inline]
+pub fn span_sampled(name: &'static str, index: u64) -> Span {
+    if crate::trace_enabled() && index.is_multiple_of(crate::sample_every()) {
+        Span { name, start_ns: now_ns(), armed: true }
+    } else {
+        Span { name, start_ns: 0, armed: false }
+    }
+}
+
 impl Drop for Span {
     fn drop(&mut self) {
         if self.armed {
@@ -301,6 +316,42 @@ mod tests {
         clear();
         {
             let _s = span("idle");
+        }
+        assert_eq!(collected_span_count(), 0);
+        crate::set_flags(prev);
+    }
+
+    #[test]
+    fn sampled_spans_record_every_nth_index() {
+        let _g = flag_lock();
+        let prev = crate::flags();
+        crate::set_flags(crate::TRACE);
+        crate::set_sample(3);
+        clear();
+        set_thread_lane("sampler");
+        for i in 0..10u64 {
+            let _s = span_sampled("cycle", i);
+        }
+        flush_current_thread();
+        // Indices 0, 3, 6, 9 fall on the period.
+        assert_eq!(collected_span_count(), 4);
+
+        // Period 1 records everything again.
+        crate::set_sample(1);
+        clear();
+        set_thread_lane("sampler");
+        for i in 0..5u64 {
+            let _s = span_sampled("cycle", i);
+        }
+        flush_current_thread();
+        assert_eq!(collected_span_count(), 5);
+
+        // Tracing off beats any period.
+        crate::set_flags(0);
+        crate::set_sample(1);
+        clear();
+        {
+            let _s = span_sampled("cycle", 0);
         }
         assert_eq!(collected_span_count(), 0);
         crate::set_flags(prev);

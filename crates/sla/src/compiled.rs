@@ -23,7 +23,7 @@ use crate::net::{LogicNet, Node, NodeId};
 /// nodes live in a shared arena ([`CompiledNet::args`]) so the op
 /// itself stays `Copy`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Op {
+pub(crate) enum Op {
     /// Read CR bit `n` from the input slice (out of range → false).
     Input(u32),
     /// An input whose name is not of the `cr{N}` form. Evaluates to
@@ -42,8 +42,8 @@ enum Op {
 /// A [`LogicNet`] compiled for repeated evaluation over CR bit slices.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledNet {
-    ops: Vec<Op>,
-    args: Vec<u32>,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) args: Vec<u32>,
 }
 
 impl CompiledNet {

@@ -27,6 +27,10 @@
 //!   reference).
 //! * [`sim`] — evaluates the synthesised SLA against a CR snapshot;
 //!   cross-checked against the reference executor.
+//! * [`gang`] — 64-wide bit-sliced evaluation: one `u64` word per net
+//!   node, bit `l` = scenario lane `l`, so one pass over the same
+//!   instruction list evaluates the SLA for a whole gang of scenarios
+//!   (the software analogue of the SLA's hardware parallelism).
 //! * [`blif`] — Berkeley Logic Interchange Format export ("generates a
 //!   BLIF description of the SLA").
 //! * [`vhdl`] — structural VHDL export ("converted to VHDL, and can be
@@ -34,6 +38,7 @@
 
 pub mod blif;
 pub mod compiled;
+pub mod gang;
 pub mod net;
 pub mod sim;
 pub mod synth;
@@ -41,6 +46,7 @@ pub mod vhdl;
 pub mod wave;
 
 pub use compiled::CompiledNet;
+pub use gang::{GangNet, GangScratch, GangSim, GANG_WIDTH};
 pub use net::{LogicNet, NodeId};
 pub use sim::{SlaScratch, SlaSim};
 pub use synth::{SlaSynthesis, TransitionAddressTable};

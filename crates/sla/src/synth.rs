@@ -59,6 +59,13 @@ pub struct SlaSynthesis {
     pub net: LogicNet,
     /// Fire signal per transition, in chart transition order.
     pub fire: Vec<NodeId>,
+    /// Enable signal per transition (source activity ∧ trigger ∧
+    /// guard), in chart transition order — `fire` before the priority
+    /// inhibitions. The highest-priority enabled transition is never
+    /// inhibited, so "some transition enabled" ⇔ "some transition
+    /// fires"; the gang simulator's any-fire probe evaluates this much
+    /// smaller plane instead of the O(T²) inhibition logic.
+    pub enable: Vec<NodeId>,
     /// Per CR state bit: the next-state function node.
     pub next_state_bits: BTreeMap<u32, NodeId>,
     /// The transition address table (priority order).
@@ -270,7 +277,7 @@ pub fn synthesize(chart: &Chart, layout: &CrLayout) -> SlaSynthesis {
         entries: order.iter().map(|&i| TransitionId::from_index(i)).collect(),
     };
 
-    SlaSynthesis { net, fire, next_state_bits, table, cr_width: layout.width() }
+    SlaSynthesis { net, fire, enable, next_state_bits, table, cr_width: layout.width() }
 }
 
 /// Lowers a trigger/guard expression into the network via SOP.

@@ -642,6 +642,31 @@ impl<'c> Executor<'c> {
         report
     }
 
+    /// Runs one configuration cycle that the caller has already proven
+    /// idle — no transition is enabled for `external` plus the pending
+    /// internal events. The gang simulator uses this after its
+    /// bit-sliced SLA pass reports no fire bit for a lane: the cycle
+    /// still consumes the events (they live exactly one cycle, so the
+    /// pending set clears) and advances the cycle counter, but skips
+    /// transition selection entirely. Debug builds re-check the idle
+    /// claim against [`select_transitions`](Self::select_transitions).
+    pub fn step_idle(&mut self, external: &BTreeSet<EventId>) {
+        debug_assert!(
+            {
+                let mut events = external.clone();
+                events.extend(self.pending_internal.iter().copied());
+                self.select_transitions(&events).is_empty()
+            },
+            "step_idle called on a cycle with enabled transitions"
+        );
+        self.pending_internal.clear();
+        self.cycle += 1;
+        debug_assert!(
+            self.config.is_consistent(self.chart),
+            "inconsistent configuration after idle step"
+        );
+    }
+
     /// Convenience wrapper: step with events given by name.
     pub fn step_named<I, S, F>(&mut self, events: I, effects: F) -> StepReport
     where

@@ -17,21 +17,30 @@ cargo test --release -p pscp-core --test serve_differential -q
 cargo test --release -p pscp-core --test serve_wire -q
 cargo test --release -p pscp-core --test serve_backpressure -q
 
-# Perf smoke: the bench binary must run and report the PR-3/PR-4/PR-5
+# The gang differential suite is the bit-sliced path's spec: gang
+# batches must be byte-identical to the scalar oracle at every width ×
+# worker combination, including mid-scenario lane retirement.
+cargo test --release -p pscp-core --test gang_differential -q
+
+# Perf smoke: the bench binary must run and report the PR-3..PR-6
 # workloads. This asserts presence, not thresholds — speedups depend on
 # the host.
 cargo run --release -p pscp-bench --bin bench-smoke > /dev/null
-test -f BENCH_5.json
-grep -q '"dse_explore_incremental"' BENCH_5.json
-grep -q '"dse_explore_full"' BENCH_5.json
-grep -q '"memo_store"' BENCH_5.json
-grep -q '"batch_cosim"' BENCH_5.json
-grep -q '"serve_smoke"' BENCH_5.json
-grep -q '"outputs_identical": true' BENCH_5.json
-grep -q '"obs_overhead_pct"' BENCH_5.json
-grep -q '"trace_overhead_pct"' BENCH_5.json
-test -f BENCH_5_metrics.json
-python3 -m json.tool BENCH_5_metrics.json > /dev/null
+test -f BENCH_6.json
+grep -q '"dse_explore_incremental"' BENCH_6.json
+grep -q '"dse_explore_full"' BENCH_6.json
+grep -q '"memo_store"' BENCH_6.json
+grep -q '"batch_cosim"' BENCH_6.json
+grep -q '"gang_cosim"' BENCH_6.json
+grep -q '"speedup_w64"' BENCH_6.json
+grep -q '"serve_smoke"' BENCH_6.json
+grep -q '"latency_speedup_vs_bench5"' BENCH_6.json
+grep -q '"outputs_identical": true' BENCH_6.json
+grep -q '"obs_overhead_pct"' BENCH_6.json
+grep -q '"trace_overhead_pct"' BENCH_6.json
+grep -q '"trace_sampled_overhead_pct"' BENCH_6.json
+test -f BENCH_6_metrics.json
+python3 -m json.tool BENCH_6_metrics.json > /dev/null
 
 # Serving smoke: a loopback server + 4-client pickup-head session; every
 # outcome is differentially checked against the in-process pool, and
