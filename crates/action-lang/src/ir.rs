@@ -111,7 +111,7 @@ impl fmt::Display for UnOp {
 }
 
 /// One IR instruction.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Inst {
     /// `dst = value`
     Const {
@@ -278,7 +278,7 @@ impl Inst {
 }
 
 /// A compiled function: linear instruction list plus label table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Function {
     /// Function name.
     pub name: String,

@@ -3,9 +3,18 @@
 //! Runs the PR-1 hot-path workloads (SLA evaluation, configuration
 //! cycles, one full pick-and-place co-sim move), the PR-2 batched
 //! co-simulation sweep, and the PR-3 incremental-revalidation
-//! workloads with plain wall-clock timing, and writes `BENCH_6.json`
+//! workloads with plain wall-clock timing, and writes `BENCH_7.json`
 //! into the current directory so the perf trajectory is tracked across
 //! PRs.
+//!
+//! PR-7 adds `compile_cache`: a DSE-shaped candidate sweep compiled
+//! cold (full per-candidate codegen) and warm (function-granularity
+//! `CodegenCache` over shared `SystemArtifacts`), with every cached
+//! system byte-checked against the full compile and the hit rate on
+//! record. `dse_explore_incremental` now rides the same cache — the
+//! `incremental` switch turns on both timing revalidation and delta
+//! compilation — and the default worker count is clamped to the host's
+//! parallelism so narrow machines stop oversubscribing.
 //!
 //! PR-6 adds `gang_cosim`: the SLA-bound gang workload at bit-slice
 //! widths 1/8/64 on a *single* worker, so the recorded speedup is the
@@ -39,11 +48,16 @@
 //!
 //! Run with `cargo run --release -p pscp-bench --bin bench-smoke`.
 
-use pscp_bench::{example_system, pickup_head_inputs};
+use pscp_bench::{example_system, multi_head_inputs, pickup_head_inputs};
+
+/// Parallel pickup heads in the scaled DSE workload.
+const DSE_HEADS: usize = 6;
 use pscp_core::arch::PscpArch;
+use pscp_core::compile::{compile_system_from_ir, compile_system_with, SystemArtifacts};
 use pscp_core::machine::{PscpMachine, ScriptedEnvironment};
 use pscp_core::optimize::{optimize, MemoPersistence, OptimizationResult, OptimizeOptions};
-use pscp_core::pool::{BatchOptions, SimPool};
+use pscp_core::pool::{default_workers, BatchOptions, SimPool};
+use pscp_tep::codegen::{CodegenCache, CodegenOptions};
 use pscp_core::serve::{self, wire::WireOutcome, ScenarioClient, ServeOptions};
 use pscp_motors::head::{Move, SmdHead};
 use pscp_sla::sim::SlaSim;
@@ -176,11 +190,16 @@ fn dse_run(
     optimize(chart, ir, &PscpArch::minimal(), &options).expect("optimize")
 }
 
-/// Full-DFS-per-candidate vs incremental dirty-set revalidation, both
+/// Full-DFS-per-candidate vs the incremental path — dirty-set timing
+/// revalidation plus function-granularity delta compilation — both
 /// single-threaded (the win is algorithmic, not parallel): (full
 /// seconds, incremental seconds, results identical, steps recorded).
 fn dse_explore() -> (f64, f64, bool, usize) {
-    let (chart, ir) = pickup_head_inputs();
+    // The scaled multi-head controller: with DSE_HEADS parallel motion
+    // regions (~10 routines each), per-candidate compile + validation
+    // work dominates the exploration instead of per-run fixed costs —
+    // the regime the incremental path is built for.
+    let (chart, ir) = multi_head_inputs(DSE_HEADS);
     let mut steps = 0;
     let full_s = time(2, || {
         let r = dse_run(&chart, &ir, false, MemoPersistence::Disabled);
@@ -227,6 +246,69 @@ fn memo_store(path: &PathBuf) -> (f64, f64, bool, bool) {
     let corrupt_ok = corrupt.history == cold_result.history;
     let _ = std::fs::remove_file(path);
     (cold_s, warm_s, identical, corrupt_ok)
+}
+
+/// A DSE-shaped candidate sweep through the per-routine codegen cache:
+/// the pickup-head program compiled for the base architecture plus a
+/// set of single-knob variants, cold (full per-candidate compile) and
+/// warm (shared `SystemArtifacts` + `CodegenCache`). Returns (cold
+/// seconds per sweep, warm seconds per sweep, routine hit rate on a
+/// fresh cache, every cached system byte-identical to its full
+/// compile).
+fn compile_cache() -> (f64, f64, f64, bool) {
+    let (chart, ir) = pickup_head_inputs();
+    let opts = CodegenOptions::default();
+    let base = PscpArch::minimal();
+    let knobs: [fn(&mut PscpArch); 7] = [
+        |a| a.tep.calc.muldiv = true,
+        |a| a.tep.calc.comparator = true,
+        |a| a.tep.calc.twos_complement = true,
+        |a| a.tep.optimize_code = true,
+        |a| a.tep.pipelined = true,
+        |a| a.tep.calc.shifter = true,
+        |a| a.tep.calc.width = 16,
+    ];
+    let mut candidates = vec![base.clone()];
+    for f in knobs {
+        let mut c = base.clone();
+        f(&mut c);
+        candidates.push(c);
+    }
+
+    let cold_s = time(3, || {
+        for c in &candidates {
+            black_box(compile_system_from_ir(&chart, &ir, c, &opts).expect("compile"));
+        }
+    });
+
+    let artifacts = SystemArtifacts::build(&chart, base.encoding);
+    let warm_cache = CodegenCache::with_enabled(true);
+    // Prime once so the timed region measures the steady DSE state:
+    // every candidate delta-compiles against an already-seen base.
+    for c in &candidates {
+        compile_system_with(&artifacts, &ir, c, &opts, Some(&warm_cache)).expect("prime");
+    }
+    let warm_s = time(3, || {
+        for c in &candidates {
+            black_box(
+                compile_system_with(&artifacts, &ir, c, &opts, Some(&warm_cache))
+                    .expect("compile"),
+            );
+        }
+    });
+
+    // Hit rate and the byte-identity check on a fresh cache, outside
+    // the timed regions.
+    let fresh = CodegenCache::with_enabled(true);
+    let mut identical = true;
+    for c in &candidates {
+        let cached = compile_system_with(&artifacts, &ir, c, &opts, Some(&fresh)).expect("cached");
+        let full = compile_system_from_ir(&chart, &ir, c, &opts).expect("full");
+        identical &= serde_json::to_string(&cached).unwrap() == serde_json::to_string(&full).unwrap();
+    }
+    let stats = fresh.stats();
+    let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+    (cold_s, warm_s, hit_rate, identical)
 }
 
 /// A 16-scenario pick-and-place sweep through `SimPool`: (1-worker
@@ -460,14 +542,15 @@ fn main() {
     // measured explicitly below, and a PSCP_OBS left over in the
     // environment must not skew the trajectory numbers.
     pscp_obs::set_flags(0);
-    // The batch comparison is pinned at 4 workers (PSCP_THREADS
-    // overrides) so the parallel path is exercised even on narrow
-    // hosts; the speedup only materialises with the cores to back it.
+    // The batch comparison defaults to 4 workers clamped to the host's
+    // parallelism — spawning more workers than cores loses to the
+    // sequential path on narrow hosts. An explicit PSCP_THREADS still
+    // passes through unclamped for oversubscription experiments.
     let workers = std::env::var("PSCP_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
-        .unwrap_or(4);
+        .unwrap_or_else(|| default_workers(4));
     let memo_path = PathBuf::from("target").join("pscp-bench-memo.json");
     let sla_excl = sla_eval_us(EncodingStyle::Exclusivity);
     let sla_onehot = sla_eval_us(EncodingStyle::OneHot);
@@ -475,6 +558,7 @@ fn main() {
     let (cosim_s, configs, sim_cycles) = cosim_one_move();
     let (dse_full, dse_inc, dse_identical, dse_steps) = dse_explore();
     let (memo_cold, memo_warm, memo_identical, memo_corrupt_ok) = memo_store(&memo_path);
+    let (cache_cold, cache_warm, cache_hit_rate, cache_identical) = compile_cache();
     let (batch_one, batch_many, batch_identical, batch_n) = batch_cosim(workers);
     let (gang_secs, gang_identical, gang_n) = gang_cosim();
     let (serve_inproc, serve_clients, serve_identical) = serve_smoke(workers);
@@ -485,7 +569,7 @@ fn main() {
     let sim_cycles_per_sec = sim_cycles as f64 / cosim_s;
     let json = format!(
         r#"{{
-  "bench": 6,
+  "bench": 7,
   "workers": {workers},
   "workloads": {{
     "sla_eval": {{
@@ -510,6 +594,7 @@ fn main() {
       "sim_cycles_per_sec": {sim_cycles_per_sec:.0}
     }},
     "dse_explore_full": {{
+      "heads": {DSE_HEADS},
       "ms": {dse_full_ms:.3},
       "history_steps": {dse_steps}
     }},
@@ -524,6 +609,14 @@ fn main() {
       "warm_speedup": {memo_speedup:.2},
       "warm_results_identical": {memo_identical},
       "corrupt_file_cold_start_ok": {memo_corrupt_ok}
+    }},
+    "compile_cache": {{
+      "candidates": 8,
+      "cold_sweep_ms": {cache_cold_ms:.3},
+      "warm_sweep_ms": {cache_warm_ms:.3},
+      "warm_speedup": {cache_speedup:.2},
+      "hit_rate": {cache_hit_rate:.3},
+      "results_identical": {cache_identical}
     }},
     "batch_cosim": {{
       "scenarios": {batch_n},
@@ -585,6 +678,9 @@ fn main() {
         memo_cold_ms = memo_cold * 1e3,
         memo_warm_ms = memo_warm * 1e3,
         memo_speedup = memo_cold / memo_warm,
+        cache_cold_ms = cache_cold * 1e3,
+        cache_warm_ms = cache_warm * 1e3,
+        cache_speedup = cache_cold / cache_warm,
         batch_one_ms = batch_one * 1e3,
         batch_many_ms = batch_many * 1e3,
         batch_speedup = batch_one / batch_many,
@@ -611,8 +707,8 @@ fn main() {
         btrace = baseline::TRACE_OVERHEAD_PCT,
         wall_s = wall.elapsed().as_secs_f64(),
     );
-    std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
-    std::fs::write("BENCH_6_metrics.json", &metrics_snapshot)
-        .expect("write BENCH_6_metrics.json");
+    std::fs::write("BENCH_7.json", &json).expect("write BENCH_7.json");
+    std::fs::write("BENCH_7_metrics.json", &metrics_snapshot)
+        .expect("write BENCH_7_metrics.json");
     print!("{json}");
 }

@@ -64,6 +64,268 @@ pub fn pickup_head_inputs() -> (Chart, Program) {
     (chart, ir)
 }
 
+/// A scaled design-space-exploration workload: one pickup-head
+/// controller driving `heads` independent gantries in parallel (real
+/// SMD placement machines mount several pickup heads on one beam).
+/// The data-preparation region is shared; each head gets its own
+/// motion region — per-axis ramp routines, finish conditions, pulse
+/// events and counter ports, all suffixed with the head index. The
+/// returned pair feeds [`pscp_core::optimize::optimize`] exactly like
+/// [`pickup_head_inputs`], with `heads * 10` routines instead of ~20 —
+/// large enough that per-candidate compile/validate work, not loop
+/// fixed costs, dominates the exploration.
+pub fn multi_head_inputs(heads: usize) -> (Chart, Program) {
+    use pscp_statechart::model::PortDirection::{Input, Output};
+    let mut b = ChartBuilder::new("MultiHead");
+
+    b.event("POWER", None);
+    b.event("INIT", None);
+    b.event("ALLRESET", None);
+    b.event("ERROR", None);
+    b.event("DATA_VALID", Some(1500));
+    b.event("GRAB_RELEASE", None);
+    b.internal_event("BUF_READY");
+    b.internal_event("PARAMS_READY");
+    b.internal_event("BOUNDS_OK");
+    b.internal_event("END_DATA");
+    b.condition("MOVEMENT", false);
+    b.data_port("BUFFER", 8, 0x10, Input);
+    b.data_port("STOPALL_P", 8, 0x11, Output);
+    b.data_port("STATUS_P", 16, 0x12, Output);
+    for h in 0..heads {
+        b.event(format!("X_PULSE{h}"), Some(300));
+        b.event(format!("Y_PULSE{h}"), Some(300));
+        b.event(format!("PHI_PULSE{h}"), Some(1600));
+        b.event(format!("X_STEPS{h}"), None);
+        b.event(format!("Y_STEPS{h}"), None);
+        b.event(format!("PHI_STEPS{h}"), None);
+        b.internal_event(format!("END_MOVE{h}"));
+        b.condition(format!("XFINISH{h}"), false);
+        b.condition(format!("YFINISH{h}"), false);
+        b.condition(format!("PHIFINISH{h}"), false);
+        let base = 0x20 + 0x10 * h as u16;
+        b.data_port(format!("XPERIOD{h}"), 16, base, Output);
+        b.data_port(format!("YPERIOD{h}"), 16, base + 1, Output);
+        b.data_port(format!("PHIPERIOD{h}"), 16, base + 2, Output);
+        b.data_port(format!("XSTEPS_P{h}"), 16, base + 3, Output);
+        b.data_port(format!("YSTEPS_P{h}"), 16, base + 4, Output);
+        b.data_port(format!("PHISTEPS_P{h}"), 16, base + 5, Output);
+        b.data_port(format!("XDIR_P{h}"), 8, base + 6, Output);
+        b.data_port(format!("YDIR_P{h}"), 8, base + 7, Output);
+        b.data_port(format!("PHIDIR_P{h}"), 8, base + 8, Output);
+    }
+
+    let mut regions = vec!["DataPreparation".to_string()];
+    regions.extend((0..heads).map(|h| format!("ReachPosition{h}")));
+    b.state("Controller", StateKind::Or)
+        .contains(["OFF", "Idle1", "Operation", "ErrState"])
+        .default_child("OFF");
+    b.state("OFF", StateKind::Basic).transition("Idle1", "POWER");
+    b.state("Idle1", StateKind::Basic)
+        .transition("OpReady", "[DATA_VALID]/GetByte()");
+    b.state("Operation", StateKind::And)
+        .contains(regions)
+        .transition("Idle1", "INIT or ALLRESET/InitializeAll()")
+        .transition("ErrState", "ERROR/Stop()")
+        .transition("Idle1", "END_DATA/Finish()");
+    b.state("ErrState", StateKind::Basic)
+        .transition("Idle1", "INIT or ALLRESET/InitializeAll()");
+
+    b.state("DataPreparation", StateKind::Or)
+        .contains(["OpReady", "EmptyBuf", "Bounds", "NoData"])
+        .default_child("OpReady");
+    b.state("OpReady", StateKind::Basic)
+        .transition("OpReady", "[DATA_VALID]/GetByte()")
+        .transition("EmptyBuf", "BUF_READY/DecodeOpcode()");
+    b.state("EmptyBuf", StateKind::Basic)
+        .transition("Bounds", "PARAMS_READY/CheckBounds()");
+    b.state("Bounds", StateKind::Basic)
+        .transition("NoData", "BOUNDS_OK/PrepareMove()");
+    b.state("NoData", StateKind::Basic)
+        .transition("OpReady", "not (X_PULSE0 or Y_PULSE0)/PhiParameters()")
+        .transition("OpReady", "[DATA_VALID]/GetByte()");
+
+    for h in 0..heads {
+        b.state(format!("ReachPosition{h}"), StateKind::Or)
+            .contains([format!("Idle2_{h}"), format!("Moving{h}")])
+            .default_child(format!("Idle2_{h}"));
+        b.state(format!("Idle2_{h}"), StateKind::Basic)
+            .transition(format!("Moving{h}"), "[MOVEMENT]");
+        b.state(format!("Moving{h}"), StateKind::And)
+            .contains([format!("MoveX{h}"), format!("MoveY{h}"), format!("MovePhi{h}")])
+            .transition(
+                format!("Idle2_{h}"),
+                &format!(
+                    "[XFINISH{h} and YFINISH{h} and PHIFINISH{h}]/EndMove{h}()"
+                ),
+            );
+        for (axis, pulse, steps, delta) in [
+            ("X", "X_PULSE", "X_STEPS", "DeltaTX"),
+            ("Y", "Y_PULSE", "Y_STEPS", "DeltaTY"),
+            ("Phi", "PHI_PULSE", "PHI_STEPS", "DeltaTPhi"),
+        ] {
+            b.state(format!("Move{axis}{h}"), StateKind::Or)
+                .contains([
+                    format!("{axis}Start{h}"),
+                    format!("Run{axis}{h}"),
+                    format!("{axis}End{h}"),
+                ])
+                .default_child(format!("{axis}Start{h}"));
+            b.state(format!("{axis}Start{h}"), StateKind::Basic)
+                .transition(format!("Run{axis}{h}"), &format!("/StartMotor{axis}{h}()"));
+            b.state(format!("Run{axis}{h}"), StateKind::Basic)
+                .transition(format!("Run{axis}{h}"), &format!("{pulse}{h}/{delta}{h}()"))
+                .transition(format!("{axis}End{h}"), &format!("{steps}{h}/Finish{axis}{h}()"));
+            b.basic(format!("{axis}End{h}"));
+        }
+    }
+    let chart = b.build().expect("multi-head chart is well-formed");
+
+    let mut src = String::from(
+        "uint:8 byte_no;\nuint:8 opcode;\nuint:16 cmd_x;\nuint:16 cmd_y;\nuint:16 cmd_phi;\n\
+         int:16 moves_done;\nint:16 min_period_xy = 300;\nint:16 start_period_xy = 16800;\n\
+         int:16 phi_period = 1666;\nuint:16 max_coord = 20000;\n",
+    );
+    for h in 0..heads {
+        src.push_str(&format!(
+            "uint:16 pos_x{h}; uint:16 pos_y{h}; uint:16 pos_phi{h};\n\
+             int:16 xc{h}; int:16 xn{h}; int:16 xleft{h};\n\
+             int:16 yc{h}; int:16 yn{h}; int:16 yleft{h};\n"
+        ));
+    }
+    src.push_str(
+        r#"
+void GetByte() {
+    uint:16 b = BUFFER;
+    if (byte_no < 3) {
+        if (byte_no == 0) {
+            opcode = b;
+            if (opcode == 255) { raise END_DATA; } else { byte_no = 1; }
+        } else if (byte_no == 1) { cmd_x = b; byte_no = 2; }
+        else { cmd_x = cmd_x + (b << 8); byte_no = 3; }
+    } else if (byte_no < 5) {
+        if (byte_no == 3) { cmd_y = b; byte_no = 4; }
+        else { cmd_y = cmd_y + (b << 8); byte_no = 5; }
+    } else if (byte_no == 5) { cmd_phi = b; byte_no = 6; }
+    else {
+        cmd_phi = cmd_phi + (b << 8);
+        byte_no = 0;
+        raise BUF_READY;
+    }
+}
+void DecodeOpcode() {
+    if (opcode == 1) { raise PARAMS_READY; } else { raise ERROR; }
+}
+void CheckBounds() {
+    if (cmd_x > max_coord) { raise ERROR; }
+    else if (cmd_y > max_coord) { raise ERROR; }
+    else if (cmd_phi > 3600) { raise ERROR; }
+    else { raise BOUNDS_OK; }
+}
+void Stop() { STOPALL_P = 1; MOVEMENT = 0; }
+void Finish() { STOPALL_P = 0; STATUS_P = moves_done; }
+"#,
+    );
+    // PrepareMove arms every head; PhiParameters only refreshes the
+    // shared status word (the per-head Z axes are untracked).
+    src.push_str("void PrepareMove() {\n");
+    for h in 0..heads {
+        src.push_str(&format!(
+            "    if (cmd_x >= pos_x{h}) {{ xleft{h} = cmd_x - pos_x{h}; XDIR_P{h} = 0; }}\n\
+             else {{ xleft{h} = pos_x{h} - cmd_x; XDIR_P{h} = 1; }}\n\
+             if (cmd_y >= pos_y{h}) {{ yleft{h} = cmd_y - pos_y{h}; YDIR_P{h} = 0; }}\n\
+             else {{ yleft{h} = pos_y{h} - cmd_y; YDIR_P{h} = 1; }}\n\
+             if (cmd_phi >= pos_phi{h}) {{ PHIDIR_P{h} = 0; }} else {{ PHIDIR_P{h} = 1; }}\n"
+        ));
+    }
+    src.push_str("    MOVEMENT = 1;\n}\n");
+    src.push_str("void PhiParameters() { STATUS_P = moves_done; }\n");
+    src.push_str("void InitializeAll() {\n    byte_no = 0;\n    opcode = 0;\n    MOVEMENT = 0;\n");
+    for h in 0..heads {
+        src.push_str(&format!(
+            "    XFINISH{h} = 0;\n    YFINISH{h} = 0;\n    PHIFINISH{h} = 0;\n"
+        ));
+    }
+    src.push_str("    STOPALL_P = 1;\n}\n");
+    for h in 0..heads {
+        src.push_str(&format!(
+            r#"
+void StartMotorX{h}() {{
+    xc{h} = start_period_xy;
+    xn{h} = 0;
+    if (xleft{h} == 0) {{ XFINISH{h} = 1; }}
+    else {{
+        XFINISH{h} = 0;
+        XPERIOD{h} = xc{h};
+        XSTEPS_P{h} = xleft{h};
+    }}
+}}
+void StartMotorY{h}() {{
+    yc{h} = start_period_xy;
+    yn{h} = 0;
+    if (yleft{h} == 0) {{ YFINISH{h} = 1; }}
+    else {{
+        YFINISH{h} = 0;
+        YPERIOD{h} = yc{h};
+        YSTEPS_P{h} = yleft{h};
+    }}
+}}
+void StartMotorPhi{h}() {{
+    uint:16 dphi;
+    if (cmd_phi >= pos_phi{h}) {{ dphi = cmd_phi - pos_phi{h}; }}
+    else {{ dphi = pos_phi{h} - cmd_phi; }}
+    if (dphi == 0) {{ PHIFINISH{h} = 1; }}
+    else {{
+        PHIFINISH{h} = 0;
+        PHIPERIOD{h} = phi_period;
+        PHISTEPS_P{h} = dphi;
+    }}
+}}
+void DeltaTX{h}() {{
+    xn{h} = xn{h} + 1;
+    xleft{h} = xleft{h} - 1;
+    if (xleft{h} < xn{h}) {{
+        xc{h} = xc{h} + (2 * xc{h}) / (4 * xleft{h} + 1);
+    }} else if (xc{h} > min_period_xy) {{
+        xc{h} = xc{h} - (2 * xc{h}) / (4 * xn{h} + 1);
+        if (xc{h} < min_period_xy) {{ xc{h} = min_period_xy; }}
+    }}
+    XPERIOD{h} = xc{h};
+}}
+void DeltaTY{h}() {{
+    yn{h} = yn{h} + 1;
+    yleft{h} = yleft{h} - 1;
+    if (yleft{h} < yn{h}) {{
+        yc{h} = yc{h} + (2 * yc{h}) / (4 * yleft{h} + 1);
+    }} else if (yc{h} > min_period_xy) {{
+        yc{h} = yc{h} - (2 * yc{h}) / (4 * yn{h} + 1);
+        if (yc{h} < min_period_xy) {{ yc{h} = min_period_xy; }}
+    }}
+    YPERIOD{h} = yc{h};
+}}
+void DeltaTPhi{h}() {{ PHIPERIOD{h} = phi_period; }}
+void FinishX{h}() {{ XFINISH{h} = 1; pos_x{h} = cmd_x; }}
+void FinishY{h}() {{ YFINISH{h} = 1; pos_y{h} = cmd_y; }}
+void FinishPhi{h}() {{ PHIFINISH{h} = 1; pos_phi{h} = cmd_phi; }}
+void EndMove{h}() {{
+    MOVEMENT = 0;
+    XFINISH{h} = 0;
+    YFINISH{h} = 0;
+    PHIFINISH{h} = 0;
+    moves_done = moves_done + 1;
+    STATUS_P = moves_done;
+    raise END_MOVE{h};
+}}
+"#
+        ));
+    }
+
+    let env = pscp_core::compile::chart_env(&chart);
+    let ir = pscp_action_lang::compile_with_env(&src, &env)
+        .expect("multi-head actions compile");
+    (chart, ir)
+}
+
 /// Compiles the pickup-head example for an architecture. The
 /// "optimized code" configurations include the storage promotion of §4:
 /// the hottest scalar globals move into the register file.

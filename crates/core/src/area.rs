@@ -69,11 +69,19 @@ pub fn pscp_area(system: &CompiledSystem) -> AreaBreakdown {
     }
 
     // ---- per-TEP hardware ----------------------------------------------
-    let used_kinds: BTreeSet<InstrKind> = system
-        .program
-        .functions
+    // Kind occupancy as a bitmask first: one set insert per *distinct*
+    // kind instead of one per instruction (this scan is on the
+    // optimiser's per-candidate path).
+    let mut used_mask = 0u64;
+    for f in &system.program.functions {
+        for i in &f.code {
+            used_mask |= 1u64 << InstrKind::of(&i.instr) as u32;
+        }
+    }
+    let used_kinds: BTreeSet<InstrKind> = InstrKind::ALL
         .iter()
-        .flat_map(|f| f.code.iter().map(|i| InstrKind::of(&i.instr)))
+        .copied()
+        .filter(|&k| used_mask & (1u64 << k as u32) != 0)
         .collect();
     let rom = MicrocodeRom::synthesize(&used_kinds, tep.optimize_code);
 

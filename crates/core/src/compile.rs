@@ -11,12 +11,15 @@ use pscp_action_lang::ir::Program;
 use pscp_action_lang::sema::{PortSpec, ProgramEnv};
 use pscp_sla::synth::{synthesize, SlaSynthesis};
 use pscp_sla::TransitionAddressTable;
-use pscp_statechart::encoding::CrLayout;
+use pscp_statechart::encoding::{CrLayout, EncodingStyle};
 use pscp_statechart::model::PortDirection;
 use pscp_statechart::{Chart, ConditionId, EventId, TransitionId};
-use pscp_tep::codegen::{compile_program, CodegenOptions, TepProgram};
+use pscp_tep::codegen::{
+    compile_program, compile_program_cached, CodegenCache, CodegenOptions, TepProgram,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// How one textual action argument is produced at dispatch time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -175,14 +178,21 @@ impl SchedulerTables {
 }
 
 /// The complete compiled system.
+///
+/// The chart-derived members (`chart`, `layout`, `sla`) are immutable
+/// once built and identical for every candidate of a DSE run, so they
+/// are `Arc`-shared: cloning a system (or building many candidates from
+/// one [`SystemArtifacts`]) copies three pointers, not three deep
+/// structures. Serialisation is transparent — the wire/JSON form is the
+/// same as when the fields were inline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CompiledSystem {
     /// The chart.
-    pub chart: Chart,
+    pub chart: Arc<Chart>,
     /// CR layout.
-    pub layout: CrLayout,
+    pub layout: Arc<CrLayout>,
     /// Synthesised SLA.
-    pub sla: SlaSynthesis,
+    pub sla: Arc<SlaSynthesis>,
     /// Compiled TEP program (shared by all TEPs — they execute different
     /// transitions of the same program memory image).
     pub program: TepProgram,
@@ -247,6 +257,42 @@ pub fn compile_system(
     compile_system_from_ir(chart, &ir, arch, options)
 }
 
+/// The chart-derived compile artifacts that are identical for every
+/// candidate architecture of a DSE run: the chart itself, its CR
+/// layout, and the synthesised SLA. Built once per (chart, encoding)
+/// and shared by `Arc` into every [`CompiledSystem`] compiled from it.
+#[derive(Debug, Clone)]
+pub struct SystemArtifacts {
+    chart: Arc<Chart>,
+    layout: Arc<CrLayout>,
+    sla: Arc<SlaSynthesis>,
+    encoding: EncodingStyle,
+}
+
+impl SystemArtifacts {
+    /// Encodes the chart and synthesises the SLA for one encoding style.
+    pub fn build(chart: &Chart, encoding: EncodingStyle) -> Self {
+        let layout = CrLayout::new(chart, encoding);
+        let sla = synthesize(chart, &layout);
+        SystemArtifacts {
+            chart: Arc::new(chart.clone()),
+            layout: Arc::new(layout),
+            sla: Arc::new(sla),
+            encoding,
+        }
+    }
+
+    /// The chart these artifacts were built from.
+    pub fn chart(&self) -> &Chart {
+        &self.chart
+    }
+
+    /// The encoding style the layout was built for.
+    pub fn encoding(&self) -> EncodingStyle {
+        self.encoding
+    }
+}
+
 /// Compiles a system from a chart and pre-compiled action IR.
 ///
 /// # Errors
@@ -258,30 +304,50 @@ pub fn compile_system_from_ir(
     arch: &PscpArch,
     options: &CodegenOptions,
 ) -> Result<CompiledSystem, SystemError> {
-    let layout = CrLayout::new(chart, arch.encoding);
-    let sla = synthesize(chart, &layout);
-    let program = compile_program(ir, &arch.tep, options);
+    let artifacts = SystemArtifacts::build(chart, arch.encoding);
+    compile_system_with(&artifacts, ir, arch, options, None)
+}
+
+/// Compiles a system against prebuilt [`SystemArtifacts`], optionally
+/// serving routine bodies from a [`CodegenCache`]. This is the DSE
+/// inner-loop entry point: the chart/layout/SLA are shared, codegen
+/// reuses unchanged routines, and only bindings + scheduler tables are
+/// rebuilt per candidate. The output is identical to
+/// [`compile_system_from_ir`] for the same inputs.
+///
+/// If `arch.encoding` differs from the artifacts' encoding style, fresh
+/// artifacts are built for the call (correctness guard — the current
+/// optimiser never mutates the encoding).
+///
+/// # Errors
+///
+/// Same as [`compile_system_from_ir`].
+pub fn compile_system_with(
+    artifacts: &SystemArtifacts,
+    ir: &Program,
+    arch: &PscpArch,
+    options: &CodegenOptions,
+    cache: Option<&CodegenCache>,
+) -> Result<CompiledSystem, SystemError> {
+    let rebuilt;
+    let artifacts = if arch.encoding == artifacts.encoding {
+        artifacts
+    } else {
+        rebuilt = SystemArtifacts::build(&artifacts.chart, arch.encoding);
+        &rebuilt
+    };
+    let chart = &*artifacts.chart;
+    let mut program = match cache {
+        Some(cache) => compile_program_cached(ir, &arch.tep, options, cache),
+        None => compile_program(ir, &arch.tep, options),
+    };
 
     let mut arch = arch.clone();
-    let mut program = program;
     if arch.tep.custom_instructions {
         // Custom-instruction extraction is part of the "optimized code"
         // configuration; it rewrites the program and registers the fused
         // ops in the architecture.
-        let mut tmp = CompiledSystem {
-            chart: chart.clone(),
-            layout: layout.clone(),
-            sla: sla.clone(),
-            program,
-            bindings: Vec::new(),
-            entry_bindings: Vec::new(),
-            exit_bindings: Vec::new(),
-            arch: arch.clone(),
-            tables: SchedulerTables::default(),
-        };
-        crate::optimize::custom::extract_custom_ops(&mut tmp);
-        program = tmp.program;
-        arch = tmp.arch;
+        crate::optimize::custom::extract_custom_ops_in(&mut program, &mut arch);
     }
     let arch = &arch;
 
@@ -328,9 +394,9 @@ pub fn compile_system_from_ir(
     let tables = SchedulerTables::build(chart, arch, &program);
 
     Ok(CompiledSystem {
-        chart: chart.clone(),
-        layout,
-        sla,
+        chart: Arc::clone(&artifacts.chart),
+        layout: Arc::clone(&artifacts.layout),
+        sla: Arc::clone(&artifacts.sla),
         program,
         bindings,
         entry_bindings,

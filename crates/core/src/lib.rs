@@ -56,7 +56,9 @@ pub mod timing;
 pub use pscp_obs as obs;
 
 pub use arch::PscpArch;
-pub use compile::{compile_system, CompiledSystem};
+pub use compile::{
+    compile_system, compile_system_from_ir, compile_system_with, CompiledSystem, SystemArtifacts,
+};
 pub use machine::PscpMachine;
 pub use pool::{BatchOptions, BatchOutcome, SimPool};
 pub use serve::{ScenarioClient, ServeOptions, ServerHandle};

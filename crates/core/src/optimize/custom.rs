@@ -21,8 +21,10 @@
 //! charges the extra datapath, and its combinational depth is checked
 //! against the architecture's critical-path budget.
 
+use crate::arch::PscpArch;
 use crate::compile::CompiledSystem;
 use pscp_tep::arch::{CustomOp, CustomStep};
+use pscp_tep::codegen::TepProgram;
 use pscp_tep::isa::{AluOp, Instr};
 use std::collections::BTreeMap;
 
@@ -36,16 +38,26 @@ fn fused_depth(op: AluOp) -> u8 {
     }
 }
 
+/// Fuses `Tao; Load x; Alu op` idioms across all routines of a
+/// [`CompiledSystem`]; returns the number of sites rewritten.
+/// Convenience wrapper over [`extract_custom_ops_in`].
+pub fn extract_custom_ops(system: &mut CompiledSystem) -> usize {
+    extract_custom_ops_in(&mut system.program, &mut system.arch)
+}
+
 /// Fuses `Tao; Load x; Alu op` idioms across all routines; returns the
 /// number of sites rewritten. Updates the program and both architecture
-/// snapshots (system and program).
-pub fn extract_custom_ops(system: &mut CompiledSystem) -> usize {
-    let budget = system.arch.tep.max_custom_depth;
+/// snapshots (the PSCP-level one and the program's own). Operating on
+/// `(&mut TepProgram, &mut PscpArch)` directly means the compile flow
+/// does not need to stage a throwaway system (with deep chart / layout
+/// / SLA clones) just to run extraction.
+pub fn extract_custom_ops_in(program: &mut TepProgram, arch: &mut PscpArch) -> usize {
+    let budget = arch.tep.max_custom_depth;
     let mut registered: BTreeMap<AluOp, u16> = BTreeMap::new();
-    let mut ops: Vec<CustomOp> = system.arch.tep.custom_ops.clone();
+    let mut ops: Vec<CustomOp> = arch.tep.custom_ops.clone();
     let mut rewritten = 0usize;
 
-    for f in &mut system.program.functions {
+    for f in &mut program.functions {
         // Branch-target map: fusion must not swallow a jump target.
         let mut is_target = vec![false; f.code.len() + 1];
         for inst in &f.code {
@@ -118,9 +130,9 @@ pub fn extract_custom_ops(system: &mut CompiledSystem) -> usize {
         pscp_tep::codegen::eliminate_dead_frame_stores(f);
     }
 
-    system.arch.tep.custom_ops = ops.clone();
+    arch.tep.custom_ops = ops.clone();
     // The program carries its own arch snapshot for the machine.
-    system.program.arch.custom_ops = ops;
+    program.arch.custom_ops = ops;
     rewritten
 }
 

@@ -298,6 +298,28 @@ mod tests {
     }
 
     #[test]
+    fn stable_key_golden_value_is_pinned() {
+        // Golden pin: persisted memo files key on this exact derivation.
+        // If this assertion ever fails, the key schema changed and
+        // MEMO_FORMAT_VERSION must be bumped with it.
+        assert_eq!(stable_key(&["pscp", "memo"]), "62bd103d966eaad9b2f2947fae2bc648");
+    }
+
+    #[test]
+    fn arc_fields_serialize_transparently() {
+        // `CompiledSystem`'s chart/layout/sla are Arc-shared; the memo
+        // fingerprint and the serve-layer system fingerprint both hash
+        // serde output, so Arc must serialise exactly like the inline
+        // value.
+        let v = vec![1u32, 2, 3];
+        let arc = std::sync::Arc::new(v.clone());
+        assert_eq!(
+            serde_json::to_string(&arc).unwrap(),
+            serde_json::to_string(&v).unwrap()
+        );
+    }
+
+    #[test]
     fn disabled_and_default_do_no_io() {
         let store = MemoStore::open(&MemoPersistence::Disabled);
         assert!(store.path.is_none());

@@ -56,14 +56,17 @@ pub use memo::{MemoEntry, MemoPersistence, MemoStore};
 
 use crate::arch::PscpArch;
 use crate::area::pscp_area;
-use crate::compile::{compile_system_from_ir, CompiledSystem, SystemError};
+use crate::compile::{
+    compile_system_from_ir, compile_system_with, CompiledSystem, SystemArtifacts, SystemError,
+};
 use crate::library::Component;
 use crate::timing::{
-    transition_costs, validate_timing_full, wcet_report, EventCycle, TimingEval,
-    TimingGraph, TimingOptions, TimingReport,
+    transition_costs, validate_timing_full, wcet_report, wcet_report_incremental,
+    EventCycle, TimingEval, TimingGraph, TimingOptions, TimingReport,
 };
 use pscp_action_lang::ir::{Inst as IrInst, Program};
-use pscp_tep::codegen::CodegenOptions;
+use pscp_tep::codegen::{CodegenCache, CodegenOptions};
+use pscp_tep::timing::WcetReport;
 use pscp_tep::StorageClass;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -217,14 +220,27 @@ pub fn optimize(
     let threads = options.threads.unwrap_or_else(crate::pool::configured_threads).max(1);
     let mut arch = start.clone();
     let mut codegen = CodegenOptions::default();
-    let mut system = compile_system_from_ir(chart, ir, &arch, &codegen)?;
+
+    // Chart/layout/SLA are identical for every candidate: build them
+    // once and share by Arc. The per-routine codegen cache makes each
+    // candidate's compile a delta — the base compile below seeds it, so
+    // a candidate that flips one flag or promotes one global only
+    // re-lowers the routines that flag/placement can reach. The cache
+    // rides the `incremental` switch (and `PSCP_COMPILE_CACHE`), so the
+    // full path stays available as the differential baseline.
+    let artifacts = SystemArtifacts::build(chart, start.encoding);
+    let compile_cache = CodegenCache::new();
+    let cache: Option<&CodegenCache> =
+        if options.incremental && compile_cache.is_enabled() { Some(&compile_cache) } else { None };
+    let mut system = compile_system_with(&artifacts, ir, &arch, &codegen, cache)?;
 
     // The timing IR: one structural build shared by every candidate.
     // Candidates never change the chart or the interrupt-event set, so
     // only the cost table and the TEP count vary per evaluation.
     let graph = TimingGraph::build(&system, &options.timing);
-    let wcet = wcet_report(&system, &options.timing);
-    let mut base_eval = graph.evaluate(transition_costs(&system, &wcet), arch.n_teps);
+    let mut base_wcet = wcet_report(&system, &options.timing);
+    let mut base_eval =
+        graph.evaluate(transition_costs(&system, &base_wcet), arch.n_teps);
     let mut timing = if options.incremental {
         graph.report(&base_eval)
     } else {
@@ -241,7 +257,9 @@ pub fn optimize(
     let fingerprint = memo::fingerprint(chart, ir, &options.timing);
     let evaluate = |cand_arch: &PscpArch,
                     cand_codegen: &CodegenOptions,
-                    base: &TimingEval|
+                    base: &TimingEval,
+                    base_sys: &CompiledSystem,
+                    base_wcet: &WcetReport|
      -> Result<CandidateEval, SystemError> {
         let _cand_span = pscp_obs::trace::span("candidate");
         let key = memo::cache_key(&fingerprint, cand_arch, cand_codegen);
@@ -251,20 +269,43 @@ pub fn optimize(
                 area: entry.area,
                 system: None,
                 eval: None,
+                wcet: None,
             });
         }
         let compile_watch = pscp_obs::StopWatch::start();
-        let sys = compile_system_from_ir(chart, ir, cand_arch, cand_codegen)?;
-        pscp_obs::metrics::OPT_COMPILE_NS.add(compile_watch.elapsed_ns());
+        let sys = compile_system_with(&artifacts, ir, cand_arch, cand_codegen, cache)?;
+        let compile_ns = compile_watch.elapsed_ns();
+        pscp_obs::metrics::OPT_COMPILE_NS.add(compile_ns);
+        pscp_obs::metrics::OPT_CANDIDATE_COMPILE_NS.record(compile_ns);
+        if cache.is_some() && options.verify_incremental {
+            // Differential oracle: a cached delta compile must be
+            // byte-identical to the from-scratch flow.
+            let full = compile_system_from_ir(chart, ir, cand_arch, cand_codegen)?;
+            assert_eq!(
+                sys, full,
+                "cached delta compile diverged from full compile for '{}'",
+                cand_arch.label
+            );
+        }
         let validate_watch = pscp_obs::StopWatch::start();
         let use_incremental = options.incremental && graph.matches(&sys, &options.timing);
-        let (timing, eval) = if use_incremental {
-            let wcet = wcet_report(&sys, &options.timing);
+        let (timing, eval, cand_wcet) = if use_incremental {
+            let wcet = wcet_report_incremental(&sys, base_sys, base_wcet, &options.timing);
+            if options.verify_incremental {
+                // Differential oracle: per-routine WCET reuse must be
+                // invisible in the report.
+                assert_eq!(
+                    wcet,
+                    wcet_report(&sys, &options.timing),
+                    "incremental WCET diverged from full analysis for '{}'",
+                    cand_arch.label
+                );
+            }
             let ev = graph.revalidate(base, transition_costs(&sys, &wcet), cand_arch.n_teps);
             let report = graph.report(&ev);
-            (report, Some(ev))
+            (report, Some(ev), Some(wcet))
         } else {
-            (validate_timing_full(&sys, &options.timing), None)
+            (validate_timing_full(&sys, &options.timing), None, None)
         };
         pscp_obs::metrics::OPT_VALIDATE_NS.add(validate_watch.elapsed_ns());
         if use_incremental && options.verify_incremental {
@@ -282,7 +323,7 @@ pub fn optimize(
             .lock()
             .unwrap()
             .insert(key, MemoEntry { timing: timing.clone(), area });
-        Ok(CandidateEval { timing, area, system: Some(sys), eval })
+        Ok(CandidateEval { timing, area, system: Some(sys), eval, wcet: cand_wcet })
     };
 
     let mut steps = 0usize;
@@ -309,7 +350,7 @@ pub fn optimize(
         pscp_obs::metrics::OPT_CANDIDATES.add(staged.len() as u64);
         pscp_obs::metrics::OPT_STEP_CANDIDATES.record(staged.len() as u64);
         let mut evals = crate::pool::run_indexed(&staged, threads, |_, (_, a, c)| {
-            evaluate(a, c, &base_eval)
+            evaluate(a, c, &base_eval, &system, &base_wcet)
         });
 
         // Deterministic reduction: the candidate first in the fixed
@@ -320,29 +361,34 @@ pub fn optimize(
         // wall-clock price of one compile.
         let winner = 0;
         let (improvement, cand_arch, cand_codegen) = staged.swap_remove(winner);
-        let eval = evals.swap_remove(winner)?;
+        let mut eval = evals.swap_remove(winner)?;
         let new_system = match eval.system {
             Some(s) => s,
-            // Cache hit: the one compile the winner still needs.
-            None => compile_system_from_ir(chart, ir, &cand_arch, &cand_codegen)?,
+            // Memo hit: the one compile the winner still needs.
+            None => compile_system_with(&artifacts, ir, &cand_arch, &cand_codegen, cache)?,
         };
         arch = cand_arch;
         codegen = cand_codegen;
         // Extraction (when enabled) ran inside the compile; pick up the
         // registered fused ops for subsequent area accounting.
         arch.tep.custom_ops = new_system.arch.tep.custom_ops.clone();
-        system = new_system;
         // The winner's evaluation becomes the next round's dirty-set
-        // base; memo hits re-price from the recompiled system.
+        // base; memo hits re-price from the recompiled system. The
+        // base WCET rolls forward incrementally against the previous
+        // base before the system is replaced.
         if options.incremental {
+            let new_wcet = eval.wcet.take().unwrap_or_else(|| {
+                wcet_report_incremental(&new_system, &system, &base_wcet, &options.timing)
+            });
             base_eval = match eval.eval {
                 Some(ev) => ev,
                 None => {
-                    let wcet = wcet_report(&system, &options.timing);
-                    graph.evaluate(transition_costs(&system, &wcet), arch.n_teps)
+                    graph.evaluate(transition_costs(&new_system, &new_wcet), arch.n_teps)
                 }
             };
+            base_wcet = new_wcet;
         }
+        system = new_system;
         timing = eval.timing;
         history.push(record(Some(improvement.to_string()), &arch, &system, &timing));
     }
@@ -394,7 +440,7 @@ pub fn optimize(
                 })
                 .collect();
             let evals = crate::pool::run_indexed(&staged, threads, |_, (_, cand)| {
-                evaluate(cand, &codegen, &base_eval)
+                evaluate(cand, &codegen, &base_eval, &system, &base_wcet)
             });
             // Scan in fixed order for the first removal that keeps the
             // constraints and strictly shrinks area; candidates the
@@ -409,27 +455,30 @@ pub fn optimize(
                     }
                     _ => None,
                 });
-            let Some((i, mut cand, eval)) = accepted else { break };
+            let Some((i, mut cand, mut eval)) = accepted else { break };
             let new_system = match eval.system {
                 Some(s) => s,
-                // Cache hit: recompile the accepted configuration (the
-                // compile succeeded when the cache entry was created).
-                None => compile_system_from_ir(chart, ir, &cand, &codegen)?,
+                // Memo hit: recompile the accepted configuration (the
+                // compile succeeded when the memo entry was created).
+                None => compile_system_with(&artifacts, ir, &cand, &codegen, cache)?,
             };
             let name = removals[i].name;
             cand.label = format!("{} - {}", arch.label, name);
             cand.tep.custom_ops = new_system.arch.tep.custom_ops.clone();
             arch = cand;
-            system = new_system;
             if options.incremental {
+                let new_wcet = eval.wcet.take().unwrap_or_else(|| {
+                    wcet_report_incremental(&new_system, &system, &base_wcet, &options.timing)
+                });
                 base_eval = match eval.eval {
                     Some(ev) => ev,
                     None => {
-                        let wcet = wcet_report(&system, &options.timing);
-                        graph.evaluate(transition_costs(&system, &wcet), arch.n_teps)
+                        graph.evaluate(transition_costs(&new_system, &new_wcet), arch.n_teps)
                     }
                 };
+                base_wcet = new_wcet;
             }
+            system = new_system;
             timing = eval.timing;
             history.push(record(Some(format!("remove {name}")), &arch, &system, &timing));
             idx = i + 1;
@@ -461,6 +510,7 @@ struct CandidateEval {
     area: u32,
     system: Option<CompiledSystem>,
     eval: Option<TimingEval>,
+    wcet: Option<WcetReport>,
 }
 
 /// Applies one improvement to an architecture/placement pair.

@@ -140,6 +140,24 @@ pub fn wcet_report(system: &CompiledSystem, options: &TimingOptions) -> WcetRepo
         .analyze(&system.program)
 }
 
+/// Runs the WCET analysis for a system's program incrementally against
+/// a previously-analysed base system: routines with unchanged code,
+/// cost provenance and callees reuse the base report (see
+/// [`WcetAnalysis::analyze_incremental`]). Always identical to a fresh
+/// [`wcet_report`].
+pub fn wcet_report_incremental(
+    system: &CompiledSystem,
+    base_system: &CompiledSystem,
+    base_report: &WcetReport,
+    options: &TimingOptions,
+) -> WcetReport {
+    let prev = WcetAnalysis::new(&base_system.arch.tep)
+        .with_default_loop_bound(options.default_loop_bound);
+    WcetAnalysis::new(&system.arch.tep)
+        .with_default_loop_bound(options.default_loop_bound)
+        .analyze_incremental(&system.program, &prev, &base_system.program, base_report)
+}
+
 /// The full per-transition cost table of a system under one WCET
 /// report, indexed by `TransitionId::index`. This is the only
 /// cost-bearing input of the timing validation — two candidates with

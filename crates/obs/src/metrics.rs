@@ -214,6 +214,17 @@ pub static OPT_STEP_CANDIDATES: Histogram = Histogram::new();
 pub static OPT_COMPILE_NS: Counter = Counter::new();
 /// Wall-clock nanoseconds spent in timing validation of candidates.
 pub static OPT_VALIDATE_NS: Counter = Counter::new();
+/// Per-candidate compile wall-clock nanoseconds (one sample per
+/// candidate system built during `optimize()`).
+pub static OPT_CANDIDATE_COMPILE_NS: Histogram = Histogram::new();
+
+/// Per-routine codegen cache lookups that served a reusable body.
+pub static COMPILE_CACHE_HITS: Counter = Counter::new();
+/// Per-routine codegen cache lookups that missed and compiled fresh.
+pub static COMPILE_CACHE_MISSES: Counter = Counter::new();
+/// Cached bodies that failed structural validation (stale or poisoned
+/// entries) and were discarded before a fresh recompile.
+pub static COMPILE_CACHE_INVALIDATIONS: Counter = Counter::new();
 
 /// Configuration cycles stepped by `PscpMachine`.
 pub static MACHINE_STEPS: Counter = Counter::new();
@@ -328,6 +339,9 @@ const SCALARS: &[(&str, &Counter)] = &[
     ("opt_candidates", &OPT_CANDIDATES),
     ("opt_compile_ns", &OPT_COMPILE_NS),
     ("opt_validate_ns", &OPT_VALIDATE_NS),
+    ("compile_cache_hits", &COMPILE_CACHE_HITS),
+    ("compile_cache_misses", &COMPILE_CACHE_MISSES),
+    ("compile_cache_invalidations", &COMPILE_CACHE_INVALIDATIONS),
     ("machine_steps", &MACHINE_STEPS),
     ("machine_transitions", &MACHINE_TRANSITIONS),
     ("sla_net_evals", &SLA_NET_EVALS),
@@ -347,6 +361,7 @@ const PER_WORKER: &[(&str, &PerWorker)] = &[
 const HISTOGRAMS: &[(&str, &Histogram)] = &[
     ("revalidate_dirty", &REVALIDATE_DIRTY),
     ("opt_step_candidates", &OPT_STEP_CANDIDATES),
+    ("opt_candidate_compile_ns", &OPT_CANDIDATE_COMPILE_NS),
     ("serve_inflight", &SERVE_INFLIGHT),
     ("serve_queue_depth", &SERVE_QUEUE_DEPTH),
 ];

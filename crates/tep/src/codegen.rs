@@ -26,7 +26,9 @@ use crate::isa::{AluOp, AsmFunction, AsmInst, CmpOp, Instr, Storage};
 use pscp_action_lang::ir::{self, BinOp, Inst as IrInst, Program, VReg};
 use pscp_action_lang::types::Scalar;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
 
 /// Placement overrides decided by the iterative optimiser.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -38,7 +40,7 @@ pub struct CodegenOptions {
 }
 
 /// A placed global slot.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct GlobalPlace {
     /// Diagnostic name from the IR.
     pub name: String,
@@ -110,94 +112,219 @@ impl TepProgram {
 /// Panics on malformed IR (dangling function indices); the action-language
 /// front end never produces such IR.
 pub fn compile_program(ir: &Program, arch: &TepArch, options: &CodegenOptions) -> TepProgram {
-    // 1. Decide which runtime routines are needed and synthesise them by
-    //    compiling action-language source through the normal pipeline.
-    let runtime = RuntimeSet::required(ir, arch);
-    let runtime_ir = runtime.compile();
+    compile_with(ir, arch, options, None)
+}
 
-    // 2. Function table: user functions first, runtime after.
-    let mut entry: BTreeMap<String, u32> = BTreeMap::new();
-    for (i, f) in ir.functions.iter().enumerate() {
-        entry.insert(f.name.clone(), i as u32);
+/// [`compile_program`] with a per-routine [`CodegenCache`]: routines
+/// whose content key matches a cached body are reused instead of
+/// re-lowered. The output is byte-identical to the uncached path.
+pub fn compile_program_cached(
+    ir: &Program,
+    arch: &TepArch,
+    options: &CodegenOptions,
+    cache: &CodegenCache,
+) -> TepProgram {
+    compile_with(ir, arch, options, Some(cache))
+}
+
+/// The inputs of one delta recompile: the (unchanged) IR plus the
+/// perturbed architecture / placement options, and an optional cache
+/// carrying warmth across candidates.
+#[derive(Debug, Clone, Copy)]
+pub struct CodegenDelta<'a> {
+    /// The IR program — must be the one `prev` was compiled from.
+    pub ir: &'a Program,
+    /// The architecture to compile for now.
+    pub arch: &'a TepArch,
+    /// The placement options to compile with now.
+    pub options: &'a CodegenOptions,
+    /// Cache shared across recompiles; `None` falls back to a full
+    /// compile.
+    pub cache: Option<&'a CodegenCache>,
+}
+
+/// Recompiles after a delta, reusing every routine of `prev` whose
+/// content key is unchanged: the previous program's bodies are seeded
+/// into the cache under keys computed from its own architecture
+/// snapshot and placement, then a cached compile runs with the new
+/// parameters. Routines the delta cannot reach hit; everything else is
+/// lowered fresh. The result is byte-identical to
+/// [`compile_program`]`(changed.ir, changed.arch, changed.options)`.
+pub fn recompile_delta(prev: &TepProgram, changed: &CodegenDelta) -> TepProgram {
+    match changed.cache {
+        Some(cache) if cache.is_enabled() => {
+            cache.seed_from(prev, changed.ir);
+            compile_with(changed.ir, changed.arch, changed.options, Some(cache))
+        }
+        _ => compile_program(changed.ir, changed.arch, changed.options),
     }
-    let runtime_base = ir.functions.len() as u32;
-    if let Some(rt) = &runtime_ir {
-        for (i, f) in rt.functions.iter().enumerate() {
-            entry.insert(f.name.clone(), runtime_base + i as u32);
+}
+
+fn compile_with(
+    ir: &Program,
+    arch: &TepArch,
+    options: &CodegenOptions,
+    cache: Option<&CodegenCache>,
+) -> TepProgram {
+    let cache = cache.filter(|c| c.is_enabled());
+    let plan = CompilePlan::build(ir, arch, options, cache);
+    let functions = lower_functions(ir, arch, &plan, cache);
+    TepProgram {
+        functions,
+        entry: plan.entry,
+        globals: plan.globals,
+        ports: ir.ports.clone(),
+        events: ir.events.clone(),
+        conditions: ir.conditions.clone(),
+        arch: arch.clone(),
+        internal_words_used: plan.internal_words,
+        external_words_used: plan.external_words,
+    }
+}
+
+/// Stage outputs shared by every routine: runtime selection (stage 1),
+/// the function table (stage 2), and storage placement (stage 3).
+/// Per-routine lowering (stage 4) reads the plan and nothing else,
+/// which is what makes routine bodies cacheable.
+struct CompilePlan {
+    runtime: RuntimeSet,
+    runtime_ir: Option<Program>,
+    entry: BTreeMap<String, u32>,
+    runtime_base: u32,
+    globals: Vec<GlobalPlace>,
+    frame_bases: Vec<u16>,
+    internal_words: u16,
+    external_words: u16,
+}
+
+impl CompilePlan {
+    fn build(
+        ir: &Program,
+        arch: &TepArch,
+        options: &CodegenOptions,
+        cache: Option<&CodegenCache>,
+    ) -> CompilePlan {
+        // 1. Decide which runtime routines are needed and synthesise
+        //    them by compiling action-language source through the
+        //    normal pipeline (memoized per runtime set when cached).
+        let runtime = RuntimeSet::required(ir, arch);
+        let runtime_ir = match cache {
+            Some(c) => c.runtime_program(&runtime),
+            None => runtime.compile(),
+        };
+
+        // 2. Function table: user functions first, runtime after.
+        let mut entry: BTreeMap<String, u32> = BTreeMap::new();
+        for (i, f) in ir.functions.iter().enumerate() {
+            entry.insert(f.name.clone(), i as u32);
+        }
+        let runtime_base = ir.functions.len() as u32;
+        if let Some(rt) = &runtime_ir {
+            for (i, f) in rt.functions.iter().enumerate() {
+                entry.insert(f.name.clone(), runtime_base + i as u32);
+            }
+        }
+
+        // 3. Global placement.
+        let mut globals = Vec::with_capacity(ir.globals.len());
+        let mut next_external: u16 = 0;
+        let mut next_register: u8 = 0;
+        // Frames live in the per-TEP local (internal) RAM. Since recursion
+        // is banned, frames are laid out as a *static overlay*: a callee's
+        // frame starts after the deepest caller chain that can reach it, so
+        // functions that are never simultaneously live share addresses.
+        let frame_sizes: Vec<u16> = ir
+            .functions
+            .iter()
+            .map(|f| f.vreg_count() as u16)
+            .chain(
+                runtime_ir
+                    .iter()
+                    .flat_map(|rt| rt.functions.iter().map(|f| f.vreg_count() as u16)),
+            )
+            .collect();
+        let frame_bases = overlay_frames(ir, runtime_ir.as_ref(), &frame_sizes);
+        let mut next_internal: u16 = frame_bases
+            .iter()
+            .zip(&frame_sizes)
+            .map(|(&b, &s)| b + s)
+            .max()
+            .unwrap_or(0);
+        for (slot, g) in ir.globals.iter().enumerate() {
+            let class = options
+                .global_promotions
+                .get(&(slot as u32))
+                .copied()
+                .unwrap_or(arch.global_storage);
+            let storage = match class {
+                StorageClass::Register if next_register < arch.register_file => {
+                    let r = next_register;
+                    next_register += 1;
+                    Storage::Register(r)
+                }
+                StorageClass::Register | StorageClass::Internal => {
+                    let a = next_internal;
+                    next_internal += 1;
+                    Storage::Internal(a)
+                }
+                StorageClass::External => {
+                    let a = next_external;
+                    next_external += 1;
+                    Storage::External(a)
+                }
+            };
+            globals.push(GlobalPlace { name: g.name.clone(), ty: g.ty, init: g.init, storage });
+        }
+
+        CompilePlan {
+            runtime,
+            runtime_ir,
+            entry,
+            runtime_base,
+            globals,
+            frame_bases,
+            internal_words: next_internal,
+            external_words: next_external,
         }
     }
+}
 
-    // 3. Global placement.
-    let mut globals = Vec::with_capacity(ir.globals.len());
-    let mut next_external: u16 = 0;
-    let mut next_register: u8 = 0;
-    // Frames live in the per-TEP local (internal) RAM. Since recursion
-    // is banned, frames are laid out as a *static overlay*: a callee's
-    // frame starts after the deepest caller chain that can reach it, so
-    // functions that are never simultaneously live share addresses.
-    let frame_sizes: Vec<u16> = ir
-        .functions
-        .iter()
-        .map(|f| f.vreg_count() as u16)
-        .chain(
-            runtime_ir
-                .iter()
-                .flat_map(|rt| rt.functions.iter().map(|f| f.vreg_count() as u16)),
-        )
-        .collect();
-    let frame_bases = overlay_frames(ir, runtime_ir.as_ref(), &frame_sizes);
-    let mut next_internal: u16 = frame_bases
-        .iter()
-        .zip(&frame_sizes)
-        .map(|(&b, &s)| b + s)
-        .max()
-        .unwrap_or(0);
-    for (slot, g) in ir.globals.iter().enumerate() {
-        let class =
-            options.global_promotions.get(&(slot as u32)).copied().unwrap_or(arch.global_storage);
-        let storage = match class {
-            StorageClass::Register if next_register < arch.register_file => {
-                let r = next_register;
-                next_register += 1;
-                Storage::Register(r)
-            }
-            StorageClass::Register | StorageClass::Internal => {
-                let a = next_internal;
-                next_internal += 1;
-                Storage::Internal(a)
-            }
-            StorageClass::External => {
-                let a = next_external;
-                next_external += 1;
-                Storage::External(a)
-            }
-        };
-        globals.push(GlobalPlace { name: g.name.clone(), ty: g.ty, init: g.init, storage });
-    }
-
-    // 4. Compile each function.
+/// Stage 4: per-routine lowering, optionally served from `cache`.
+fn lower_functions(
+    ir: &Program,
+    arch: &TepArch,
+    plan: &CompilePlan,
+    cache: Option<&CodegenCache>,
+) -> Vec<AsmFunction> {
     let mut functions = Vec::new();
     let all_ir: Vec<(&ir::Function, Option<u64>)> = ir
         .functions
         .iter()
         .map(|f| (f, None))
-        .chain(runtime_ir.iter().flat_map(|rt| {
+        .chain(plan.runtime_ir.iter().flat_map(|rt| {
             rt.functions.iter().map(|f| (f, runtime_loop_bound(&f.name)))
         }))
         .collect();
     for (i, (f, loop_bound)) in all_ir.iter().enumerate() {
+        let key = cache.map(|_| routine_key(plan, arch, f, i, *loop_bound));
+        if let (Some(c), Some(key)) = (cache, key) {
+            if let Some(body) = c.cached_body(key, f, plan.frame_bases[i]) {
+                functions.push(body);
+                continue;
+            }
+        }
         let cg = FnCodegen {
             arch,
-            entry: &entry,
-            globals: &globals,
-            frame_base: frame_bases[i],
-            frame_bases: &frame_bases,
+            entry: &plan.entry,
+            globals: &plan.globals,
+            frame_base: plan.frame_bases[i],
+            frame_bases: &plan.frame_bases,
             ir_fn: f,
-            runtime: &runtime,
-            runtime_base,
+            runtime: &plan.runtime,
+            runtime_base: plan.runtime_base,
             // IR `Call` operands inside runtime routines index the
             // runtime's own function table; rebase them.
-            call_offset: if i >= ir.functions.len() { runtime_base } else { 0 },
+            call_offset: if i >= ir.functions.len() { plan.runtime_base } else { 0 },
             const_of: const_analysis(f),
         };
         let mut asm = cg.run();
@@ -206,19 +333,412 @@ pub fn compile_program(ir: &Program, arch: &TepArch, options: &CodegenOptions) -
             peephole_asm(&mut asm);
             eliminate_dead_frame_stores(&mut asm);
         }
+        if let (Some(c), Some(key)) = (cache, key) {
+            c.insert_body(key, &asm);
+        }
         functions.push(asm);
     }
+    functions
+}
 
-    TepProgram {
-        functions,
-        entry,
-        globals,
-        ports: ir.ports.clone(),
-        events: ir.events.clone(),
-        conditions: ir.conditions.clone(),
-        arch: arch.clone(),
-        internal_words_used: next_internal,
-        external_words_used: next_external,
+const KEY_SEED1: u64 = 0xcbf2_9ce4_8422_2325;
+const KEY_SEED2: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// FNV-1a over `bytes` from an arbitrary seed. The cache is in-process
+/// only, so cross-run stability of `Debug` formatting is not required.
+/// Two independently-seeded FNV-1a streams fed from one
+/// [`std::hash::Hasher`] write stream, so structural `Hash` impls can
+/// produce a 128-bit content key in a single traversal with no
+/// intermediate buffer.
+struct KeyHasher {
+    a: u64,
+    b: u64,
+}
+
+impl KeyHasher {
+    fn new() -> Self {
+        KeyHasher { a: KEY_SEED1, b: KEY_SEED2 }
+    }
+
+    fn pair(&self) -> (u64, u64) {
+        (self.a, self.b)
+    }
+}
+
+impl KeyHasher {
+    const P: u64 = 0x0000_0100_0000_01b3;
+
+    /// One absorption round per stream. Feeding whole words instead of
+    /// bytes keeps `#[derive(Hash)]` traversals (mostly u32/u64 writes)
+    /// at one multiply per word rather than one per byte; keys are
+    /// in-process only, so the word-level mixing needs no cross-version
+    /// stability.
+    #[inline]
+    fn round(&mut self, word: u64) {
+        self.a = (self.a ^ word).wrapping_mul(Self::P);
+        self.b = (self.b ^ word.rotate_left(32)).wrapping_mul(Self::P);
+    }
+}
+
+impl std::hash::Hasher for KeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.round(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Tag with the tail length so "ab" + "c" and "a" + "bc"
+            // absorb differently.
+            word[7] = rest.len() as u8 | 0x80;
+            self.round(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.round(u64::from(v) | 0x1_00);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.round(u64::from(v) | 0x2_0000);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.round(u64::from(v) | 0x4_0000_0000);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.round(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.a
+    }
+}
+
+fn key_pair(buf: &str) -> (u64, u64) {
+    use std::hash::Hasher;
+    let mut h = KeyHasher::new();
+    h.write(buf.as_bytes());
+    h.pair()
+}
+
+/// Content key of one routine's compiled body.
+///
+/// The key mirrors exactly what [`FnCodegen`] reads while lowering this
+/// routine — the provenance idea behind `WcetReport`'s per-routine
+/// instruction-kind sets, applied to codegen: an architecture knob
+/// enters the key only when the routine contains an operation that knob
+/// can change. `calc.muldiv` (plus the resolved runtime routine indices
+/// and frame bases) only when the routine multiplies or divides,
+/// `calc.comparator` only when it compares, `calc.twos_complement` only
+/// when it negates, global placements only for the slots it actually
+/// touches, callee frame bases only for its actual callees.
+/// `calc.width`, `shifter`, `pipelined` and the storage budget knobs
+/// never reach lowering, so changing them invalidates nothing.
+fn routine_key(
+    plan: &CompilePlan,
+    arch: &TepArch,
+    f: &ir::Function,
+    index: usize,
+    loop_bound: Option<u64>,
+) -> (u64, u64) {
+    use std::hash::Hash;
+    let call_offset = if index as u32 >= plan.runtime_base { plan.runtime_base } else { 0 };
+    let mut h = KeyHasher::new();
+    f.hash(&mut h);
+    plan.frame_bases[index].hash(&mut h);
+    call_offset.hash(&mut h);
+    loop_bound.hash(&mut h);
+    arch.optimize_code.hash(&mut h);
+    let mut slots: BTreeSet<u32> = BTreeSet::new();
+    let mut callees: BTreeSet<u32> = BTreeSet::new();
+    let mut runtime_calls: BTreeSet<String> = BTreeSet::new();
+    let (mut has_muldiv, mut has_cmp, mut has_neg) = (false, false, false);
+    for inst in &f.insts {
+        match inst {
+            IrInst::LoadGlobal { slot, .. } | IrInst::StoreGlobal { slot, .. } => {
+                slots.insert(*slot);
+            }
+            IrInst::LoadIndexed { base, .. } | IrInst::StoreIndexed { base, .. } => {
+                slots.insert(*base);
+            }
+            IrInst::Call { func, .. } => {
+                callees.insert(*func + call_offset);
+            }
+            IrInst::Bin { op, dst, lhs, rhs } => match op {
+                BinOp::Mul | BinOp::Div | BinOp::Rem => {
+                    has_muldiv = true;
+                    if !arch.calc.muldiv {
+                        // Mirrors `lower_bin`'s runtime dispatch.
+                        let w = runtime_width(
+                            f.vreg_type(*dst)
+                                .width
+                                .max(f.vreg_type(*lhs).width)
+                                .max(f.vreg_type(*rhs).width),
+                        );
+                        let signed = f.vreg_type(*lhs).signed || f.vreg_type(*rhs).signed;
+                        runtime_calls.insert(runtime_name(*op, w, signed && *op != BinOp::Mul));
+                    }
+                }
+                _ if op.is_compare() => has_cmp = true,
+                _ => {}
+            },
+            IrInst::Un { op: ir::UnOp::Neg, .. } => has_neg = true,
+            _ => {}
+        }
+    }
+    for slot in slots {
+        slot.hash(&mut h);
+        plan.globals[slot as usize].hash(&mut h);
+    }
+    for callee in callees {
+        callee.hash(&mut h);
+        plan.frame_bases[callee as usize].hash(&mut h);
+    }
+    if has_muldiv {
+        arch.calc.muldiv.hash(&mut h);
+        for name in runtime_calls {
+            let idx = plan.entry[&name];
+            name.hash(&mut h);
+            idx.hash(&mut h);
+            plan.frame_bases[idx as usize].hash(&mut h);
+        }
+    }
+    if has_cmp {
+        arch.calc.comparator.hash(&mut h);
+    }
+    if has_neg {
+        arch.calc.twos_complement.hash(&mut h);
+    }
+    h.pair()
+}
+
+/// Point-in-time hit/miss/invalidation counts of a [`CodegenCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that served a reusable body.
+    pub hits: u64,
+    /// Lookups that missed and compiled fresh.
+    pub misses: u64,
+    /// Cached bodies that failed structural validation and were
+    /// discarded (each also counts as a miss).
+    pub invalidations: u64,
+}
+
+/// In-process per-routine codegen cache.
+///
+/// Keys are content hashes of everything lowering reads for one routine
+/// (see [`routine_key`]); values are finished [`AsmFunction`] bodies
+/// (post-peephole). A hit is additionally validated against the
+/// routine's shape (name, arity, frame extent) so a stale or corrupted
+/// entry is detected and recompiled instead of served. The compiled
+/// software-runtime library is memoized per [`RuntimeSet`] as well.
+/// `PSCP_COMPILE_CACHE=off` (or `0`/`false`) disables everything.
+#[derive(Debug)]
+pub struct CodegenCache {
+    enabled: bool,
+    bodies: Mutex<HashMap<(u64, u64), AsmFunction>>,
+    runtimes: Mutex<HashMap<(u64, u64), Program>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl Default for CodegenCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CodegenCache {
+    /// An empty cache, enabled unless `PSCP_COMPILE_CACHE` says `off`.
+    pub fn new() -> Self {
+        let enabled = !matches!(
+            std::env::var("PSCP_COMPILE_CACHE").as_deref(),
+            Ok("off") | Ok("0") | Ok("false")
+        );
+        Self::with_enabled(enabled)
+    }
+
+    /// An empty cache with the gate forced (ignores the environment).
+    pub fn with_enabled(enabled: bool) -> Self {
+        CodegenCache {
+            enabled,
+            bodies: Mutex::new(HashMap::new()),
+            runtimes: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether lookups are live (false = every compile is a full one).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current hit/miss/invalidation counts.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            invalidations: self.invalidations.load(Relaxed),
+        }
+    }
+
+    /// Number of cached routine bodies.
+    pub fn len(&self) -> usize {
+        self.bodies.lock().unwrap().len()
+    }
+
+    /// True when no routine body is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compiles (or recalls) the software runtime for `set`.
+    fn runtime_program(&self, set: &RuntimeSet) -> Option<Program> {
+        if set.is_empty() {
+            return None;
+        }
+        if !self.enabled {
+            return set.compile();
+        }
+        let key = key_pair(&format!("{set:?}"));
+        let mut map = self.runtimes.lock().unwrap();
+        if let Some(p) = map.get(&key) {
+            return Some(p.clone());
+        }
+        let p = set.compile();
+        if let Some(p) = &p {
+            map.insert(key, p.clone());
+        }
+        p
+    }
+
+    /// Looks up `key`, validating the stored body against the routine's
+    /// shape. A mismatch (stale or poisoned entry) is discarded and
+    /// counted as an invalidation + miss, forcing a fresh compile.
+    fn cached_body(&self, key: (u64, u64), f: &ir::Function, frame_base: u16) -> Option<AsmFunction> {
+        if !self.enabled {
+            return None;
+        }
+        let mut map = self.bodies.lock().unwrap();
+        let Some(body) = map.get(&key) else {
+            self.note_miss();
+            return None;
+        };
+        let shape_ok = body.name == f.name
+            && body.param_count as usize == f.params.len()
+            && body.frame.len() == f.vreg_count()
+            && (f.vreg_count() == 0
+                || body.frame.first() == Some(&Storage::Internal(frame_base)));
+        if !shape_ok {
+            map.remove(&key);
+            self.invalidations.fetch_add(1, Relaxed);
+            pscp_obs::metrics::COMPILE_CACHE_INVALIDATIONS.inc();
+            self.note_miss();
+            return None;
+        }
+        let body = body.clone();
+        drop(map);
+        self.hits.fetch_add(1, Relaxed);
+        pscp_obs::metrics::COMPILE_CACHE_HITS.inc();
+        Some(body)
+    }
+
+    fn note_miss(&self) {
+        self.misses.fetch_add(1, Relaxed);
+        pscp_obs::metrics::COMPILE_CACHE_MISSES.inc();
+    }
+
+    fn insert_body(&self, key: (u64, u64), body: &AsmFunction) {
+        if self.enabled {
+            self.bodies.lock().unwrap().insert(key, body.clone());
+        }
+    }
+
+    /// Seeds the cache with `prev`'s routine bodies, keyed by the
+    /// context `prev` was compiled under (its own architecture snapshot,
+    /// placement, and frame layout, all recoverable from the program).
+    /// Entries whose shape cannot be re-derived are skipped — a skipped
+    /// seed is just a future miss, never a wrong body.
+    fn seed_from(&self, prev: &TepProgram, ir: &Program) {
+        if !self.enabled {
+            return;
+        }
+        let user_n = ir.functions.len();
+        if prev.functions.len() < user_n
+            || prev.globals.len() != ir.globals.len()
+            || ir.functions.iter().zip(&prev.functions).any(|(f, af)| f.name != af.name)
+        {
+            return;
+        }
+        let runtime = RuntimeSet::required(ir, &prev.arch);
+        let runtime_ir = self.runtime_program(&runtime);
+        let rt_fns: Vec<(&ir::Function, Option<u64>)> = runtime_ir
+            .iter()
+            .flat_map(|rt| rt.functions.iter().map(|f| (f, runtime_loop_bound(&f.name))))
+            .collect();
+        if user_n + rt_fns.len() != prev.functions.len()
+            || rt_fns.iter().any(|(f, _)| !prev.entry.contains_key(&f.name))
+        {
+            return;
+        }
+        let frame_bases: Vec<u16> = prev
+            .functions
+            .iter()
+            .map(|af| match af.frame.first() {
+                Some(Storage::Internal(b)) => *b,
+                _ => 0,
+            })
+            .collect();
+        let plan = CompilePlan {
+            runtime,
+            runtime_ir: None,
+            entry: prev.entry.clone(),
+            runtime_base: user_n as u32,
+            globals: prev.globals.clone(),
+            frame_bases,
+            internal_words: prev.internal_words_used,
+            external_words: prev.external_words_used,
+        };
+        let all: Vec<(&ir::Function, Option<u64>)> =
+            ir.functions.iter().map(|f| (f, None)).chain(rt_fns).collect();
+        for (i, (f, loop_bound)) in all.iter().enumerate() {
+            let af = &prev.functions[i];
+            if af.name != f.name
+                || af.param_count as usize != f.params.len()
+                || af.frame.len() != f.vreg_count()
+                || af.loop_bound != *loop_bound
+            {
+                continue;
+            }
+            let key = routine_key(&plan, &prev.arch, f, i, *loop_bound);
+            self.bodies.lock().unwrap().entry(key).or_insert_with(|| af.clone());
+        }
+    }
+
+    /// Overwrites every cached body with `body`, regardless of key —
+    /// simulates stale/corrupt entries for cache-poisoning tests.
+    #[doc(hidden)]
+    pub fn poison_for_tests(&self, body: &AsmFunction) {
+        let mut map = self.bodies.lock().unwrap();
+        for v in map.values_mut() {
+            *v = body.clone();
+        }
     }
 }
 
@@ -1090,6 +1610,108 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cached_compile_is_identical_and_hits_on_repeat() {
+        let src = r#"
+            int:16 g;
+            int:16 f(int:16 a) { g = a * 3; return g + 1; }
+            int:16 h(int:16 b) { return b - 2; }
+        "#;
+        let ir = compile(src).unwrap();
+        let arch = TepArch::md16_optimized();
+        let opts = CodegenOptions::default();
+        let cache = CodegenCache::with_enabled(true);
+        let plain = compile_program(&ir, &arch, &opts);
+        let cold = compile_program_cached(&ir, &arch, &opts, &cache);
+        assert_eq!(plain, cold);
+        assert_eq!(cache.stats().hits, 0);
+        let warm = compile_program_cached(&ir, &arch, &opts, &cache);
+        assert_eq!(plain, warm);
+        assert_eq!(cache.stats().hits as usize, plain.functions.len());
+    }
+
+    #[test]
+    fn flag_flip_invalidates_only_affected_routines() {
+        // `f` compares, `h` does not: flipping the comparator must only
+        // recompile `f`.
+        let src = r#"
+            uint:1 f(int:16 a, int:16 b) { return a < b; }
+            int:16 h(int:16 c) { return c + 7; }
+        "#;
+        let ir = compile(src).unwrap();
+        let mut arch = TepArch::md16_optimized();
+        let opts = CodegenOptions::default();
+        let cache = CodegenCache::with_enabled(true);
+        let base = compile_program_cached(&ir, &arch, &opts, &cache);
+        arch.calc.comparator = false;
+        let flipped = compile_program_cached(&ir, &arch, &opts, &cache);
+        assert_eq!(flipped, compile_program(&ir, &arch, &opts));
+        assert_ne!(base.functions[0], flipped.functions[0]);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1, "only `h` should hit: {stats:?}");
+    }
+
+    #[test]
+    fn recompile_delta_matches_full_compile() {
+        let src = r#"
+            int:16 g;
+            int:16 f(int:16 a) { g = a * g; return g; }
+            uint:1 p(int:16 x) { return x < 0; }
+        "#;
+        let ir = compile(src).unwrap();
+        let cache = CodegenCache::with_enabled(true);
+        let base_arch = TepArch::md16_unoptimized();
+        let prev = compile_program(&ir, &base_arch, &CodegenOptions::default());
+        for (arch, opts) in [
+            (TepArch::md16_optimized(), CodegenOptions::default()),
+            (TepArch::minimal(), CodegenOptions::default()),
+            (TepArch::md16_unoptimized(), {
+                let mut o = CodegenOptions::default();
+                o.global_promotions.insert(0, StorageClass::Internal);
+                o
+            }),
+        ] {
+            let delta =
+                CodegenDelta { ir: &ir, arch: &arch, options: &opts, cache: Some(&cache) };
+            let got = recompile_delta(&prev, &delta);
+            let want = compile_program(&ir, &arch, &opts);
+            assert_eq!(got, want, "delta compile diverged for {arch:?}");
+        }
+    }
+
+    #[test]
+    fn poisoned_entries_are_detected_and_recompiled() {
+        let src = "int:16 f(int:16 a) { return a + 1; }\nint:16 h(int:16 b) { return b * 2; }";
+        let ir = compile(src).unwrap();
+        let arch = TepArch::md16_optimized();
+        let opts = CodegenOptions::default();
+        let cache = CodegenCache::with_enabled(true);
+        let want = compile_program_cached(&ir, &arch, &opts, &cache);
+        let bogus = AsmFunction {
+            name: "__poison__".into(),
+            param_count: 9,
+            frame: Vec::new(),
+            code: vec![AsmInst::new(Instr::Return, 1, false)],
+            loop_bound: None,
+        };
+        cache.poison_for_tests(&bogus);
+        let got = compile_program_cached(&ir, &arch, &opts, &cache);
+        assert_eq!(got, want, "poisoned cache must not change output");
+        let stats = cache.stats();
+        assert!(stats.invalidations >= 2, "poison must be detected: {stats:?}");
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let ir = compile("int:16 f(int:16 a) { return a + 1; }").unwrap();
+        let cache = CodegenCache::with_enabled(false);
+        let arch = TepArch::md16_optimized();
+        let got = compile_program_cached(&ir, &arch, &CodegenOptions::default(), &cache);
+        assert_eq!(got, compile_program(&ir, &arch, &CodegenOptions::default()));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub mod microcode;
 pub mod timing;
 
 pub use arch::{CalcUnit, StorageClass, TepArch};
-pub use codegen::{compile_program, CodegenOptions, TepProgram};
+pub use codegen::{
+    compile_program, compile_program_cached, recompile_delta, CacheStats, CodegenCache,
+    CodegenDelta, CodegenOptions, TepProgram,
+};
 pub use machine::TepMachine;
 pub use timing::{CostModel, WcetAnalysis};

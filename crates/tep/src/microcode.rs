@@ -153,6 +153,42 @@ pub enum InstrKind {
 }
 
 impl InstrKind {
+    /// Every instruction kind, for cost-model diffing.
+    pub const ALL: [InstrKind; 32] = [
+        InstrKind::Nop,
+        InstrKind::Ldi,
+        InstrKind::LoadReg,
+        InstrKind::LoadInt,
+        InstrKind::LoadExt,
+        InstrKind::StoreReg,
+        InstrKind::StoreInt,
+        InstrKind::StoreExt,
+        InstrKind::LoadIdxInt,
+        InstrKind::LoadIdxExt,
+        InstrKind::StoreIdxInt,
+        InstrKind::StoreIdxExt,
+        InstrKind::Tao,
+        InstrKind::AluSimple,
+        InstrKind::AluShift,
+        InstrKind::AluMul,
+        InstrKind::AluDiv,
+        InstrKind::Cmp,
+        InstrKind::Jump,
+        InstrKind::JumpCond,
+        InstrKind::Call,
+        InstrKind::Return,
+        InstrKind::PortRead,
+        InstrKind::PortWrite,
+        InstrKind::ReadCond,
+        InstrKind::SetCond,
+        InstrKind::RaiseEvent,
+        InstrKind::Custom,
+        InstrKind::AluMemReg,
+        InstrKind::AluMemInt,
+        InstrKind::AluMemExt,
+        InstrKind::Halt,
+    ];
+
     /// Classifies an assembler instruction.
     pub fn of(instr: &Instr) -> InstrKind {
         match instr {

@@ -24,12 +24,21 @@ use std::collections::{BTreeMap, BTreeSet};
 #[derive(Debug, Clone)]
 pub struct CostModel {
     arch: TepArch,
+    /// Effective base cycles per kind, indexed by the kind's position
+    /// in [`InstrKind::ALL`]. Synthesising (and optionally peepholing)
+    /// a microprogram per [`CostModel::cost`] call would dominate the
+    /// WCET analysis; the table pays that once per model.
+    base: [u64; InstrKind::ALL.len()],
 }
 
 impl CostModel {
     /// Builds the cost model for an architecture.
     pub fn new(arch: &TepArch) -> Self {
-        CostModel { arch: arch.clone() }
+        let mut base = [0u64; InstrKind::ALL.len()];
+        for (slot, &kind) in base.iter_mut().zip(InstrKind::ALL.iter()) {
+            *slot = Self::compute_effective_base(arch, kind);
+        }
+        CostModel { arch: arch.clone(), base }
     }
 
     /// The architecture this model describes.
@@ -37,15 +46,19 @@ impl CostModel {
         &self.arch
     }
 
-    /// Cycles consumed by one instruction (excluding callee time for
-    /// `Call`).
-    pub fn cost(&self, inst: &AsmInst) -> u64 {
-        let kind = InstrKind::of(&inst.instr);
-        let mut base = micro_len(kind, self.arch.optimize_code) as u64;
+    /// Base cycle count of one instruction kind before the width/limb
+    /// scaling: the microprogram length, with the pipelined-fetch
+    /// overlap already applied.
+    fn effective_base(&self, kind: InstrKind) -> u64 {
+        self.base[kind as usize]
+    }
+
+    fn compute_effective_base(arch: &TepArch, kind: InstrKind) -> u64 {
+        let mut base = micro_len(kind, arch.optimize_code) as u64;
         // Pipelined fetch (§6 extension): straight-line instructions
         // overlap the fetch µop with the predecessor's execution; taken
         // control transfers pay the hazard instead (cost unchanged).
-        if self.arch.pipelined
+        if arch.pipelined
             && !matches!(
                 kind,
                 InstrKind::Jump | InstrKind::JumpCond | InstrKind::Call | InstrKind::Return
@@ -53,6 +66,55 @@ impl CostModel {
         {
             base = base.saturating_sub(1).max(1);
         }
+        base
+    }
+
+    /// Whether a kind's cost scales with the operand width (via the
+    /// bus-limb count). Mirrors the `match` in [`CostModel::cost`].
+    fn width_scaled(kind: InstrKind) -> bool {
+        !matches!(
+            kind,
+            InstrKind::Nop
+                | InstrKind::Jump
+                | InstrKind::JumpCond
+                | InstrKind::Call
+                | InstrKind::Return
+                | InstrKind::ReadCond
+                | InstrKind::SetCond
+                | InstrKind::RaiseEvent
+                | InstrKind::Custom
+                | InstrKind::Halt
+                | InstrKind::PortRead
+                | InstrKind::PortWrite
+        )
+    }
+
+    /// The instruction kinds whose per-instruction cost differs between
+    /// `self` and `prev` for *some* operand width. `cost` is a function
+    /// of (kind, width) only — the base microprogram length plus, for
+    /// width-scaled kinds, the bus-limb multiplier — so a kind is
+    /// unchanged exactly when its effective base matches and (if
+    /// width-scaled) the bus width does too. This is the cost-model
+    /// side of `WcetReport` provenance: routines whose kind sets are
+    /// disjoint from this set cannot change WCET between the two
+    /// models unless their instruction stream changed.
+    pub fn changed_kinds(&self, prev: &CostModel) -> BTreeSet<InstrKind> {
+        let width_changed = self.arch.calc.width != prev.arch.calc.width;
+        InstrKind::ALL
+            .iter()
+            .copied()
+            .filter(|&k| {
+                self.effective_base(k) != prev.effective_base(k)
+                    || (Self::width_scaled(k) && width_changed)
+            })
+            .collect()
+    }
+
+    /// Cycles consumed by one instruction (excluding callee time for
+    /// `Call`).
+    pub fn cost(&self, inst: &AsmInst) -> u64 {
+        let kind = InstrKind::of(&inst.instr);
+        let base = self.effective_base(kind);
         let limbs = self.arch.limbs(inst.width.max(1)) as u64;
         match kind {
             // Control flow, condition/event traffic and custom fused ops
@@ -194,6 +256,134 @@ impl WcetAnalysis {
                     kinds_done[fi] = Some(kinds);
                     progressed = true;
                 }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert!(
+            done.iter().all(Option::is_some),
+            "call graph not a DAG or dangling callee"
+        );
+        WcetReport { per_function, provenance }
+    }
+
+    /// Incremental re-analysis against a previous run.
+    ///
+    /// A routine reuses its previous WCET and provenance when its
+    /// instruction stream is byte-identical to the previous program's
+    /// routine of the same name, none of the kinds it (transitively)
+    /// depends on changed cost between the two models
+    /// ([`CostModel::changed_kinds`]), and every callee's WCET is
+    /// unchanged. Everything else — and everything downstream of a
+    /// change — is re-analysed with the usual fixpoint. The result is
+    /// always identical to a fresh [`WcetAnalysis::analyze`]; the
+    /// previous run only short-circuits work, never changes answers.
+    pub fn analyze_incremental(
+        &self,
+        program: &TepProgram,
+        prev_analysis: &WcetAnalysis,
+        prev_program: &TepProgram,
+        prev: &WcetReport,
+    ) -> WcetReport {
+        if self.default_loop_bound != prev_analysis.default_loop_bound {
+            return self.analyze(program);
+        }
+        let changed_kinds = self.cost.changed_kinds(&prev_analysis.cost);
+        // A global cost change (pipelined fetch, peephole, bus width)
+        // invalidates every data-bearing routine; skip the per-function
+        // reuse bookkeeping instead of paying for it and reusing
+        // nothing.
+        if changed_kinds.len() >= InstrKind::ALL.len() / 2 {
+            return self.analyze(program);
+        }
+
+        let mut per_function: BTreeMap<String, u64> = BTreeMap::new();
+        let mut provenance: BTreeMap<String, BTreeSet<InstrKind>> = BTreeMap::new();
+        let mut done: Vec<Option<u64>> = vec![None; program.functions.len()];
+        let mut kinds_done: Vec<Option<BTreeSet<InstrKind>>> =
+            vec![None; program.functions.len()];
+        // `unchanged[i]`: function i is decided and its WCET equals the
+        // previous report's — callers may then reuse their own result.
+        let mut unchanged: Vec<bool> = vec![false; program.functions.len()];
+
+        for _ in 0..=program.functions.len() {
+            let mut progressed = false;
+            for (fi, f) in program.functions.iter().enumerate() {
+                if done[fi].is_some() {
+                    continue;
+                }
+                // All callees must be decided first, both to reuse
+                // (their `unchanged` verdicts) and to recompute (their
+                // WCETs).
+                let callees_decided = f.code.iter().all(|inst| {
+                    if let Instr::Call(t) = inst.instr {
+                        done.get(t as usize).copied().flatten().is_some()
+                    } else {
+                        true
+                    }
+                });
+                if !callees_decided {
+                    continue;
+                }
+
+                let reusable = prev_program
+                    .function_index(&f.name)
+                    .map(|pi| &prev_program.functions[pi as usize])
+                    .filter(|pf| pf.code == f.code && pf.loop_bound == f.loop_bound)
+                    .and_then(|_| {
+                        let deps = prev.provenance.get(&f.name)?;
+                        let w = prev.per_function.get(&f.name)?;
+                        (deps.is_disjoint(&changed_kinds)
+                            && f.code.iter().all(|inst| match inst.instr {
+                                // The callee index must still name the
+                                // same routine — equal code bytes don't
+                                // guarantee that across runtime-set
+                                // changes.
+                                Instr::Call(t) => {
+                                    unchanged[t as usize]
+                                        && prev_program
+                                            .functions
+                                            .get(t as usize)
+                                            .map(|pf| pf.name.as_str())
+                                            == program
+                                                .functions
+                                                .get(t as usize)
+                                                .map(|nf| nf.name.as_str())
+                                }
+                                _ => true,
+                            }))
+                        .then(|| (*w, deps.clone()))
+                    });
+
+                let (w, kinds) = match reusable {
+                    Some((w, kinds)) => {
+                        unchanged[fi] = true;
+                        (w, kinds)
+                    }
+                    None => {
+                        let Some(w) = self.function_wcet(f, &done, program) else {
+                            continue;
+                        };
+                        let kinds = function_kinds(f, &kinds_done);
+                        // Callers reuse both the previous value and the
+                        // previous provenance, so "unchanged" must mean
+                        // both coincide (code equality keeps transitive
+                        // kind sets honest too).
+                        unchanged[fi] = prev_program
+                            .function_index(&f.name)
+                            .map(|pi| &prev_program.functions[pi as usize])
+                            .is_some_and(|pf| pf.code == f.code)
+                            && prev.per_function.get(&f.name) == Some(&w)
+                            && prev.provenance.get(&f.name) == Some(&kinds);
+                        (w, kinds)
+                    }
+                };
+                done[fi] = Some(w);
+                per_function.insert(f.name.clone(), w);
+                provenance.insert(f.name.clone(), kinds.clone());
+                kinds_done[fi] = Some(kinds);
+                progressed = true;
             }
             if !progressed {
                 break;
@@ -587,6 +777,84 @@ mod tests {
             report.of("leaf").unwrap()
                 + cm.cost(&inst(Instr::Call(0)))
                 + cm.cost(&inst(Instr::Return))
+        );
+    }
+
+    #[test]
+    fn changed_kinds_tracks_cost_model_knobs() {
+        let base = CostModel::new(&TepArch::md16_unoptimized());
+        assert!(base.changed_kinds(&base).is_empty());
+
+        // Calculation-unit flips (M/D, shifter, ...) change what the code
+        // generator *emits*, not what an instruction kind costs — the
+        // cost model is a function of (kind, width) only, so they must
+        // not show up here. The codegen cache catches them via the code
+        // bytes instead.
+        let mut no_md = TepArch::md16_unoptimized();
+        no_md.calc.muldiv = false;
+        assert!(CostModel::new(&no_md).changed_kinds(&base).is_empty());
+
+        // A bus-width change rescales every width-scaled kind but leaves
+        // control flow alone.
+        let mut w8 = TepArch::md16_unoptimized();
+        w8.calc.width = 8;
+        let diff = CostModel::new(&w8).changed_kinds(&base);
+        assert!(diff.contains(&InstrKind::AluSimple), "{diff:?}");
+        assert!(!diff.contains(&InstrKind::Jump), "{diff:?}");
+
+        // Pipelining shaves a cycle off nearly every microprogram — the
+        // global invalidation the analyze_incremental early-out keys on.
+        let mut piped = TepArch::md16_unoptimized();
+        piped.pipelined = true;
+        let diff = CostModel::new(&piped).changed_kinds(&base);
+        assert!(diff.len() >= InstrKind::ALL.len() / 2, "{diff:?}");
+    }
+
+    #[test]
+    fn incremental_analysis_matches_full() {
+        let arch = TepArch::md16_unoptimized();
+        let leaf = AsmFunction {
+            name: "leaf".into(),
+            param_count: 0,
+            frame: Vec::new(),
+            code: vec![inst(Instr::Alu(AluOp::Add)), inst(Instr::Return)],
+            loop_bound: None,
+        };
+        let top = AsmFunction {
+            name: "top".into(),
+            param_count: 0,
+            frame: Vec::new(),
+            code: vec![inst(Instr::Call(0)), inst(Instr::Return)],
+            loop_bound: None,
+        };
+        let prev_prog = TepProgram::for_tests(vec![leaf.clone(), top.clone()], arch.clone());
+        let prev_an = WcetAnalysis::new(&arch);
+        let prev_rep = prev_an.analyze(&prev_prog);
+
+        // Nothing changed: the previous report is reproduced verbatim
+        // (value *and* provenance — callers reuse both).
+        assert_eq!(
+            prev_an.analyze_incremental(&prev_prog, &prev_an, &prev_prog, &prev_rep),
+            prev_rep
+        );
+
+        // Editing the leaf must propagate into its (byte-identical)
+        // caller rather than reusing the caller's stale WCET.
+        let mut leaf2 = leaf.clone();
+        leaf2.code.insert(0, inst(Instr::Alu(AluOp::Mul)));
+        let edited = TepProgram::for_tests(vec![leaf2, top], arch.clone());
+        let inc = prev_an.analyze_incremental(&edited, &prev_an, &prev_prog, &prev_rep);
+        assert_eq!(inc, prev_an.analyze(&edited));
+        assert!(inc.of("top").unwrap() > prev_rep.of("top").unwrap());
+
+        // A pipelining flip invalidates the cost model globally (the
+        // early-out path) and still agrees with a fresh analysis.
+        let mut piped_arch = arch.clone();
+        piped_arch.pipelined = true;
+        let piped_an = WcetAnalysis::new(&piped_arch);
+        assert_eq!(
+            piped_an.analyze_incremental(&prev_prog, &prev_an, &prev_prog, &prev_rep),
+            piped_an.analyze(&prev_prog)
         );
     }
 }

@@ -22,25 +22,34 @@ cargo test --release -p pscp-core --test serve_backpressure -q
 # worker combination, including mid-scenario lane retirement.
 cargo test --release -p pscp-core --test gang_differential -q
 
-# Perf smoke: the bench binary must run and report the PR-3..PR-6
+# The incremental-compilation differential suite is the codegen cache's
+# spec: delta compiles must be byte-identical to full compiles across
+# random charts x random arch/placement perturbations, and a poisoned
+# cache entry must be detected, never served.
+cargo test --release -p pscp-core --test compile_incremental -q
+
+# Perf smoke: the bench binary must run and report the PR-3..PR-7
 # workloads. This asserts presence, not thresholds — speedups depend on
 # the host.
 cargo run --release -p pscp-bench --bin bench-smoke > /dev/null
-test -f BENCH_6.json
-grep -q '"dse_explore_incremental"' BENCH_6.json
-grep -q '"dse_explore_full"' BENCH_6.json
-grep -q '"memo_store"' BENCH_6.json
-grep -q '"batch_cosim"' BENCH_6.json
-grep -q '"gang_cosim"' BENCH_6.json
-grep -q '"speedup_w64"' BENCH_6.json
-grep -q '"serve_smoke"' BENCH_6.json
-grep -q '"latency_speedup_vs_bench5"' BENCH_6.json
-grep -q '"outputs_identical": true' BENCH_6.json
-grep -q '"obs_overhead_pct"' BENCH_6.json
-grep -q '"trace_overhead_pct"' BENCH_6.json
-grep -q '"trace_sampled_overhead_pct"' BENCH_6.json
-test -f BENCH_6_metrics.json
-python3 -m json.tool BENCH_6_metrics.json > /dev/null
+test -f BENCH_7.json
+grep -q '"dse_explore_incremental"' BENCH_7.json
+grep -q '"dse_explore_full"' BENCH_7.json
+grep -q '"compile_cache"' BENCH_7.json
+grep -q '"hit_rate"' BENCH_7.json
+grep -q '"results_identical": true' BENCH_7.json
+grep -q '"memo_store"' BENCH_7.json
+grep -q '"batch_cosim"' BENCH_7.json
+grep -q '"gang_cosim"' BENCH_7.json
+grep -q '"speedup_w64"' BENCH_7.json
+grep -q '"serve_smoke"' BENCH_7.json
+grep -q '"latency_speedup_vs_bench5"' BENCH_7.json
+grep -q '"outputs_identical": true' BENCH_7.json
+grep -q '"obs_overhead_pct"' BENCH_7.json
+grep -q '"trace_overhead_pct"' BENCH_7.json
+grep -q '"trace_sampled_overhead_pct"' BENCH_7.json
+test -f BENCH_7_metrics.json
+python3 -m json.tool BENCH_7_metrics.json > /dev/null
 
 # Serving smoke: a loopback server + 4-client pickup-head session; every
 # outcome is differentially checked against the in-process pool, and
