@@ -9,6 +9,7 @@
 //! * `0700` — leading-zero literals are octal, exactly as in C (Fig. 2b
 //!   uses octal port addresses).
 
+use crate::diag::Emitter;
 use crate::error::{CompileError, Span};
 use std::fmt;
 
@@ -68,14 +69,30 @@ const ONE_CHAR_SYMS: &[char] = &[
     ']', ';', ',', ':', '.', '@',
 ];
 
-/// Tokenises `src`.
+/// Tokenises `src`, failing on the first lexical error.
+///
+/// Adapter over [`tokenize_into`]: the error returned is exactly the
+/// first diagnostic the recovering lexer emits.
 ///
 /// # Errors
 ///
 /// Returns a positioned error for characters outside the language or
 /// malformed literals.
-#[allow(clippy::mut_range_bound)] // the advance! macro moves `pos` deliberately
 pub fn tokenize(src: &str) -> Result<Vec<SpannedTok>, CompileError> {
+    let mut sink = pscp_diag::DiagnosticSink::new();
+    let mut em = Emitter::new(&mut sink);
+    let toks = tokenize_into(src, &mut em);
+    match em.take_first() {
+        Some(e) => Err(e),
+        None => Ok(toks),
+    }
+}
+
+/// Tokenises `src`, recovering from lexical errors: every problem is
+/// reported through `em` and the scan keeps going (bad characters are
+/// skipped, malformed literals become `0`), so the parser always gets a
+/// complete, EOF-terminated token stream.
+pub(crate) fn tokenize_into(src: &str, em: &mut Emitter) -> Vec<SpannedTok> {
     let bytes = src.as_bytes();
     let mut out = Vec::new();
     let mut pos = 0usize;
@@ -93,15 +110,30 @@ pub fn tokenize(src: &str) -> Result<Vec<SpannedTok>, CompileError> {
             pos += 1;
         }};
     }
+    // The span of everything consumed since `start`, with byte offsets.
+    macro_rules! span_from {
+        ($start:expr) => {{
+            let (sl, sc, sp) = $start;
+            Span::range((sl, sc, sp as u32), (line, col, pos as u32))
+        }};
+    }
 
     while pos < bytes.len() {
         let b = bytes[pos];
-        let span = Span::new(line, col);
+        let start = (line, col, pos);
+        let span = Span::range((line, col, pos as u32), (line, col + 1, pos as u32 + 1));
 
         // The language is ASCII; reject multi-byte characters up front
         // (also keeps all later byte-indexed slicing on char boundaries).
         if !b.is_ascii() {
-            return Err(CompileError::lex(span, "non-ASCII character in source"));
+            em.emit(CompileError::lex(span, "non-ASCII character in source"));
+            // Skip the whole byte run so one multi-byte character does
+            // not fan out into one diagnostic per byte.
+            while pos < bytes.len() && !bytes[pos].is_ascii() {
+                pos += 1;
+                col += 1;
+            }
+            continue;
         }
         if b.is_ascii_whitespace() {
             advance!();
@@ -121,7 +153,8 @@ pub fn tokenize(src: &str) -> Result<Vec<SpannedTok>, CompileError> {
                 advance!();
             }
             if pos + 1 >= bytes.len() {
-                return Err(CompileError::lex(span, "unterminated block comment"));
+                em.emit(CompileError::lex(span, "unterminated block comment"));
+                break;
             }
             advance!();
             advance!();
@@ -136,33 +169,42 @@ pub fn tokenize(src: &str) -> Result<Vec<SpannedTok>, CompileError> {
             }
             if end > pos + 2 {
                 let digits = &src[pos + 2..end];
-                let value = i64::from_str_radix(digits, 2)
-                    .map_err(|_| CompileError::lex(span, "binary literal overflows"))?;
-                let width = digits.len() as u8;
-                if width > 32 {
-                    return Err(CompileError::lex(span, "binary literal wider than 32 bits"));
-                }
-                for _ in pos..end {
+                while pos < end {
                     advance!();
                 }
-                out.push(SpannedTok { tok: Tok::BinLit { value, width }, span });
+                let span = span_from!(start);
+                let tok = match i64::from_str_radix(digits, 2) {
+                    Err(_) => {
+                        em.emit(CompileError::lex(span, "binary literal overflows"));
+                        Tok::Int { value: 0, width: None }
+                    }
+                    Ok(_) if digits.len() > 32 => {
+                        em.emit(CompileError::lex(span, "binary literal wider than 32 bits"));
+                        Tok::Int { value: 0, width: None }
+                    }
+                    Ok(value) => Tok::BinLit { value, width: digits.len() as u8 },
+                };
+                out.push(SpannedTok { tok, span });
                 continue;
             }
         }
 
         if b.is_ascii_alphabetic() || b == b'_' {
-            let start = pos;
+            let begin = pos;
             while pos < bytes.len()
                 && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
             {
                 advance!();
             }
-            out.push(SpannedTok { tok: Tok::Ident(src[start..pos].to_string()), span });
+            out.push(SpannedTok {
+                tok: Tok::Ident(src[begin..pos].to_string()),
+                span: span_from!(start),
+            });
             continue;
         }
 
         if b.is_ascii_digit() {
-            let start = pos;
+            let begin = pos;
             let hex = b == b'0' && matches!(bytes.get(pos + 1), Some(b'x') | Some(b'X'));
             if hex {
                 advance!();
@@ -173,7 +215,8 @@ pub fn tokenize(src: &str) -> Result<Vec<SpannedTok>, CompileError> {
             {
                 advance!();
             }
-            let text = &src[start..pos];
+            let text = &src[begin..pos];
+            let span = span_from!(start);
             let value = if hex {
                 i64::from_str_radix(&text[2..], 16)
             } else if text.len() > 1 && text.starts_with('0') {
@@ -182,7 +225,10 @@ pub fn tokenize(src: &str) -> Result<Vec<SpannedTok>, CompileError> {
             } else {
                 text.parse::<i64>()
             }
-            .map_err(|_| CompileError::lex(span, format!("invalid number `{text}`")))?;
+            .unwrap_or_else(|_| {
+                em.emit(CompileError::lex(span, format!("invalid number `{text}`")));
+                0
+            });
             out.push(SpannedTok { tok: Tok::Int { value, width: None }, span });
             continue;
         }
@@ -192,7 +238,7 @@ pub fn tokenize(src: &str) -> Result<Vec<SpannedTok>, CompileError> {
             if let Some(&sym) = TWO_CHAR_SYMS.iter().find(|&&s| s == two) {
                 advance!();
                 advance!();
-                out.push(SpannedTok { tok: Tok::Sym(sym), span });
+                out.push(SpannedTok { tok: Tok::Sym(sym), span: span_from!(start) });
                 continue;
             }
         }
@@ -226,15 +272,17 @@ pub fn tokenize(src: &str) -> Result<Vec<SpannedTok>, CompileError> {
                 '@' => "@",
                 _ => unreachable!(),
             };
-            out.push(SpannedTok { tok: Tok::Sym(sym), span });
+            out.push(SpannedTok { tok: Tok::Sym(sym), span: span_from!(start) });
             continue;
         }
 
-        return Err(CompileError::lex(span, format!("unexpected character `{}`", b as char)));
+        em.emit(CompileError::lex(span, format!("unexpected character `{}`", b as char)));
+        advance!();
     }
 
-    out.push(SpannedTok { tok: Tok::Eof, span: Span::new(line, col) });
-    Ok(out)
+    let eof = (line, col, pos);
+    out.push(SpannedTok { tok: Tok::Eof, span: span_from!(eof) });
+    out
 }
 
 #[cfg(test)]

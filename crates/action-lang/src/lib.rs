@@ -53,6 +53,7 @@
 //! ```
 
 pub mod ast;
+pub mod diag;
 pub mod error;
 pub mod interp;
 pub mod ir;
@@ -80,9 +81,46 @@ pub fn compile(source: &str) -> Result<Program, CompileError> {
 ///
 /// # Errors
 ///
-/// Returns the first lexical, syntactic or semantic error.
+/// Returns the first lexical, syntactic or semantic error — exactly the
+/// first diagnostic [`compile_diag`] would accumulate on the same input.
 pub fn compile_with_env(source: &str, env: &ProgramEnv) -> Result<Program, CompileError> {
-    let items = parser::parse(source)?;
-    let checked = sema::analyze(&items, env)?;
-    Ok(lower::lower(&checked))
+    let mut sink = pscp_diag::DiagnosticSink::new();
+    let mut em = diag::Emitter::new(&mut sink);
+    match compile_impl(source, env, &mut em) {
+        Some(p) => Ok(p),
+        None => Err(em.take_first().expect("failed compile must carry an error")),
+    }
+}
+
+/// Compiles with error recovery: every lexical, syntactic and semantic
+/// problem found is accumulated into `sink` (stable codes `AL101` /
+/// `AL201` / `AL301`) instead of stopping at the first. Returns the
+/// program only when this compile added no errors to the sink.
+pub fn compile_diag(
+    source: &str,
+    env: &ProgramEnv,
+    sink: &mut pscp_diag::DiagnosticSink,
+) -> Option<Program> {
+    let mut em = diag::Emitter::new(sink);
+    compile_impl(source, env, &mut em)
+}
+
+/// Syntax-checks only (lex + parse), accumulating every error into
+/// `sink`. For callers that have no chart environment (so semantic
+/// analysis would produce spurious unknown-name findings) but still
+/// want the action text's syntax covered by the same report.
+pub fn syntax_check_diag(source: &str, sink: &mut pscp_diag::DiagnosticSink) {
+    let mut em = diag::Emitter::new(sink);
+    let _ = parser::parse_into(source, &mut em);
+}
+
+fn compile_impl(source: &str, env: &ProgramEnv, em: &mut diag::Emitter) -> Option<Program> {
+    let items = parser::parse_into(source, em);
+    let checked = sema::analyze_into(&items, env, em)?;
+    // A recovered-but-broken token stream or item list can still reach
+    // here shaped well enough to analyze; never lower it.
+    if em.errored() {
+        return None;
+    }
+    Some(lower::lower(&checked))
 }

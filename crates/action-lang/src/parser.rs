@@ -6,31 +6,127 @@
 //! declaration, anything else is an expression statement.
 
 use crate::ast::*;
+use crate::diag::Emitter;
 use crate::error::{CompileError, Span};
-use crate::lexer::{tokenize, SpannedTok, Tok};
+use crate::lexer::{tokenize_into, SpannedTok, Tok};
 use crate::types::{Scalar, Type};
 
-/// Parses a complete program into top-level items.
+/// Parses a complete program into top-level items, failing on the
+/// first error.
+///
+/// Adapter over [`parse_into`]: the error returned is exactly the
+/// first diagnostic the recovering parser emits.
 ///
 /// # Errors
 ///
 /// Returns the first lexical or syntactic error.
 pub fn parse(source: &str) -> Result<Vec<Item>, CompileError> {
-    let tokens = tokenize(source)?;
-    let mut p = Parser { toks: &tokens, pos: 0 };
+    let mut sink = pscp_diag::DiagnosticSink::new();
+    let mut em = Emitter::new(&mut sink);
+    let items = parse_into(source, &mut em);
+    match em.take_first() {
+        Some(e) => Err(e),
+        None => Ok(items),
+    }
+}
+
+/// Parses a complete program, recovering from syntax errors: a failed
+/// statement resynchronises at the next `;` or closing `}`, a failed
+/// item at the next plausible item start, and every problem lands in
+/// `em` in source order. Returns whatever items parsed cleanly.
+pub(crate) fn parse_into(source: &str, em: &mut Emitter) -> Vec<Item> {
+    let tokens = tokenize_into(source, em);
+    let mut p = Parser { toks: &tokens, pos: 0, diags: Vec::new() };
     let mut items = Vec::new();
     while !p.at_eof() {
-        items.push(p.item()?);
+        let before = p.pos;
+        match p.item() {
+            Ok(i) => items.push(i),
+            Err(e) => {
+                p.diags.push(e);
+                p.sync_item(before);
+            }
+        }
+        for d in p.diags.drain(..) {
+            em.emit(d);
+        }
     }
-    Ok(items)
+    for d in p.diags.drain(..) {
+        em.emit(d);
+    }
+    items
 }
+
+/// Keywords (and type-leading identifiers) that can begin a top-level
+/// item — the resynchronisation anchors for item-level recovery.
+const ITEM_START_KWS: &[&str] =
+    &["enum", "typedef", "struct", "event", "condition", "port", "void", "int", "uint", "bool"];
 
 struct Parser<'t> {
     toks: &'t [SpannedTok],
     pos: usize,
+    /// Statement-level errors recovered in place, in source order.
+    diags: Vec<CompileError>,
 }
 
 impl Parser<'_> {
+    /// Skips to the next plausible item start after a failed item:
+    /// past the next top-level `;`, past a brace-balanced `}` (plus a
+    /// trailing `;`), or to a known item-starting keyword. Always makes
+    /// progress.
+    fn sync_item(&mut self, before: usize) {
+        if self.pos == before && !self.at_eof() {
+            self.bump();
+        }
+        let mut depth = 0i32;
+        while !self.at_eof() {
+            match &self.peek().tok {
+                Tok::Sym("{") => depth += 1,
+                Tok::Sym("}") => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        self.bump();
+                        self.eat_sym(";");
+                        return;
+                    }
+                }
+                Tok::Sym(";") if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                Tok::Ident(id) if depth == 0 && ITEM_START_KWS.contains(&id.as_str()) => return,
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips to the end of a failed statement: past the next `;`, or
+    /// up to (not past) the enclosing `}`. Nested braces are skipped
+    /// whole. Always makes progress.
+    fn sync_stmt(&mut self, before: usize) {
+        if self.pos == before && !self.at_eof() {
+            self.bump();
+        }
+        let mut depth = 0i32;
+        while !self.at_eof() {
+            match &self.peek().tok {
+                Tok::Sym("{") => depth += 1,
+                Tok::Sym("}") => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                }
+                Tok::Sym(";") if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
     fn peek(&self) -> &SpannedTok {
         &self.toks[self.pos.min(self.toks.len() - 1)]
     }
@@ -302,7 +398,19 @@ impl Parser<'_> {
         self.expect_sym("{")?;
         let mut out = Vec::new();
         while !self.eat_sym("}") {
-            out.push(self.stmt()?);
+            if self.at_eof() {
+                return Err(self.err("expected `}`"));
+            }
+            let before = self.pos;
+            match self.stmt() {
+                Ok(s) => out.push(s),
+                Err(e) => {
+                    // Recover at the statement boundary: later
+                    // statements in the same body still get checked.
+                    self.diags.push(e);
+                    self.sync_stmt(before);
+                }
+            }
         }
         Ok(out)
     }

@@ -8,9 +8,14 @@
 //! not actually executed, but used by the compiler".
 
 use crate::ast::*;
+use crate::diag::Emitter;
 use crate::error::{CompileError, Span};
 use crate::types::{Scalar, Type};
 use std::collections::BTreeMap;
+
+/// Placeholder type substituted for declarations whose real type could
+/// not be resolved, so later uses type-check instead of cascading.
+const RECOVERY_SCALAR: Scalar = Scalar { width: 16, signed: false };
 
 /// Chart-supplied external symbols injected into the program.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -147,16 +152,37 @@ pub struct CheckedProgram {
 /// directions, arity mismatches, and the rest documented on
 /// [`CompileError`].
 pub fn analyze(items: &[Item], env: &ProgramEnv) -> Result<CheckedProgram, CompileError> {
+    let mut sink = pscp_diag::DiagnosticSink::new();
+    let mut em = Emitter::new(&mut sink);
+    match analyze_into(items, env, &mut em) {
+        Some(p) => Ok(p),
+        None => Err(em.take_first().expect("failed analysis must carry an error")),
+    }
+}
+
+/// Runs semantic analysis, recovering from errors: every finding is
+/// reported through `em` and the passes keep going (unresolvable types
+/// degrade to a 16-bit placeholder, failed declarations get stand-in
+/// bindings so uses don't cascade). Returns the checked program only
+/// when *this* analysis emitted no errors.
+pub(crate) fn analyze_into(
+    items: &[Item],
+    env: &ProgramEnv,
+    em: &mut Emitter,
+) -> Option<CheckedProgram> {
+    let errors_at_entry = em.errors();
     let mut cx = Context::default();
 
     for e in &env.events {
-        cx.add_event(e.clone(), Span::default())?;
+        cx.add_event(e.clone());
     }
     for c in &env.conditions {
-        cx.add_condition(c.clone(), Span::default())?;
+        cx.add_condition(c.clone());
     }
     for p in &env.ports {
-        cx.add_port(p.clone(), Span::default())?;
+        if let Err(e) = cx.add_port(p.clone(), Span::default()) {
+            em.emit(e);
+        }
     }
 
     // Pass 1: type declarations and externs.
@@ -164,11 +190,12 @@ pub fn analyze(items: &[Item], env: &ProgramEnv) -> Result<CheckedProgram, Compi
         match item {
             Item::Enum(e) => {
                 if cx.enums.insert(e.name.clone(), e.variants.clone()).is_some() {
-                    return Err(CompileError::sema(e.span, format!("duplicate enum `{}`", e.name)));
+                    em.emit(CompileError::sema(e.span, format!("duplicate enum `{}`", e.name)));
+                    continue;
                 }
                 for (i, v) in e.variants.iter().enumerate() {
                     if cx.enum_values.insert(v.clone(), i as i64).is_some() {
-                        return Err(CompileError::sema(
+                        em.emit(CompileError::sema(
                             e.span,
                             format!("duplicate enum variant `{v}`"),
                         ));
@@ -178,37 +205,47 @@ pub fn analyze(items: &[Item], env: &ProgramEnv) -> Result<CheckedProgram, Compi
             Item::Struct(s) => {
                 let mut fields = Vec::new();
                 for f in &s.fields {
-                    let ty = cx.resolve_type(&f.ty, s.span)?;
-                    let scalar = ty.as_scalar().ok_or_else(|| {
-                        CompileError::sema(
-                            s.span,
-                            format!("struct field `{}` must be scalar or enum", f.name),
-                        )
-                    })?;
+                    let scalar = match cx.resolve_type(&f.ty, s.span) {
+                        Ok(ty) => match ty.as_scalar() {
+                            Some(sc) => sc,
+                            None => {
+                                em.emit(CompileError::sema(
+                                    s.span,
+                                    format!("struct field `{}` must be scalar or enum", f.name),
+                                ));
+                                RECOVERY_SCALAR
+                            }
+                        },
+                        Err(e) => {
+                            em.emit(e);
+                            RECOVERY_SCALAR
+                        }
+                    };
                     fields.push((f.name.clone(), scalar));
                 }
                 if cx.structs.insert(s.name.clone(), StructLayout { fields }).is_some() {
-                    return Err(CompileError::sema(
+                    em.emit(CompileError::sema(
                         s.span,
                         format!("duplicate struct `{}`", s.name),
                     ));
                 }
             }
-            Item::ExternEvent(name, span) => cx.add_event(name.clone(), *span)?,
-            Item::ExternCondition(name, span) => cx.add_condition(name.clone(), *span)?,
+            Item::ExternEvent(name, _) => cx.add_event(name.clone()),
+            Item::ExternCondition(name, _) => cx.add_condition(name.clone()),
             Item::ExternPort(p) => {
                 let (readable, writable) = match p.direction.as_str() {
                     "in" => (true, false),
                     "out" => (false, true),
                     "bidir" => (true, true),
                     other => {
-                        return Err(CompileError::sema(
+                        em.emit(CompileError::sema(
                             p.span,
                             format!("invalid port direction `{other}`"),
-                        ))
+                        ));
+                        (true, true)
                     }
                 };
-                cx.add_port(
+                if let Err(e) = cx.add_port(
                     PortSpec {
                         name: p.name.clone(),
                         width: p.width,
@@ -217,7 +254,9 @@ pub fn analyze(items: &[Item], env: &ProgramEnv) -> Result<CheckedProgram, Compi
                         writable,
                     },
                     p.span,
-                )?;
+                ) {
+                    em.emit(e);
+                }
             }
             _ => {}
         }
@@ -226,30 +265,57 @@ pub fn analyze(items: &[Item], env: &ProgramEnv) -> Result<CheckedProgram, Compi
     // Pass 2: globals (flattened) and function signatures.
     for item in items {
         match item {
-            Item::Global(g) => cx.add_global(g)?,
+            Item::Global(g) => {
+                if let Err(e) = cx.add_global(g) {
+                    em.emit(e);
+                    cx.placeholder_global(&g.name);
+                }
+            }
             Item::Function(f) => {
-                let ret = match cx.resolve_type(&f.ret, f.span)? {
-                    Type::Void => None,
-                    t => Some(t.as_scalar().ok_or_else(|| {
-                        CompileError::sema(f.span, "function must return void or a scalar")
-                    })?),
+                let ret = match cx.resolve_type(&f.ret, f.span) {
+                    Ok(Type::Void) => None,
+                    Ok(t) => match t.as_scalar() {
+                        Some(s) => Some(s),
+                        None => {
+                            em.emit(CompileError::sema(
+                                f.span,
+                                "function must return void or a scalar",
+                            ));
+                            None
+                        }
+                    },
+                    Err(e) => {
+                        em.emit(e);
+                        None
+                    }
                 };
                 let mut params = Vec::new();
                 for (pname, pty) in &f.params {
-                    let t = cx.resolve_type(pty, f.span)?;
-                    let s = t.as_scalar().ok_or_else(|| {
-                        CompileError::sema(
-                            f.span,
-                            format!("parameter `{pname}` must be scalar (struct parameters are not supported)"),
-                        )
-                    })?;
+                    let s = match cx.resolve_type(pty, f.span) {
+                        Ok(t) => match t.as_scalar() {
+                            Some(s) => s,
+                            None => {
+                                em.emit(CompileError::sema(
+                                    f.span,
+                                    format!("parameter `{pname}` must be scalar (struct parameters are not supported)"),
+                                ));
+                                RECOVERY_SCALAR
+                            }
+                        },
+                        Err(e) => {
+                            em.emit(e);
+                            RECOVERY_SCALAR
+                        }
+                    };
                     params.push(s);
                 }
                 if cx.func_map.contains_key(&f.name) {
-                    return Err(CompileError::sema(
+                    // Keep the first definition; uses still resolve.
+                    em.emit(CompileError::sema(
                         f.span,
                         format!("duplicate function `{}`", f.name),
                     ));
+                    continue;
                 }
                 cx.func_map.insert(f.name.clone(), cx.functions.len() as u32);
                 cx.signatures.push(Signature { params, ret });
@@ -259,21 +325,26 @@ pub fn analyze(items: &[Item], env: &ProgramEnv) -> Result<CheckedProgram, Compi
         }
     }
 
-    // Pass 3: check bodies.
+    // Pass 3: check bodies, statement by statement.
     for fi in 0..cx.functions.len() {
         let f = cx.functions[fi].clone();
         let mut scopes = Scopes::new();
         for ((pname, _), sig_ty) in f.params.iter().zip(&cx.signatures[fi].params) {
-            scopes.declare(pname.clone(), *sig_ty, f.span)?;
+            if let Err(e) = scopes.declare(pname.clone(), *sig_ty, f.span) {
+                em.emit(e);
+            }
         }
         let ret = cx.signatures[fi].ret;
-        cx.check_body(&f.body, &mut scopes, ret)?;
+        cx.check_body_into(&f.body, &mut scopes, ret, em);
     }
 
     // Pass 4: call graph, recursion ban, topological order.
-    let topo_order = cx.topo_sort()?;
+    let topo_order = cx.topo_sort_into(em);
 
-    Ok(CheckedProgram {
+    if em.errors() > errors_at_entry {
+        return None;
+    }
+    Some(CheckedProgram {
         enums: cx.enums,
         enum_values: cx.enum_values,
         structs: cx.structs,
@@ -343,20 +414,35 @@ impl Scopes {
 impl Context {
     // Extern declarations (events/conditions/ports) are idempotent: a
     // chart-injected symbol may be re-declared in source without harm.
-    fn add_event(&mut self, name: String, _span: Span) -> Result<(), CompileError> {
+    fn add_event(&mut self, name: String) {
         if !self.event_map.contains_key(&name) {
             self.event_map.insert(name.clone(), self.events.len() as u32);
             self.events.push(name);
         }
-        Ok(())
     }
 
-    fn add_condition(&mut self, name: String, _span: Span) -> Result<(), CompileError> {
+    fn add_condition(&mut self, name: String) {
         if !self.condition_map.contains_key(&name) {
             self.condition_map.insert(name.clone(), self.conditions.len() as u32);
             self.conditions.push(name);
         }
-        Ok(())
+    }
+
+    /// Binds `name` to a fresh placeholder scalar slot after its real
+    /// declaration failed, so later uses resolve instead of cascading
+    /// into `unknown variable` noise.
+    fn placeholder_global(&mut self, name: &str) {
+        if self.globals.contains_key(name) {
+            return;
+        }
+        let slot = self.global_slots.len() as u32;
+        self.global_slots.push(GlobalSlot {
+            name: name.to_string(),
+            ty: RECOVERY_SCALAR,
+            init: 0,
+        });
+        self.globals
+            .insert(name.to_string(), GlobalBinding::Scalar { slot, ty: RECOVERY_SCALAR });
     }
 
     fn add_port(&mut self, spec: PortSpec, span: Span) -> Result<(), CompileError> {
@@ -505,18 +591,77 @@ impl Context {
 
     // ---- body checking ---------------------------------------------------
 
-    fn check_body(
+    /// Checks a body with statement-level recovery: a bad statement is
+    /// reported and the walk continues, declarations that fail still
+    /// enter scope with a placeholder type, and nested `if`/`while`
+    /// bodies recover statement-by-statement too.
+    fn check_body_into(
         &self,
         body: &[Stmt],
         scopes: &mut Scopes,
         ret: Option<Scalar>,
-    ) -> Result<(), CompileError> {
+        em: &mut Emitter,
+    ) {
         for stmt in body {
-            self.check_stmt(stmt, scopes, ret)?;
+            match stmt {
+                Stmt::Local { name, ty, init, span } => {
+                    let s = match self.resolve_type(ty, *span) {
+                        Ok(t) => match t.as_scalar() {
+                            Some(s) => s,
+                            None => {
+                                em.emit(CompileError::sema(
+                                    *span,
+                                    format!(
+                                        "local `{name}` must be scalar (aggregates are globals-only)"
+                                    ),
+                                ));
+                                RECOVERY_SCALAR
+                            }
+                        },
+                        Err(e) => {
+                            em.emit(e);
+                            RECOVERY_SCALAR
+                        }
+                    };
+                    if let Some(e) = init {
+                        if let Err(err) = self.type_of(e, scopes) {
+                            em.emit(err);
+                        }
+                    }
+                    if let Err(e) = scopes.declare(name.clone(), s, *span) {
+                        em.emit(e);
+                    }
+                }
+                Stmt::If { cond, then_body, else_body } => {
+                    if let Err(e) = self.type_of(cond, scopes) {
+                        em.emit(e);
+                    }
+                    scopes.push();
+                    self.check_body_into(then_body, scopes, ret, em);
+                    scopes.pop();
+                    scopes.push();
+                    self.check_body_into(else_body, scopes, ret, em);
+                    scopes.pop();
+                }
+                Stmt::While { cond, body } => {
+                    if let Err(e) = self.type_of(cond, scopes) {
+                        em.emit(e);
+                    }
+                    scopes.push();
+                    self.check_body_into(body, scopes, ret, em);
+                    scopes.pop();
+                }
+                other => {
+                    if let Err(e) = self.check_stmt(other, scopes, ret) {
+                        em.emit(e);
+                    }
+                }
+            }
         }
-        Ok(())
     }
 
+    /// Checks one non-compound statement (the compound forms recover in
+    /// [`Context::check_body_into`]).
     fn check_stmt(
         &self,
         stmt: &Stmt,
@@ -524,19 +669,6 @@ impl Context {
         ret: Option<Scalar>,
     ) -> Result<(), CompileError> {
         match stmt {
-            Stmt::Local { name, ty, init, span } => {
-                let t = self.resolve_type(ty, *span)?;
-                let s = t.as_scalar().ok_or_else(|| {
-                    CompileError::sema(
-                        *span,
-                        format!("local `{name}` must be scalar (aggregates are globals-only)"),
-                    )
-                })?;
-                if let Some(e) = init {
-                    self.type_of(e, scopes)?;
-                }
-                scopes.declare(name.clone(), s, *span)
-            }
             Stmt::Assign { lvalue, value, .. } => {
                 self.type_of(value, scopes)?;
                 self.check_lvalue(lvalue, scopes)
@@ -554,24 +686,7 @@ impl Context {
                     )),
                 }
             }
-            Stmt::If { cond, then_body, else_body } => {
-                self.type_of(cond, scopes)?;
-                scopes.push();
-                self.check_body(then_body, scopes, ret)?;
-                scopes.pop();
-                scopes.push();
-                self.check_body(else_body, scopes, ret)?;
-                scopes.pop();
-                Ok(())
-            }
-            Stmt::While { cond, body } => {
-                self.type_of(cond, scopes)?;
-                scopes.push();
-                self.check_body(body, scopes, ret)?;
-                scopes.pop();
-                Ok(())
-            }
-            Stmt::For => Ok(()),
+            Stmt::Local { .. } | Stmt::If { .. } | Stmt::While { .. } | Stmt::For => Ok(()),
             Stmt::Return(value, span) => match (value, ret) {
                 (Some(e), Some(_)) => {
                     self.type_of(e, scopes)?;
@@ -757,19 +872,30 @@ impl Context {
 
     // ---- call graph -------------------------------------------------------
 
-    fn topo_sort(&self) -> Result<Vec<u32>, CompileError> {
+    /// Orders functions callee-first, reporting *every* unknown callee
+    /// and cycle instead of stopping at the first. The order is only
+    /// meaningful when no errors were emitted (callers discard it
+    /// otherwise), so edges to unknown functions are simply dropped and
+    /// an aborted cycle visit leaves its path unordered.
+    fn topo_sort_into(&self, em: &mut Emitter) -> Vec<u32> {
         let n = self.functions.len();
         let mut callees: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (i, f) in self.functions.iter().enumerate() {
-            collect_calls(&f.body, &mut |name, span| {
-                let fi = *self.func_map.get(name).ok_or_else(|| {
-                    CompileError::sema(span, format!("unknown function `{name}`"))
-                })?;
-                if !callees[i].contains(&fi) {
-                    callees[i].push(fi);
+            let r = collect_calls(&f.body, &mut |name, span| {
+                match self.func_map.get(name) {
+                    Some(&fi) => {
+                        if !callees[i].contains(&fi) {
+                            callees[i].push(fi);
+                        }
+                    }
+                    None => em.emit(CompileError::sema(
+                        span,
+                        format!("unknown function `{name}`"),
+                    )),
                 }
                 Ok(())
-            })?;
+            });
+            debug_assert!(r.is_ok(), "recovering collect closure never errors");
         }
         // DFS with colour marking; grey->grey edge = recursion.
         let mut colour = vec![0u8; n]; // 0 white, 1 grey, 2 black
@@ -803,10 +929,12 @@ impl Context {
         }
         for v in 0..n {
             if colour[v] == 0 {
-                visit(v, &callees, &mut colour, &mut order, &self.functions)?;
+                if let Err(e) = visit(v, &callees, &mut colour, &mut order, &self.functions) {
+                    em.emit(e);
+                }
             }
         }
-        Ok(order)
+        order
     }
 }
 

@@ -1,0 +1,161 @@
+//! The recovering action-language frontend against its legacy
+//! fail-fast face: differential pins (the first accumulated diagnostic
+//! IS the legacy error, field for field) and recovery properties
+//! (mutilated sources never panic, failures always diagnose, reports
+//! are deterministic and canonically sorted).
+
+use proptest::prelude::*;
+use pscp_action_lang::sema::ProgramEnv;
+use pscp_action_lang::{compile_diag, compile_with_env};
+use pscp_diag::DiagnosticSink;
+
+/// Error-path inputs, one per failure class the legacy suite
+/// exercises: lexical, syntactic and semantic.
+const ERROR_INPUTS: &[&str] = &[
+    // Lex: bad byte, malformed binary literal, unterminated comment.
+    "int:16 x = `;",
+    "int:16 x = B:;",
+    "/* never closed",
+    // Parse: missing `;`, missing `)`, stray token, truncated body.
+    "void f() { x = 1 }",
+    "void f(int:16 a { }",
+    "void f() { } }",
+    "void f() {",
+    // Sema: unknown name, type mismatch, recursion, duplicate
+    // definition, unknown callee.
+    "void f() { ghost = 1; }",
+    "void f() { f(); }",
+    "int:16 g; int:16 g;",
+    "void f() { h(1); }",
+    "int:16 f() { return; }",
+];
+
+#[test]
+fn legacy_error_is_the_first_accumulated_diagnostic() {
+    let env = ProgramEnv::default();
+    for src in ERROR_INPUTS {
+        let legacy =
+            compile_with_env(src, &env).expect_err(&format!("fixture must fail: {src:?}"));
+        let mut sink = DiagnosticSink::new();
+        let program = compile_diag(src, &env, &mut sink);
+        assert!(program.is_none(), "recovering compile must agree on failure: {src:?}");
+        let first = sink.first_error().expect("failed compile carries a diagnostic").clone();
+        assert_eq!(
+            first.code,
+            pscp_action_lang::diag::phase_code(legacy.phase),
+            "phase code differs on {src:?}"
+        );
+        assert_eq!(first.message, legacy.message, "message differs on {src:?}");
+        assert_eq!(
+            first.span,
+            pscp_action_lang::diag::span_to_diag(legacy.span),
+            "span differs on {src:?}"
+        );
+    }
+}
+
+#[test]
+fn recovery_reports_more_than_the_legacy_first_error() {
+    // One lexical, one syntactic and two semantic problems in a single
+    // source: fail-fast stops at the first, recovery reports them all.
+    let src = "\
+        int:16 a = `1;\n\
+        void f() { a = b }\n\
+        void g() { c = 2; d(); }\n";
+    let env = ProgramEnv::default();
+    let mut sink = DiagnosticSink::new();
+    assert!(compile_diag(src, &env, &mut sink).is_none());
+    assert!(
+        sink.error_count() >= 3,
+        "expected >= 3 recovered errors, got {}: {:?}",
+        sink.error_count(),
+        sink.emitted()
+    );
+    let legacy = compile_with_env(src, &env).unwrap_err();
+    assert_eq!(sink.first_error().unwrap().message, legacy.message);
+}
+
+fn action_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("int:16".to_string()),
+            Just("uint:8".to_string()),
+            Just("void".to_string()),
+            Just("enum".to_string()),
+            Just("struct".to_string()),
+            Just("event".to_string()),
+            Just("condition".to_string()),
+            Just("port".to_string()),
+            Just("raise".to_string()),
+            Just("if".to_string()),
+            Just("else".to_string()),
+            Just("while".to_string()),
+            Just("return".to_string()),
+            Just("f".to_string()),
+            Just("x".to_string()),
+            Just("ghost".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just("{".to_string()),
+            Just("}".to_string()),
+            Just(";".to_string()),
+            Just("=".to_string()),
+            Just("+".to_string()),
+            Just("*".to_string()),
+            Just("42".to_string()),
+            Just("B:1010".to_string()),
+            Just("B:".to_string()),
+            Just("`".to_string()),
+            Just("@".to_string()),
+        ],
+        0..40,
+    )
+    .prop_map(|toks| toks.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mutilated_sources_never_panic_and_always_diagnose(src in action_soup()) {
+        let env = ProgramEnv::default();
+        let legacy = compile_with_env(&src, &env);
+        let mut sink = DiagnosticSink::new();
+        let recovered = compile_diag(&src, &env, &mut sink);
+
+        prop_assert_eq!(legacy.is_ok(), recovered.is_some());
+
+        match legacy {
+            Ok(_) => prop_assert!(!sink.has_errors()),
+            Err(e) => {
+                prop_assert!(sink.error_count() >= 1);
+                let first = sink.first_error().unwrap();
+                prop_assert_eq!(&first.message, &e.message);
+                prop_assert_eq!(
+                    first.span,
+                    pscp_action_lang::diag::span_to_diag(e.span)
+                );
+            }
+        }
+
+        // Deterministic, canonically sorted report.
+        let report = sink.finish();
+        let mut resorted = report.clone();
+        pscp_diag::sort_dedup(&mut resorted);
+        prop_assert_eq!(&report, &resorted);
+
+        let mut sink2 = DiagnosticSink::new();
+        let _ = compile_diag(&src, &env, &mut sink2);
+        prop_assert_eq!(report, sink2.finish());
+    }
+
+    #[test]
+    fn raw_bytes_never_panic(src in ".{0,160}") {
+        let env = ProgramEnv::default();
+        let mut sink = DiagnosticSink::new();
+        let _ = compile_diag(&src, &env, &mut sink);
+        if compile_with_env(&src, &env).is_err() {
+            prop_assert!(sink.error_count() >= 1);
+        }
+    }
+}

@@ -3,9 +3,17 @@
 //! Runs the PR-1 hot-path workloads (SLA evaluation, configuration
 //! cycles, one full pick-and-place co-sim move), the PR-2 batched
 //! co-simulation sweep, and the PR-3 incremental-revalidation
-//! workloads with plain wall-clock timing, and writes `BENCH_7.json`
+//! workloads with plain wall-clock timing, and writes `BENCH_8.json`
 //! into the current directory so the perf trajectory is tracked across
 //! PRs.
+//!
+//! PR-8 adds `compile_diagnostics`: the same chart/action pair
+//! compiled fail-fast (legacy `parse_chart` + `compile_system`) and
+//! through the accumulating `compile_sources` diagnostics sink — the
+//! sink must be free on the happy path, so the two timings are
+//! recorded side by side with the overhead percentage — plus the cost
+//! of producing a full multi-phase error report from a fixture with
+//! errors seeded across chart parse, chart structure and action parse.
 //!
 //! PR-7 adds `compile_cache`: a DSE-shaped candidate sweep compiled
 //! cold (full per-candidate codegen) and warm (function-granularity
@@ -53,7 +61,10 @@ use pscp_bench::{example_system, multi_head_inputs, pickup_head_inputs};
 /// Parallel pickup heads in the scaled DSE workload.
 const DSE_HEADS: usize = 6;
 use pscp_core::arch::PscpArch;
-use pscp_core::compile::{compile_system_from_ir, compile_system_with, SystemArtifacts};
+use pscp_core::compile::{
+    compile_system, compile_system_from_ir, compile_system_with, SystemArtifacts,
+};
+use pscp_core::diag::{compile_sources, DiagnosticSink};
 use pscp_core::machine::{PscpMachine, ScriptedEnvironment};
 use pscp_core::optimize::{optimize, MemoPersistence, OptimizationResult, OptimizeOptions};
 use pscp_core::pool::{default_workers, BatchOptions, SimPool};
@@ -311,6 +322,61 @@ fn compile_cache() -> (f64, f64, f64, bool) {
     (cold_s, warm_s, hit_rate, identical)
 }
 
+/// The diagnostics pipeline, happy path and error path. The same
+/// chart/action pair is compiled fail-fast (legacy `parse_chart` +
+/// `compile_system`) and through the accumulating `compile_sources`
+/// sink — a sink that stays empty must be free, so the two timings
+/// should sit within noise of each other. The error path compiles a
+/// fixture with errors seeded across chart parse, chart structure and
+/// action parse and records the cost of the full recovered report.
+/// Returns (fail-fast seconds, sink seconds, error-report seconds,
+/// diagnostics in the error report, report deterministic).
+fn compile_diagnostics() -> (f64, f64, f64, usize, bool) {
+    const CHART: &str = "\
+        event TICK period 100;\n\
+        orstate Root { contains A, B; default A; }\n\
+        basicstate A { transition { target B; label \"TICK/Frob(1)\"; } }\n\
+        basicstate B { transition { target A; label \"TICK/Note(1, 2)\"; } }\n";
+    const ACTIONS: &str = "\
+        int:16 seen;\n\
+        void Frob(int:16 k) { seen = k; }\n\
+        void Note(int:16 a, int:16 b) { seen = seen + a + b; }\n";
+    const BROKEN_CHART: &str = "\
+        event TICK period 100;\n\
+        orstate Root { contains Off, On; default Elsewhere; }\n\
+        basicstate Off { transition { target On label \"TICK\"; } }\n\
+        basicstate On { transition { target Off; label \"BOOM\"; } }\n\
+        orstate Half { contains ; }\n";
+    const BROKEN_ACTIONS: &str = "int:16 total;\nvoid Broke() { total = 1 }\n";
+    let arch = PscpArch::dual_md16(true);
+    let opts = CodegenOptions::default();
+
+    let failfast_s = time(100, || {
+        let chart = pscp_statechart::parse::parse_chart(CHART).expect("chart parses");
+        compile_system(&chart, ACTIONS, &arch, &opts).expect("system compiles")
+    });
+    let sink_s = time(100, || {
+        let mut sink = DiagnosticSink::new();
+        compile_sources(CHART, ACTIONS, &arch, &opts, &mut sink).expect("system compiles")
+    });
+    let report_s = time(100, || {
+        let mut sink = DiagnosticSink::new();
+        let compiled = compile_sources(BROKEN_CHART, BROKEN_ACTIONS, &arch, &opts, &mut sink);
+        assert!(compiled.is_none(), "seeded-error fixture must not compile");
+        sink.finish()
+    });
+
+    // Report size and determinism, outside the timed regions.
+    let report = |chart: &str, actions: &str| {
+        let mut sink = DiagnosticSink::new();
+        let _ = compile_sources(chart, actions, &arch, &opts, &mut sink);
+        sink.finish()
+    };
+    let first = report(BROKEN_CHART, BROKEN_ACTIONS);
+    let deterministic = first == report(BROKEN_CHART, BROKEN_ACTIONS);
+    (failfast_s, sink_s, report_s, first.len(), deterministic)
+}
+
 /// A 16-scenario pick-and-place sweep through `SimPool`: (1-worker
 /// seconds, n-worker seconds, outputs identical, scenarios).
 fn batch_cosim(workers: usize) -> (f64, f64, bool, usize) {
@@ -559,6 +625,8 @@ fn main() {
     let (dse_full, dse_inc, dse_identical, dse_steps) = dse_explore();
     let (memo_cold, memo_warm, memo_identical, memo_corrupt_ok) = memo_store(&memo_path);
     let (cache_cold, cache_warm, cache_hit_rate, cache_identical) = compile_cache();
+    let (diag_failfast, diag_sink, diag_report, diag_count, diag_deterministic) =
+        compile_diagnostics();
     let (batch_one, batch_many, batch_identical, batch_n) = batch_cosim(workers);
     let (gang_secs, gang_identical, gang_n) = gang_cosim();
     let (serve_inproc, serve_clients, serve_identical) = serve_smoke(workers);
@@ -569,7 +637,7 @@ fn main() {
     let sim_cycles_per_sec = sim_cycles as f64 / cosim_s;
     let json = format!(
         r#"{{
-  "bench": 7,
+  "bench": 8,
   "workers": {workers},
   "workloads": {{
     "sla_eval": {{
@@ -617,6 +685,14 @@ fn main() {
       "warm_speedup": {cache_speedup:.2},
       "hit_rate": {cache_hit_rate:.3},
       "results_identical": {cache_identical}
+    }},
+    "compile_diagnostics": {{
+      "happy_failfast_us": {diag_failfast_us:.3},
+      "happy_sink_us": {diag_sink_us:.3},
+      "sink_overhead_pct": {diag_overhead_pct:.2},
+      "error_report_us": {diag_report_us:.3},
+      "error_report_diags": {diag_count},
+      "report_deterministic": {diag_deterministic}
     }},
     "batch_cosim": {{
       "scenarios": {batch_n},
@@ -681,6 +757,10 @@ fn main() {
         cache_cold_ms = cache_cold * 1e3,
         cache_warm_ms = cache_warm * 1e3,
         cache_speedup = cache_cold / cache_warm,
+        diag_failfast_us = diag_failfast * 1e6,
+        diag_sink_us = diag_sink * 1e6,
+        diag_overhead_pct = (diag_sink / diag_failfast - 1.0) * 100.0,
+        diag_report_us = diag_report * 1e6,
         batch_one_ms = batch_one * 1e3,
         batch_many_ms = batch_many * 1e3,
         batch_speedup = batch_one / batch_many,
@@ -707,8 +787,8 @@ fn main() {
         btrace = baseline::TRACE_OVERHEAD_PCT,
         wall_s = wall.elapsed().as_secs_f64(),
     );
-    std::fs::write("BENCH_7.json", &json).expect("write BENCH_7.json");
-    std::fs::write("BENCH_7_metrics.json", &metrics_snapshot)
-        .expect("write BENCH_7_metrics.json");
+    std::fs::write("BENCH_8.json", &json).expect("write BENCH_8.json");
+    std::fs::write("BENCH_8_metrics.json", &metrics_snapshot)
+        .expect("write BENCH_8_metrics.json");
     print!("{json}");
 }

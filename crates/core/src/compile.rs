@@ -329,6 +329,25 @@ pub fn compile_system_with(
     options: &CodegenOptions,
     cache: Option<&CodegenCache>,
 ) -> Result<CompiledSystem, SystemError> {
+    let (sys, mut errors) = compile_system_collect(artifacts, ir, arch, options, cache);
+    if errors.is_empty() {
+        Ok(sys)
+    } else {
+        Err(errors.remove(0))
+    }
+}
+
+/// Recovering core of [`compile_system_with`]: binds every transition
+/// and state reaction even after failures, returning the system
+/// together with *all* binding errors in check order (empty = success).
+/// Calls that failed to bind are omitted from their binding.
+pub(crate) fn compile_system_collect(
+    artifacts: &SystemArtifacts,
+    ir: &Program,
+    arch: &PscpArch,
+    options: &CodegenOptions,
+    cache: Option<&CodegenCache>,
+) -> (CompiledSystem, Vec<SystemError>) {
     let rebuilt;
     let artifacts = if arch.encoding == artifacts.encoding {
         artifacts
@@ -351,49 +370,65 @@ pub fn compile_system_with(
     }
     let arch = &arch;
 
+    let mut errors: Vec<SystemError> = Vec::new();
     let bind = |actions: &[pscp_statechart::model::ActionCall],
-                site: usize|
-     -> Result<TransitionBinding, SystemError> {
+                site: usize,
+                errors: &mut Vec<SystemError>|
+     -> TransitionBinding {
         let mut calls = Vec::new();
         for call in actions {
-            let func = program.function_index(&call.function).ok_or_else(|| {
-                SystemError::UnknownRoutine { name: call.function.clone(), transition: site }
-            })?;
+            let Some(func) = program.function_index(&call.function) else {
+                errors.push(SystemError::UnknownRoutine {
+                    name: call.function.clone(),
+                    transition: site,
+                });
+                continue;
+            };
             let params = program.functions[func as usize].param_count as usize;
             if params != call.args.len() {
-                return Err(SystemError::ArityMismatch {
+                errors.push(SystemError::ArityMismatch {
                     routine: call.function.clone(),
                     expected: params,
                     got: call.args.len(),
                 });
+                continue;
             }
             let mut args = Vec::with_capacity(call.args.len());
+            let mut ok = true;
             for text in &call.args {
-                args.push(resolve_arg(text, ir).ok_or_else(|| SystemError::BadArgument {
-                    text: text.clone(),
-                    routine: call.function.clone(),
-                })?);
+                match resolve_arg(text, ir) {
+                    Some(a) => args.push(a),
+                    None => {
+                        errors.push(SystemError::BadArgument {
+                            text: text.clone(),
+                            routine: call.function.clone(),
+                        });
+                        ok = false;
+                    }
+                }
             }
-            calls.push(BoundCall { func, args });
+            if ok {
+                calls.push(BoundCall { func, args });
+            }
         }
-        Ok(TransitionBinding { calls })
+        TransitionBinding { calls }
     };
 
     let mut bindings = Vec::with_capacity(chart.transition_count());
     for (ti, t) in chart.transitions().enumerate() {
-        bindings.push(bind(&t.actions, ti)?);
+        bindings.push(bind(&t.actions, ti, &mut errors));
     }
     let mut entry_bindings = Vec::with_capacity(chart.state_count());
     let mut exit_bindings = Vec::with_capacity(chart.state_count());
     for (si, s) in chart.states().enumerate() {
-        entry_bindings.push(bind(&s.entry_actions, si)?);
-        exit_bindings.push(bind(&s.exit_actions, si)?);
+        entry_bindings.push(bind(&s.entry_actions, si, &mut errors));
+        exit_bindings.push(bind(&s.exit_actions, si, &mut errors));
     }
 
     // Built last, against the post-custom-op program and architecture.
     let tables = SchedulerTables::build(chart, arch, &program);
 
-    Ok(CompiledSystem {
+    let sys = CompiledSystem {
         chart: Arc::clone(&artifacts.chart),
         layout: Arc::clone(&artifacts.layout),
         sla: Arc::clone(&artifacts.sla),
@@ -403,7 +438,8 @@ pub fn compile_system_with(
         exit_bindings,
         arch: arch.clone(),
         tables,
-    })
+    };
+    (sys, errors)
 }
 
 /// Resolves a textual label argument: integer literal, enum variant, or

@@ -44,6 +44,7 @@
 pub mod arch;
 pub mod area;
 pub mod compile;
+pub mod diag;
 pub mod gang;
 pub mod library;
 pub mod machine;

@@ -106,13 +106,18 @@ where
                 }
                 // Lifetime span so every spawned worker shows up in the
                 // trace, even one the queue starved (free when off).
-                let _worker_span = pscp_obs::trace::span("worker.run");
+                let worker_span = pscp_obs::trace::span("worker.run");
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(i) else { break };
                     let r = f(i, job);
                     *slots[i].lock().unwrap() = Some(r);
                 }
+                // Flush before the closure returns: the scope join can
+                // complete before this thread's TLS destructors run, so
+                // an exit-time flush may land after the caller exports.
+                drop(worker_span);
+                pscp_obs::trace::flush_current_thread();
             });
         }
     });
@@ -255,7 +260,7 @@ impl SimPool {
                     }
                     // Lifetime span so every spawned worker shows up in
                     // the trace, even one the queue starved.
-                    let _worker_span = pscp_obs::trace::span("worker.run");
+                    let worker_span = pscp_obs::trace::span("worker.run");
                     // One machine per worker, reset between scenarios.
                     let mut machine = PscpMachine::new(system);
                     loop {
@@ -268,6 +273,12 @@ impl SimPool {
                         let outcome = run_scenario(w, &mut machine, env, limits, &done);
                         *slots[i].lock().unwrap() = Some(outcome);
                     }
+                    // Flush before the closure returns: the scope join
+                    // can complete before this thread's TLS destructors
+                    // run, so an exit-time flush may land after the
+                    // caller exports.
+                    drop(worker_span);
+                    pscp_obs::trace::flush_current_thread();
                 });
             }
         });
@@ -339,7 +350,7 @@ impl SimPool {
                     if pscp_obs::trace_enabled() {
                         pscp_obs::trace::set_thread_lane_indexed("sim-worker", w);
                     }
-                    let _worker_span = pscp_obs::trace::span("worker.run");
+                    let worker_span = pscp_obs::trace::span("worker.run");
                     // One gang rig per worker, lanes reset per chunk.
                     let mut rig = GangRig::new(system);
                     loop {
@@ -354,6 +365,12 @@ impl SimPool {
                             chunk.into_iter().map(|e| (e, *limits)).collect();
                         *slots[i].lock().unwrap() = Some(rig.run(w, jobs, done));
                     }
+                    // Flush before the closure returns: the scope join
+                    // can complete before this thread's TLS destructors
+                    // run, so an exit-time flush may land after the
+                    // caller exports.
+                    drop(worker_span);
+                    pscp_obs::trace::flush_current_thread();
                 });
             }
         });

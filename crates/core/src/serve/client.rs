@@ -151,6 +151,48 @@ impl ScenarioClient {
         Ok(outcomes)
     }
 
+    /// Sends chart and action sources for the server to compile and
+    /// blocks for the `Diagnostics` reply: the canonical span-sorted
+    /// diagnostic list, plus the registered system's fingerprint when
+    /// the compile succeeded (0 on failure). Outcomes and credits that
+    /// arrive while waiting are folded into the client state, so a
+    /// compile can be interleaved with in-flight scenarios.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, a malformed stream, or a typed remote error.
+    /// Compile *failures* are not errors — they come back as
+    /// diagnostics with a zero fingerprint.
+    pub fn compile(
+        &mut self,
+        chart: &str,
+        actions: &str,
+    ) -> Result<(u64, Vec<pscp_diag::Diagnostic>), WireError> {
+        wire::write_frame(
+            &mut self.stream,
+            &Frame::Compile { chart: chart.to_string(), actions: actions.to_string() },
+        )?;
+        loop {
+            match self.read_frame()? {
+                Frame::Diagnostics { fingerprint, diagnostics } => {
+                    return Ok((fingerprint, diagnostics));
+                }
+                Frame::Outcome { seq, outcome } => {
+                    self.pending.insert(seq, outcome);
+                }
+                Frame::Credit { n } => {
+                    self.credits = (self.credits + n).min(self.window);
+                }
+                Frame::Error { code, message } => return Err(WireError::Remote { code, message }),
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected frame from server: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
     /// Reads one frame and folds it into the client state.
     fn pump(&mut self) -> Result<(), WireError> {
         match self.read_frame()? {

@@ -33,6 +33,8 @@ pub use server::{serve, spawn, ServerHandle};
 pub use wire::{Frame, WireError, WireOutcome, DEFAULT_MAX_FRAME, DEFAULT_WINDOW};
 
 use crate::compile::CompiledSystem;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -100,4 +102,33 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 pub fn system_fingerprint(system: &CompiledSystem) -> u64 {
     let json = serde_json::to_string(system).unwrap_or_default();
     fnv1a64(json.as_bytes())
+}
+
+/// The per-process system table: every system compiled over the wire
+/// (and every system a server starts serving) registers here, keyed by
+/// its [`system_fingerprint`]. The `Diagnostics` reply hands the
+/// fingerprint back to the client, which can then pin it in a `Hello`
+/// or retrieve the compiled system in-process via [`lookup_system`].
+fn system_table() -> &'static Mutex<BTreeMap<u64, Arc<CompiledSystem>>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<u64, Arc<CompiledSystem>>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Registers a compiled system in the per-process table and returns
+/// its fingerprint. Registering the same system twice is idempotent
+/// (same fingerprint, same key).
+pub fn register_system(system: Arc<CompiledSystem>) -> u64 {
+    let fp = system_fingerprint(&system);
+    system_table().lock().unwrap().insert(fp, system);
+    fp
+}
+
+/// Looks up a registered compiled system by fingerprint.
+pub fn lookup_system(fingerprint: u64) -> Option<Arc<CompiledSystem>> {
+    system_table().lock().unwrap().get(&fingerprint).cloned()
+}
+
+/// Number of systems currently registered in the per-process table.
+pub fn registered_systems() -> usize {
+    system_table().lock().unwrap().len()
 }

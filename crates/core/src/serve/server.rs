@@ -123,6 +123,9 @@ enum Msg {
     /// A fully encoded `Outcome` frame; the writer follows it with a
     /// `Credit { n: 1 }` and releases the in-flight slot.
     Outcome(Vec<u8>),
+    /// A fully encoded frame with no flow-control side effects
+    /// (`Diagnostics` replies).
+    Frame(Vec<u8>),
     /// A fatal error frame; the writer sends it and stops.
     Error { code: u16, message: String },
     /// Orderly end of the connection.
@@ -311,6 +314,9 @@ fn writer(conn: &Conn, stream: &mut TcpStream) {
                     stream.write_all(&wire::encode_frame(&Frame::Credit { n: 1 }))
                 })
                 .map(|()| pscp_obs::metrics::SERVE_FRAMES_OUT.add(conn.id, 2)),
+            Msg::Frame(frame_bytes) => stream
+                .write_all(&frame_bytes)
+                .map(|()| pscp_obs::metrics::SERVE_FRAMES_OUT.add(conn.id, 1)),
             Msg::Error { code, message } => {
                 let r = stream
                     .write_all(&wire::encode_frame(&Frame::Error { code, message }));
@@ -330,10 +336,37 @@ fn writer(conn: &Conn, stream: &mut TcpStream) {
     let _ = stream.flush();
 }
 
+/// Compiles sources received in a `Compile` frame against the serving
+/// system's architecture and default codegen options. Successful
+/// compiles register in the per-process system table; the reply is
+/// always a `Diagnostics` frame (fingerprint 0 on failure) carrying
+/// the canonical span-sorted report.
+fn handle_compile(system: &CompiledSystem, chart: &str, actions: &str) -> Frame {
+    pscp_obs::metrics::SERVE_COMPILES.inc();
+    let mut sink = pscp_diag::DiagnosticSink::new();
+    let compiled = crate::diag::compile_sources(
+        chart,
+        actions,
+        &system.arch,
+        &pscp_tep::codegen::CodegenOptions::default(),
+        &mut sink,
+    );
+    let diagnostics = sink.finish();
+    let fingerprint = match compiled {
+        Some(sys) => super::register_system(Arc::new(sys)),
+        None => {
+            pscp_obs::metrics::SERVE_COMPILE_ERRORS.inc();
+            0
+        }
+    };
+    Frame::Diagnostics { fingerprint, diagnostics }
+}
+
 /// The reader half of a connection: handshake, then submissions.
 fn handle_connection(
     mut stream: TcpStream,
     conn_id: usize,
+    system: &CompiledSystem,
     fingerprint: u64,
     shared: &Shared,
     opts: &ServeOptions,
@@ -350,12 +383,22 @@ fn handle_connection(
             pscp_obs::metrics::SERVE_FRAMES_IN.add(conn_id, 1);
             if fp != 0 && fp != fingerprint {
                 pscp_obs::metrics::SERVE_ERRORS.inc();
+                // Routing hint: a fingerprint the client got from a
+                // Compile round may be registered in this process's
+                // system table even though this listener serves a
+                // different design — say which failure this is.
+                let known = super::lookup_system(fp).is_some();
+                let detail = if known {
+                    " (registered in this process's system table, but not served here)"
+                } else {
+                    ""
+                };
                 let _ = wire::write_frame(
                     &mut stream,
                     &Frame::Error {
                         code: error_code::SYSTEM_MISMATCH,
                         message: format!(
-                            "server system fingerprint {fingerprint:#018x}, client expected {fp:#018x}"
+                            "server system fingerprint {fingerprint:#018x}, client expected {fp:#018x}{detail}"
                         ),
                     },
                 );
@@ -416,11 +459,17 @@ fn handle_connection(
                     limits,
                 });
             }
+            Ok(ReadEvent::Frame(Frame::Compile { chart, actions })) => {
+                pscp_obs::metrics::SERVE_FRAMES_IN.add(conn_id, 1);
+                let reply = handle_compile(system, &chart, &actions);
+                conn.push(Msg::Frame(wire::encode_frame(&reply)));
+            }
             Ok(ReadEvent::Frame(_)) => {
                 pscp_obs::metrics::SERVE_ERRORS.inc();
                 conn.push(Msg::Error {
                     code: error_code::UNEXPECTED_FRAME,
-                    message: "only Submit frames are valid after the handshake".into(),
+                    message: "only Submit and Compile frames are valid after the handshake"
+                        .into(),
                 });
                 break;
             }
@@ -488,6 +537,10 @@ pub fn serve(
     shutdown: &AtomicBool,
 ) -> std::io::Result<()> {
     let fingerprint = super::system_fingerprint(system);
+    // The served system is itself a registry entry, so a client that
+    // compiles identical sources gets the same fingerprint back and can
+    // pin it in its next Hello.
+    super::register_system(Arc::new(system.clone()));
     let shared = Shared::new();
     let threads = opts.threads.max(1);
     let gang = opts.gang.clamp(1, pscp_sla::gang::GANG_WIDTH);
@@ -511,7 +564,9 @@ pub fn serve(
                     next_conn += 1;
                     let shared = &shared;
                     s.spawn(move || {
-                        handle_connection(stream, conn_id, fingerprint, shared, opts, shutdown)
+                        handle_connection(
+                            stream, conn_id, system, fingerprint, shared, opts, shutdown,
+                        )
                     });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}

@@ -19,13 +19,35 @@
 //!
 //! Frame types:
 //!
-//! | tag | frame             | direction       | purpose                              |
-//! |-----|-------------------|-----------------|--------------------------------------|
-//! | 0   | [`Frame::Hello`]  | both            | version/window/fingerprint handshake |
-//! | 1   | [`Frame::Submit`] | client → server | one scripted scenario + limits       |
-//! | 2   | [`Frame::Outcome`]| server → client | one [`WireOutcome`], tagged by seq   |
-//! | 3   | [`Frame::Credit`] | server → client | in-flight window replenishment       |
-//! | 4   | [`Frame::Error`]  | both            | typed fatal error, then close        |
+//! | tag | frame                  | direction       | purpose                              |
+//! |-----|------------------------|-----------------|--------------------------------------|
+//! | 0   | [`Frame::Hello`]       | both            | version/window/fingerprint handshake |
+//! | 1   | [`Frame::Submit`]      | client → server | one scripted scenario + limits       |
+//! | 2   | [`Frame::Outcome`]     | server → client | one [`WireOutcome`], tagged by seq   |
+//! | 3   | [`Frame::Credit`]      | server → client | in-flight window replenishment       |
+//! | 4   | [`Frame::Error`]       | both            | typed fatal error, then close        |
+//! | 5   | [`Frame::Compile`]     | client → server | chart + action sources to compile    |
+//! | 6   | [`Frame::Diagnostics`] | server → client | compile report + system fingerprint  |
+//!
+//! [`Frame::Error`] carries a stable `u16` code from the [`error_code`]
+//! registry; codes are never renumbered, only appended:
+//!
+//! | code | name                                | meaning                                |
+//! |------|-------------------------------------|----------------------------------------|
+//! | 1    | [`error_code::BAD_VERSION`]         | unknown protocol version byte          |
+//! | 2    | [`error_code::BAD_CHECKSUM`]        | frame checksum mismatch                |
+//! | 3    | [`error_code::MALFORMED`]           | structurally invalid frame body        |
+//! | 4    | [`error_code::TOO_LARGE`]           | length prefix above the frame cap      |
+//! | 5    | [`error_code::CREDIT_VIOLATION`]    | submit past the granted credit window  |
+//! | 6    | [`error_code::UNEXPECTED_FRAME`]    | valid frame, wrong direction or state  |
+//! | 7    | [`error_code::SYSTEM_MISMATCH`]     | fingerprint does not match the system  |
+//! | 8    | [`error_code::INTERNAL`]            | server-side internal failure           |
+//!
+//! Compile failures are **not** `Error` frames: a [`Frame::Compile`]
+//! always answers with [`Frame::Diagnostics`], whose fingerprint is 0
+//! when the compile produced errors. The diagnostic list is encoded
+//! canonically ([`encode_diagnostics`]) so a wire round-trip is
+//! byte-identical to an in-process [`pscp_diag::DiagnosticSink::finish`].
 //!
 //! [`WireOutcome`] is the canonical serialisation of a
 //! [`BatchOutcome`]`<`[`ScriptedEnvironment`]`>`; the differential
@@ -35,6 +57,7 @@
 
 use crate::machine::{CycleReport, MachineStats, ScriptedEnvironment};
 use crate::pool::{BatchOptions, BatchOutcome};
+use pscp_diag::{Diagnostic, Pos, Severity, Source, Span};
 use std::fmt;
 use std::io::{Read, Write};
 
@@ -57,6 +80,8 @@ const T_SUBMIT: u8 = 1;
 const T_OUTCOME: u8 = 2;
 const T_CREDIT: u8 = 3;
 const T_ERROR: u8 = 4;
+const T_COMPILE: u8 = 5;
+const T_DIAGNOSTICS: u8 = 6;
 
 /// Error codes carried by [`Frame::Error`].
 pub mod error_code {
@@ -221,6 +246,27 @@ pub enum Frame {
         code: u16,
         /// Human-readable detail.
         message: String,
+    },
+    /// Chart and action sources for the server to compile
+    /// (client → server). Always answered by [`Frame::Diagnostics`] —
+    /// never by an `Error` frame, however broken the sources.
+    Compile {
+        /// Statechart source text.
+        chart: String,
+        /// Action-language source text.
+        actions: String,
+    },
+    /// The full compile report (server → client): every diagnostic
+    /// from every layer, span-sorted and deduplicated, plus the
+    /// fingerprint of the freshly registered system when the compile
+    /// succeeded (0 on failure).
+    Diagnostics {
+        /// [`system_fingerprint`](super::system_fingerprint) of the
+        /// compiled system, now registered in the per-process system
+        /// table; 0 when the compile produced errors.
+        fingerprint: u64,
+        /// The canonical report ([`pscp_diag::DiagnosticSink::finish`]).
+        diagnostics: Vec<Diagnostic>,
     },
 }
 
@@ -454,6 +500,88 @@ fn dec_script(d: &mut Dec<'_>) -> Result<Vec<Vec<String>>, WireError> {
     Ok(script)
 }
 
+fn enc_pos(e: &mut Enc, p: Pos) {
+    e.u32(p.line);
+    e.u32(p.column);
+    e.u32(p.offset);
+}
+
+fn dec_pos(d: &mut Dec<'_>) -> Result<Pos, WireError> {
+    Ok(Pos { line: d.u32()?, column: d.u32()?, offset: d.u32()? })
+}
+
+fn enc_diagnostic(e: &mut Enc, diag: &Diagnostic) {
+    e.u8(diag.severity.code());
+    e.u8(diag.source.code());
+    e.str(&diag.code);
+    enc_pos(e, diag.span.start);
+    enc_pos(e, diag.span.end);
+    e.str(&diag.message);
+    e.u32(diag.notes.len() as u32);
+    for note in &diag.notes {
+        e.str(note);
+    }
+}
+
+/// Fixed bytes every encoded diagnostic costs at least: severity,
+/// source, three length prefixes, and two 12-byte positions.
+const MIN_DIAG_BYTES: usize = 1 + 1 + 4 + 12 + 12 + 4 + 4;
+
+fn dec_diagnostic(d: &mut Dec<'_>) -> Result<Diagnostic, WireError> {
+    let severity =
+        Severity::from_code(d.u8()?).ok_or(WireError::Malformed("bad severity byte"))?;
+    let source = Source::from_code(d.u8()?).ok_or(WireError::Malformed("bad source byte"))?;
+    let code = d.str()?;
+    let span = Span::new(dec_pos(d)?, dec_pos(d)?);
+    let message = d.str()?;
+    let n_notes = d.count(4)?;
+    let mut notes = Vec::with_capacity(n_notes);
+    for _ in 0..n_notes {
+        notes.push(d.str()?);
+    }
+    Ok(Diagnostic { severity, source, code, span, message, notes })
+}
+
+/// Canonical body bytes of a diagnostic list (count + each
+/// diagnostic, no framing). The byte-identity contract hangs off this:
+/// encoding [`pscp_diag::DiagnosticSink::finish`]'s output in-process
+/// equals the `Diagnostics` frame body a server produces for the same
+/// sources.
+pub fn encode_diagnostics(diags: &[Diagnostic]) -> Vec<u8> {
+    let mut e = Enc::new();
+    enc_diagnostics(&mut e, diags);
+    e.buf
+}
+
+/// Decodes canonical diagnostic-list bytes.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation, trailing bytes or invalid
+/// severity/source bytes.
+pub fn decode_diagnostics(bytes: &[u8]) -> Result<Vec<Diagnostic>, WireError> {
+    let mut d = Dec::new(bytes);
+    let diags = dec_diagnostics(&mut d)?;
+    d.finish()?;
+    Ok(diags)
+}
+
+fn enc_diagnostics(e: &mut Enc, diags: &[Diagnostic]) {
+    e.u32(diags.len() as u32);
+    for diag in diags {
+        enc_diagnostic(e, diag);
+    }
+}
+
+fn dec_diagnostics(d: &mut Dec<'_>) -> Result<Vec<Diagnostic>, WireError> {
+    let n = d.count(MIN_DIAG_BYTES)?;
+    let mut diags = Vec::with_capacity(n);
+    for _ in 0..n {
+        diags.push(dec_diagnostic(d)?);
+    }
+    Ok(diags)
+}
+
 fn enc_outcome(e: &mut Enc, o: &WireOutcome) {
     e.u32(o.reports.len() as u32);
     for r in &o.reports {
@@ -605,6 +733,16 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             e.u16(*code);
             e.str(message);
         }
+        Frame::Compile { chart, actions } => {
+            e.u8(T_COMPILE);
+            e.str(chart);
+            e.str(actions);
+        }
+        Frame::Diagnostics { fingerprint, diagnostics } => {
+            e.u8(T_DIAGNOSTICS);
+            e.u64(*fingerprint);
+            enc_diagnostics(&mut e, diagnostics);
+        }
     }
     let checksum = fnv1a32(&e.buf);
     e.u32(checksum);
@@ -651,6 +789,11 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
         T_OUTCOME => Frame::Outcome { seq: d.u64()?, outcome: dec_outcome(&mut d)? },
         T_CREDIT => Frame::Credit { n: d.u32()? },
         T_ERROR => Frame::Error { code: d.u16()?, message: d.str()? },
+        T_COMPILE => Frame::Compile { chart: d.str()?, actions: d.str()? },
+        T_DIAGNOSTICS => Frame::Diagnostics {
+            fingerprint: d.u64()?,
+            diagnostics: dec_diagnostics(&mut d)?,
+        },
         tag => return Err(WireError::UnknownFrame { tag }),
     };
     d.finish()?;
@@ -793,6 +936,20 @@ mod tests {
         }
     }
 
+    fn sample_diagnostics() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::error(Source::Chart, "SC201", "unknown state `Off`"),
+            Diagnostic {
+                severity: Severity::Warning,
+                source: Source::Action,
+                code: "AL301".into(),
+                span: Span::new(Pos::new(3, 9, 41), Pos::new(3, 14, 46)),
+                message: "unused variable `total`".into(),
+                notes: vec!["declared here".into(), "never read".into()],
+            },
+        ]
+    }
+
     #[test]
     fn every_frame_round_trips() {
         let frames = vec![
@@ -805,6 +962,12 @@ mod tests {
             Frame::Outcome { seq: 7, outcome: sample_outcome() },
             Frame::Credit { n: 3 },
             Frame::Error { code: error_code::BAD_CHECKSUM, message: "bad".into() },
+            Frame::Compile {
+                chart: "orstate Root { contains A; default A; }".into(),
+                actions: "void f() { }".into(),
+            },
+            Frame::Diagnostics { fingerprint: 0xfeed_f00d, diagnostics: sample_diagnostics() },
+            Frame::Diagnostics { fingerprint: 0, diagnostics: Vec::new() },
         ];
         for f in frames {
             let bytes = encode_frame(&f);
@@ -820,6 +983,23 @@ mod tests {
     fn outcome_body_round_trips() {
         let o = sample_outcome();
         assert_eq!(WireOutcome::decode(&o.encode()).unwrap(), o);
+    }
+
+    #[test]
+    fn diagnostic_body_round_trips() {
+        let diags = sample_diagnostics();
+        assert_eq!(decode_diagnostics(&encode_diagnostics(&diags)).unwrap(), diags);
+        assert_eq!(decode_diagnostics(&encode_diagnostics(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn bad_severity_byte_is_malformed() {
+        let mut bytes = encode_diagnostics(&sample_diagnostics());
+        bytes[4] = 9; // first diagnostic's severity byte
+        assert!(matches!(
+            decode_diagnostics(&bytes),
+            Err(WireError::Malformed("bad severity byte"))
+        ));
     }
 
     #[test]

@@ -248,6 +248,11 @@ pub static SERVE_CONNECTIONS: Counter = Counter::new();
 pub static SERVE_ERRORS: Counter = Counter::new();
 /// Client-side submissions that had to wait for a credit frame.
 pub static SERVE_CREDIT_STALLS: Counter = Counter::new();
+/// `Compile` frames served (successful or not).
+pub static SERVE_COMPILES: Counter = Counter::new();
+/// `Compile` frames whose sources failed to compile (the `Diagnostics`
+/// reply carried errors and no fingerprint).
+pub static SERVE_COMPILE_ERRORS: Counter = Counter::new();
 /// Frames received by the server, per connection slot.
 pub static SERVE_FRAMES_IN: PerWorker = PerWorker::new();
 /// Frames written by the server, per connection slot.
@@ -348,6 +353,8 @@ const SCALARS: &[(&str, &Counter)] = &[
     ("serve_connections", &SERVE_CONNECTIONS),
     ("serve_errors", &SERVE_ERRORS),
     ("serve_credit_stalls", &SERVE_CREDIT_STALLS),
+    ("serve_compiles", &SERVE_COMPILES),
+    ("serve_compile_errors", &SERVE_COMPILE_ERRORS),
 ];
 
 const PER_WORKER: &[(&str, &PerWorker)] = &[

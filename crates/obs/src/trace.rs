@@ -208,8 +208,11 @@ macro_rules! span {
     };
 }
 
-/// Folds the calling thread's ring into the collector now (worker
-/// threads flush automatically at exit).
+/// Folds the calling thread's ring into the collector now. Threads
+/// also flush at exit via TLS destructors, but a `thread::scope` join
+/// can complete before those destructors run — a scoped worker whose
+/// spans must be visible to the joining thread calls this explicitly
+/// before its closure returns.
 pub fn flush_current_thread() {
     let _ = HOLDER.try_with(|h| {
         if let Some(buf) = h.0.borrow_mut().take() {

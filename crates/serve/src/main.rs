@@ -8,6 +8,11 @@
 //!   against an in-process `SimPool`, and write the obs metrics
 //!   snapshot to `<obs_dir>/serve_metrics.json`. Exits non-zero on
 //!   any byte mismatch.
+//! * `pscp-serve check <chart> [actions]` — compile the chart (and
+//!   optionally an action-language file) without serving anything,
+//!   printing every diagnostic with caret-underlined source excerpts.
+//!   Exits 0 when the sources compile (warnings allowed), 1 on any
+//!   error — the CI-friendly front door to the diagnostics pipeline.
 
 use pscp_core::arch::PscpArch;
 use pscp_core::machine::ScriptedEnvironment;
@@ -23,6 +28,7 @@ use std::sync::Arc;
 fn usage() {
     eprintln!(
         "usage: pscp-serve [session --clients N [--scenarios M] [--window W]]\n\
+         \x20      pscp-serve check <chart-file> [action-file]\n\
          env:   PSCP_SERVE_ADDR (default 127.0.0.1:7971), PSCP_SERVE_WINDOW, PSCP_THREADS"
     );
 }
@@ -32,6 +38,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         None => run_server(),
         Some("session") => session(&args[1..]),
+        Some("check") => check(&args[1..]),
         Some("--help" | "-h" | "help") => {
             usage();
             ExitCode::SUCCESS
@@ -73,6 +80,70 @@ fn run_server() -> ExitCode {
     }
 }
 
+/// `pscp-serve check`: compile chart (+ optional actions) and print
+/// the full diagnostic report with caret-underlined source excerpts.
+/// Chart-sourced diagnostics quote the chart file, action-sourced ones
+/// the action file; system-level findings have no excerpt. Exit 0 when
+/// the sources compile (warnings allowed), 1 on errors, 2 on usage or
+/// unreadable files.
+fn check(args: &[String]) -> ExitCode {
+    use pscp_core::diag::{self, DiagnosticSink, Severity, Source};
+
+    let Some(chart_path) = args.first() else {
+        eprintln!("pscp-serve check: missing chart file");
+        usage();
+        return ExitCode::from(2);
+    };
+    let chart_src = match std::fs::read_to_string(chart_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pscp-serve check: cannot read {chart_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let action_src = match args.get(1) {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("pscp-serve check: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => String::new(),
+    };
+
+    let mut sink = DiagnosticSink::new();
+    let compiled = diag::compile_sources(
+        &chart_src,
+        &action_src,
+        &PscpArch::dual_md16(true),
+        &pscp_core::diag::CodegenOptions::default(),
+        &mut sink,
+    );
+    let report = sink.finish();
+    for d in &report {
+        let source = match d.source {
+            Source::Chart => chart_src.as_str(),
+            Source::Action => action_src.as_str(),
+            Source::System => "",
+        };
+        println!("{}", d.render_with_source(source));
+    }
+    let errors = report.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = report.len() - errors;
+    println!("{errors} error(s), {warnings} warning(s)");
+    match compiled {
+        Some(sys) => {
+            println!(
+                "pscp-serve check: OK (fingerprint {:#018x})",
+                serve::system_fingerprint(&sys)
+            );
+            ExitCode::SUCCESS
+        }
+        None => ExitCode::FAILURE,
+    }
+}
+
 /// A deterministic pickup-head script for (client, scenario) — mixes
 /// power-up, data, and pulse traffic so shard workers see varied work.
 fn script_for(client: usize, scenario: usize) -> Vec<Vec<String>> {
@@ -101,6 +172,79 @@ fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// A small chart/action pair for the live-compile round-trip.
+const RT_CHART: &str = "\
+event TICK period 100;
+orstate Root { contains Off, On; default Off; }
+basicstate Off { transition { target On; label \"TICK\"; } }
+basicstate On { transition { target Off; label \"TICK\"; } }
+";
+const RT_ACTIONS: &str = "int:16 total;\nvoid Bump() { total = total + 1; }\n";
+/// The same chart with the default pointing nowhere and a bad label —
+/// must come back as diagnostics, never a protocol error.
+const RT_BROKEN_CHART: &str = "\
+event TICK period 100;
+orstate Root { contains Off, On; default Missing; }
+basicstate Off { transition { target On; label \"BOOM\"; } }
+basicstate On { transition { target Off; label \"TICK\"; } }
+";
+
+/// One connection: compile good sources, compile broken sources, then
+/// submit a scenario — asserting wire/in-process byte identity of both
+/// diagnostic lists along the way.
+fn compile_roundtrip(
+    addr: std::net::SocketAddr,
+    limits: &BatchOptions,
+) -> Result<(), String> {
+    use pscp_core::diag::{compile_sources, CodegenOptions, DiagnosticSink};
+    use pscp_core::serve::wire::encode_diagnostics;
+
+    let arch = PscpArch::dual_md16(true);
+    let mut client =
+        ScenarioClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+
+    // Good sources: fingerprint registered, report byte-identical.
+    let mut sink = DiagnosticSink::new();
+    let local = compile_sources(RT_CHART, RT_ACTIONS, &arch, &CodegenOptions::default(), &mut sink);
+    let local_diags = sink.finish();
+    let (fp, wire_diags) =
+        client.compile(RT_CHART, RT_ACTIONS).map_err(|e| format!("compile: {e}"))?;
+    if local.is_none() {
+        return Err("good sources failed to compile in-process".into());
+    }
+    if fp == 0 {
+        return Err("good sources came back with fingerprint 0".into());
+    }
+    if encode_diagnostics(&wire_diags) != encode_diagnostics(&local_diags) {
+        return Err("good-source diagnostic list differs from in-process compile".into());
+    }
+
+    // Broken sources: no fingerprint, errors present, still byte-identical.
+    let mut sink = DiagnosticSink::new();
+    let local =
+        compile_sources(RT_BROKEN_CHART, RT_ACTIONS, &arch, &CodegenOptions::default(), &mut sink);
+    let local_diags = sink.finish();
+    let (fp, wire_diags) =
+        client.compile(RT_BROKEN_CHART, RT_ACTIONS).map_err(|e| format!("compile: {e}"))?;
+    if local.is_some() {
+        return Err("broken sources compiled in-process".into());
+    }
+    if fp != 0 {
+        return Err("broken sources came back with a fingerprint".into());
+    }
+    if wire_diags.is_empty() {
+        return Err("broken sources produced an empty diagnostic list".into());
+    }
+    if encode_diagnostics(&wire_diags) != encode_diagnostics(&local_diags) {
+        return Err("broken-source diagnostic list differs from in-process compile".into());
+    }
+
+    // The connection is still good for scenario traffic.
+    client.submit(script_for(0, 0), *limits).map_err(|e| format!("submit: {e}"))?;
+    client.recv().map_err(|e| format!("recv: {e}"))?;
+    Ok(())
 }
 
 /// Loopback differential session.
@@ -136,6 +280,18 @@ fn session(args: &[String]) -> ExitCode {
     };
     let addr = server.addr();
     let fingerprint = serve::system_fingerprint(&system);
+
+    // Compile→Diagnostics→Submit round-trip on one connection: the
+    // wire diagnostic list must be byte-identical to an in-process
+    // compile of the same sources, a good compile must hand back a
+    // registered fingerprint, and the connection must still accept
+    // submissions afterwards.
+    if let Err(e) = compile_roundtrip(addr, &limits) {
+        eprintln!("pscp-serve session: compile round-trip FAILED: {e}");
+        let _ = server.stop();
+        return ExitCode::FAILURE;
+    }
+    println!("pscp-serve session: compile round-trip OK (wire report byte-identical)");
 
     let mismatches: usize = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)

@@ -158,11 +158,47 @@ impl ChartBuilder {
     ///
     /// Returns the first structural error found: duplicate or unknown
     /// names, containment cycles or multiple parents, missing OR defaults,
-    /// unresolvable label atoms, and the other cases in [`ChartError`].
+    /// unresolvable label atoms, and the other cases in [`ChartError`] —
+    /// exactly the first diagnostic [`ChartBuilder::build_diag`] would
+    /// accumulate.
     pub fn build(&self) -> Result<Chart, ChartError> {
+        let mut sink = pscp_diag::DiagnosticSink::new();
+        let mut em = crate::diag::Emitter::new(&mut sink);
+        match self.build_into(&mut em) {
+            Some(chart) => Ok(chart),
+            None => Err(em
+                .take_first_chart()
+                .expect("failed build must carry a chart error")),
+        }
+    }
+
+    /// Builds with error recovery: every structural problem is
+    /// accumulated into `sink` (codes `SC2xx`) instead of stopping at
+    /// the first, and lint findings are appended as warnings (`SC3xx`).
+    /// Returns the chart only when this build added no errors.
+    pub fn build_diag(&self, sink: &mut pscp_diag::DiagnosticSink) -> Option<Chart> {
+        let mut em = crate::diag::Emitter::new(sink);
+        let chart = self.build_into(&mut em)?;
+        for w in crate::validate::lint(&chart) {
+            em.warn(&w);
+        }
+        Some(chart)
+    }
+
+    /// Recovering core of [`ChartBuilder::build`]: check order matches
+    /// the historical fail-fast sequence (so the first emitted error is
+    /// the legacy error), but each failure degrades locally — duplicate
+    /// definitions keep the first, a second parent is ignored, a bad
+    /// default falls back to the first child — and the walk continues.
+    /// Containment cycles abort structure assembly (nothing downstream
+    /// is meaningful on cyclic containment). Returns the chart only
+    /// when nothing was emitted.
+    pub(crate) fn build_into(&self, em: &mut crate::diag::Emitter) -> Option<Chart> {
+        let errors_at_entry = em.errors();
         let mut this = self.clone();
         if this.states.is_empty() {
-            return Err(ChartError::Empty);
+            em.emit_chart(ChartError::Empty);
+            return None;
         }
 
         // Merge `reference;` declarations (off-page connectors) into
@@ -183,7 +219,9 @@ impl ChartBuilder {
                     Some(&i) => {
                         let dst = &mut merged[i];
                         if !dst.is_reference && !s.is_reference {
-                            return Err(ChartError::DuplicateName(s.name));
+                            // Recovery: keep the first definition; the
+                            // duplicate still contributes its reactions.
+                            em.emit_chart(ChartError::DuplicateName(s.name.clone()));
                         }
                         if dst.is_reference && !s.is_reference {
                             // The definition arrived second: take its
@@ -208,14 +246,14 @@ impl ChartBuilder {
         let mut seen = BTreeSet::new();
         for s in &this.states {
             if !seen.insert(s.name.clone()) {
-                return Err(ChartError::DuplicateName(s.name.clone()));
+                em.emit_chart(ChartError::DuplicateName(s.name.clone()));
             }
         }
         let mut seen_ec = BTreeSet::new();
         for n in this.events.iter().map(|e| &e.name).chain(this.conditions.iter().map(|c| &c.name))
         {
             if !seen_ec.insert(n.clone()) {
-                return Err(ChartError::DuplicateName(n.clone()));
+                em.emit_chart(ChartError::DuplicateName(n.clone()));
             }
         }
 
@@ -258,16 +296,22 @@ impl ChartBuilder {
             for c in &s.contains {
                 let ci = index[c];
                 if parent[ci].is_some() {
-                    return Err(ChartError::MultipleParents(c.clone()));
+                    // Recovery: the first parent wins.
+                    em.emit_chart(ChartError::MultipleParents(c.clone()));
+                    continue;
                 }
                 if ci == i {
-                    return Err(ChartError::ContainmentCycle(c.clone()));
+                    // Recovery: drop the self-containment edge.
+                    em.emit_chart(ChartError::ContainmentCycle(c.clone()));
+                    continue;
                 }
                 parent[ci] = Some(i);
             }
         }
 
-        // Cycle detection by walking up with a step bound.
+        // Cycle detection by walking up with a step bound. A cycle makes
+        // every downstream structural stage meaningless, so this is the
+        // one fatal case: report and stop.
         for start in 0..this.states.len() {
             let mut cur = start;
             let mut steps = 0usize;
@@ -275,7 +319,8 @@ impl ChartBuilder {
                 cur = p;
                 steps += 1;
                 if steps > this.states.len() {
-                    return Err(ChartError::ContainmentCycle(this.states[start].name.clone()));
+                    em.emit_chart(ChartError::ContainmentCycle(this.states[start].name.clone()));
+                    return None;
                 }
             }
         }
@@ -312,29 +357,36 @@ impl ChartBuilder {
         let mut states: Vec<State> = Vec::with_capacity(this.states.len());
         for (i, p) in this.states.iter().enumerate() {
             if p.kind == StateKind::Basic && !p.contains.is_empty() {
-                return Err(ChartError::BasicWithChildren(p.name.clone()));
+                em.emit_chart(ChartError::BasicWithChildren(p.name.clone()));
             }
             let children: Vec<StateId> =
                 p.contains.iter().map(|c| StateId(index[c] as u32)).collect();
             let default = match (&p.default, p.kind) {
-                (Some(d), StateKind::Or) => {
-                    let di = *index.get(d).ok_or_else(|| ChartError::UnknownState(d.clone()))?;
-                    let did = StateId(di as u32);
-                    if !children.contains(&did) {
-                        return Err(ChartError::DefaultNotChild {
-                            state: p.name.clone(),
-                            default: d.clone(),
-                        });
+                (Some(d), StateKind::Or) => match index.get(d) {
+                    Some(&di) => {
+                        let did = StateId(di as u32);
+                        if children.contains(&did) {
+                            Some(did)
+                        } else {
+                            // Recovery: fall back to the first child.
+                            em.emit_chart(ChartError::DefaultNotChild {
+                                state: p.name.clone(),
+                                default: d.clone(),
+                            });
+                            children.first().copied()
+                        }
                     }
-                    Some(did)
-                }
+                    None => {
+                        em.emit_chart(ChartError::UnknownState(d.clone()));
+                        children.first().copied()
+                    }
+                },
                 (None, StateKind::Or) => {
                     if let Some(first) = children.first().copied() {
-                        if this.default_first_child {
-                            Some(first)
-                        } else {
-                            return Err(ChartError::MissingDefault(p.name.clone()));
+                        if !this.default_first_child {
+                            em.emit_chart(ChartError::MissingDefault(p.name.clone()));
                         }
+                        Some(first)
                     } else {
                         None
                     }
@@ -361,9 +413,11 @@ impl ChartBuilder {
         let mut transitions = Vec::new();
         for (i, p) in this.states.iter().enumerate() {
             for t in &p.transitions {
-                let target = *index
-                    .get(&t.target)
-                    .ok_or_else(|| ChartError::UnknownState(t.target.clone()))?;
+                let Some(&target) = index.get(&t.target) else {
+                    // Unreachable (targets are inferred), kept defensive.
+                    em.emit_chart(ChartError::UnknownState(t.target.clone()));
+                    continue;
+                };
                 transitions.push(Transition {
                     source: StateId(i as u32),
                     target: StateId(target as u32),
@@ -384,8 +438,11 @@ impl ChartBuilder {
             data_ports: this.data_ports.clone(),
             root: StateId(root_idx as u32),
         };
-        crate::validate::validate(&chart)?;
-        Ok(chart)
+        crate::validate::validate_into(&chart, em);
+        if em.errors() > errors_at_entry {
+            return None;
+        }
+        Some(chart)
     }
 }
 

@@ -52,6 +52,7 @@
 //! ```
 
 pub mod builder;
+pub mod diag;
 pub mod encoding;
 pub mod error;
 pub mod hierarchy;

@@ -60,33 +60,57 @@ impl<'s> Lexer<'s> {
 
     /// Tokenises the whole input, appending a final [`TokenKind::Eof`].
     ///
+    /// Adapter over [`Lexer::tokenize_diag`]: the error returned is
+    /// exactly the first one the recovering scan reports.
+    ///
     /// # Errors
     ///
     /// Returns a positioned error for unterminated strings or characters
     /// outside the language.
-    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+    pub fn tokenize(self) -> Result<Vec<Token>, ParseError> {
+        let mut errs = Vec::new();
+        let toks = self.tokenize_diag(&mut errs);
+        match errs.into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(toks),
+        }
+    }
+
+    /// Tokenises the whole input, recovering from lexical errors: every
+    /// problem is appended to `errs` and the scan keeps going (bad
+    /// characters are skipped, overlong numbers become `0`, an
+    /// unterminated string yields its partial text), so the parser
+    /// always gets a complete, EOF-terminated token stream.
+    pub(crate) fn tokenize_diag(mut self, errs: &mut Vec<ParseError>) -> Vec<Token> {
         let mut out = Vec::new();
         loop {
             self.skip_trivia();
             let (line, column) = (self.line, self.column);
             let Some(&b) = self.bytes.get(self.pos) else {
                 out.push(Token { kind: TokenKind::Eof, line, column });
-                return Ok(out);
+                return out;
             };
             let kind = match b {
                 b'{' | b'}' | b';' | b',' => {
                     self.advance();
                     TokenKind::Punct(b as char)
                 }
-                b'"' => self.string(line, column)?,
-                b'0'..=b'9' => self.number(line, column)?,
+                b'"' => self.string(line, column, errs),
+                b'0'..=b'9' => self.number(line, column, errs),
                 c if c.is_ascii_alphabetic() || c == b'_' || c == b'@' => self.ident(),
                 c => {
-                    return Err(ParseError::new(
+                    errs.push(ParseError::new(
                         line,
                         column,
                         format!("unexpected character `{}`", c as char),
-                    ))
+                    ));
+                    // Skip the byte (the whole run for a multi-byte
+                    // character) and resume scanning.
+                    self.advance();
+                    while self.bytes.get(self.pos).is_some_and(|b| !b.is_ascii()) {
+                        self.advance();
+                    }
+                    continue;
                 }
             };
             out.push(Token { kind, line, column });
@@ -142,7 +166,7 @@ impl<'s> Lexer<'s> {
         TokenKind::Ident(self.src[start..self.pos].to_string())
     }
 
-    fn number(&mut self, line: u32, column: u32) -> Result<TokenKind, ParseError> {
+    fn number(&mut self, line: u32, column: u32, errs: &mut Vec<ParseError>) -> TokenKind {
         let start = self.pos;
         let hex = self.bytes[self.pos] == b'0'
             && matches!(self.bytes.get(self.pos + 1), Some(b'x') | Some(b'X'));
@@ -163,23 +187,25 @@ impl<'s> Lexer<'s> {
         } else {
             text.parse::<u64>()
         };
-        value
-            .map(TokenKind::Number)
-            .map_err(|_| ParseError::new(line, column, format!("invalid number `{text}`")))
+        TokenKind::Number(value.unwrap_or_else(|_| {
+            errs.push(ParseError::new(line, column, format!("invalid number `{text}`")));
+            0
+        }))
     }
 
-    fn string(&mut self, line: u32, column: u32) -> Result<TokenKind, ParseError> {
+    fn string(&mut self, line: u32, column: u32, errs: &mut Vec<ParseError>) -> TokenKind {
         self.advance(); // opening quote
         let start = self.pos;
         while let Some(&b) = self.bytes.get(self.pos) {
             if b == b'"' {
                 let s = self.src[start..self.pos].to_string();
                 self.advance(); // closing quote
-                return Ok(TokenKind::Str(s));
+                return TokenKind::Str(s);
             }
             self.advance();
         }
-        Err(ParseError::new(line, column, "unterminated string literal"))
+        errs.push(ParseError::new(line, column, "unterminated string literal"));
+        TokenKind::Str(self.src[start..].to_string())
     }
 }
 

@@ -34,8 +34,10 @@ mod lexer;
 pub use lexer::{Lexer, Token, TokenKind};
 
 use crate::builder::ChartBuilder;
+use crate::diag::Emitter;
 use crate::error::ParseError;
 use crate::model::{Chart, ConditionDecl, EventDecl, PortDirection, StateKind};
+use pscp_diag::DiagnosticSink;
 
 /// Parses a chart from the textual format.
 ///
@@ -43,9 +45,29 @@ use crate::model::{Chart, ConditionDecl, EventDecl, PortDirection, StateKind};
 ///
 /// Returns a [`ParseError`] with position information for syntax errors,
 /// or a position-less one wrapping the structural [`crate::ChartError`]s
-/// detected while assembling the chart.
+/// detected while assembling the chart — exactly the first diagnostic
+/// [`parse_chart_diag`] would accumulate on the same input.
 pub fn parse_chart(source: &str) -> Result<Chart, ParseError> {
     parse_chart_pages(&[source])
+}
+
+/// Parses a chart with error recovery: every syntax error is
+/// accumulated into `sink` (code `SC101`) and parsing resumes at the
+/// next declaration; structural errors from chart assembly (`SC2xx`)
+/// and lint warnings (`SC3xx`) are appended. Returns the chart only
+/// when this parse added no errors to the sink.
+pub fn parse_chart_diag(source: &str, sink: &mut DiagnosticSink) -> Option<Chart> {
+    parse_chart_pages_diag(&[source], sink)
+}
+
+/// Multi-page variant of [`parse_chart_diag`].
+pub fn parse_chart_pages_diag(sources: &[&str], sink: &mut DiagnosticSink) -> Option<Chart> {
+    let mut em = Emitter::new(sink);
+    let chart = parse_pages_into(sources, &mut em)?;
+    for w in crate::validate::lint(&chart) {
+        em.warn(&w);
+    }
+    Some(chart)
 }
 
 /// Parses a chart split across several diagram *pages* — the paper's
@@ -62,16 +84,50 @@ pub fn parse_chart(source: &str) -> Result<Chart, ParseError> {
 /// (duplicate definitions across pages, unresolved names) come from the
 /// final assembly.
 pub fn parse_chart_pages(sources: &[&str]) -> Result<Chart, ParseError> {
+    let mut sink = DiagnosticSink::new();
+    let mut em = Emitter::new(&mut sink);
+    match parse_pages_into(sources, &mut em) {
+        Some(chart) => Ok(chart),
+        None => Err(em
+            .take_first()
+            .expect("failed parse must carry an error")
+            .into_parse_error()),
+    }
+}
+
+/// Adds the page prefix legacy errors always carried.
+fn page_err(page: usize, e: ParseError) -> ParseError {
+    ParseError::new(e.line, e.column, format!("page {page}: {}", e.message))
+}
+
+/// Recovering core of the parse entry points: tokenises and parses
+/// every page (each syntax error resumes at the next declaration), then
+/// assembles the chart, so syntax *and* structural findings land in one
+/// report. Returns the chart only when nothing was emitted.
+fn parse_pages_into(sources: &[&str], em: &mut Emitter) -> Option<Chart> {
+    let errors_at_entry = em.errors();
     let mut builder = ChartBuilder::new("chart");
     let mut named = false;
     for (i, src) in sources.iter().enumerate() {
-        let mut p = Parser::new(src)
-            .map_err(|e| ParseError::new(e.line, e.column, format!("page {i}: {}", e.message)))?;
-        p.parse_into(&mut builder, &mut named)
-            .map_err(|e| ParseError::new(e.line, e.column, format!("page {i}: {}", e.message)))?;
+        let mut errs = Vec::new();
+        let tokens = Lexer::new(src).tokenize_diag(&mut errs);
+        for e in errs {
+            em.emit_parse(page_err(i, e));
+        }
+        let mut p = Parser { tokens, pos: 0 };
+        p.parse_into_diag(&mut builder, &mut named, i, em);
     }
-    builder.build().map_err(ParseError::from)
+    let chart = builder.build_into(em);
+    if em.errors() > errors_at_entry {
+        return None;
+    }
+    chart
 }
+
+/// Keywords that may start a top-level declaration; the recovery points
+/// of [`Parser::sync_toplevel`].
+const TOPLEVEL_KWS: &[&str] =
+    &["chart", "event", "condition", "port", "basicstate", "orstate", "andstate"];
 
 struct Parser {
     tokens: Vec<Token>,
@@ -79,10 +135,6 @@ struct Parser {
 }
 
 impl Parser {
-    fn new(source: &str) -> Result<Self, ParseError> {
-        let tokens = Lexer::new(source).tokenize()?;
-        Ok(Parser { tokens, pos: 0 })
-    }
 
     fn peek(&self) -> &Token {
         &self.tokens[self.pos.min(self.tokens.len() - 1)]
@@ -154,72 +206,142 @@ impl Parser {
         }
     }
 
-    #[allow(dead_code)]
-    fn parse(&mut self) -> Result<Chart, ParseError> {
-        let mut builder = ChartBuilder::new("chart");
-        let mut named = false;
-        self.parse_into(&mut builder, &mut named)?;
-        builder.build().map_err(ParseError::from)
-    }
-
-    /// Parses one page's declarations into a shared builder.
-    fn parse_into(
+    /// Parses one page's declarations into a shared builder, recovering
+    /// at declaration granularity: a syntax error is reported through
+    /// `em` and parsing resumes at the next top-level keyword.
+    fn parse_into_diag(
         &mut self,
         builder: &mut ChartBuilder,
         named: &mut bool,
+        page: usize,
+        em: &mut Emitter,
+    ) {
+        while !matches!(self.peek().kind, TokenKind::Eof) {
+            let before = self.pos;
+            if let Err(e) = self.item(builder, named, page, em) {
+                em.emit_parse(page_err(page, e));
+                self.sync_toplevel(before);
+            }
+        }
+    }
+
+    /// Parses one top-level declaration.
+    fn item(
+        &mut self,
+        builder: &mut ChartBuilder,
+        named: &mut bool,
+        page: usize,
+        em: &mut Emitter,
     ) -> Result<(), ParseError> {
-        loop {
-            match self.peek().kind.clone() {
-                TokenKind::Eof => break,
-                TokenKind::Ident(word) => match word.as_str() {
-                    "chart" => {
-                        self.bump();
-                        let name = self.expect_ident()?;
-                        if *named {
-                            return Err(self.error("duplicate `chart` directive"));
-                        }
-                        *named = true;
-                        builder.set_name(name);
-                        self.expect_punct(';')?;
+        match self.peek().kind.clone() {
+            TokenKind::Ident(word) => match word.as_str() {
+                "chart" => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    if *named {
+                        return Err(self.error("duplicate `chart` directive"));
                     }
-                    "event" => {
-                        self.bump();
-                        let decl = self.parse_event_decl()?;
-                        builder.event_decl(decl);
-                    }
-                    "condition" => {
-                        self.bump();
-                        let decl = self.parse_condition_decl()?;
-                        builder.condition_decl(decl);
-                    }
-                    "port" => {
-                        self.bump();
-                        self.parse_port_decl(builder)?;
-                    }
-                    "basicstate" => {
-                        self.bump();
-                        self.parse_state(builder, StateKind::Basic)?;
-                    }
-                    "orstate" => {
-                        self.bump();
-                        self.parse_state(builder, StateKind::Or)?;
-                    }
-                    "andstate" => {
-                        self.bump();
-                        self.parse_state(builder, StateKind::And)?;
-                    }
-                    other => {
-                        return Err(self.error(format!(
-                            "expected a declaration keyword, found `{other}`"
-                        )))
-                    }
-                },
+                    *named = true;
+                    builder.set_name(name);
+                    self.expect_punct(';')
+                }
+                "event" => {
+                    self.bump();
+                    let decl = self.parse_event_decl()?;
+                    builder.event_decl(decl);
+                    Ok(())
+                }
+                "condition" => {
+                    self.bump();
+                    let decl = self.parse_condition_decl()?;
+                    builder.condition_decl(decl);
+                    Ok(())
+                }
+                "port" => {
+                    self.bump();
+                    self.parse_port_decl(builder)
+                }
+                "basicstate" => {
+                    self.bump();
+                    self.parse_state(builder, StateKind::Basic, page, em)
+                }
+                "orstate" => {
+                    self.bump();
+                    self.parse_state(builder, StateKind::Or, page, em)
+                }
+                "andstate" => {
+                    self.bump();
+                    self.parse_state(builder, StateKind::And, page, em)
+                }
                 other => {
-                    return Err(self.error(format!("expected a declaration, found {other}")))
+                    Err(self.error(format!("expected a declaration keyword, found `{other}`")))
+                }
+            },
+            other => Err(self.error(format!("expected a declaration, found {other}"))),
+        }
+    }
+
+    /// Skips ahead to the next plausible top-level declaration: a
+    /// declaration keyword outside any braces, or end of input. Always
+    /// makes progress past `before`.
+    fn sync_toplevel(&mut self, before: usize) {
+        if self.pos == before {
+            self.bump();
+        }
+        let mut depth = 0u32;
+        loop {
+            match &self.peek().kind {
+                TokenKind::Eof => return,
+                TokenKind::Punct('{') => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    self.bump();
+                }
+                TokenKind::Ident(s) if depth == 0 && TOPLEVEL_KWS.contains(&s.as_str()) => {
+                    return
+                }
+                _ => {
+                    self.bump();
                 }
             }
         }
-        Ok(())
+    }
+
+    /// Skips to the end of a bad state-body item: past the next `;`
+    /// outside nested braces, or to the `}` that closes the state (left
+    /// for the caller), or end of input. Always makes progress past
+    /// `before`.
+    fn sync_state_item(&mut self, before: usize) {
+        if self.pos == before {
+            self.bump();
+        }
+        let mut depth = 0u32;
+        loop {
+            match &self.peek().kind {
+                TokenKind::Eof => return,
+                TokenKind::Punct(';') if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                TokenKind::Punct('{') => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::Punct('}') => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
     }
 
     fn parse_event_decl(&mut self) -> Result<EventDecl, ParseError> {
@@ -299,90 +421,115 @@ impl Parser {
         &mut self,
         builder: &mut ChartBuilder,
         kind: StateKind,
+        page: usize,
+        em: &mut Emitter,
     ) -> Result<(), ParseError> {
         let name = self.expect_ident()?;
         let mut scope = builder.state(name, kind);
         self.expect_punct('{')?;
         loop {
-            if self.eat_keyword("contains") {
-                loop {
-                    let child = self.expect_ident()?;
-                    scope.contains([child]);
-                    match &self.peek().kind {
-                        TokenKind::Punct(',') => {
-                            self.bump();
-                        }
-                        _ => break,
-                    }
+            match &self.peek().kind {
+                TokenKind::Punct('}') => {
+                    self.bump();
+                    break;
                 }
-                self.expect_punct(';')?;
-            } else if self.eat_keyword("default") {
-                let d = self.expect_ident()?;
-                scope.default_child(d);
-                self.expect_punct(';')?;
-            } else if self.eat_keyword("reference") {
-                scope.reference();
-                self.expect_punct(';')?;
-            } else if self.eat_keyword("history") {
-                scope.history();
-                self.expect_punct(';')?;
-            } else if self.at_keyword("entry") {
-                let kw = self.bump();
-                let call = self.expect_string()?;
-                self.expect_punct(';')?;
-                crate::builder::parse_label(&format!("/{call}"))
-                    .map_err(|e| ParseError::new(kw.line, kw.column, format!("entry: {e}")))?;
-                scope.on_entry(&call);
-            } else if self.at_keyword("exit") {
-                let kw = self.bump();
-                let call = self.expect_string()?;
-                self.expect_punct(';')?;
-                crate::builder::parse_label(&format!("/{call}"))
-                    .map_err(|e| ParseError::new(kw.line, kw.column, format!("exit: {e}")))?;
-                scope.on_exit(&call);
-            } else if self.at_keyword("transition") {
-                let kw = self.bump();
-                self.expect_punct('{')?;
-                let mut target: Option<String> = None;
-                let mut label = String::new();
-                let mut cost: Option<u64> = None;
-                loop {
-                    if self.eat_keyword("target") {
-                        target = Some(self.expect_ident()?);
-                        self.expect_punct(';')?;
-                    } else if self.eat_keyword("label") {
-                        label = self.expect_string()?;
-                        self.expect_punct(';')?;
-                    } else if self.eat_keyword("cost") {
-                        cost = Some(self.expect_number()?);
-                        self.expect_punct(';')?;
-                    } else if matches!(&self.peek().kind, TokenKind::Punct('}')) {
-                        self.bump();
-                        break;
-                    } else {
-                        return Err(self.error(format!(
-                            "expected `target`, `label`, `cost` or `}}` in transition, found {}",
-                            self.peek().kind
-                        )));
-                    }
+                TokenKind::Eof => {
+                    return Err(self.error(format!(
+                        "expected `contains`, `default`, `transition` or `}}`, found {}",
+                        self.peek().kind
+                    )))
                 }
-                let target = target.ok_or_else(|| {
-                    ParseError::new(kw.line, kw.column, "transition is missing `target`")
-                })?;
-                scope
-                    .try_transition(target, &label, cost)
-                    .map_err(|e| self.error(format!("invalid label: {e}")))?;
-            } else if matches!(&self.peek().kind, TokenKind::Punct('}')) {
-                self.bump();
-                break;
-            } else {
-                return Err(self.error(format!(
-                    "expected `contains`, `default`, `transition` or `}}`, found {}",
-                    self.peek().kind
-                )));
+                _ => {}
+            }
+            let before = self.pos;
+            if let Err(e) = self.state_item(&mut scope) {
+                em.emit_parse(page_err(page, e));
+                self.sync_state_item(before);
             }
         }
         Ok(())
+    }
+
+    /// Parses one item of a state body (`contains`, `default`,
+    /// `reference`, `history`, `entry`, `exit`, or a transition block).
+    fn state_item(&mut self, scope: &mut crate::builder::StateScope<'_>) -> Result<(), ParseError> {
+        if self.eat_keyword("contains") {
+            loop {
+                let child = self.expect_ident()?;
+                scope.contains([child]);
+                match &self.peek().kind {
+                    TokenKind::Punct(',') => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            self.expect_punct(';')
+        } else if self.eat_keyword("default") {
+            let d = self.expect_ident()?;
+            scope.default_child(d);
+            self.expect_punct(';')
+        } else if self.eat_keyword("reference") {
+            scope.reference();
+            self.expect_punct(';')
+        } else if self.eat_keyword("history") {
+            scope.history();
+            self.expect_punct(';')
+        } else if self.at_keyword("entry") {
+            let kw = self.bump();
+            let call = self.expect_string()?;
+            self.expect_punct(';')?;
+            crate::builder::parse_label(&format!("/{call}"))
+                .map_err(|e| ParseError::new(kw.line, kw.column, format!("entry: {e}")))?;
+            scope.on_entry(&call);
+            Ok(())
+        } else if self.at_keyword("exit") {
+            let kw = self.bump();
+            let call = self.expect_string()?;
+            self.expect_punct(';')?;
+            crate::builder::parse_label(&format!("/{call}"))
+                .map_err(|e| ParseError::new(kw.line, kw.column, format!("exit: {e}")))?;
+            scope.on_exit(&call);
+            Ok(())
+        } else if self.at_keyword("transition") {
+            let kw = self.bump();
+            self.expect_punct('{')?;
+            let mut target: Option<String> = None;
+            let mut label = String::new();
+            let mut cost: Option<u64> = None;
+            loop {
+                if self.eat_keyword("target") {
+                    target = Some(self.expect_ident()?);
+                    self.expect_punct(';')?;
+                } else if self.eat_keyword("label") {
+                    label = self.expect_string()?;
+                    self.expect_punct(';')?;
+                } else if self.eat_keyword("cost") {
+                    cost = Some(self.expect_number()?);
+                    self.expect_punct(';')?;
+                } else if matches!(&self.peek().kind, TokenKind::Punct('}')) {
+                    self.bump();
+                    break;
+                } else {
+                    return Err(self.error(format!(
+                        "expected `target`, `label`, `cost` or `}}` in transition, found {}",
+                        self.peek().kind
+                    )));
+                }
+            }
+            let target = target.ok_or_else(|| {
+                ParseError::new(kw.line, kw.column, "transition is missing `target`")
+            })?;
+            scope
+                .try_transition(target, &label, cost)
+                .map_err(|e| self.error(format!("invalid label: {e}")))?;
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected `contains`, `default`, `transition` or `}}`, found {}",
+                self.peek().kind
+            )))
+        }
     }
 }
 

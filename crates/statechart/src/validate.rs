@@ -19,23 +19,54 @@ use crate::trigger::Expr;
 ///
 /// # Errors
 ///
-/// Returns the first violated invariant.
+/// Returns the first violated invariant — exactly the first diagnostic
+/// [`validate_diag`] would accumulate on the same chart.
 pub fn validate(chart: &Chart) -> Result<(), ChartError> {
+    let mut sink = pscp_diag::DiagnosticSink::new();
+    let mut em = crate::diag::Emitter::new(&mut sink);
+    validate_into(chart, &mut em);
+    match em.take_first_chart() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Validates with error recovery: every violated invariant (codes
+/// `SC2xx`) is accumulated into `sink`, and the lint pass appends its
+/// findings as warnings (`SC3xx`). Returns whether the chart is
+/// structurally valid (warnings don't count).
+pub fn validate_diag(chart: &Chart, sink: &mut pscp_diag::DiagnosticSink) -> bool {
+    let mut em = crate::diag::Emitter::new(sink);
+    validate_into(chart, &mut em);
+    let ok = em.errors() == 0;
+    for w in lint(chart) {
+        em.warn(&w);
+    }
+    ok
+}
+
+/// Recovering core of [`validate`]: reports every violation through
+/// `em` instead of stopping at the first.
+pub(crate) fn validate_into(chart: &Chart, em: &mut crate::diag::Emitter) {
     for s in chart.states() {
         match s.kind {
             StateKind::Basic => {
                 if !s.children.is_empty() {
-                    return Err(ChartError::BasicWithChildren(s.name.clone()));
+                    em.emit_chart(ChartError::BasicWithChildren(s.name.clone()));
                 }
             }
             StateKind::Or => {
                 if !s.children.is_empty() {
-                    let d = s.default.ok_or_else(|| ChartError::MissingDefault(s.name.clone()))?;
-                    if !s.children.contains(&d) {
-                        return Err(ChartError::DefaultNotChild {
-                            state: s.name.clone(),
-                            default: chart.state(d).name.clone(),
-                        });
+                    match s.default {
+                        Some(d) => {
+                            if !s.children.contains(&d) {
+                                em.emit_chart(ChartError::DefaultNotChild {
+                                    state: s.name.clone(),
+                                    default: chart.state(d).name.clone(),
+                                });
+                            }
+                        }
+                        None => em.emit_chart(ChartError::MissingDefault(s.name.clone())),
                     }
                 }
             }
@@ -48,22 +79,20 @@ pub fn validate(chart: &Chart) -> Result<(), ChartError> {
 
     for t in chart.transitions() {
         if let Some(trig) = &t.trigger {
-            check_atoms(trig, |a| is_event(a) || is_cond(a))?;
+            check_atoms_into(trig, |a| is_event(a) || is_cond(a), em);
         }
         if let Some(g) = &t.guard {
-            check_atoms(g, |a| is_event(a) || is_cond(a))?;
+            check_atoms_into(g, |a| is_event(a) || is_cond(a), em);
         }
     }
-    Ok(())
 }
 
-fn check_atoms<F: Fn(&str) -> bool>(e: &Expr, ok: F) -> Result<(), ChartError> {
+fn check_atoms_into<F: Fn(&str) -> bool>(e: &Expr, ok: F, em: &mut crate::diag::Emitter) {
     for a in e.atoms() {
         if !ok(a) {
-            return Err(ChartError::UnresolvedAtom(a.to_string()));
+            em.emit_chart(ChartError::UnresolvedAtom(a.to_string()));
         }
     }
-    Ok(())
 }
 
 /// Non-fatal design warnings ("lint") for a chart.

@@ -1,0 +1,155 @@
+//! The recovering chart frontend against its legacy fail-fast face.
+//!
+//! Differential pin: on every error-path input, the legacy
+//! `parse_chart` error must equal the *first* diagnostic the
+//! recovering `parse_chart_diag` accumulates on the same source — the
+//! adapters are thin shims, and these tests keep them honest.
+//! Property side: randomly mutilated sources must never panic either
+//! entry point, a failed parse always yields at least one error
+//! diagnostic, and the finished report is deterministic and
+//! canonically sorted.
+
+use proptest::prelude::*;
+use pscp_diag::DiagnosticSink;
+use pscp_statechart::parse::{parse_chart, parse_chart_diag};
+
+/// Error-path inputs covering the syntax and structural failure
+/// classes the legacy tests exercise.
+const ERROR_INPUTS: &[&str] = &[
+    // Syntax: bad token, missing `;`, truncated declaration.
+    "orstate Root { contains A; default A; } @@@",
+    "basicstate Off { transition { target On label \"TICK\"; } }",
+    "orstate Root { contains",
+    "event ;",
+    "chart",
+    // Structure: unknown default, unresolved atom, duplicate name,
+    // basic with children, empty chart.
+    "orstate Root { contains A, B; default Zed; } basicstate A {} basicstate B {}",
+    "orstate Root { contains A; default A; } basicstate A { transition { target A; label \"NOPE\"; } }",
+    "orstate Root { contains A; default A; } basicstate A {} basicstate A {}",
+    "basicstate Solo { contains Child; }",
+    "",
+    // Default names a declared state that is not a child.
+    "orstate Root { contains A; default A; } basicstate A {} \
+     orstate Half { contains B; default A; } basicstate B {}",
+];
+
+#[test]
+fn legacy_error_is_the_first_accumulated_diagnostic() {
+    for src in ERROR_INPUTS {
+        let legacy = parse_chart(src).expect_err(&format!("fixture must fail: {src:?}"));
+        let mut sink = DiagnosticSink::new();
+        let chart = parse_chart_diag(src, &mut sink);
+        assert!(chart.is_none(), "recovering parse must agree on failure: {src:?}");
+        let first = sink.first_error().expect("failed parse carries a diagnostic").clone();
+        assert_eq!(
+            first.message, legacy.message,
+            "first diagnostic differs from legacy error on {src:?}"
+        );
+        assert_eq!(first.span.start.line, legacy.line, "line differs on {src:?}");
+        assert_eq!(first.span.start.column, legacy.column, "column differs on {src:?}");
+    }
+}
+
+#[test]
+fn recovery_reports_more_than_the_legacy_first_error() {
+    // Three independent syntax errors in one source: fail-fast sees
+    // one, the recovering parse reports all three.
+    let src = "\
+        event TICK period 100;\n\
+        orstate Root { contains A, B; default A; }\n\
+        basicstate A { transition { target B label \"TICK\"; } }\n\
+        basicstate B { transition { target A; lbael \"TICK\"; } }\n\
+        orstate Spare { contains ; }\n";
+    let mut sink = DiagnosticSink::new();
+    assert!(parse_chart_diag(src, &mut sink).is_none());
+    assert!(
+        sink.error_count() >= 3,
+        "expected >= 3 recovered errors, got {}: {:?}",
+        sink.error_count(),
+        sink.emitted()
+    );
+    // And the fail-fast adapter still returns exactly the first.
+    let legacy = parse_chart(src).unwrap_err();
+    assert_eq!(sink.first_error().unwrap().message, legacy.message);
+}
+
+fn chart_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("orstate".to_string()),
+            Just("basicstate".to_string()),
+            Just("andstate".to_string()),
+            Just("event".to_string()),
+            Just("condition".to_string()),
+            Just("port".to_string()),
+            Just("contains".to_string()),
+            Just("default".to_string()),
+            Just("transition".to_string()),
+            Just("target".to_string()),
+            Just("label".to_string()),
+            Just("reference".to_string()),
+            Just("history".to_string()),
+            Just("Root".to_string()),
+            Just("A".to_string()),
+            Just("B".to_string()),
+            Just("\"TICK\"".to_string()),
+            Just("\"TICK/Act(1)\"".to_string()),
+            Just("100".to_string()),
+            Just("{".to_string()),
+            Just("}".to_string()),
+            Just(";".to_string()),
+            Just(",".to_string()),
+            Just("@".to_string()),
+            Just("$".to_string()),
+        ],
+        0..48,
+    )
+    .prop_map(|toks| toks.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mutilated_sources_never_panic_and_always_diagnose(src in chart_soup()) {
+        let legacy = parse_chart(&src);
+        let mut sink = DiagnosticSink::new();
+        let recovered = parse_chart_diag(&src, &mut sink);
+
+        // The two entry points agree on success vs failure.
+        prop_assert_eq!(legacy.is_ok(), recovered.is_some());
+
+        match legacy {
+            Ok(_) => prop_assert!(!sink.has_errors()),
+            Err(e) => {
+                // A failed parse always yields >= 1 error diagnostic,
+                // and the first equals the legacy error.
+                prop_assert!(sink.error_count() >= 1);
+                let first = sink.first_error().unwrap();
+                prop_assert_eq!(&first.message, &e.message);
+                prop_assert_eq!(first.span.start.line, e.line);
+                prop_assert_eq!(first.span.start.column, e.column);
+            }
+        }
+
+        // Deterministic, canonically sorted report.
+        let report = sink.finish();
+        let mut resorted = report.clone();
+        pscp_diag::sort_dedup(&mut resorted);
+        prop_assert_eq!(&report, &resorted);
+
+        let mut sink2 = DiagnosticSink::new();
+        let _ = parse_chart_diag(&src, &mut sink2);
+        prop_assert_eq!(report, sink2.finish());
+    }
+
+    #[test]
+    fn raw_bytes_never_panic(src in ".{0,160}") {
+        let mut sink = DiagnosticSink::new();
+        let _ = parse_chart_diag(&src, &mut sink);
+        if parse_chart(&src).is_err() {
+            prop_assert!(sink.error_count() >= 1);
+        }
+    }
+}

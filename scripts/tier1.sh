@@ -28,35 +28,65 @@ cargo test --release -p pscp-core --test gang_differential -q
 # cache entry must be detected, never served.
 cargo test --release -p pscp-core --test compile_incremental -q
 
-# Perf smoke: the bench binary must run and report the PR-3..PR-7
+# The diagnostics suites are the recovering frontends' spec: every
+# phase's findings land in one report, the legacy fail-fast adapters
+# return exactly the first accumulated diagnostic, mutilated sources
+# never panic, and a server's Diagnostics reply is byte-identical to
+# the in-process report.
+cargo test --release -p pscp-statechart --test diagnostics -q
+cargo test --release -p pscp-action-lang --test diagnostics -q
+cargo test --release -p pscp-core --test diagnostics -q
+
+# Perf smoke: the bench binary must run and report the PR-3..PR-8
 # workloads. This asserts presence, not thresholds — speedups depend on
 # the host.
 cargo run --release -p pscp-bench --bin bench-smoke > /dev/null
-test -f BENCH_7.json
-grep -q '"dse_explore_incremental"' BENCH_7.json
-grep -q '"dse_explore_full"' BENCH_7.json
-grep -q '"compile_cache"' BENCH_7.json
-grep -q '"hit_rate"' BENCH_7.json
-grep -q '"results_identical": true' BENCH_7.json
-grep -q '"memo_store"' BENCH_7.json
-grep -q '"batch_cosim"' BENCH_7.json
-grep -q '"gang_cosim"' BENCH_7.json
-grep -q '"speedup_w64"' BENCH_7.json
-grep -q '"serve_smoke"' BENCH_7.json
-grep -q '"latency_speedup_vs_bench5"' BENCH_7.json
-grep -q '"outputs_identical": true' BENCH_7.json
-grep -q '"obs_overhead_pct"' BENCH_7.json
-grep -q '"trace_overhead_pct"' BENCH_7.json
-grep -q '"trace_sampled_overhead_pct"' BENCH_7.json
-test -f BENCH_7_metrics.json
-python3 -m json.tool BENCH_7_metrics.json > /dev/null
+test -f BENCH_8.json
+grep -q '"dse_explore_incremental"' BENCH_8.json
+grep -q '"dse_explore_full"' BENCH_8.json
+grep -q '"compile_cache"' BENCH_8.json
+grep -q '"hit_rate"' BENCH_8.json
+grep -q '"results_identical": true' BENCH_8.json
+grep -q '"memo_store"' BENCH_8.json
+grep -q '"compile_diagnostics"' BENCH_8.json
+grep -q '"happy_failfast_us"' BENCH_8.json
+grep -q '"happy_sink_us"' BENCH_8.json
+grep -q '"error_report_us"' BENCH_8.json
+grep -q '"report_deterministic": true' BENCH_8.json
+grep -q '"batch_cosim"' BENCH_8.json
+grep -q '"gang_cosim"' BENCH_8.json
+grep -q '"speedup_w64"' BENCH_8.json
+grep -q '"serve_smoke"' BENCH_8.json
+grep -q '"latency_speedup_vs_bench5"' BENCH_8.json
+grep -q '"outputs_identical": true' BENCH_8.json
+grep -q '"obs_overhead_pct"' BENCH_8.json
+grep -q '"trace_overhead_pct"' BENCH_8.json
+grep -q '"trace_sampled_overhead_pct"' BENCH_8.json
+test -f BENCH_8_metrics.json
+python3 -m json.tool BENCH_8_metrics.json > /dev/null
 
-# Serving smoke: a loopback server + 4-client pickup-head session; every
-# outcome is differentially checked against the in-process pool, and
-# the per-connection metrics snapshot must be valid JSON.
+# Serving smoke: a loopback server + 4-client pickup-head session. The
+# session now opens with a Compile → Diagnostics round-trip (wire
+# report byte-identical to the in-process sink, then a scenario on the
+# same connection); every outcome is differentially checked against the
+# in-process pool, and the per-connection metrics snapshot must be
+# valid JSON.
 PSCP_OBS_DIR=target/obs \
     cargo run --release -p pscp-serve -- session --clients 4 > /dev/null
 python3 -m json.tool target/obs/serve_metrics.json > /dev/null
+
+# Diagnostics CLI smoke: `pscp-serve check` renders a seeded-error
+# fixture with spans and exits 1; a clean chart reports OK and exits 0.
+printf 'event TICK period 100;\norstate Root { contains A; default Zed; }\nbasicstate A {}\n' \
+    > target/tier1-broken.chart
+if cargo run --release -p pscp-serve -- check target/tier1-broken.chart > target/tier1-check.out 2>&1; then
+    echo "tier1: check should have failed on the broken chart" >&2
+    exit 1
+fi
+grep -q 'SC201' target/tier1-check.out
+printf 'event TICK period 100;\norstate Root { contains A, B; default A; }\nbasicstate A { transition { target B; label "TICK"; } }\nbasicstate B { transition { target A; label "TICK"; } }\n' \
+    > target/tier1-good.chart
+cargo run --release -p pscp-serve -- check target/tier1-good.chart | grep -q 'OK (fingerprint'
 
 # Observability smoke: one traced + waveform-dumped pickup-head run.
 # The trace must be valid Chrome trace_event JSON, the VCD and metrics
