@@ -3,9 +3,17 @@
 //! Runs the PR-1 hot-path workloads (SLA evaluation, configuration
 //! cycles, one full pick-and-place co-sim move), the PR-2 batched
 //! co-simulation sweep, and the PR-3 incremental-revalidation
-//! workloads with plain wall-clock timing, and writes `BENCH_8.json`
+//! workloads with plain wall-clock timing, and writes `BENCH_9.json`
 //! into the current directory so the perf trajectory is tracked across
 //! PRs.
+//!
+//! PR-9 adds `stats_scrape`: the serve workload throughput with and
+//! without a sidecar polling `Stats` frames at 10 Hz (the way
+//! `pscp-serve top` does), both arms with metrics enabled, so the
+//! recorded overhead isolates the scrape path itself. The obs ledger's
+//! snapshot fixture (`BENCH_9_metrics.json`) now comes from a loopback
+//! *wire scrape* instead of the in-process snapshot, so it carries the
+//! serve gauges and exercises the remote telemetry plane every run.
 //!
 //! PR-8 adds `compile_diagnostics`: the same chart/action pair
 //! compiled fail-fast (legacy `parse_chart` + `compile_system`) and
@@ -77,7 +85,9 @@ use pscp_statechart::encoding::{CrLayout, EncodingStyle};
 use pscp_statechart::semantics::Executor;
 use std::hint::black_box;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Pre-optimisation baselines, measured on this machine with the seed's
 /// string-keyed evaluator (Criterion `simulation` bench, 2026-08-06).
@@ -545,6 +555,72 @@ fn serve_smoke(workers: usize) -> (f64, [f64; 3], bool) {
     (inproc_s, loopback_s, identical)
 }
 
+/// The cost of being watched: the serve scenario mix streamed through
+/// a loopback server with metrics on, once undisturbed and once with a
+/// sidecar polling `Stats` frames at 10 Hz — the cadence `pscp-serve
+/// top` uses. Both arms keep metrics enabled, so the difference
+/// isolates the scrape path (snapshot build + encode + extra frames),
+/// not the cost of instrumentation itself. Returns (plain
+/// scenarios/sec, polled scenarios/sec, scrapes completed).
+fn stats_scrape(workers: usize) -> (f64, f64, u64) {
+    const ROUND: usize = 16;
+    const WINDOW_S: f64 = 0.5;
+    pscp_obs::set_flags(pscp_obs::METRICS);
+    let sys = Arc::new(example_system(&PscpArch::dual_md16(true)));
+    let limits = BatchOptions { deadline: u64::MAX, max_steps: 16 };
+    let menu: [&[&str]; 6] =
+        [&["POWER"], &["DATA_VALID"], &["DATA_VALID"], &["X_PULSE"], &["X_PULSE", "Y_PULSE"], &[]];
+    let scripts: Vec<Vec<Vec<String>>> = (0..ROUND)
+        .map(|i| {
+            (0..3 + i % 5)
+                .map(|step| {
+                    menu[(i * 3 + step) % menu.len()].iter().map(|e| (*e).to_string()).collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let arm = |poll: bool| -> (f64, u64) {
+        pscp_obs::metrics::reset_all();
+        let opts = ServeOptions { threads: workers, ..ServeOptions::default() };
+        let server =
+            serve::spawn(Arc::clone(&sys), "127.0.0.1:0", opts).expect("loopback server");
+        let addr = server.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let poller = poll.then(|| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut scrapes = 0u64;
+                let Ok(mut c) = ScenarioClient::connect(addr) else { return scrapes };
+                while !stop.load(Ordering::Relaxed) {
+                    if c.stats().is_err() {
+                        break;
+                    }
+                    scrapes += 1;
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                scrapes
+            })
+        });
+        let mut client = ScenarioClient::connect(addr).expect("client connects");
+        let t0 = Instant::now();
+        let mut ran = 0usize;
+        while t0.elapsed().as_secs_f64() < WINDOW_S {
+            ran += client.run_batch(&scripts, limits).expect("batch").len();
+        }
+        let per_sec = ran as f64 / t0.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        let scrapes = poller.map_or(0, |h| h.join().expect("poller thread"));
+        drop(client);
+        server.stop().expect("server stops cleanly");
+        (per_sec, scrapes)
+    };
+    let (plain_sps, _) = arm(false);
+    let (polled_sps, scrapes) = arm(true);
+    pscp_obs::set_flags(0);
+    (plain_sps, polled_sps, scrapes)
+}
+
 /// Re-times the co-sim move under each obs configuration and collects
 /// a metrics snapshot from an instrumented exploration + batch run:
 /// (metrics-only seconds, metrics+trace seconds, metrics+trace seconds
@@ -596,7 +672,27 @@ fn obs_ledger(workers: usize) -> (f64, f64, f64, String) {
                 && m.executor().configuration().is_active(idle1)
         },
     );
-    let snapshot = pscp_obs::metrics::snapshot().to_json();
+    // The ledger fixture now travels the telemetry plane: a loopback
+    // wire scrape sees the same process-global counters plus the serve
+    // families and gauges, so `BENCH_9_metrics.json` is a decoded
+    // Stats frame, not a process-internal dump.
+    let sys = Arc::new(sys);
+    let opts = ServeOptions { threads: workers, ..ServeOptions::default() };
+    let server =
+        serve::spawn(Arc::clone(&sys), "127.0.0.1:0", opts).expect("ledger loopback server");
+    let snapshot = {
+        let mut client =
+            ScenarioClient::connect(server.addr()).expect("ledger scrape connects");
+        let script: Vec<Vec<String>> =
+            vec![vec!["POWER".into()], vec!["DATA_VALID".into()]];
+        client
+            .submit(script, BatchOptions { deadline: u64::MAX, max_steps: 16 })
+            .expect("ledger submit");
+        client.recv().expect("ledger recv");
+        let (gauges, snap) = client.stats().expect("ledger scrape");
+        snap.to_json_with(&gauges.rows())
+    };
+    server.stop().expect("ledger server stops cleanly");
 
     pscp_obs::set_flags(0);
     (metrics_s, trace_s, trace_sampled_s, snapshot)
@@ -630,6 +726,7 @@ fn main() {
     let (batch_one, batch_many, batch_identical, batch_n) = batch_cosim(workers);
     let (gang_secs, gang_identical, gang_n) = gang_cosim();
     let (serve_inproc, serve_clients, serve_identical) = serve_smoke(workers);
+    let (scrape_plain_sps, scrape_polled_sps, scrape_count) = stats_scrape(workers);
     let (obs_metrics_s, obs_trace_s, obs_trace_sampled_s, metrics_snapshot) =
         obs_ledger(workers);
 
@@ -637,7 +734,7 @@ fn main() {
     let sim_cycles_per_sec = sim_cycles as f64 / cosim_s;
     let json = format!(
         r#"{{
-  "bench": 8,
+  "bench": 9,
   "workers": {workers},
   "workloads": {{
     "sla_eval": {{
@@ -724,6 +821,13 @@ fn main() {
       "latency_speedup_vs_bench5": {serve_speedup:.2},
       "outputs_identical": {serve_identical}
     }},
+    "stats_scrape": {{
+      "poll_hz": 10,
+      "plain_scenarios_per_sec": {scrape_plain_sps:.0},
+      "polled_scenarios_per_sec": {scrape_polled_sps:.0},
+      "scrapes": {scrape_count},
+      "scrape_overhead_pct": {scrape_overhead_pct:.2}
+    }},
     "obs": {{
       "cosim_off_ms": {cosim_ms:.3},
       "cosim_metrics_ms": {obs_metrics_ms:.3},
@@ -776,6 +880,7 @@ fn main() {
         serve_4_ms = serve_clients[1] * 1e3,
         serve_16_ms = serve_clients[2] * 1e3,
         serve_overhead_pct = (serve_clients[0] / serve_inproc - 1.0) * 100.0,
+        scrape_overhead_pct = (scrape_plain_sps / scrape_polled_sps - 1.0) * 100.0,
         bserve = baseline::SERVE_1_CLIENT_MS,
         serve_speedup = baseline::SERVE_1_CLIENT_MS / (serve_clients[0] * 1e3),
         obs_metrics_ms = obs_metrics_s * 1e3,
@@ -787,8 +892,8 @@ fn main() {
         btrace = baseline::TRACE_OVERHEAD_PCT,
         wall_s = wall.elapsed().as_secs_f64(),
     );
-    std::fs::write("BENCH_8.json", &json).expect("write BENCH_8.json");
-    std::fs::write("BENCH_8_metrics.json", &metrics_snapshot)
-        .expect("write BENCH_8_metrics.json");
+    std::fs::write("BENCH_9.json", &json).expect("write BENCH_9.json");
+    std::fs::write("BENCH_9_metrics.json", &metrics_snapshot)
+        .expect("write BENCH_9_metrics.json");
     print!("{json}");
 }

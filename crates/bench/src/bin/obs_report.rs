@@ -1,6 +1,8 @@
 //! Pretty-prints a pscp-obs metrics snapshot (`metrics.json` /
-//! `BENCH_4_metrics.json`) as tables: scalar counters, per-worker
-//! counters, TEP instruction mix, and histogram summaries.
+//! `serve_metrics.json` / `BENCH_9_metrics.json`) as tables: snapshot
+//! version, serve gauges (when the snapshot came from a wire scrape),
+//! scalar counters — including the `serve_*` telemetry family —
+//! per-worker counters, TEP instruction mix, and histogram summaries.
 //!
 //! Usage: `obs_report [path-to-metrics.json]` (default:
 //! `$PSCP_OBS_DIR/metrics.json`). Usually invoked through
@@ -31,7 +33,17 @@ fn main() {
         .unwrap_or_else(|e| panic!("cannot read {} ({e})", path.display()));
     let doc = parse(&text).unwrap_or_else(|e| panic!("{} is not valid JSON: {e}", path.display()));
 
-    println!("pscp-obs metrics report — {}\n", path.display());
+    let version =
+        doc.get("version").and_then(JsonValue::as_u64).map_or(String::new(), |v| {
+            format!(" (snapshot v{v})")
+        });
+    println!("pscp-obs metrics report — {}{version}\n", path.display());
+
+    if let Some(gauges) = doc.get("gauges") {
+        if let Some(table) = scalar_table("Serve gauges", gauges) {
+            println!("{table}");
+        }
+    }
 
     if let Some(counters) = doc.get("counters") {
         if let Some(table) = scalar_table("Counters", counters) {

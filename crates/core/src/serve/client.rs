@@ -1,7 +1,10 @@
 //! The scenario client: streams submissions, obeys the credit window,
 //! and reassembles outcomes in submission order.
 
-use super::wire::{self, Frame, Submit, WireError, WireOutcome, DEFAULT_MAX_FRAME, DEFAULT_WINDOW};
+use super::wire::{
+    self, Frame, MetricsSnapshot, ServeGauges, Submit, WireError, WireOutcome, DEFAULT_MAX_FRAME,
+    DEFAULT_WINDOW,
+};
 use crate::pool::BatchOptions;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -24,6 +27,8 @@ pub struct ScenarioClient {
     window: u32,
     /// Credits currently available for submission.
     credits: u32,
+    /// Feature bits granted by the server's Hello.
+    features: u32,
     next_seq: u64,
     next_deliver: u64,
     pending: BTreeMap<u64, WireOutcome>,
@@ -51,23 +56,50 @@ impl ScenarioClient {
         window: u32,
         fingerprint: u64,
     ) -> Result<Self, WireError> {
+        Self::connect_opts(addr, window, fingerprint, 0)
+    }
+
+    /// Connects requesting [`wire::feature::LATENCY`]: against a PR-9
+    /// server every outcome carries its server-side
+    /// [`OutcomeLatency`](wire::OutcomeLatency) breakdown; an older
+    /// server ignores the request (check [`features`](Self::features)).
+    ///
+    /// # Errors
+    ///
+    /// Connection failure, or a typed remote error.
+    pub fn connect_latency(
+        addr: impl ToSocketAddrs,
+        window: u32,
+        fingerprint: u64,
+    ) -> Result<Self, WireError> {
+        Self::connect_opts(addr, window, fingerprint, wire::feature::LATENCY)
+    }
+
+    fn connect_opts(
+        addr: impl ToSocketAddrs,
+        window: u32,
+        fingerprint: u64,
+        features: u32,
+    ) -> Result<Self, WireError> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        wire::write_frame(&mut stream, &Frame::Hello { window, fingerprint })?;
+        wire::write_frame(&mut stream, &Frame::Hello { window, fingerprint, features })?;
         let mut client = ScenarioClient {
             stream,
             cursor: wire::FrameCursor::new(),
             max_frame: DEFAULT_MAX_FRAME,
             window: 0,
             credits: 0,
+            features: 0,
             next_seq: 0,
             next_deliver: 0,
             pending: BTreeMap::new(),
         };
         match client.read_frame()? {
-            Frame::Hello { window: granted, .. } => {
+            Frame::Hello { window: granted, features: granted_features, .. } => {
                 client.window = granted.max(1);
                 client.credits = client.window;
+                client.features = granted_features;
                 Ok(client)
             }
             Frame::Error { code, message } => Err(WireError::Remote { code, message }),
@@ -80,6 +112,11 @@ impl ScenarioClient {
     /// The credit window granted at handshake.
     pub fn window(&self) -> u32 {
         self.window
+    }
+
+    /// The [`wire::feature`] bits the server granted at handshake.
+    pub fn features(&self) -> u32 {
+        self.features
     }
 
     /// Outcomes received but not yet delivered in order.
@@ -177,6 +214,38 @@ impl ScenarioClient {
                 Frame::Diagnostics { fingerprint, diagnostics } => {
                     return Ok((fingerprint, diagnostics));
                 }
+                Frame::Outcome { seq, outcome } => {
+                    self.pending.insert(seq, outcome);
+                }
+                Frame::Credit { n } => {
+                    self.credits = (self.credits + n).min(self.window);
+                }
+                Frame::Error { code, message } => return Err(WireError::Remote { code, message }),
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected frame from server: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Scrapes the server's telemetry: serve-level gauges plus the full
+    /// canonical metrics snapshot. The reply bypasses the credit
+    /// window; outcomes and credits that arrive while waiting are
+    /// folded into the client state, so a scrape can be interleaved
+    /// with in-flight scenarios.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, a malformed stream, or a typed remote error (a
+    /// server running with `PSCP_SERVE_STATS=off` answers
+    /// `UNEXPECTED_FRAME`).
+    pub fn stats(&mut self) -> Result<(ServeGauges, MetricsSnapshot), WireError> {
+        wire::write_frame(&mut self.stream, &Frame::StatsRequest)?;
+        loop {
+            match self.read_frame()? {
+                Frame::Stats { gauges, snapshot } => return Ok((gauges, snapshot)),
                 Frame::Outcome { seq, outcome } => {
                     self.pending.insert(seq, outcome);
                 }

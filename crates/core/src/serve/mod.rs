@@ -22,6 +22,7 @@
 //! | `PSCP_SERVE_WINDOW` | max per-connection credit window      | `32`              |
 //! | `PSCP_THREADS`      | shard worker count (shared with pool) | available cores   |
 //! | `PSCP_GANG`         | per-worker gang width (shared with pool) | `64` (`auto`)  |
+//! | `PSCP_SERVE_STATS`  | telemetry scrapes (`off`/`0`/`false` disables) | on        |
 
 pub mod wire;
 
@@ -30,7 +31,9 @@ mod server;
 
 pub use client::ScenarioClient;
 pub use server::{serve, spawn, ServerHandle};
-pub use wire::{Frame, WireError, WireOutcome, DEFAULT_MAX_FRAME, DEFAULT_WINDOW};
+pub use wire::{
+    Frame, OutcomeLatency, ServeGauges, WireError, WireOutcome, DEFAULT_MAX_FRAME, DEFAULT_WINDOW,
+};
 
 use crate::compile::CompiledSystem;
 use std::collections::BTreeMap;
@@ -51,6 +54,10 @@ pub struct ServeOptions {
     /// (clamped to `1..=64`; 1 is the scalar path). Outcomes stay
     /// byte-identical either way — the differential suite pins it.
     pub gang: usize,
+    /// Answer `StatsRequest` frames (the remote telemetry plane). On
+    /// by default; `PSCP_SERVE_STATS=off` disables, after which a
+    /// scrape gets a typed `UNEXPECTED_FRAME` error.
+    pub stats: bool,
 }
 
 impl Default for ServeOptions {
@@ -60,13 +67,15 @@ impl Default for ServeOptions {
             max_window: DEFAULT_WINDOW,
             max_frame: DEFAULT_MAX_FRAME,
             gang: crate::pool::configured_gang(),
+            stats: true,
         }
     }
 }
 
 impl ServeOptions {
-    /// Defaults overridden by `PSCP_SERVE_WINDOW` (plus `PSCP_THREADS`
-    /// via [`configured_threads`](crate::pool::configured_threads) and
+    /// Defaults overridden by `PSCP_SERVE_WINDOW` and
+    /// `PSCP_SERVE_STATS` (plus `PSCP_THREADS` via
+    /// [`configured_threads`](crate::pool::configured_threads) and
     /// `PSCP_GANG` via
     /// [`configured_gang`](crate::pool::configured_gang)).
     pub fn from_env() -> Self {
@@ -74,6 +83,11 @@ impl ServeOptions {
         if let Ok(v) = std::env::var("PSCP_SERVE_WINDOW") {
             if let Ok(n) = v.trim().parse::<u32>() {
                 opts.max_window = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("PSCP_SERVE_STATS") {
+            if matches!(v.trim().to_ascii_lowercase().as_str(), "off" | "0" | "false") {
+                opts.stats = false;
             }
         }
         opts

@@ -17,7 +17,10 @@
 //! writer thread — outcomes for other connections keep flowing, and
 //! the server buffers at most `W` outcomes for the stalled peer.
 
-use super::wire::{self, error_code, Frame, Submit, WireError, WireOutcome};
+use super::wire::{
+    self, error_code, feature, Frame, OutcomeFrame, OutcomeLatency, ServeGauges, Submit,
+    WireError, WireOutcome,
+};
 use super::ServeOptions;
 use crate::compile::CompiledSystem;
 use crate::gang::GangRig;
@@ -28,7 +31,7 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Read timeout on connection sockets, so an idle reader re-checks the
 /// shutdown flag. Reads with data pending return immediately; this
@@ -48,6 +51,10 @@ struct Job {
     seq: u64,
     env: ScriptedEnvironment,
     limits: BatchOptions,
+    /// Enqueue instant, taken only when someone will consume the
+    /// timing (metrics enabled or the connection negotiated
+    /// [`feature::LATENCY`]) — the untimed hot path stays clock-free.
+    enqueued: Option<Instant>,
 }
 
 /// The shared job queue all connections feed and all workers drain.
@@ -108,6 +115,11 @@ impl Shared {
         }
     }
 
+    /// Jobs queued right now — the `queue_depth` gauge.
+    fn depth(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+
     fn close(&self) {
         // The flag must flip under the queue lock: a worker that just
         // found the queue empty holds the lock until its wait begins,
@@ -126,6 +138,12 @@ enum Msg {
     /// A fully encoded frame with no flow-control side effects
     /// (`Diagnostics` replies).
     Frame(Vec<u8>),
+    /// A fully encoded `Stats` reply. Like [`Msg::Frame`] it bypasses
+    /// the credit window, but it is also **excluded** from
+    /// `SERVE_FRAMES_OUT` — a telemetry scrape must not perturb the
+    /// counters it reports, or a quiesced server could never be
+    /// byte-identical to an in-process snapshot.
+    Stats(Vec<u8>),
     /// A fatal error frame; the writer sends it and stops.
     Error { code: u16, message: String },
     /// Orderly end of the connection.
@@ -135,6 +153,9 @@ enum Msg {
 /// Per-connection shared state between reader, writer, and workers.
 struct Conn {
     id: usize,
+    /// The connection negotiated [`feature::LATENCY`]: outcomes carry
+    /// a latency trailer.
+    latency: bool,
     /// Scenarios submitted but not yet credited back.
     inflight: AtomicU32,
     /// Set once the connection is beyond saving (write error, protocol
@@ -150,9 +171,10 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(id: usize) -> Self {
+    fn new(id: usize, latency: bool) -> Self {
         Conn {
             id,
+            latency,
             inflight: AtomicU32::new(0),
             dead: AtomicBool::new(false),
             outbound: Mutex::new(VecDeque::new()),
@@ -202,6 +224,41 @@ impl Conn {
             self.ready.notify_all();
         }
         self.notify_drained();
+    }
+}
+
+/// Listener-lifetime state behind the [`ServeGauges`] a `Stats` reply
+/// reports: these are point-in-time facts about the process, not
+/// monotonic counters, so they live here rather than in `pscp-obs`.
+struct ServerStats {
+    start: Instant,
+    live: AtomicU32,
+    /// The served system's fingerprint — fixed for the listener's
+    /// lifetime, so it rides here rather than as its own parameter.
+    fingerprint: u64,
+}
+
+impl ServerStats {
+    fn new(fingerprint: u64) -> Self {
+        ServerStats { start: Instant::now(), live: AtomicU32::new(0), fingerprint }
+    }
+
+    fn uptime_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Counts a connection as live until the guard drops.
+    fn live_guard(&self) -> LiveGuard<'_> {
+        self.live.fetch_add(1, Ordering::AcqRel);
+        LiveGuard(self)
+    }
+}
+
+struct LiveGuard<'a>(&'a ServerStats);
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.live.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -269,11 +326,22 @@ fn worker(w: usize, system: &CompiledSystem, shared: &Shared, gang: usize) {
     if gang <= 1 {
         let mut machine = PscpMachine::new(system);
         while let Some(job) = shared.pop() {
+            let dequeued = job.enqueued.map(|_| Instant::now());
+            let queue_ns = elapsed_ns(job.enqueued, dequeued);
             let outcome =
                 crate::pool::run_scenario(w, &mut machine, job.env, &job.limits, &|_, _, _| false);
-            let frame =
-                Frame::Outcome { seq: job.seq, outcome: WireOutcome::from_batch(&outcome) };
-            job.conn.push(Msg::Outcome(wire::encode_frame(&frame)));
+            let sim_end = dequeued.map(|_| Instant::now());
+            let sim_ns = elapsed_ns(dequeued, sim_end);
+            let builder = OutcomeFrame::begin(job.seq, &WireOutcome::from_batch(&outcome));
+            let encode_ns = elapsed_ns(sim_end, sim_end.map(|_| Instant::now()));
+            if pscp_obs::metrics_enabled() {
+                pscp_obs::metrics::SERVE_QUEUE_NS.record(w, queue_ns);
+                pscp_obs::metrics::SERVE_SIM_NS.record(w, sim_ns);
+                pscp_obs::metrics::SERVE_ENCODE_NS.record(encode_ns);
+            }
+            let latency =
+                job.conn.latency.then_some(OutcomeLatency { queue_ns, sim_ns, encode_ns });
+            job.conn.push(Msg::Outcome(builder.finish(latency)));
         }
         return;
     }
@@ -282,17 +350,45 @@ fn worker(w: usize, system: &CompiledSystem, shared: &Shared, gang: usize) {
     while let Some(job) = shared.pop() {
         batch.push(job);
         shared.pop_extra(gang - 1, &mut batch);
+        let timed = batch.iter().any(|j| j.enqueued.is_some());
+        let dequeued = timed.then(Instant::now);
         let mut routes = Vec::with_capacity(batch.len());
         let mut jobs = Vec::with_capacity(batch.len());
         for job in batch.drain(..) {
-            routes.push((job.conn, job.seq));
+            routes.push((job.conn, job.seq, elapsed_ns(job.enqueued, dequeued)));
             jobs.push((job.env, job.limits));
         }
         let outcomes = rig.run(w, jobs, &|_, _, _| false);
-        for ((conn, seq), outcome) in routes.into_iter().zip(outcomes) {
-            let frame = Frame::Outcome { seq, outcome: WireOutcome::from_batch(&outcome) };
-            conn.push(Msg::Outcome(wire::encode_frame(&frame)));
+        let sim_end = dequeued.map(|_| Instant::now());
+        // Gang lanes simulate lock-step, so every lane reports the
+        // rig's shared wall time — the honest decomposition of server
+        // residency for a ganged scenario.
+        let sim_ns = elapsed_ns(dequeued, sim_end);
+        if pscp_obs::metrics_enabled() {
+            pscp_obs::metrics::SERVE_SIM_NS.record(w, sim_ns);
         }
+        for ((conn, seq, queue_ns), outcome) in routes.into_iter().zip(outcomes) {
+            let enc_start = dequeued.map(|_| Instant::now());
+            let builder = OutcomeFrame::begin(seq, &WireOutcome::from_batch(&outcome));
+            let encode_ns = elapsed_ns(enc_start, enc_start.map(|_| Instant::now()));
+            if pscp_obs::metrics_enabled() {
+                pscp_obs::metrics::SERVE_QUEUE_NS.record(w, queue_ns);
+                pscp_obs::metrics::SERVE_ENCODE_NS.record(encode_ns);
+            }
+            let latency = conn.latency.then_some(OutcomeLatency { queue_ns, sim_ns, encode_ns });
+            conn.push(Msg::Outcome(builder.finish(latency)));
+        }
+    }
+}
+
+/// Nanoseconds between two optional instants; 0 when either is absent
+/// (an untimed job) or the clock stepped oddly.
+fn elapsed_ns(start: Option<Instant>, end: Option<Instant>) -> u64 {
+    match (start, end) {
+        (Some(a), Some(b)) => {
+            u64::try_from(b.saturating_duration_since(a).as_nanos()).unwrap_or(u64::MAX)
+        }
+        _ => 0,
     }
 }
 
@@ -317,6 +413,8 @@ fn writer(conn: &Conn, stream: &mut TcpStream) {
             Msg::Frame(frame_bytes) => stream
                 .write_all(&frame_bytes)
                 .map(|()| pscp_obs::metrics::SERVE_FRAMES_OUT.add(conn.id, 1)),
+            // Deliberately NOT counted in SERVE_FRAMES_OUT — see Msg::Stats.
+            Msg::Stats(frame_bytes) => stream.write_all(&frame_bytes),
             Msg::Error { code, message } => {
                 let r = stream
                     .write_all(&wire::encode_frame(&Frame::Error { code, message }));
@@ -367,19 +465,22 @@ fn handle_connection(
     mut stream: TcpStream,
     conn_id: usize,
     system: &CompiledSystem,
-    fingerprint: u64,
     shared: &Shared,
+    stats: &ServerStats,
     opts: &ServeOptions,
     shutdown: &AtomicBool,
 ) {
+    let fingerprint = stats.fingerprint;
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL));
     pscp_obs::metrics::SERVE_CONNECTIONS.inc();
+    let _live = stats.live_guard();
     let mut cursor = wire::FrameCursor::new();
 
     // Handshake: the first frame must be a Hello.
-    let window = match next_event(&mut stream, &mut cursor, opts.max_frame, shutdown) {
-        Ok(ReadEvent::Frame(Frame::Hello { window, fingerprint: fp })) => {
+    let (window, granted) = match next_event(&mut stream, &mut cursor, opts.max_frame, shutdown)
+    {
+        Ok(ReadEvent::Frame(Frame::Hello { window, fingerprint: fp, features })) => {
             pscp_obs::metrics::SERVE_FRAMES_IN.add(conn_id, 1);
             if fp != 0 && fp != fingerprint {
                 pscp_obs::metrics::SERVE_ERRORS.inc();
@@ -404,7 +505,7 @@ fn handle_connection(
                 );
                 return;
             }
-            window.clamp(1, opts.max_window.max(1))
+            (window.clamp(1, opts.max_window.max(1)), features & feature::SUPPORTED)
         }
         Ok(ReadEvent::Frame(_)) => {
             pscp_obs::metrics::SERVE_ERRORS.inc();
@@ -427,12 +528,14 @@ fn handle_connection(
             return;
         }
     };
-    if wire::write_frame(&mut stream, &Frame::Hello { window, fingerprint }).is_err() {
+    if wire::write_frame(&mut stream, &Frame::Hello { window, fingerprint, features: granted })
+        .is_err()
+    {
         return;
     }
     pscp_obs::metrics::SERVE_FRAMES_OUT.add(conn_id, 1);
 
-    let conn = Arc::new(Conn::new(conn_id));
+    let conn = Arc::new(Conn::new(conn_id, granted & feature::LATENCY != 0));
     let writer_conn = Arc::clone(&conn);
     let Ok(mut write_stream) = stream.try_clone() else { return };
     let writer_thread = std::thread::spawn(move || writer(&writer_conn, &mut write_stream));
@@ -457,6 +560,8 @@ fn handle_connection(
                     seq,
                     env: ScriptedEnvironment::new(script),
                     limits,
+                    enqueued: (pscp_obs::metrics_enabled() || conn.latency)
+                        .then(Instant::now),
                 });
             }
             Ok(ReadEvent::Frame(Frame::Compile { chart, actions })) => {
@@ -464,12 +569,40 @@ fn handle_connection(
                 let reply = handle_compile(system, &chart, &actions);
                 conn.push(Msg::Frame(wire::encode_frame(&reply)));
             }
+            Ok(ReadEvent::Frame(Frame::StatsRequest)) => {
+                // NOT counted in SERVE_FRAMES_IN: a scrape must leave
+                // the counters it reports untouched (the quiesced
+                // byte-identity pin depends on it).
+                if !opts.stats {
+                    pscp_obs::metrics::SERVE_ERRORS.inc();
+                    conn.push(Msg::Error {
+                        code: error_code::UNEXPECTED_FRAME,
+                        message: "stats disabled (PSCP_SERVE_STATS=off)".into(),
+                    });
+                    break;
+                }
+                // Count the scrape BEFORE snapshotting, so the reply
+                // includes its own scrape and the counter is stable
+                // once the reply is on the wire.
+                pscp_obs::metrics::SERVE_STATS_SCRAPES.inc();
+                let snapshot = pscp_obs::metrics::snapshot();
+                let gauges = ServeGauges {
+                    uptime_ns: stats.uptime_ns(),
+                    registered_systems: super::registered_systems() as u32,
+                    live_connections: stats.live.load(Ordering::Acquire),
+                    queue_depth: shared.depth() as u32,
+                    workers: opts.threads.max(1) as u32,
+                    gang: opts.gang.clamp(1, pscp_sla::gang::GANG_WIDTH) as u32,
+                };
+                conn.push(Msg::Stats(wire::encode_frame(&Frame::Stats { gauges, snapshot })));
+            }
             Ok(ReadEvent::Frame(_)) => {
                 pscp_obs::metrics::SERVE_ERRORS.inc();
                 conn.push(Msg::Error {
                     code: error_code::UNEXPECTED_FRAME,
-                    message: "only Submit and Compile frames are valid after the handshake"
-                        .into(),
+                    message:
+                        "only Submit, Compile and StatsRequest frames are valid after the handshake"
+                            .into(),
                 });
                 break;
             }
@@ -542,6 +675,7 @@ pub fn serve(
     // pin it in its next Hello.
     super::register_system(Arc::new(system.clone()));
     let shared = Shared::new();
+    let stats = ServerStats::new(fingerprint);
     let threads = opts.threads.max(1);
     let gang = opts.gang.clamp(1, pscp_sla::gang::GANG_WIDTH);
     std::thread::scope(|s| {
@@ -563,10 +697,9 @@ pub fn serve(
                     let conn_id = next_conn;
                     next_conn += 1;
                     let shared = &shared;
+                    let stats = &stats;
                     s.spawn(move || {
-                        handle_connection(
-                            stream, conn_id, system, fingerprint, shared, opts, shutdown,
-                        )
+                        handle_connection(stream, conn_id, system, shared, stats, opts, shutdown)
                     });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}

@@ -28,6 +28,14 @@
 //! | 4   | [`Frame::Error`]       | both            | typed fatal error, then close        |
 //! | 5   | [`Frame::Compile`]     | client → server | chart + action sources to compile    |
 //! | 6   | [`Frame::Diagnostics`] | server → client | compile report + system fingerprint  |
+//! | 7   | [`Frame::StatsRequest`]| client → server | telemetry scrape request (empty body)|
+//! | 8   | [`Frame::Stats`]       | server → client | serve gauges + canonical obs snapshot|
+//!
+//! Like `Diagnostics`, a [`Frame::Stats`] reply bypasses the credit
+//! window: scraping telemetry never competes with scenario credits.
+//! The snapshot payload is encoded canonically ([`encode_stats`]) so a
+//! wire scrape of a quiesced server is byte-identical to an in-process
+//! [`pscp_obs::metrics::snapshot`] encoding.
 //!
 //! [`Frame::Error`] carries a stable `u16` code from the [`error_code`]
 //! registry; codes are never renumbered, only appended:
@@ -58,6 +66,7 @@
 use crate::machine::{CycleReport, MachineStats, ScriptedEnvironment};
 use crate::pool::{BatchOptions, BatchOutcome};
 use pscp_diag::{Diagnostic, Pos, Severity, Source, Span};
+pub use pscp_obs::metrics::{HistogramSnapshot, MetricsSnapshot};
 use std::fmt;
 use std::io::{Read, Write};
 
@@ -82,6 +91,22 @@ const T_CREDIT: u8 = 3;
 const T_ERROR: u8 = 4;
 const T_COMPILE: u8 = 5;
 const T_DIAGNOSTICS: u8 = 6;
+const T_STATS_REQUEST: u8 = 7;
+const T_STATS: u8 = 8;
+
+/// Optional capabilities negotiated in the [`Frame::Hello`] handshake.
+///
+/// The client requests a bit set; the server grants the intersection
+/// with [`feature::SUPPORTED`] and echoes it in its reply `Hello`.
+/// A zero feature word is encoded as *absent* (the PR-8 `Hello`
+/// layout), so old peers interoperate unchanged.
+pub mod feature {
+    /// Outcome frames carry an [`OutcomeLatency`](super::OutcomeLatency)
+    /// trailer (`queue_ns`/`sim_ns`/`encode_ns`).
+    pub const LATENCY: u32 = 1 << 0;
+    /// Every feature this build understands.
+    pub const SUPPORTED: u32 = LATENCY;
+}
 
 /// Error codes carried by [`Frame::Error`].
 pub mod error_code {
@@ -224,6 +249,10 @@ pub enum Frame {
         window: u32,
         /// Compiled-system fingerprint; 0 means "unknown/any".
         fingerprint: u64,
+        /// Requested (client) / granted (server) [`feature`] bits.
+        /// Encoded only when nonzero, so a zero word is byte-identical
+        /// to the pre-feature `Hello` layout.
+        features: u32,
     },
     /// One scenario submission (client → server).
     Submit(Submit),
@@ -268,6 +297,74 @@ pub enum Frame {
         /// The canonical report ([`pscp_diag::DiagnosticSink::finish`]).
         diagnostics: Vec<Diagnostic>,
     },
+    /// Telemetry scrape request (client → server). Empty body; always
+    /// answered with [`Frame::Stats`] (or a typed `Error` when stats
+    /// are disabled via `PSCP_SERVE_STATS=off`). Not counted against
+    /// the credit window, and excluded from `SERVE_FRAMES_IN` so a
+    /// scrape does not perturb the counters it reports.
+    StatsRequest,
+    /// One telemetry snapshot (server → client): serve-level gauges
+    /// plus the full canonical [`pscp_obs`] metrics snapshot.
+    Stats {
+        /// Point-in-time serve gauges (not monotonic counters).
+        gauges: ServeGauges,
+        /// The process-wide metrics snapshot, encoded canonically via
+        /// [`encode_stats`].
+        snapshot: MetricsSnapshot,
+    },
+}
+
+/// Point-in-time serve-level gauges carried by [`Frame::Stats`],
+/// alongside (not inside) the monotonic [`MetricsSnapshot`]: these
+/// describe the server *now*, so they are excluded from the
+/// byte-identity contract between in-process and wire snapshots and
+/// from [`MetricsSnapshot::delta`] rate math.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeGauges {
+    /// Nanoseconds since the listener started.
+    pub uptime_ns: u64,
+    /// Systems in the per-process compiled-system table.
+    pub registered_systems: u32,
+    /// Connections currently open.
+    pub live_connections: u32,
+    /// Jobs sitting in the shared shard queue right now.
+    pub queue_depth: u32,
+    /// Shard worker threads.
+    pub workers: u32,
+    /// Gang width (1 = scalar).
+    pub gang: u32,
+}
+
+impl ServeGauges {
+    /// `(name, value)` rows in canonical order, for report rendering.
+    pub fn rows(&self) -> [(&'static str, u64); 6] {
+        [
+            ("uptime_ns", self.uptime_ns),
+            ("registered_systems", u64::from(self.registered_systems)),
+            ("live_connections", u64::from(self.live_connections)),
+            ("queue_depth", u64::from(self.queue_depth)),
+            ("workers", u64::from(self.workers)),
+            ("gang", u64::from(self.gang)),
+        ]
+    }
+}
+
+/// Server-side latency decomposition of one outcome, in nanoseconds on
+/// the server's monotonic clock. Carried as an optional trailer on
+/// `Outcome` frames when the connection negotiated
+/// [`feature::LATENCY`]; because every field is a *duration*, clients
+/// can decompose end-to-end latency without any clock synchronisation
+/// (the remainder after subtracting these from a locally-timed
+/// round-trip is wire + client time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeLatency {
+    /// Time the submission waited in the shard queue.
+    pub queue_ns: u64,
+    /// Time simulating (for gang lanes: the gang rig's shared wall
+    /// time, since lanes simulate together).
+    pub sim_ns: u64,
+    /// Time encoding the outcome frame body.
+    pub encode_ns: u64,
 }
 
 /// One configuration cycle on the wire — [`CycleReport`] with ids
@@ -350,6 +447,13 @@ pub struct WireOutcome {
     pub port_writes: Vec<(u16, i64, u64)>,
     /// The fault that ended the scenario early, rendered.
     pub error: Option<String>,
+    /// Server-side latency breakdown, when the connection negotiated
+    /// [`feature::LATENCY`]. **Excluded** from the canonical
+    /// [`encode`](WireOutcome::encode) body — the differential
+    /// byte-identity contract covers only what the simulation
+    /// determines, never wall-clock measurements. It travels as an
+    /// optional trailer at the `Outcome`-frame layer instead.
+    pub latency: Option<OutcomeLatency>,
 }
 
 impl WireOutcome {
@@ -364,10 +468,12 @@ impl WireOutcome {
             leftover_script: o.env.script.clone(),
             port_writes: o.env.port_writes.clone(),
             error: o.error.as_ref().map(|e| e.to_string()),
+            latency: None,
         }
     }
 
-    /// Canonical body bytes (no framing).
+    /// Canonical body bytes (no framing). Never includes the
+    /// [`latency`](WireOutcome::latency) trailer.
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Enc::new();
         enc_outcome(&mut e, self);
@@ -696,7 +802,157 @@ fn dec_outcome(d: &mut Dec<'_>) -> Result<WireOutcome, WireError> {
         1 => Some(d.str()?),
         _ => return Err(WireError::Malformed("bad option tag")),
     };
-    Ok(WireOutcome { reports, stats, clock_cycles, leftover_script, port_writes, error })
+    Ok(WireOutcome {
+        reports,
+        stats,
+        clock_cycles,
+        leftover_script,
+        port_writes,
+        error,
+        latency: None,
+    })
+}
+
+fn enc_latency(e: &mut Enc, l: &OutcomeLatency) {
+    e.u8(1); // trailer tag
+    e.u64(l.queue_ns);
+    e.u64(l.sim_ns);
+    e.u64(l.encode_ns);
+}
+
+fn dec_latency_trailer(d: &mut Dec<'_>) -> Result<Option<OutcomeLatency>, WireError> {
+    if d.remaining() == 0 {
+        return Ok(None);
+    }
+    if d.u8()? != 1 {
+        return Err(WireError::Malformed("bad latency trailer tag"));
+    }
+    Ok(Some(OutcomeLatency { queue_ns: d.u64()?, sim_ns: d.u64()?, encode_ns: d.u64()? }))
+}
+
+// --- Stats snapshot codec ----------------------------------------------------
+
+/// Version prefix of the canonical stats-snapshot encoding; bumped when
+/// the snapshot layout changes (independently of [`PROTOCOL_VERSION`]).
+pub const STATS_VERSION: u16 = 1;
+
+/// Canonical body bytes of a metrics snapshot (no framing). The
+/// telemetry byte-identity contract hangs off this: encoding an
+/// in-process [`pscp_obs::metrics::snapshot`] equals the snapshot
+/// portion of the `Stats` frame a quiesced server produces.
+pub fn encode_stats(s: &MetricsSnapshot) -> Vec<u8> {
+    let mut e = Enc::new();
+    enc_stats(&mut e, s);
+    e.buf
+}
+
+/// Decodes canonical stats-snapshot bytes.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on an unknown stats version, truncation or
+/// trailing bytes.
+pub fn decode_stats(bytes: &[u8]) -> Result<MetricsSnapshot, WireError> {
+    let mut d = Dec::new(bytes);
+    let s = dec_stats(&mut d)?;
+    d.finish()?;
+    Ok(s)
+}
+
+fn enc_stats(e: &mut Enc, s: &MetricsSnapshot) {
+    e.u16(STATS_VERSION);
+    e.u32(s.counters.len() as u32);
+    for (name, v) in &s.counters {
+        e.str(name);
+        e.u64(*v);
+    }
+    e.u32(s.per_worker.len() as u32);
+    for (name, slots) in &s.per_worker {
+        e.str(name);
+        e.u32(slots.len() as u32);
+        for &v in slots {
+            e.u64(v);
+        }
+    }
+    e.u32(s.tep_instr.len() as u32);
+    for (name, v) in &s.tep_instr {
+        e.str(name);
+        e.u64(*v);
+    }
+    e.u32(s.histograms.len() as u32);
+    for h in &s.histograms {
+        e.str(&h.name);
+        e.u64(h.count);
+        e.u64(h.sum);
+        e.u32(h.buckets.len() as u32);
+        for &(lo, hi, n) in &h.buckets {
+            e.u64(lo);
+            e.u64(hi);
+            e.u64(n);
+        }
+    }
+}
+
+fn dec_stats(d: &mut Dec<'_>) -> Result<MetricsSnapshot, WireError> {
+    let version = d.u16()?;
+    if version != STATS_VERSION {
+        return Err(WireError::Malformed("unknown stats version"));
+    }
+    let n = d.count(12)?;
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        counters.push((d.str()?, d.u64()?));
+    }
+    let n = d.count(8)?;
+    let mut per_worker = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = d.str()?;
+        let slots_n = d.count(8)?;
+        let mut slots = Vec::with_capacity(slots_n);
+        for _ in 0..slots_n {
+            slots.push(d.u64()?);
+        }
+        per_worker.push((name, slots));
+    }
+    let n = d.count(12)?;
+    let mut tep_instr = Vec::with_capacity(n);
+    for _ in 0..n {
+        tep_instr.push((d.str()?, d.u64()?));
+    }
+    let n = d.count(24)?;
+    let mut histograms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = d.str()?;
+        let count = d.u64()?;
+        let sum = d.u64()?;
+        let buckets_n = d.count(24)?;
+        let mut buckets = Vec::with_capacity(buckets_n);
+        for _ in 0..buckets_n {
+            buckets.push((d.u64()?, d.u64()?, d.u64()?));
+        }
+        histograms.push(HistogramSnapshot { name, count, sum, buckets });
+    }
+    Ok(MetricsSnapshot { counters, per_worker, tep_instr, histograms })
+}
+
+fn enc_gauges(e: &mut Enc, g: &ServeGauges) {
+    e.u64(g.uptime_ns);
+    e.u32(g.registered_systems);
+    e.u32(g.live_connections);
+    e.u32(g.queue_depth);
+    e.u32(g.workers);
+    e.u32(g.gang);
+}
+
+fn dec_gauges(d: &mut Dec<'_>) -> Result<ServeGauges, WireError> {
+    Ok(ServeGauges {
+        uptime_ns: d.u64()?,
+        registered_systems: d.u32()?,
+        live_connections: d.u32()?,
+        queue_depth: d.u32()?,
+        workers: d.u32()?,
+        gang: d.u32()?,
+    })
 }
 
 // --- Frame encode/decode -----------------------------------------------------
@@ -707,10 +963,15 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
     let mut e = Enc::new();
     e.u8(PROTOCOL_VERSION);
     match frame {
-        Frame::Hello { window, fingerprint } => {
+        Frame::Hello { window, fingerprint, features } => {
             e.u8(T_HELLO);
             e.u32(*window);
             e.u64(*fingerprint);
+            // A zero feature word is omitted: byte-identical to the
+            // pre-feature layout, so old peers decode it unchanged.
+            if *features != 0 {
+                e.u32(*features);
+            }
         }
         Frame::Submit(s) => {
             e.u8(T_SUBMIT);
@@ -723,6 +984,9 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             e.u8(T_OUTCOME);
             e.u64(*seq);
             enc_outcome(&mut e, outcome);
+            if let Some(l) = &outcome.latency {
+                enc_latency(&mut e, l);
+            }
         }
         Frame::Credit { n } => {
             e.u8(T_CREDIT);
@@ -743,6 +1007,14 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             e.u64(*fingerprint);
             enc_diagnostics(&mut e, diagnostics);
         }
+        Frame::StatsRequest => {
+            e.u8(T_STATS_REQUEST);
+        }
+        Frame::Stats { gauges, snapshot } => {
+            e.u8(T_STATS);
+            enc_gauges(&mut e, gauges);
+            enc_stats(&mut e, snapshot);
+        }
     }
     let checksum = fnv1a32(&e.buf);
     e.u32(checksum);
@@ -756,6 +1028,45 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&payload);
     out
+}
+
+/// Two-phase `Outcome` frame builder for the serve workers.
+///
+/// `encode_ns` must appear *inside* the checksummed bytes it measures
+/// the encoding of — a chicken-and-egg a one-shot encoder can't
+/// resolve. [`begin`](OutcomeFrame::begin) does all the expensive body
+/// encoding (time this part); [`finish`](OutcomeFrame::finish) appends
+/// the measured trailer, checksums and length-prefixes.
+pub struct OutcomeFrame {
+    e: Enc,
+}
+
+impl OutcomeFrame {
+    /// Encodes the frame body (version, tag, seq, canonical outcome).
+    /// Any `latency` already on `outcome` is ignored — the trailer
+    /// comes from [`finish`](OutcomeFrame::finish).
+    pub fn begin(seq: u64, outcome: &WireOutcome) -> Self {
+        let mut e = Enc::new();
+        e.u8(PROTOCOL_VERSION);
+        e.u8(T_OUTCOME);
+        e.u64(seq);
+        enc_outcome(&mut e, outcome);
+        OutcomeFrame { e }
+    }
+
+    /// Appends the optional latency trailer, checksums, and returns the
+    /// complete frame bytes (length prefix included).
+    pub fn finish(mut self, latency: Option<OutcomeLatency>) -> Vec<u8> {
+        if let Some(l) = latency {
+            enc_latency(&mut self.e, &l);
+        }
+        let checksum = fnv1a32(&self.e.buf);
+        self.e.u32(checksum);
+        let mut out = Vec::with_capacity(LEN_PREFIX + self.e.buf.len());
+        out.extend_from_slice(&(self.e.buf.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.e.buf);
+        out
+    }
 }
 
 /// Decodes one payload (version, type, body, checksum).
@@ -780,13 +1091,23 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
     let mut d = Dec::new(&body[1..]);
     let tag = d.u8()?;
     let frame = match tag {
-        T_HELLO => Frame::Hello { window: d.u32()?, fingerprint: d.u64()? },
+        T_HELLO => Frame::Hello {
+            window: d.u32()?,
+            fingerprint: d.u64()?,
+            // Absent feature word (a PR-8 peer) decodes as zero.
+            features: if d.remaining() > 0 { d.u32()? } else { 0 },
+        },
         T_SUBMIT => {
             let seq = d.u64()?;
             let limits = BatchOptions { deadline: d.u64()?, max_steps: d.u64()? };
             Frame::Submit(Submit { seq, limits, script: dec_script(&mut d)? })
         }
-        T_OUTCOME => Frame::Outcome { seq: d.u64()?, outcome: dec_outcome(&mut d)? },
+        T_OUTCOME => {
+            let seq = d.u64()?;
+            let mut outcome = dec_outcome(&mut d)?;
+            outcome.latency = dec_latency_trailer(&mut d)?;
+            Frame::Outcome { seq, outcome }
+        }
         T_CREDIT => Frame::Credit { n: d.u32()? },
         T_ERROR => Frame::Error { code: d.u16()?, message: d.str()? },
         T_COMPILE => Frame::Compile { chart: d.str()?, actions: d.str()? },
@@ -794,6 +1115,8 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
             fingerprint: d.u64()?,
             diagnostics: dec_diagnostics(&mut d)?,
         },
+        T_STATS_REQUEST => Frame::StatsRequest,
+        T_STATS => Frame::Stats { gauges: dec_gauges(&mut d)?, snapshot: dec_stats(&mut d)? },
         tag => return Err(WireError::UnknownFrame { tag }),
     };
     d.finish()?;
@@ -933,6 +1256,7 @@ mod tests {
             leftover_script: vec![vec![], vec!["TICK".into(), "GO".into()]],
             port_writes: vec![(0x20, -7, 46)],
             error: Some("divide by zero in `f` at pc 3".into()),
+            latency: None,
         }
     }
 
@@ -953,7 +1277,8 @@ mod tests {
     #[test]
     fn every_frame_round_trips() {
         let frames = vec![
-            Frame::Hello { window: 8, fingerprint: 0xdead_beef },
+            Frame::Hello { window: 8, fingerprint: 0xdead_beef, features: 0 },
+            Frame::Hello { window: 8, fingerprint: 0xdead_beef, features: feature::LATENCY },
             Frame::Submit(Submit {
                 seq: 42,
                 limits: BatchOptions { deadline: u64::MAX, max_steps: 17 },
@@ -979,10 +1304,127 @@ mod tests {
         }
     }
 
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![("machine_steps".into(), 1234), ("serve_errors".into(), 0)],
+            per_worker: vec![("pool_scenarios".into(), vec![10, 0, 7])],
+            tep_instr: vec![("ldi".into(), 99)],
+            histograms: vec![HistogramSnapshot {
+                name: "serve_sim_ns".into(),
+                count: 3,
+                sum: 1500,
+                buckets: vec![(256, 511, 2), (512, 1023, 1)],
+            }],
+        }
+    }
+
     #[test]
     fn outcome_body_round_trips() {
         let o = sample_outcome();
         assert_eq!(WireOutcome::decode(&o.encode()).unwrap(), o);
+    }
+
+    #[test]
+    fn stats_frames_round_trip() {
+        let frames = vec![
+            Frame::StatsRequest,
+            Frame::Stats {
+                gauges: ServeGauges {
+                    uptime_ns: 5_000_000_000,
+                    registered_systems: 2,
+                    live_connections: 1,
+                    queue_depth: 4,
+                    workers: 3,
+                    gang: 64,
+                },
+                snapshot: sample_snapshot(),
+            },
+            Frame::Stats { gauges: ServeGauges::default(), snapshot: MetricsSnapshot::default() },
+        ];
+        for f in frames {
+            let bytes = encode_frame(&f);
+            let mut cursor = FrameCursor::new();
+            cursor.feed(&bytes);
+            assert_eq!(cursor.next_frame(DEFAULT_MAX_FRAME).unwrap().unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn stats_body_round_trips() {
+        let s = sample_snapshot();
+        assert_eq!(decode_stats(&encode_stats(&s)).unwrap(), s);
+        assert_eq!(
+            decode_stats(&encode_stats(&MetricsSnapshot::default())).unwrap(),
+            MetricsSnapshot::default()
+        );
+    }
+
+    #[test]
+    fn unknown_stats_version_is_malformed() {
+        let mut bytes = encode_stats(&sample_snapshot());
+        bytes[0] = 0xff;
+        assert!(matches!(
+            decode_stats(&bytes),
+            Err(WireError::Malformed("unknown stats version"))
+        ));
+    }
+
+    #[test]
+    fn zero_feature_hello_matches_pre_feature_layout() {
+        // The features word is omitted when zero, so a PR-9 client
+        // that requests nothing emits bytes a PR-8 server accepts.
+        let mut e = Enc::new();
+        e.u8(PROTOCOL_VERSION);
+        e.u8(T_HELLO);
+        e.u32(8);
+        e.u64(0xdead_beef);
+        let checksum = fnv1a32(&e.buf);
+        e.u32(checksum);
+        let mut legacy = (e.buf.len() as u32).to_le_bytes().to_vec();
+        legacy.extend_from_slice(&e.buf);
+        let ours = encode_frame(&Frame::Hello {
+            window: 8,
+            fingerprint: 0xdead_beef,
+            features: 0,
+        });
+        assert_eq!(ours, legacy);
+        // And the legacy bytes decode with features == 0.
+        let mut cursor = FrameCursor::new();
+        cursor.feed(&legacy);
+        assert_eq!(
+            cursor.next_frame(DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            Frame::Hello { window: 8, fingerprint: 0xdead_beef, features: 0 }
+        );
+    }
+
+    #[test]
+    fn latency_trailer_rides_outside_the_canonical_body() {
+        let mut o = sample_outcome();
+        o.latency = Some(OutcomeLatency { queue_ns: 10, sim_ns: 2000, encode_ns: 30 });
+        let mut plain = sample_outcome();
+        plain.latency = None;
+        // The canonical body ignores the trailer entirely…
+        assert_eq!(o.encode(), plain.encode());
+        // …but the Outcome *frame* carries and round-trips it.
+        let f = Frame::Outcome { seq: 9, outcome: o.clone() };
+        let bytes = encode_frame(&f);
+        let mut cursor = FrameCursor::new();
+        cursor.feed(&bytes);
+        assert_eq!(cursor.next_frame(DEFAULT_MAX_FRAME).unwrap().unwrap(), f);
+        // A trailer-free frame is byte-identical to the PR-8 encoding
+        // and decodes with latency == None.
+        let f8 = Frame::Outcome { seq: 9, outcome: plain.clone() };
+        let two_phase = OutcomeFrame::begin(9, &plain).finish(None);
+        assert_eq!(encode_frame(&f8), two_phase);
+    }
+
+    #[test]
+    fn outcome_frame_builder_matches_encode_frame() {
+        let mut o = sample_outcome();
+        let lat = OutcomeLatency { queue_ns: 1, sim_ns: 2, encode_ns: 3 };
+        let built = OutcomeFrame::begin(77, &o).finish(Some(lat));
+        o.latency = Some(lat);
+        assert_eq!(built, encode_frame(&Frame::Outcome { seq: 77, outcome: o }));
     }
 
     #[test]
@@ -1067,7 +1509,7 @@ mod tests {
 
     #[test]
     fn truncated_stream_reports_truncated() {
-        let bytes = encode_frame(&Frame::Hello { window: 4, fingerprint: 1 });
+        let bytes = encode_frame(&Frame::Hello { window: 4, fingerprint: 1, features: 0 });
         let cut = &bytes[..bytes.len() - 3];
         let mut reader = std::io::Cursor::new(cut.to_vec());
         assert!(matches!(

@@ -129,7 +129,7 @@ fn backpressure_suite() {
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
 
-        wire::write_frame(&mut stream, &Frame::Hello { window: 1, fingerprint: 0 })
+        wire::write_frame(&mut stream, &Frame::Hello { window: 1, fingerprint: 0, features: 0 })
             .unwrap();
         match wire::read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap() {
             Frame::Hello { window, .. } => assert_eq!(window, 1),

@@ -9,8 +9,8 @@ use pscp_core::arch::PscpArch;
 use pscp_core::compile::{compile_system, CompiledSystem};
 use pscp_core::pool::BatchOptions;
 use pscp_core::serve::wire::{
-    self, error_code, Frame, Submit, WireError, WireOutcome, WireReport, WireStats,
-    DEFAULT_MAX_FRAME,
+    self, error_code, Frame, HistogramSnapshot, MetricsSnapshot, OutcomeLatency, ServeGauges,
+    Submit, WireError, WireOutcome, WireReport, WireStats, DEFAULT_MAX_FRAME,
 };
 use pscp_core::serve::{self, ScenarioClient, ServeOptions, ServerHandle};
 use pscp_statechart::{ChartBuilder, StateKind};
@@ -75,14 +75,73 @@ fn arb_outcome() -> impl Strategy<Value = WireOutcome> {
         prop_oneof![Just(None), Just(Some("TEP fault: stack overflow".to_string()))],
     )
         .prop_map(|(reports, stats, clock_cycles, leftover_script, port_writes, error)| {
-            WireOutcome { reports, stats, clock_cycles, leftover_script, port_writes, error }
+            WireOutcome {
+                reports,
+                stats,
+                clock_cycles,
+                leftover_script,
+                port_writes,
+                error,
+                latency: None,
+            }
+        })
+}
+
+fn arb_latency() -> impl Strategy<Value = Option<OutcomeLatency>> {
+    prop_oneof![
+        Just(None),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(queue_ns, sim_ns, encode_ns)| {
+            Some(OutcomeLatency { queue_ns, sim_ns, encode_ns })
+        }),
+    ]
+}
+
+fn arb_histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    ("[a-z_]{1,12}", proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..4))
+        .prop_map(|(name, buckets)| {
+            let count = buckets.iter().map(|&(_, _, n)| n).fold(0u64, u64::wrapping_add);
+            let sum = buckets.iter().map(|&(lo, _, n)| lo.wrapping_mul(n)).fold(0, u64::wrapping_add);
+            HistogramSnapshot { name, count, sum, buckets }
+        })
+}
+
+fn arb_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        proptest::collection::vec(("[a-z_]{1,12}", any::<u64>()), 0..4),
+        proptest::collection::vec(
+            ("[a-z_]{1,12}", proptest::collection::vec(any::<u64>(), 0..5)),
+            0..3,
+        ),
+        proptest::collection::vec(("[a-z]{1,6}", any::<u64>()), 0..4),
+        proptest::collection::vec(arb_histogram(), 0..3),
+    )
+        .prop_map(|(counters, per_worker, tep_instr, histograms)| MetricsSnapshot {
+            counters,
+            per_worker,
+            tep_instr,
+            histograms,
+        })
+}
+
+fn arb_gauges() -> impl Strategy<Value = ServeGauges> {
+    (any::<u64>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+        .prop_map(|(uptime_ns, registered_systems, live_connections, queue_depth, workers, gang)| {
+            ServeGauges {
+                uptime_ns,
+                registered_systems,
+                live_connections,
+                queue_depth,
+                workers,
+                gang,
+            }
         })
 }
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        (any::<u32>(), any::<u64>())
-            .prop_map(|(window, fingerprint)| Frame::Hello { window, fingerprint }),
+        (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(window, fingerprint, features)| {
+            Frame::Hello { window, fingerprint, features }
+        }),
         (any::<u64>(), any::<u64>(), 1u64..=1_000_000, arb_script()).prop_map(
             |(seq, deadline, max_steps, script)| {
                 Frame::Submit(Submit {
@@ -92,10 +151,15 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 })
             }
         ),
-        (any::<u64>(), arb_outcome())
-            .prop_map(|(seq, outcome)| Frame::Outcome { seq, outcome }),
+        (any::<u64>(), arb_outcome(), arb_latency()).prop_map(|(seq, mut outcome, latency)| {
+            outcome.latency = latency;
+            Frame::Outcome { seq, outcome }
+        }),
         any::<u32>().prop_map(|n| Frame::Credit { n }),
         (any::<u16>(), ".{0,12}").prop_map(|(code, message)| Frame::Error { code, message }),
+        Just(Frame::StatsRequest),
+        (arb_gauges(), arb_snapshot())
+            .prop_map(|(gauges, snapshot)| Frame::Stats { gauges, snapshot }),
     ]
 }
 
@@ -213,7 +277,7 @@ fn assert_closed(server: &ServerHandle, bytes: &[u8]) {
 #[test]
 fn truncated_frame_gets_a_typed_error() {
     let server = live_server();
-    let full = wire::encode_frame(&Frame::Hello { window: 4, fingerprint: 0 });
+    let full = wire::encode_frame(&Frame::Hello { window: 4, fingerprint: 0, features: 0 });
     let (code, _) = poke(&server, &full[..full.len() - 3]);
     assert_eq!(code, error_code::MALFORMED);
     server.stop().unwrap();
@@ -222,7 +286,7 @@ fn truncated_frame_gets_a_typed_error() {
 #[test]
 fn bad_version_byte_gets_a_typed_error() {
     let server = live_server();
-    let mut bytes = wire::encode_frame(&Frame::Hello { window: 4, fingerprint: 0 });
+    let mut bytes = wire::encode_frame(&Frame::Hello { window: 4, fingerprint: 0, features: 0 });
     bytes[4] = wire::PROTOCOL_VERSION + 1; // version byte follows the length prefix
     let (code, message) = poke(&server, &bytes);
     assert_eq!(code, error_code::BAD_VERSION);
@@ -233,7 +297,7 @@ fn bad_version_byte_gets_a_typed_error() {
 #[test]
 fn wrong_checksum_gets_a_typed_error() {
     let server = live_server();
-    let mut bytes = wire::encode_frame(&Frame::Hello { window: 4, fingerprint: 0 });
+    let mut bytes = wire::encode_frame(&Frame::Hello { window: 4, fingerprint: 0, features: 0 });
     let last = bytes.len() - 1;
     bytes[last] ^= 0xFF; // trailing checksum byte
     let (code, _) = poke(&server, &bytes);
@@ -310,6 +374,33 @@ fn corrupt_frame_after_handshake_gets_a_typed_error() {
             }
         }
         other => panic!("expected Error frame, got {other:?}"),
+    }
+    drop(client);
+    server.stop().unwrap();
+}
+
+#[test]
+fn corrupt_stats_request_gets_a_typed_error_then_close() {
+    let server = live_server();
+    let mut client = ScenarioClient::connect(server.addr()).unwrap();
+
+    // A healthy scrape first, proving the telemetry plane was live.
+    let (gauges, _snapshot) = client.stats().unwrap();
+    assert!(gauges.workers >= 1);
+
+    // Now a StatsRequest with a stomped checksum: typed Error, then
+    // the server closes — same contract as every other tag.
+    let mut bytes = wire::encode_frame(&Frame::StatsRequest);
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    client.send_raw(&bytes).unwrap();
+    match client.recv_frame() {
+        Ok(Frame::Error { code, .. }) => assert_eq!(code, error_code::BAD_CHECKSUM),
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+    match client.recv_frame() {
+        Err(WireError::Closed) => {}
+        other => panic!("server kept talking after a fatal Error frame: {other:?}"),
     }
     drop(client);
     server.stop().unwrap();

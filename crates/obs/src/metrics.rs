@@ -137,6 +137,25 @@ impl Histogram {
     }
 }
 
+impl Histogram {
+    /// Reads every cell of this histogram exactly once into a local
+    /// image. Count is derived from the bucket pass — not the `count`
+    /// atomic — so the image is always internally consistent even
+    /// while writers are racing: a record landing between two reads
+    /// can skew `sum` by one sample's value but can never make
+    /// `count != Σ buckets`.
+    fn consistent_cells(&self) -> ([u64; HIST_BUCKETS], u64, u64) {
+        let mut cells = [0u64; HIST_BUCKETS];
+        let mut count = 0u64;
+        for (local, cell) in cells.iter_mut().zip(&self.buckets) {
+            let n = cell.load(Relaxed);
+            *local = n;
+            count += n;
+        }
+        (cells, count, self.sum.load(Relaxed))
+    }
+}
+
 /// Slots of a [`PerWorker`] instrument; workers beyond the last slot
 /// share it.
 pub const WORKER_SLOTS: usize = 16;
@@ -177,6 +196,74 @@ impl PerWorker {
 }
 
 impl Default for PerWorker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A histogram fanned out per pool worker, merged into one
+/// [`HistogramSnapshot`] at scrape time. Workers beyond the last slot
+/// share it — same clamping as [`PerWorker`].
+#[derive(Debug)]
+pub struct PerWorkerHist(pub [Histogram; WORKER_SLOTS]);
+
+impl PerWorkerHist {
+    /// Zeroed slots (usable in statics).
+    pub const fn new() -> Self {
+        PerWorkerHist([const { Histogram::new() }; WORKER_SLOTS])
+    }
+
+    /// Records a sample into `worker`'s slot (clamped to the last
+    /// slot) when metrics are enabled.
+    #[inline]
+    pub fn record(&self, worker: usize, v: u64) {
+        self.0[worker.min(WORKER_SLOTS - 1)].record(v);
+    }
+
+    /// The slot a worker index lands in (clamped).
+    pub fn slot(&self, worker: usize) -> &Histogram {
+        &self.0[worker.min(WORKER_SLOTS - 1)]
+    }
+
+    /// Merges every slot into one snapshot with a consistent pass:
+    /// each slot's cells are read exactly once into a local image
+    /// before summing, and the merged count is derived from the bucket
+    /// reads rather than the slots' own `count` atomics. Two workers
+    /// sharing the clamped last slot are therefore counted exactly
+    /// once, and a slot recording mid-merge can never produce
+    /// `count != Σ buckets` in the result.
+    pub fn merged(&self, name: &str) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        for slot in &self.0 {
+            let (cells, slot_count, slot_sum) = slot.consistent_cells();
+            for (acc, n) in buckets.iter_mut().zip(cells) {
+                *acc += n;
+            }
+            count += slot_count;
+            sum = sum.wrapping_add(slot_sum);
+        }
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            sum,
+            buckets: (0..HIST_BUCKETS)
+                .filter(|&i| buckets[i] > 0)
+                .map(|i| {
+                    let (lo, hi) = Histogram::bucket_range(i);
+                    (lo, hi, buckets[i])
+                })
+                .collect(),
+        }
+    }
+
+    fn reset(&self) {
+        self.0.iter().for_each(Histogram::reset);
+    }
+}
+
+impl Default for PerWorkerHist {
     fn default() -> Self {
         Self::new()
     }
@@ -263,6 +350,16 @@ pub static SERVE_FRAMES_OUT: PerWorker = PerWorker::new();
 pub static SERVE_INFLIGHT: Histogram = Histogram::new();
 /// Shared job-queue depth, sampled at each enqueue.
 pub static SERVE_QUEUE_DEPTH: Histogram = Histogram::new();
+/// Nanoseconds a scenario sat in the shared queue before a shard
+/// worker dequeued it, per worker slot.
+pub static SERVE_QUEUE_NS: PerWorkerHist = PerWorkerHist::new();
+/// Nanoseconds a shard worker spent simulating a scenario (gang lanes
+/// share their rig's wall time), per worker slot.
+pub static SERVE_SIM_NS: PerWorkerHist = PerWorkerHist::new();
+/// Nanoseconds spent projecting and encoding one outcome frame.
+pub static SERVE_ENCODE_NS: Histogram = Histogram::new();
+/// `Stats` frames served (remote telemetry scrapes).
+pub static SERVE_STATS_SCRAPES: Counter = Counter::new();
 
 /// Instruction-kind slots of [`TEP_INSTR`]. The order mirrors
 /// `pscp_tep::isa::Instr` variant order (pinned by a test over there).
@@ -310,24 +407,68 @@ pub fn flush_tep_instr(counts: &[u64]) {
 // --- Snapshot ---------------------------------------------------------------
 
 /// Point-in-time values of one histogram.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
-    pub name: &'static str,
+    pub name: String,
     pub count: u64,
     pub sum: u64,
     /// `(lo, hi, samples)` for each non-empty bucket.
     pub buckets: Vec<(u64, u64, u64)>,
 }
 
-/// Point-in-time values of every well-known instrument.
-#[derive(Debug, Clone, Default)]
+impl HistogramSnapshot {
+    /// An upper-bound estimate of the `q`-quantile (0.0..=1.0): the
+    /// high edge of the first bucket whose cumulative count reaches
+    /// `q * count`. Log2 buckets make this exact to within one power
+    /// of two — plenty for a p50/p99 console readout.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for &(_, hi, n) in &self.buckets {
+            cum += n;
+            if cum >= target {
+                return hi;
+            }
+        }
+        self.buckets.last().map_or(0, |&(_, hi, _)| hi)
+    }
+
+    /// Bucket-wise difference against an earlier scrape of the same
+    /// histogram: monotonic counts subtract saturating, the wrapping
+    /// sum subtracts wrapping, buckets absent earlier pass through.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let earlier_n = |lo: u64| {
+            earlier.buckets.iter().find(|&&(l, _, _)| l == lo).map_or(0, |&(_, _, n)| n)
+        };
+        HistogramSnapshot {
+            name: self.name.clone(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.wrapping_sub(earlier.sum),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|&(lo, hi, n)| (lo, hi, n.saturating_sub(earlier_n(lo))))
+                .filter(|&(_, _, n)| n > 0)
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time values of every well-known instrument. Names are
+/// owned strings so a snapshot decoded off the wire (the `Stats`
+/// frame) is the same type — and byte-identically re-encodable — as
+/// one taken in-process.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Scalar counters, in declaration order.
-    pub counters: Vec<(&'static str, u64)>,
+    pub counters: Vec<(String, u64)>,
     /// Per-worker counters: values indexed by worker slot.
-    pub per_worker: Vec<(&'static str, Vec<u64>)>,
+    pub per_worker: Vec<(String, Vec<u64>)>,
     /// Executed TEP instructions by kind (non-zero kinds only).
-    pub tep_instr: Vec<(&'static str, u64)>,
+    pub tep_instr: Vec<(String, u64)>,
     /// Histograms (recorded ones only).
     pub histograms: Vec<HistogramSnapshot>,
 }
@@ -355,6 +496,7 @@ const SCALARS: &[(&str, &Counter)] = &[
     ("serve_credit_stalls", &SERVE_CREDIT_STALLS),
     ("serve_compiles", &SERVE_COMPILES),
     ("serve_compile_errors", &SERVE_COMPILE_ERRORS),
+    ("serve_stats_scrapes", &SERVE_STATS_SCRAPES),
 ];
 
 const PER_WORKER: &[(&str, &PerWorker)] = &[
@@ -371,35 +513,53 @@ const HISTOGRAMS: &[(&str, &Histogram)] = &[
     ("opt_candidate_compile_ns", &OPT_CANDIDATE_COMPILE_NS),
     ("serve_inflight", &SERVE_INFLIGHT),
     ("serve_queue_depth", &SERVE_QUEUE_DEPTH),
+    ("serve_encode_ns", &SERVE_ENCODE_NS),
+];
+
+const PER_WORKER_HISTS: &[(&str, &PerWorkerHist)] = &[
+    ("serve_queue_ns", &SERVE_QUEUE_NS),
+    ("serve_sim_ns", &SERVE_SIM_NS),
 ];
 
 /// Captures the current value of every well-known instrument.
 pub fn snapshot() -> MetricsSnapshot {
+    let mut histograms: Vec<HistogramSnapshot> = HISTOGRAMS
+        .iter()
+        .filter(|(_, h)| h.count() > 0)
+        .map(|&(name, h)| {
+            // Consistent pass: derive count from one bucket read per
+            // cell, same contract as `PerWorkerHist::merged`.
+            let (cells, count, sum) = h.consistent_cells();
+            HistogramSnapshot {
+                name: name.to_string(),
+                count,
+                sum,
+                buckets: (0..HIST_BUCKETS)
+                    .filter(|&i| cells[i] > 0)
+                    .map(|i| {
+                        let (lo, hi) = Histogram::bucket_range(i);
+                        (lo, hi, cells[i])
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    histograms.extend(
+        PER_WORKER_HISTS
+            .iter()
+            .map(|&(name, h)| h.merged(name))
+            .filter(|h| h.count > 0),
+    );
     MetricsSnapshot {
-        counters: SCALARS.iter().map(|&(n, c)| (n, c.get())).collect(),
-        per_worker: PER_WORKER.iter().map(|&(n, w)| (n, w.values())).collect(),
+        counters: SCALARS.iter().map(|&(n, c)| (n.to_string(), c.get())).collect(),
+        per_worker: PER_WORKER.iter().map(|&(n, w)| (n.to_string(), w.values())).collect(),
         tep_instr: TEP_KIND_NAMES
             .iter()
             .zip(&TEP_INSTR)
             .filter(|(_, c)| c.get() > 0)
-            .map(|(&n, c)| (n, c.get()))
+            .map(|(&n, c)| (n.to_string(), c.get()))
             .collect(),
-        histograms: HISTOGRAMS
-            .iter()
-            .filter(|(_, h)| h.count() > 0)
-            .map(|&(name, h)| HistogramSnapshot {
-                name,
-                count: h.count(),
-                sum: h.sum(),
-                buckets: (0..HIST_BUCKETS)
-                    .filter(|&i| h.bucket(i) > 0)
-                    .map(|i| {
-                        let (lo, hi) = Histogram::bucket_range(i);
-                        (lo, hi, h.bucket(i))
-                    })
-                    .collect(),
-            })
-            .collect(),
+        histograms,
     }
 }
 
@@ -409,17 +569,102 @@ pub fn reset_all() {
     PER_WORKER.iter().for_each(|(_, w)| w.reset());
     TEP_INSTR.iter().for_each(Counter::reset);
     HISTOGRAMS.iter().for_each(|(_, h)| h.reset());
+    PER_WORKER_HISTS.iter().for_each(|(_, h)| h.reset());
 }
 
 impl MetricsSnapshot {
+    /// The difference between this snapshot and an `earlier` one:
+    /// monotonic counters subtract saturating, per-worker slots
+    /// element-wise, histograms bucket-wise
+    /// ([`HistogramSnapshot::delta`]). Instruments absent from the
+    /// earlier snapshot pass through whole, so two scrapes of a live
+    /// server compose directly into rates (`delta / dt`).
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let scalar = |v: &[(String, u64)], name: &str| {
+            v.iter().find(|(n, _)| n == name).map_or(0, |&(_, x)| x)
+        };
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (n.clone(), v.saturating_sub(scalar(&earlier.counters, n))))
+                .collect(),
+            per_worker: self
+                .per_worker
+                .iter()
+                .map(|(n, values)| {
+                    let base = earlier.per_worker.iter().find(|(en, _)| en == n);
+                    let diffed = values
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| {
+                            let b = base.and_then(|(_, bv)| bv.get(i)).copied().unwrap_or(0);
+                            v.saturating_sub(b)
+                        })
+                        .collect();
+                    (n.clone(), diffed)
+                })
+                .collect(),
+            tep_instr: self
+                .tep_instr
+                .iter()
+                .map(|(n, v)| (n.clone(), v.saturating_sub(scalar(&earlier.tep_instr, n))))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| match earlier.histograms.iter().find(|eh| eh.name == h.name) {
+                    Some(eh) => h.delta(eh),
+                    None => h.clone(),
+                })
+                .filter(|h| h.count > 0)
+                .collect(),
+        }
+    }
+
+    /// Looks up a scalar counter by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |&(_, v)| v)
+    }
+
+    /// Looks up a per-worker counter's slot values by name.
+    pub fn per_worker_values(&self, name: &str) -> &[u64] {
+        self.per_worker
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(&[][..], |(_, v)| v.as_slice())
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
     /// Renders the snapshot as a JSON document (the format
     /// `obs_report` and the bench tooling consume).
     pub fn to_json(&self) -> String {
+        self.to_json_with(&[])
+    }
+
+    /// [`to_json`](Self::to_json) plus a `gauges` object for
+    /// point-in-time values that are not monotonic counters (the
+    /// serve-level uptime/connection/queue gauges a wire scrape
+    /// carries). The document is versioned: `version` 2 is the first
+    /// shape with the key (the PR-4 shape without it reads as v1).
+    pub fn to_json_with(&self, gauges: &[(&str, u64)]) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
+        w.key("version").u64(2);
+        if !gauges.is_empty() {
+            w.key("gauges").begin_object();
+            for &(name, v) in gauges {
+                w.key(name).u64(v);
+            }
+            w.end_object();
+        }
         w.key("counters").begin_object();
-        for &(name, v) in &self.counters {
-            w.key(name).u64(v);
+        for (name, v) in &self.counters {
+            w.key(name).u64(*v);
         }
         w.end_object();
         w.key("per_worker").begin_object();
@@ -432,13 +677,13 @@ impl MetricsSnapshot {
         }
         w.end_object();
         w.key("tep_instr").begin_object();
-        for &(name, v) in &self.tep_instr {
-            w.key(name).u64(v);
+        for (name, v) in &self.tep_instr {
+            w.key(name).u64(*v);
         }
         w.end_object();
         w.key("histograms").begin_object();
         for h in &self.histograms {
-            w.key(h.name).begin_object();
+            w.key(&h.name).begin_object();
             w.key("count").u64(h.count);
             w.key("sum").u64(h.sum);
             w.key("buckets").begin_array();
@@ -527,6 +772,118 @@ mod tests {
         c.add(41);
         assert_eq!(c.get(), 42);
         crate::set_flags(prev);
+    }
+
+    #[test]
+    fn per_worker_hist_merge_counts_each_slot_once() {
+        let _g = super::flag_lock();
+        let prev = crate::flags();
+        crate::set_flags(crate::METRICS);
+        let h = PerWorkerHist::new();
+        h.record(0, 1);
+        h.record(3, 100);
+        // Worker 15 and worker 20 both clamp into the last slot — the
+        // merge must count that slot exactly once, never per worker.
+        h.record(WORKER_SLOTS - 1, 7);
+        h.record(20, 7);
+        let m = h.merged("t");
+        assert_eq!(m.count, 4);
+        assert_eq!(m.buckets.iter().map(|&(_, _, n)| n).sum::<u64>(), m.count);
+        assert_eq!(m.sum, 1 + 100 + 7 + 7);
+        let shared = m.buckets.iter().find(|&&(lo, hi, _)| lo <= 7 && 7 <= hi).unwrap();
+        assert_eq!(shared.2, 2, "clamped workers share one slot, counted once");
+        crate::set_flags(prev);
+    }
+
+    #[test]
+    fn per_worker_hist_merge_count_matches_buckets_under_races() {
+        // The consistency contract: even with writers racing the
+        // merge, count always equals the sum of the merged buckets.
+        let _g = super::flag_lock();
+        let prev = crate::flags();
+        crate::set_flags(crate::METRICS);
+        static H: PerWorkerHist = PerWorkerHist::new();
+        H.reset();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for w in 0..4usize {
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut v = 1u64;
+                    while !stop.load(Relaxed) {
+                        H.record(w, v);
+                        v = v.wrapping_mul(7).wrapping_add(1) % 4096;
+                    }
+                });
+            }
+            for _ in 0..200 {
+                let m = H.merged("race");
+                assert_eq!(
+                    m.buckets.iter().map(|&(_, _, n)| n).sum::<u64>(),
+                    m.count,
+                    "merged count must equal the bucket sum"
+                );
+            }
+            stop.store(true, Relaxed);
+        });
+        H.reset();
+        crate::set_flags(prev);
+    }
+
+    #[test]
+    fn snapshot_delta_composes_into_rates() {
+        let earlier = MetricsSnapshot {
+            counters: vec![("machine_steps".into(), 100), ("serve_errors".into(), 1)],
+            per_worker: vec![("pool_scenarios".into(), vec![10, 20])],
+            tep_instr: vec![("ldi".into(), 50)],
+            histograms: vec![HistogramSnapshot {
+                name: "serve_sim_ns".into(),
+                count: 3,
+                sum: 12,
+                buckets: vec![(2, 3, 2), (4, 7, 1)],
+            }],
+        };
+        let later = MetricsSnapshot {
+            counters: vec![("machine_steps".into(), 250), ("serve_errors".into(), 1)],
+            // A later snapshot can expose a slot the earlier one
+            // trimmed (values() drops trailing zeros).
+            per_worker: vec![("pool_scenarios".into(), vec![15, 20, 5])],
+            tep_instr: vec![("ldi".into(), 80), ("alu".into(), 4)],
+            histograms: vec![HistogramSnapshot {
+                name: "serve_sim_ns".into(),
+                count: 5,
+                sum: 40,
+                buckets: vec![(2, 3, 2), (4, 7, 2), (8, 15, 1)],
+            }],
+        };
+        let d = later.delta(&earlier);
+        assert_eq!(d.counter("machine_steps"), 150);
+        assert_eq!(d.counter("serve_errors"), 0);
+        assert_eq!(d.per_worker_values("pool_scenarios"), &[5, 0, 5]);
+        assert_eq!(d.tep_instr, vec![("ldi".to_string(), 30), ("alu".to_string(), 4)]);
+        let h = d.histogram("serve_sim_ns").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 28);
+        assert_eq!(h.buckets, vec![(4, 7, 1), (8, 15, 1)]);
+        // Self-delta is empty: counters zero, histograms dropped.
+        let zero = later.delta(&later);
+        assert_eq!(zero.counter("machine_steps"), 0);
+        assert!(zero.histograms.is_empty());
+    }
+
+    #[test]
+    fn quantile_walks_log2_buckets() {
+        let h = HistogramSnapshot {
+            name: "q".into(),
+            count: 100,
+            sum: 0,
+            buckets: vec![(1, 1, 50), (2, 3, 40), (1024, 2047, 10)],
+        };
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(0.9), 3);
+        assert_eq!(h.quantile(0.99), 2047);
+        assert_eq!(h.quantile(1.0), 2047);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
     }
 
     #[test]

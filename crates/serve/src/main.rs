@@ -13,23 +13,39 @@
 //!   printing every diagnostic with caret-underlined source excerpts.
 //!   Exits 0 when the sources compile (warnings allowed), 1 on any
 //!   error — the CI-friendly front door to the diagnostics pipeline.
+//! * `pscp-serve stats [--json|--prom] [--addr A|--loopback]` —
+//!   one-shot telemetry scrape over the wire (`StatsRequest`/`Stats`
+//!   frames): serve gauges plus the full obs snapshot, rendered as a
+//!   human table, versioned snapshot JSON, or Prometheus text
+//!   exposition. `--loopback` spins a throwaway server with traffic —
+//!   the self-contained CI smoke.
+//! * `pscp-serve top [--interval MS] [--count N] [--addr A|--loopback]`
+//!   — live console: polls Stats frames and renders scenarios/sec,
+//!   p50/p99 queue+sim latency from histogram deltas, credit stalls,
+//!   and per-shard throughput.
 
 use pscp_core::arch::PscpArch;
 use pscp_core::machine::ScriptedEnvironment;
 use pscp_core::pool::{BatchOptions, SimPool};
 use pscp_core::serve::{
-    self, wire::WireOutcome, ScenarioClient, ServeOptions,
+    self,
+    wire::{MetricsSnapshot, WireOutcome},
+    ScenarioClient, ServeGauges, ServeOptions,
 };
 use std::net::TcpListener;
 use std::process::ExitCode;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn usage() {
     eprintln!(
         "usage: pscp-serve [session --clients N [--scenarios M] [--window W]]\n\
          \x20      pscp-serve check <chart-file> [action-file]\n\
-         env:   PSCP_SERVE_ADDR (default 127.0.0.1:7971), PSCP_SERVE_WINDOW, PSCP_THREADS"
+         \x20      pscp-serve stats [--json|--prom] [--addr A|--loopback]\n\
+         \x20      pscp-serve top [--interval MS] [--count N] [--addr A|--loopback]\n\
+         env:   PSCP_SERVE_ADDR (default 127.0.0.1:7971), PSCP_SERVE_WINDOW, PSCP_THREADS,\n\
+         \x20      PSCP_SERVE_STATS (off disables the telemetry plane)"
     );
 }
 
@@ -39,6 +55,8 @@ fn main() -> ExitCode {
         None => run_server(),
         Some("session") => session(&args[1..]),
         Some("check") => check(&args[1..]),
+        Some("stats") => stats_cmd(&args[1..]),
+        Some("top") => top_cmd(&args[1..]),
         Some("--help" | "-h" | "help") => {
             usage();
             ExitCode::SUCCESS
@@ -316,12 +334,24 @@ fn session(args: &[String]) -> ExitCode {
         handles.into_iter().map(|h| h.join().expect("client thread")).sum()
     });
 
+    // The session's closing telemetry comes over the wire — the same
+    // Stats frames an operator scrapes — not from process globals, so
+    // the written file exercises the full remote plane every run.
+    let scrape = ScenarioClient::connect_with(addr, window, fingerprint)
+        .and_then(|mut c| c.stats());
     let _ = server.stop();
+    let (gauges, snapshot) = match scrape {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("pscp-serve session: telemetry scrape failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let dir = pscp_obs::obs_dir();
     let snapshot_path = dir.join("serve_metrics.json");
     if let Err(e) = std::fs::create_dir_all(&dir)
-        .and_then(|()| std::fs::write(&snapshot_path, pscp_obs::metrics::snapshot().to_json()))
+        .and_then(|()| std::fs::write(&snapshot_path, snapshot.to_json_with(&gauges.rows())))
     {
         eprintln!("pscp-serve: cannot write {}: {e}", snapshot_path.display());
         return ExitCode::FAILURE;
@@ -339,5 +369,303 @@ fn session(args: &[String]) -> ExitCode {
     } else {
         eprintln!("pscp-serve session: DIFFERENTIAL FAILURE");
         ExitCode::FAILURE
+    }
+}
+
+/// The address a scrape should dial: `--addr` wins, else the env.
+fn parse_addr(args: &[String]) -> String {
+    args.iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(serve::addr_from_env)
+}
+
+/// Spin a throwaway loopback server on the example system, push a
+/// little traffic through it, and scrape it over the wire — fully
+/// self-contained, so CI can smoke the exposition format without a
+/// running deployment.
+fn loopback_scrape() -> Result<(ServeGauges, MetricsSnapshot), String> {
+    pscp_obs::set_flags(pscp_obs::flags() | pscp_obs::METRICS);
+    let system = Arc::new(pscp_bench::example_system(&PscpArch::dual_md16(true)));
+    let server = serve::spawn(Arc::clone(&system), "127.0.0.1:0", ServeOptions::from_env())
+        .map_err(|e| format!("loopback server: {e}"))?;
+    let limits = BatchOptions { deadline: u64::MAX, max_steps: 16 };
+    let fingerprint = serve::system_fingerprint(&system);
+    let result = (|| {
+        let mut client =
+            ScenarioClient::connect_latency(server.addr(), serve::DEFAULT_WINDOW, fingerprint)
+                .map_err(|e| format!("loopback connect: {e}"))?;
+        let scripts: Vec<_> = (0..16).map(|i| script_for(0, i)).collect();
+        client.run_batch(&scripts, limits).map_err(|e| format!("loopback traffic: {e}"))?;
+        client.stats().map_err(|e| format!("loopback scrape: {e}"))
+    })();
+    let _ = server.stop();
+    result
+}
+
+/// `pscp-serve stats`: one-shot scrape, rendered human / JSON / Prom.
+fn stats_cmd(args: &[String]) -> ExitCode {
+    let scraped = if args.iter().any(|a| a == "--loopback") {
+        loopback_scrape()
+    } else {
+        let addr = parse_addr(args);
+        ScenarioClient::connect(addr.as_str())
+            .and_then(|mut c| c.stats())
+            .map_err(|e| format!("scrape {addr}: {e}"))
+    };
+    let (gauges, snapshot) = match scraped {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("pscp-serve stats: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.iter().any(|a| a == "--prom") {
+        print!("{}", render_prometheus(&gauges, &snapshot));
+    } else if args.iter().any(|a| a == "--json") {
+        println!("{}", snapshot.to_json_with(&gauges.rows()));
+    } else {
+        print!("{}", render_table(&gauges, &snapshot));
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prometheus text exposition, dependency-free. Counters become
+/// `pscp_<name>_total`, per-worker slots get a `worker` label, TEP
+/// instruction counts a `kind` label, and histograms the standard
+/// cumulative `le` buckets plus `_sum`/`_count`. Serve gauges are
+/// `pscp_serve_<name>` gauge families.
+fn render_prometheus(gauges: &ServeGauges, s: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, v) in gauges.rows() {
+        let _ = writeln!(out, "# TYPE pscp_serve_{name} gauge\npscp_serve_{name} {v}");
+    }
+    for (name, v) in &s.counters {
+        let _ = writeln!(out, "# TYPE pscp_{name}_total counter\npscp_{name}_total {v}");
+    }
+    for (name, slots) in &s.per_worker {
+        let _ = writeln!(out, "# TYPE pscp_{name}_total counter");
+        for (w, v) in slots.iter().enumerate() {
+            let _ = writeln!(out, "pscp_{name}_total{{worker=\"{w}\"}} {v}");
+        }
+    }
+    if !s.tep_instr.is_empty() {
+        let _ = writeln!(out, "# TYPE pscp_tep_instr_total counter");
+        for (kind, v) in &s.tep_instr {
+            let _ = writeln!(out, "pscp_tep_instr_total{{kind=\"{kind}\"}} {v}");
+        }
+    }
+    for h in &s.histograms {
+        let name = &h.name;
+        let _ = writeln!(out, "# TYPE pscp_{name} histogram");
+        let mut cum = 0u64;
+        for &(_lo, hi, n) in &h.buckets {
+            cum += n;
+            let _ = writeln!(out, "pscp_{name}_bucket{{le=\"{hi}\"}} {cum}");
+        }
+        let _ = writeln!(out, "pscp_{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "pscp_{name}_sum {}", h.sum);
+        let _ = writeln!(out, "pscp_{name}_count {}", h.count);
+    }
+    out
+}
+
+/// Human-readable table for a bare `pscp-serve stats`.
+fn render_table(gauges: &ServeGauges, s: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "serve gauges");
+    for (name, v) in gauges.rows() {
+        let _ = writeln!(out, "  {name:<22} {v}");
+    }
+    if !s.counters.is_empty() {
+        let _ = writeln!(out, "counters");
+        for (name, v) in &s.counters {
+            let _ = writeln!(out, "  {name:<22} {v}");
+        }
+    }
+    if !s.per_worker.is_empty() {
+        let _ = writeln!(out, "per-worker");
+        for (name, slots) in &s.per_worker {
+            let total: u64 = slots.iter().sum();
+            let cells: Vec<String> = slots.iter().map(u64::to_string).collect();
+            let _ = writeln!(out, "  {name:<22} {total}  [{}]", cells.join(" "));
+        }
+    }
+    if !s.tep_instr.is_empty() {
+        let _ = writeln!(out, "tep instruction mix");
+        for (kind, v) in &s.tep_instr {
+            let _ = writeln!(out, "  {kind:<22} {v}");
+        }
+    }
+    if !s.histograms.is_empty() {
+        let _ = writeln!(out, "histograms (count / p50 / p99)");
+        for h in &s.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>8}  {:>10}  {:>10}",
+                h.name,
+                h.count,
+                fmt_ns(h.quantile(0.5)),
+                fmt_ns(h.quantile(0.99)),
+            );
+        }
+    }
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// `pscp-serve top`: poll Stats frames and render per-interval rates.
+/// `--loopback` runs a bounded demo against a throwaway server with a
+/// background traffic driver, so the deltas have something to show.
+fn top_cmd(args: &[String]) -> ExitCode {
+    let interval = Duration::from_millis(parse_flag(args, "--interval", 1000).max(10) as u64);
+    let loopback = args.iter().any(|a| a == "--loopback");
+    // 0 = run until killed; the loopback demo defaults to a short run.
+    let count = parse_flag(args, "--count", if loopback { 5 } else { 0 });
+    let plain = args.iter().any(|a| a == "--plain");
+
+    let mut server = None;
+    let mut driver = None;
+    let connected = if loopback {
+        pscp_obs::set_flags(pscp_obs::flags() | pscp_obs::METRICS);
+        let system = Arc::new(pscp_bench::example_system(&PscpArch::dual_md16(true)));
+        match serve::spawn(Arc::clone(&system), "127.0.0.1:0", ServeOptions::from_env()) {
+            Ok(s) => {
+                let addr = s.addr();
+                let fingerprint = serve::system_fingerprint(&system);
+                let stop = Arc::new(AtomicBool::new(false));
+                let stop_flag = Arc::clone(&stop);
+                let traffic = std::thread::spawn(move || {
+                    let limits = BatchOptions { deadline: u64::MAX, max_steps: 16 };
+                    let Ok(mut c) =
+                        ScenarioClient::connect_with(addr, serve::DEFAULT_WINDOW, fingerprint)
+                    else {
+                        return;
+                    };
+                    let mut round = 0usize;
+                    while !stop_flag.load(Ordering::Relaxed) {
+                        let scripts: Vec<_> = (0..8).map(|i| script_for(round, i)).collect();
+                        if c.run_batch(&scripts, limits).is_err() {
+                            break;
+                        }
+                        round += 1;
+                    }
+                });
+                driver = Some((stop, traffic));
+                let client = ScenarioClient::connect(addr);
+                server = Some(s);
+                client
+            }
+            Err(e) => {
+                eprintln!("pscp-serve top: loopback server: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        ScenarioClient::connect(parse_addr(args).as_str())
+    };
+
+    let code = match connected {
+        Ok(mut client) => run_top(&mut client, interval, count, plain),
+        Err(e) => {
+            eprintln!("pscp-serve top: connect: {e}");
+            ExitCode::FAILURE
+        }
+    };
+    if let Some((stop, traffic)) = driver {
+        stop.store(true, Ordering::Relaxed);
+        let _ = traffic.join();
+    }
+    if let Some(s) = server {
+        let _ = s.stop();
+    }
+    code
+}
+
+/// The polling loop behind `pscp-serve top`. Every line is computed
+/// from the *delta* of two server-side snapshots, so rates and
+/// percentiles need no clock synchronisation with the server — both
+/// ends of every histogram live on its monotonic clock.
+fn run_top(
+    client: &mut ScenarioClient,
+    interval: Duration,
+    count: usize,
+    plain: bool,
+) -> ExitCode {
+    let pct = |h: Option<&pscp_core::serve::wire::HistogramSnapshot>, q: f64| {
+        h.map_or(0, |h| h.quantile(q))
+    };
+    let mut prev: Option<(Instant, MetricsSnapshot)> = None;
+    let mut ticks = 0usize;
+    loop {
+        let (gauges, snap) = match client.stats() {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("pscp-serve top: scrape failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let now = Instant::now();
+        if !plain {
+            print!("\x1b[2J\x1b[H"); // clear screen, cursor home
+        }
+        println!(
+            "pscp-serve top — uptime {:.1}s  systems {}  conns {}  queue {}  workers {}  gang {}",
+            gauges.uptime_ns as f64 / 1e9,
+            gauges.registered_systems,
+            gauges.live_connections,
+            gauges.queue_depth,
+            gauges.workers,
+            gauges.gang,
+        );
+        match &prev {
+            None => println!("  collecting baseline delta…"),
+            Some((t0, earlier)) => {
+                let secs = now.saturating_duration_since(*t0).as_secs_f64().max(1e-9);
+                let d = snap.delta(earlier);
+                let shard = d.per_worker_values("pool_scenarios").to_vec();
+                let ran: u64 = shard.iter().sum();
+                let frames_in: u64 = d.per_worker_values("serve_frames_in").iter().sum();
+                let frames_out: u64 = d.per_worker_values("serve_frames_out").iter().sum();
+                println!(
+                    "  {:>9.1} scenarios/s   frames +{frames_in}/+{frames_out}   \
+                     credit stalls +{}",
+                    ran as f64 / secs,
+                    d.counter("serve_credit_stalls"),
+                );
+                let q = d.histogram("serve_queue_ns");
+                let sim = d.histogram("serve_sim_ns");
+                println!(
+                    "  queue  p50 {:>9}  p99 {:>9}   sim  p50 {:>9}  p99 {:>9}",
+                    fmt_ns(pct(q, 0.5)),
+                    fmt_ns(pct(q, 0.99)),
+                    fmt_ns(pct(sim, 0.5)),
+                    fmt_ns(pct(sim, 0.99)),
+                );
+                for (w, n) in shard.iter().enumerate().filter(|&(_, &n)| n > 0) {
+                    println!("  shard {w:>2}  {:>9.1}/s", *n as f64 / secs);
+                }
+            }
+        }
+        prev = Some((now, snap));
+        ticks += 1;
+        if count != 0 && ticks >= count {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(interval);
     }
 }

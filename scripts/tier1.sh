@@ -37,33 +37,35 @@ cargo test --release -p pscp-statechart --test diagnostics -q
 cargo test --release -p pscp-action-lang --test diagnostics -q
 cargo test --release -p pscp-core --test diagnostics -q
 
-# Perf smoke: the bench binary must run and report the PR-3..PR-8
+# Perf smoke: the bench binary must run and report the PR-3..PR-9
 # workloads. This asserts presence, not thresholds — speedups depend on
 # the host.
 cargo run --release -p pscp-bench --bin bench-smoke > /dev/null
-test -f BENCH_8.json
-grep -q '"dse_explore_incremental"' BENCH_8.json
-grep -q '"dse_explore_full"' BENCH_8.json
-grep -q '"compile_cache"' BENCH_8.json
-grep -q '"hit_rate"' BENCH_8.json
-grep -q '"results_identical": true' BENCH_8.json
-grep -q '"memo_store"' BENCH_8.json
-grep -q '"compile_diagnostics"' BENCH_8.json
-grep -q '"happy_failfast_us"' BENCH_8.json
-grep -q '"happy_sink_us"' BENCH_8.json
-grep -q '"error_report_us"' BENCH_8.json
-grep -q '"report_deterministic": true' BENCH_8.json
-grep -q '"batch_cosim"' BENCH_8.json
-grep -q '"gang_cosim"' BENCH_8.json
-grep -q '"speedup_w64"' BENCH_8.json
-grep -q '"serve_smoke"' BENCH_8.json
-grep -q '"latency_speedup_vs_bench5"' BENCH_8.json
-grep -q '"outputs_identical": true' BENCH_8.json
-grep -q '"obs_overhead_pct"' BENCH_8.json
-grep -q '"trace_overhead_pct"' BENCH_8.json
-grep -q '"trace_sampled_overhead_pct"' BENCH_8.json
-test -f BENCH_8_metrics.json
-python3 -m json.tool BENCH_8_metrics.json > /dev/null
+test -f BENCH_9.json
+grep -q '"dse_explore_incremental"' BENCH_9.json
+grep -q '"dse_explore_full"' BENCH_9.json
+grep -q '"compile_cache"' BENCH_9.json
+grep -q '"hit_rate"' BENCH_9.json
+grep -q '"results_identical": true' BENCH_9.json
+grep -q '"memo_store"' BENCH_9.json
+grep -q '"compile_diagnostics"' BENCH_9.json
+grep -q '"happy_failfast_us"' BENCH_9.json
+grep -q '"happy_sink_us"' BENCH_9.json
+grep -q '"error_report_us"' BENCH_9.json
+grep -q '"report_deterministic": true' BENCH_9.json
+grep -q '"batch_cosim"' BENCH_9.json
+grep -q '"gang_cosim"' BENCH_9.json
+grep -q '"speedup_w64"' BENCH_9.json
+grep -q '"serve_smoke"' BENCH_9.json
+grep -q '"latency_speedup_vs_bench5"' BENCH_9.json
+grep -q '"outputs_identical": true' BENCH_9.json
+grep -q '"stats_scrape"' BENCH_9.json
+grep -q '"scrape_overhead_pct"' BENCH_9.json
+grep -q '"obs_overhead_pct"' BENCH_9.json
+grep -q '"trace_overhead_pct"' BENCH_9.json
+grep -q '"trace_sampled_overhead_pct"' BENCH_9.json
+test -f BENCH_9_metrics.json
+python3 -m json.tool BENCH_9_metrics.json > /dev/null
 
 # Serving smoke: a loopback server + 4-client pickup-head session. The
 # session now opens with a Compile → Diagnostics round-trip (wire
@@ -74,6 +76,14 @@ python3 -m json.tool BENCH_8_metrics.json > /dev/null
 PSCP_OBS_DIR=target/obs \
     cargo run --release -p pscp-serve -- session --clients 4 > /dev/null
 python3 -m json.tool target/obs/serve_metrics.json > /dev/null
+
+# Telemetry smoke: a one-shot wire scrape against a self-contained
+# loopback session must expose at least three Prometheus metric
+# families — gauges, counters and histograms all travel the Stats
+# frame.
+cargo run --release -p pscp-serve -- stats --prom --loopback \
+    > target/tier1-stats.prom
+test "$(grep -c '^# TYPE pscp_' target/tier1-stats.prom)" -ge 3
 
 # Diagnostics CLI smoke: `pscp-serve check` renders a seeded-error
 # fixture with spans and exits 1; a clean chart reports OK and exits 0.
