@@ -3,9 +3,16 @@
 //! Runs the PR-1 hot-path workloads (SLA evaluation, configuration
 //! cycles, one full pick-and-place co-sim move), the PR-2 batched
 //! co-simulation sweep, and the PR-3 incremental-revalidation
-//! workloads with plain wall-clock timing, and writes `BENCH_9.json`
+//! workloads with plain wall-clock timing, and writes `BENCH_10.json`
 //! into the current directory so the perf trajectory is tracked across
 //! PRs.
+//!
+//! PR-10 adds `explore`: exhaustive state-space exploration of the
+//! pickup head's semantic state space, timed on the one-worker scalar
+//! path and again on N workers × 64-wide gangs, with the two reports
+//! byte-checked identical through the canonical encoding — the
+//! determinism contract the explore differential suite pins, measured
+//! on every run.
 //!
 //! PR-9 adds `stats_scrape`: the serve workload throughput with and
 //! without a sidecar polling `Stats` frames at 10 Hz (the way
@@ -77,6 +84,8 @@ use pscp_core::machine::{PscpMachine, ScriptedEnvironment};
 use pscp_core::optimize::{optimize, MemoPersistence, OptimizationResult, OptimizeOptions};
 use pscp_core::pool::{default_workers, BatchOptions, SimPool};
 use pscp_tep::codegen::{CodegenCache, CodegenOptions};
+use pscp_core::explore::{explore, ExploreOptions, ExploreReport, Predicate};
+use pscp_core::serve::wire::encode_explore_report;
 use pscp_core::serve::{self, wire::WireOutcome, ScenarioClient, ServeOptions};
 use pscp_motors::head::{Move, SmdHead};
 use pscp_sla::sim::SlaSim;
@@ -674,7 +683,7 @@ fn obs_ledger(workers: usize) -> (f64, f64, f64, String) {
     );
     // The ledger fixture now travels the telemetry plane: a loopback
     // wire scrape sees the same process-global counters plus the serve
-    // families and gauges, so `BENCH_9_metrics.json` is a decoded
+    // families and gauges, so `BENCH_10_metrics.json` is a decoded
     // Stats frame, not a process-internal dump.
     let sys = Arc::new(sys);
     let opts = ServeOptions { threads: workers, ..ServeOptions::default() };
@@ -696,6 +705,32 @@ fn obs_ledger(workers: usize) -> (f64, f64, f64, String) {
 
     pscp_obs::set_flags(0);
     (metrics_s, trace_s, trace_sampled_s, snapshot)
+}
+
+/// PR-10 explore workload: exhaustive BFS reachability over the pickup
+/// head's semantic state space (the space closes without truncation
+/// under the injected-event alphabet), once on the one-worker scalar
+/// oracle path and once on `workers` threads × 64-wide gangs. The two
+/// reports must be byte-identical through the canonical encoding —
+/// that determinism contract is recorded (`results_identical`), not
+/// assumed.
+fn explore_smoke(workers: usize) -> (f64, f64, ExploreReport, bool) {
+    let sys = example_system(&PscpArch::dual_md16(true));
+    let opts = |threads: usize, gang: usize| ExploreOptions {
+        threads,
+        gang,
+        max_states: 100_000,
+        predicates: vec![Predicate::StateNeverActive("MoveX".into())],
+        ..ExploreOptions::default()
+    };
+    let t0 = Instant::now();
+    let scalar = explore(&sys, &opts(1, 1));
+    let scalar_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let wide = explore(&sys, &opts(workers, 64));
+    let wide_s = t0.elapsed().as_secs_f64();
+    let identical = encode_explore_report(&scalar) == encode_explore_report(&wide);
+    (scalar_s, wide_s, wide, identical)
 }
 
 fn main() {
@@ -727,6 +762,8 @@ fn main() {
     let (gang_secs, gang_identical, gang_n) = gang_cosim();
     let (serve_inproc, serve_clients, serve_identical) = serve_smoke(workers);
     let (scrape_plain_sps, scrape_polled_sps, scrape_count) = stats_scrape(workers);
+    let (explore_scalar_s, explore_wide_s, explore_report, explore_identical) =
+        explore_smoke(workers);
     let (obs_metrics_s, obs_trace_s, obs_trace_sampled_s, metrics_snapshot) =
         obs_ledger(workers);
 
@@ -734,7 +771,7 @@ fn main() {
     let sim_cycles_per_sec = sim_cycles as f64 / cosim_s;
     let json = format!(
         r#"{{
-  "bench": 9,
+  "bench": 10,
   "workers": {workers},
   "workloads": {{
     "sla_eval": {{
@@ -828,6 +865,20 @@ fn main() {
       "scrapes": {scrape_count},
       "scrape_overhead_pct": {scrape_overhead_pct:.2}
     }},
+    "explore": {{
+      "max_states": 100000,
+      "states": {explore_states},
+      "edges": {explore_edges},
+      "depth": {explore_depth},
+      "dedup_rate": {explore_dedup_rate:.3},
+      "truncated": {explore_truncated},
+      "scalar_ms": {explore_scalar_ms:.3},
+      "wide_ms": {explore_wide_ms:.3},
+      "states_per_sec_scalar": {explore_sps_scalar:.0},
+      "states_per_sec_wide": {explore_sps_wide:.0},
+      "speedup_wide": {explore_speedup:.2},
+      "results_identical": {explore_identical}
+    }},
     "obs": {{
       "cosim_off_ms": {cosim_ms:.3},
       "cosim_metrics_ms": {obs_metrics_ms:.3},
@@ -881,6 +932,16 @@ fn main() {
         serve_16_ms = serve_clients[2] * 1e3,
         serve_overhead_pct = (serve_clients[0] / serve_inproc - 1.0) * 100.0,
         scrape_overhead_pct = (scrape_plain_sps / scrape_polled_sps - 1.0) * 100.0,
+        explore_states = explore_report.states,
+        explore_edges = explore_report.edges,
+        explore_depth = explore_report.depth,
+        explore_dedup_rate = explore_report.dedup_hits as f64 / explore_report.edges as f64,
+        explore_truncated = explore_report.truncated,
+        explore_scalar_ms = explore_scalar_s * 1e3,
+        explore_wide_ms = explore_wide_s * 1e3,
+        explore_sps_scalar = explore_report.states as f64 / explore_scalar_s,
+        explore_sps_wide = explore_report.states as f64 / explore_wide_s,
+        explore_speedup = explore_scalar_s / explore_wide_s,
         bserve = baseline::SERVE_1_CLIENT_MS,
         serve_speedup = baseline::SERVE_1_CLIENT_MS / (serve_clients[0] * 1e3),
         obs_metrics_ms = obs_metrics_s * 1e3,
@@ -892,8 +953,8 @@ fn main() {
         btrace = baseline::TRACE_OVERHEAD_PCT,
         wall_s = wall.elapsed().as_secs_f64(),
     );
-    std::fs::write("BENCH_9.json", &json).expect("write BENCH_9.json");
-    std::fs::write("BENCH_9_metrics.json", &metrics_snapshot)
-        .expect("write BENCH_9_metrics.json");
+    std::fs::write("BENCH_10.json", &json).expect("write BENCH_10.json");
+    std::fs::write("BENCH_10_metrics.json", &metrics_snapshot)
+        .expect("write BENCH_10_metrics.json");
     print!("{json}");
 }

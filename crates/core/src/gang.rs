@@ -35,8 +35,11 @@
 //! fire mask is ANDed with the live mask.
 
 use crate::compile::CompiledSystem;
-use crate::machine::{CycleReport, Environment, MachineError, PscpMachine};
+use crate::machine::{
+    CycleReport, Environment, MachineError, NullEnvironment, PscpMachine, SemanticState,
+};
 use crate::pool::{BatchOptions, BatchOutcome};
+use pscp_statechart::EventId;
 use pscp_sla::gang::{GangScratch, GangSim, GANG_WIDTH};
 
 /// A reusable gang of scalar machines with a shared bit-sliced SLA.
@@ -221,6 +224,79 @@ impl<'s> GangRig<'s> {
                 env,
                 error,
             });
+        }
+        out
+    }
+
+    /// Expands up to [`GANG_WIDTH`] exploration jobs in one shared SLA
+    /// pass: each job restores a captured [`SemanticState`] into its
+    /// lane machine, injects the given external events, and runs
+    /// exactly one configuration cycle against a
+    /// [`NullEnvironment`]. Returns `(successor state, report)` per job
+    /// in job order — byte-identical to a scalar
+    /// [`PscpMachine::step_injected`] on the restored state, by the
+    /// same any-enable ⟺ any-fire routing the scripted path uses.
+    pub(crate) fn expand(
+        &mut self,
+        jobs: &[(SemanticState, Vec<EventId>)],
+    ) -> Vec<Result<(SemanticState, CycleReport), MachineError>> {
+        assert!(jobs.len() <= GANG_WIDTH, "at most {GANG_WIDTH} lanes per gang");
+        let n = jobs.len();
+        while self.machines.len() < n {
+            self.machines.push(PscpMachine::new(self.system));
+        }
+        let layout = &self.system.layout;
+        let chart = &self.system.chart;
+        let state_width = layout.state_width() as usize;
+
+        self.words.clear();
+        self.words.resize(self.sim.cr_width(), 0);
+
+        // Restore + inject every lane, then build the lane words from
+        // scratch (restored configurations invalidate any state columns
+        // a previous call left behind).
+        for (l, (state, events)) in jobs.iter().enumerate() {
+            let lane_bit = 1u64 << l;
+            let m = &mut self.machines[l];
+            m.restore(state);
+            m.inject_phase(events);
+            let bits = layout.encode(chart, m.executor().configuration());
+            write_column(&mut self.words[..state_width], &bits, l);
+            for &e in m.sampled_events() {
+                self.words[layout.event_bit(e) as usize] |= lane_bit;
+            }
+            for e in m.executor().pending_events() {
+                self.words[layout.event_bit(e) as usize] |= lane_bit;
+            }
+            for c in chart.condition_ids() {
+                if m.executor().condition(c) {
+                    self.words[layout.condition_bit(c) as usize] |= lane_bit;
+                }
+            }
+        }
+
+        // One bit-sliced SLA pass routes every lane; the memo is a pure
+        // function of the words, so it stays valid across `run`/`expand`.
+        let any = match self.prev_any {
+            Some(prev) if self.prev_words == self.words => prev,
+            _ => {
+                let any = self.sim.any_fire_words(&self.words, &mut self.scratch);
+                self.prev_words.clear();
+                self.prev_words.extend_from_slice(&self.words);
+                self.prev_any = Some(any);
+                any
+            }
+        };
+
+        let mut out = Vec::with_capacity(n);
+        for l in 0..n {
+            let m = &mut self.machines[l];
+            let result = if any & (1u64 << l) != 0 {
+                m.execute_phase(&mut NullEnvironment)
+            } else {
+                Ok(m.idle_phase())
+            };
+            out.push(result.map(|report| (m.capture(), report)));
         }
         out
     }

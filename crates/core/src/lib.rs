@@ -32,6 +32,12 @@
 //!   scenarios over a versioned binary TCP protocol with credit-based
 //!   backpressure, byte-identical to an in-process
 //!   [`SimPool`](pool::SimPool) run.
+//! * [`explore`] — exhaustive state-space exploration: breadth-first
+//!   reachability over (configuration × CR × storage) semantic states
+//!   with canonical-key dedup, deadlock/unreachability reporting and
+//!   bounded safety predicates with replayable minimal
+//!   counterexamples; expansion rides the same pool/gang fabric and is
+//!   byte-identical across worker counts and gang widths.
 //! * [`area`] — PSCP area accounting on the FPGA substrate, with a
 //!   block breakdown for the floorplanner (Fig. 8).
 //! * [`report`] — plain-text table rendering for the experiment
@@ -45,6 +51,7 @@ pub mod arch;
 pub mod area;
 pub mod compile;
 pub mod diag;
+pub mod explore;
 pub mod gang;
 pub mod library;
 pub mod machine;
@@ -60,6 +67,7 @@ pub use arch::PscpArch;
 pub use compile::{
     compile_system, compile_system_from_ir, compile_system_with, CompiledSystem, SystemArtifacts,
 };
+pub use explore::{explore, ExploreOptions, ExploreReport};
 pub use machine::PscpMachine;
 pub use pool::{BatchOptions, BatchOutcome, SimPool};
 pub use serve::{ScenarioClient, ServeOptions, ServerHandle};

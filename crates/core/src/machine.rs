@@ -280,6 +280,25 @@ impl VcdProbe {
 }
 
 /// The PSCP machine.
+/// A complete semantic snapshot of a [`PscpMachine`]: chart control
+/// state, hardware timers, pending timer expiries, and TEP data
+/// memory. Everything the next cycle's behaviour depends on — and
+/// nothing else (clock, statistics and probes are excluded). Captured
+/// by [`PscpMachine::capture`], reinstated by [`PscpMachine::restore`],
+/// canonically serialised by [`crate::explore::encode_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemanticState {
+    /// Chart control state (configuration, conditions, pending
+    /// internal events, history memory).
+    pub control: pscp_statechart::semantics::ControlState,
+    /// Remaining cycles of each armed hardware timer.
+    pub timers: Vec<Option<u64>>,
+    /// Timer events that expired last cycle, pending delivery.
+    pub pending_timer_events: Vec<EventId>,
+    /// TEP data memory (ACC, OP, registers, both RAM planes).
+    pub data: pscp_tep::TepDataState,
+}
+
 pub struct PscpMachine<'s> {
     system: &'s CompiledSystem,
     exec: Executor<'s>,
@@ -372,6 +391,65 @@ impl<'s> PscpMachine<'s> {
     /// Remaining cycles of hardware timer `i`, if armed.
     pub fn timer_remaining(&self, i: usize) -> Option<u64> {
         self.timers.get(i).copied().flatten()
+    }
+
+    /// The compiled system this machine runs.
+    pub fn system(&self) -> &'s CompiledSystem {
+        self.system
+    }
+
+    /// Snapshots the complete semantic state: chart control state,
+    /// hardware timers, pending timer expiries, and TEP data memory.
+    /// The clock, statistics and waveform probe are excluded — cycle
+    /// behaviour depends only on what `capture` records, which is what
+    /// makes state-space exploration by capture/restore sound.
+    pub fn capture(&self) -> SemanticState {
+        SemanticState {
+            control: self.exec.control_state(),
+            timers: self.timers.clone(),
+            pending_timer_events: self.pending_timer_events.clone(),
+            data: self.tep.data_state(),
+        }
+    }
+
+    /// Restores a [`capture`](Self::capture) snapshot taken from a
+    /// machine over the same system. Clock, statistics and probe state
+    /// are left untouched.
+    pub fn restore(&mut self, s: &SemanticState) {
+        self.exec.restore_control_state(&s.control);
+        self.timers.copy_from_slice(&s.timers);
+        self.pending_timer_events.clear();
+        self.pending_timer_events.extend_from_slice(&s.pending_timer_events);
+        self.tep.restore_data_state(&s.data);
+    }
+
+    /// Phase 1 of a configuration cycle with an *injected* event set in
+    /// place of environment sampling: the given external events plus
+    /// any pending timer expiries land in the CR, exactly as
+    /// [`sample_phase`](Self::sample_phase) would deliver them. Used by
+    /// the state-space explorer ([`crate::explore`]) to expand a state
+    /// under a chosen input symbol.
+    pub(crate) fn inject_phase(&mut self, events: &[EventId]) {
+        let set = &mut self.scratch.events;
+        set.clear();
+        set.extend(events.iter().copied());
+        set.extend(self.pending_timer_events.drain(..));
+    }
+
+    /// Runs one configuration cycle with an injected external event set
+    /// instead of sampling `env` for events/conditions. `env` is still
+    /// consulted for port reads/writes during routine execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] when a routine faults.
+    pub fn step_injected<E: Environment>(
+        &mut self,
+        events: &[EventId],
+        env: &mut E,
+    ) -> Result<CycleReport, MachineError> {
+        self.inject_phase(events);
+        self.execute_phase(env)
     }
 
     /// The chart executor (canonical control state).

@@ -25,8 +25,12 @@
 
 use crate::compile::CompiledSystem;
 use crate::gang::GangRig;
-use crate::machine::{CycleReport, Environment, MachineError, MachineStats, PscpMachine};
+use crate::machine::{
+    CycleReport, Environment, MachineError, MachineStats, NullEnvironment, PscpMachine,
+    SemanticState,
+};
 use pscp_sla::gang::GANG_WIDTH;
+use pscp_statechart::EventId;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -369,6 +373,119 @@ impl SimPool {
                     // can complete before this thread's TLS destructors
                     // run, so an exit-time flush may land after the
                     // caller exports.
+                    drop(worker_span);
+                    pscp_obs::trace::flush_current_thread();
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .flat_map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// Expands state-exploration jobs — `(captured state, injected
+    /// events)` pairs, each one configuration cycle — across the pool,
+    /// returning `(successor, report)` per job in job order. The
+    /// scalar path (`gang <= 1`) restores and steps one
+    /// [`PscpMachine`] per worker (the differential oracle); wider
+    /// gangs chunk jobs into [`GangRig::expand`] batches that share one
+    /// bit-sliced SLA pass. Byte-identical for any worker count and
+    /// gang width — each job is independent of its lane-mates, and the
+    /// explore differential suite pins the whole grid.
+    pub(crate) fn expand_states(
+        &self,
+        system: &CompiledSystem,
+        jobs: &[(SemanticState, Vec<EventId>)],
+    ) -> Vec<Result<(SemanticState, CycleReport), MachineError>> {
+        type JobResult = Result<(SemanticState, CycleReport), MachineError>;
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        if self.gang <= 1 {
+            let threads = self.threads.min(jobs.len());
+            if threads <= 1 {
+                let mut machine = PscpMachine::new(system);
+                return jobs
+                    .iter()
+                    .map(|(state, events)| {
+                        machine.restore(state);
+                        machine
+                            .step_injected(events, &mut NullEnvironment)
+                            .map(|report| (machine.capture(), report))
+                    })
+                    .collect();
+            }
+            let queue = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<JobResult>>> =
+                jobs.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|s| {
+                for w in 0..threads {
+                    let queue = &queue;
+                    let slots = &slots;
+                    s.spawn(move || {
+                        if pscp_obs::trace_enabled() {
+                            pscp_obs::trace::set_thread_lane_indexed("sim-worker", w);
+                        }
+                        let worker_span = pscp_obs::trace::span("worker.run");
+                        let mut machine = PscpMachine::new(system);
+                        loop {
+                            let i = queue.fetch_add(1, Ordering::Relaxed);
+                            let Some((state, events)) = jobs.get(i) else {
+                                pscp_obs::metrics::POOL_IDLE_POLLS.add(w, 1);
+                                break;
+                            };
+                            machine.restore(state);
+                            let r = machine
+                                .step_injected(events, &mut NullEnvironment)
+                                .map(|report| (machine.capture(), report));
+                            *slots[i].lock().unwrap() = Some(r);
+                        }
+                        drop(worker_span);
+                        pscp_obs::trace::flush_current_thread();
+                    });
+                }
+            });
+            return slots
+                .into_iter()
+                .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+                .collect();
+        }
+
+        // Gang path: fixed-width chunks in job order (width independent
+        // of the worker count, so chunk composition is pinned by the
+        // job list alone).
+        let bounds: Vec<(usize, usize)> = (0..jobs.len())
+            .step_by(self.gang)
+            .map(|a| (a, (a + self.gang).min(jobs.len())))
+            .collect();
+        let threads = self.threads.min(bounds.len());
+        if threads <= 1 {
+            let mut rig = GangRig::new(system);
+            return bounds.iter().flat_map(|&(a, b)| rig.expand(&jobs[a..b])).collect();
+        }
+        let queue = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Vec<JobResult>>>> =
+            bounds.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for w in 0..threads {
+                let queue = &queue;
+                let slots = &slots;
+                let bounds = &bounds;
+                s.spawn(move || {
+                    if pscp_obs::trace_enabled() {
+                        pscp_obs::trace::set_thread_lane_indexed("sim-worker", w);
+                    }
+                    let worker_span = pscp_obs::trace::span("worker.run");
+                    let mut rig = GangRig::new(system);
+                    loop {
+                        let i = queue.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(a, b)) = bounds.get(i) else {
+                            pscp_obs::metrics::POOL_IDLE_POLLS.add(w, 1);
+                            break;
+                        };
+                        *slots[i].lock().unwrap() = Some(rig.expand(&jobs[a..b]));
+                    }
                     drop(worker_span);
                     pscp_obs::trace::flush_current_thread();
                 });

@@ -2,9 +2,10 @@
 //! and reassembles outcomes in submission order.
 
 use super::wire::{
-    self, Frame, MetricsSnapshot, ServeGauges, Submit, WireError, WireOutcome, DEFAULT_MAX_FRAME,
-    DEFAULT_WINDOW,
+    self, ExploreRequest, Frame, MetricsSnapshot, ServeGauges, Submit, WireError, WireOutcome,
+    DEFAULT_MAX_FRAME, DEFAULT_WINDOW,
 };
+use crate::explore::ExploreReport;
 use crate::pool::BatchOptions;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -246,6 +247,52 @@ impl ScenarioClient {
         loop {
             match self.read_frame()? {
                 Frame::Stats { gauges, snapshot } => return Ok((gauges, snapshot)),
+                Frame::Outcome { seq, outcome } => {
+                    self.pending.insert(seq, outcome);
+                }
+                Frame::Credit { n } => {
+                    self.credits = (self.credits + n).min(self.window);
+                }
+                Frame::Error { code, message } => return Err(WireError::Remote { code, message }),
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected frame from server: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Requests a server-side state-space exploration and blocks for
+    /// the complete report, reassembling the chunked `ExploreResult`
+    /// sequence (ascending `seq`, `last` on the final chunk) and
+    /// decoding the concatenated canonical bytes. The reply bypasses
+    /// the credit window; outcomes and credits that arrive while
+    /// waiting are folded into the client state, so an exploration can
+    /// be interleaved with in-flight scenarios.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, a malformed stream, a chunk-sequence violation, or
+    /// a typed remote error.
+    pub fn explore(&mut self, req: &ExploreRequest) -> Result<ExploreReport, WireError> {
+        wire::write_frame(&mut self.stream, &Frame::Explore(req.clone()))?;
+        let mut bytes = Vec::new();
+        let mut next_chunk = 0u32;
+        loop {
+            match self.read_frame()? {
+                Frame::ExploreResult { seq, last, chunk } => {
+                    if seq != next_chunk {
+                        return Err(WireError::Protocol(format!(
+                            "explore chunk {seq} out of order (expected {next_chunk})"
+                        )));
+                    }
+                    next_chunk += 1;
+                    bytes.extend_from_slice(&chunk);
+                    if last {
+                        return wire::decode_explore_report(&bytes);
+                    }
+                }
                 Frame::Outcome { seq, outcome } => {
                     self.pending.insert(seq, outcome);
                 }

@@ -18,8 +18,8 @@
 //! the server buffers at most `W` outcomes for the stalled peer.
 
 use super::wire::{
-    self, error_code, feature, Frame, OutcomeFrame, OutcomeLatency, ServeGauges, Submit,
-    WireError, WireOutcome,
+    self, error_code, feature, ExploreRequest, Frame, OutcomeFrame, OutcomeLatency, ServeGauges,
+    Submit, WireError, WireOutcome,
 };
 use super::ServeOptions;
 use crate::compile::CompiledSystem;
@@ -460,6 +460,27 @@ fn handle_compile(system: &CompiledSystem, chart: &str, actions: &str) -> Frame 
     Frame::Diagnostics { fingerprint, diagnostics }
 }
 
+/// Runs a wire-requested exploration and chunks the canonical report
+/// into `ExploreResult` frames, each body slice sized so the complete
+/// frame (headers, length prefixes, checksum) stays under `max_frame`.
+/// Expansion fans out over the server's own worker configuration — the
+/// report is byte-identical for any `threads`/`gang` (the differential
+/// suite pins it), so the request never carries them.
+fn handle_explore(
+    system: &CompiledSystem,
+    req: &ExploreRequest,
+    threads: usize,
+    gang: usize,
+    max_frame: u32,
+) -> Vec<Frame> {
+    pscp_obs::metrics::SERVE_EXPLORES.inc();
+    let report = crate::explore::explore(system, &req.to_options(threads, gang));
+    // Leave generous headroom for the frame envelope: version, tag,
+    // seq, flags, chunk length prefix, checksum.
+    let max_chunk = (max_frame as usize).saturating_sub(64).max(1);
+    wire::explore_report_frames(&report, max_chunk)
+}
+
 /// The reader half of a connection: handshake, then submissions.
 fn handle_connection(
     mut stream: TcpStream,
@@ -569,6 +590,23 @@ fn handle_connection(
                 let reply = handle_compile(system, &chart, &actions);
                 conn.push(Msg::Frame(wire::encode_frame(&reply)));
             }
+            Ok(ReadEvent::Frame(Frame::Explore(req))) => {
+                pscp_obs::metrics::SERVE_FRAMES_IN.add(conn_id, 1);
+                // Exploration runs on this connection's reader thread
+                // (its own scenario submissions wait behind it; other
+                // connections are untouched) and fans out internally
+                // across the configured worker count and gang width.
+                let frames = handle_explore(
+                    system,
+                    &req,
+                    opts.threads.max(1),
+                    opts.gang.clamp(1, pscp_sla::gang::GANG_WIDTH),
+                    opts.max_frame,
+                );
+                for frame in frames {
+                    conn.push(Msg::Frame(wire::encode_frame(&frame)));
+                }
+            }
             Ok(ReadEvent::Frame(Frame::StatsRequest)) => {
                 // NOT counted in SERVE_FRAMES_IN: a scrape must leave
                 // the counters it reports untouched (the quiesced
@@ -600,9 +638,9 @@ fn handle_connection(
                 pscp_obs::metrics::SERVE_ERRORS.inc();
                 conn.push(Msg::Error {
                     code: error_code::UNEXPECTED_FRAME,
-                    message:
-                        "only Submit, Compile and StatsRequest frames are valid after the handshake"
-                            .into(),
+                    message: "only Submit, Compile, StatsRequest and Explore frames are valid \
+                              after the handshake"
+                        .into(),
                 });
                 break;
             }

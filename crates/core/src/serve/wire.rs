@@ -30,6 +30,15 @@
 //! | 6   | [`Frame::Diagnostics`] | server → client | compile report + system fingerprint  |
 //! | 7   | [`Frame::StatsRequest`]| client → server | telemetry scrape request (empty body)|
 //! | 8   | [`Frame::Stats`]       | server → client | serve gauges + canonical obs snapshot|
+//! | 9   | [`Frame::Explore`]     | client → server | state-space exploration request      |
+//! | 10  | [`Frame::ExploreResult`]| server → client| one chunk of a canonical explore report |
+//!
+//! An exploration report can exceed the frame cap (witness traces,
+//! unreachable lists), so a [`Frame::Explore`] is answered by a
+//! *sequence* of [`Frame::ExploreResult`] chunks — ascending `seq`,
+//! `last` set on the final one — whose concatenated chunks are exactly
+//! [`encode_explore_report`] of the server's report. Like `Stats`,
+//! the reply bypasses the credit window.
 //!
 //! Like `Diagnostics`, a [`Frame::Stats`] reply bypasses the credit
 //! window: scraping telemetry never competes with scenario credits.
@@ -63,6 +72,7 @@
 //! [`SimPool`](crate::pool::SimPool) runs byte-for-byte through
 //! [`WireOutcome::encode`].
 
+use crate::explore::{ExploreOptions, ExploreReport, Predicate, Violation, Witness};
 use crate::machine::{CycleReport, MachineStats, ScriptedEnvironment};
 use crate::pool::{BatchOptions, BatchOutcome};
 use pscp_diag::{Diagnostic, Pos, Severity, Source, Span};
@@ -93,6 +103,8 @@ const T_COMPILE: u8 = 5;
 const T_DIAGNOSTICS: u8 = 6;
 const T_STATS_REQUEST: u8 = 7;
 const T_STATS: u8 = 8;
+const T_EXPLORE: u8 = 9;
+const T_EXPLORE_RESULT: u8 = 10;
 
 /// Optional capabilities negotiated in the [`Frame::Hello`] handshake.
 ///
@@ -237,6 +249,56 @@ pub struct Submit {
     pub script: Vec<Vec<String>>,
 }
 
+/// A state-space exploration request, carried by [`Frame::Explore`].
+///
+/// Thread count and gang width are deliberately *not* on the wire:
+/// exploration is byte-identical across both (pinned by the explore
+/// differential suite), so they are the server's scaling choice, not
+/// part of the request's meaning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreRequest {
+    /// Stop discovering new states past this many.
+    pub max_states: u64,
+    /// Maximum trace length explored.
+    pub max_depth: u32,
+    /// Cap on reported deadlock/fault witnesses.
+    pub max_witnesses: u32,
+    /// Safety predicates to check.
+    pub predicates: Vec<Predicate>,
+}
+
+impl ExploreRequest {
+    /// The wire request for a set of [`ExploreOptions`] (threads and
+    /// gang width stay local).
+    pub fn from_options(opts: &ExploreOptions) -> Self {
+        ExploreRequest {
+            max_states: opts.max_states,
+            max_depth: opts.max_depth,
+            max_witnesses: opts.max_witnesses,
+            predicates: opts.predicates.clone(),
+        }
+    }
+
+    /// Server-side [`ExploreOptions`]: the request's bounds and
+    /// predicates, expanded with the given worker configuration.
+    pub fn to_options(&self, threads: usize, gang: usize) -> ExploreOptions {
+        ExploreOptions {
+            max_states: self.max_states,
+            max_depth: self.max_depth,
+            max_witnesses: self.max_witnesses,
+            threads,
+            gang,
+            predicates: self.predicates.clone(),
+        }
+    }
+}
+
+impl Default for ExploreRequest {
+    fn default() -> Self {
+        ExploreRequest::from_options(&ExploreOptions::default())
+    }
+}
+
 /// A decoded protocol frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -311,6 +373,23 @@ pub enum Frame {
         /// The process-wide metrics snapshot, encoded canonically via
         /// [`encode_stats`].
         snapshot: MetricsSnapshot,
+    },
+    /// A state-space exploration request (client → server). Answered
+    /// by a sequence of [`Frame::ExploreResult`] chunks; like `Stats`,
+    /// the reply bypasses the credit window.
+    Explore(ExploreRequest),
+    /// One chunk of a canonical exploration report (server → client).
+    /// Chunks arrive with ascending `seq` starting at 0; the chunk with
+    /// `last` set completes the report, and the concatenation of every
+    /// chunk's bytes is exactly [`encode_explore_report`] of the
+    /// server's [`ExploreReport`].
+    ExploreResult {
+        /// Chunk index, ascending from 0.
+        seq: u32,
+        /// True on the final chunk of the report.
+        last: bool,
+        /// This chunk's slice of the canonical report bytes.
+        chunk: Vec<u8>,
     },
 }
 
@@ -495,48 +574,48 @@ impl WireOutcome {
 
 // --- Primitive encoder/decoder ---------------------------------------------
 
-struct Enc {
-    buf: Vec<u8>,
+pub(crate) struct Enc {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Enc {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Enc { buf: Vec::new() }
     }
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u16(&mut self, v: u16) {
+    pub(crate) fn u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn i64(&mut self, v: i64) {
+    pub(crate) fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
     }
 }
 
-struct Dec<'a> {
+pub(crate) struct Dec<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Dec<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Dec { buf, pos: 0 }
     }
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
             return Err(WireError::Truncated);
         }
@@ -544,22 +623,22 @@ impl<'a> Dec<'a> {
         self.pos += n;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
-    fn u16(&mut self) -> Result<u16, WireError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
-    fn u32(&mut self) -> Result<u32, WireError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
-    fn u64(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn i64(&mut self) -> Result<i64, WireError> {
+    pub(crate) fn i64(&mut self) -> Result<i64, WireError> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn str(&mut self) -> Result<String, WireError> {
+    pub(crate) fn str(&mut self) -> Result<String, WireError> {
         let n = self.u32()? as usize;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("bad UTF-8"))
@@ -567,14 +646,14 @@ impl<'a> Dec<'a> {
     /// A declared element count, sanity-bounded by the bytes left
     /// (every element costs at least `min_elem_bytes`), so a corrupt
     /// count can never drive a huge allocation.
-    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+    pub(crate) fn count(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
         let n = self.u32()? as usize;
         if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
             return Err(WireError::Truncated);
         }
         Ok(n)
     }
-    fn finish(&self) -> Result<(), WireError> {
+    pub(crate) fn finish(&self) -> Result<(), WireError> {
         if self.remaining() != 0 {
             return Err(WireError::Malformed("trailing bytes"));
         }
@@ -935,6 +1014,166 @@ fn dec_stats(d: &mut Dec<'_>) -> Result<MetricsSnapshot, WireError> {
     Ok(MetricsSnapshot { counters, per_worker, tep_instr, histograms })
 }
 
+// --- Explore report codec ----------------------------------------------------
+
+/// Version prefix of the canonical explore-report encoding; bumped when
+/// the report layout changes (independently of [`PROTOCOL_VERSION`]).
+pub const EXPLORE_REPORT_VERSION: u16 = 1;
+
+fn enc_witness(e: &mut Enc, w: &Witness) {
+    e.u32(w.state_key.len() as u32);
+    e.buf.extend_from_slice(&w.state_key);
+    e.u32(w.trace.len() as u32);
+    for step in &w.trace {
+        e.u32(step.len() as u32);
+        for &ev in step {
+            e.u32(ev);
+        }
+    }
+}
+
+/// Fixed bytes every encoded witness costs at least: two length
+/// prefixes (state key, trace).
+const MIN_WITNESS_BYTES: usize = 4 + 4;
+
+fn dec_witness(d: &mut Dec<'_>) -> Result<Witness, WireError> {
+    let key_len = d.count(1)?;
+    let state_key = d.take(key_len)?.to_vec();
+    let n_steps = d.count(4)?;
+    let mut trace = Vec::with_capacity(n_steps);
+    for _ in 0..n_steps {
+        let n_events = d.count(4)?;
+        let mut step = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            step.push(d.u32()?);
+        }
+        trace.push(step);
+    }
+    Ok(Witness { state_key, trace })
+}
+
+/// Canonical body bytes of an [`ExploreReport`] (no framing). The
+/// exploration byte-identity contract hangs off this: the differential
+/// suite compares reports across worker counts and gang widths through
+/// these bytes, and the concatenated [`Frame::ExploreResult`] chunks a
+/// server sends are exactly this encoding of its report.
+pub fn encode_explore_report(r: &ExploreReport) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u16(EXPLORE_REPORT_VERSION);
+    e.u64(r.states);
+    e.u64(r.edges);
+    e.u64(r.dedup_hits);
+    e.u32(r.depth);
+    e.u8(u8::from(r.truncated));
+    e.u32(r.deadlocks.len() as u32);
+    for w in &r.deadlocks {
+        enc_witness(&mut e, w);
+    }
+    e.u32(r.unreachable_states.len() as u32);
+    for name in &r.unreachable_states {
+        e.str(name);
+    }
+    e.u32(r.unreachable_transitions.len() as u32);
+    for &t in &r.unreachable_transitions {
+        e.u32(t);
+    }
+    e.u32(r.violations.len() as u32);
+    for v in &r.violations {
+        e.u8(v.predicate.kind());
+        e.str(v.predicate.name());
+        enc_witness(&mut e, &v.witness);
+    }
+    e.u32(r.faults.len() as u32);
+    for (message, w) in &r.faults {
+        e.str(message);
+        enc_witness(&mut e, w);
+    }
+    e.buf
+}
+
+/// Decodes canonical explore-report bytes.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on an unknown report version, truncation,
+/// trailing bytes, or an unknown predicate kind.
+pub fn decode_explore_report(bytes: &[u8]) -> Result<ExploreReport, WireError> {
+    let mut d = Dec::new(bytes);
+    let version = d.u16()?;
+    if version != EXPLORE_REPORT_VERSION {
+        return Err(WireError::Malformed("unknown explore-report version"));
+    }
+    let states = d.u64()?;
+    let edges = d.u64()?;
+    let dedup_hits = d.u64()?;
+    let depth = d.u32()?;
+    let truncated = match d.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::Malformed("bad truncated flag")),
+    };
+    let n = d.count(MIN_WITNESS_BYTES)?;
+    let mut deadlocks = Vec::with_capacity(n);
+    for _ in 0..n {
+        deadlocks.push(dec_witness(&mut d)?);
+    }
+    let n = d.count(4)?;
+    let mut unreachable_states = Vec::with_capacity(n);
+    for _ in 0..n {
+        unreachable_states.push(d.str()?);
+    }
+    let n = d.count(4)?;
+    let mut unreachable_transitions = Vec::with_capacity(n);
+    for _ in 0..n {
+        unreachable_transitions.push(d.u32()?);
+    }
+    let n = d.count(1 + 4 + MIN_WITNESS_BYTES)?;
+    let mut violations = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = d.u8()?;
+        let name = d.str()?;
+        let predicate = Predicate::from_parts(kind, name)
+            .ok_or(WireError::Malformed("unknown predicate kind"))?;
+        violations.push(Violation { predicate, witness: dec_witness(&mut d)? });
+    }
+    let n = d.count(4 + MIN_WITNESS_BYTES)?;
+    let mut faults = Vec::with_capacity(n);
+    for _ in 0..n {
+        faults.push((d.str()?, dec_witness(&mut d)?));
+    }
+    d.finish()?;
+    Ok(ExploreReport {
+        states,
+        edges,
+        dedup_hits,
+        depth,
+        truncated,
+        deadlocks,
+        unreachable_states,
+        unreachable_transitions,
+        violations,
+        faults,
+    })
+}
+
+/// Splits a report's canonical bytes into [`Frame::ExploreResult`]
+/// chunks of at most `max_chunk` body bytes each — always at least one
+/// frame (an empty report still answers with one `last` chunk), `seq`
+/// ascending from 0, `last` set on the final chunk. Concatenating the
+/// chunks reproduces [`encode_explore_report`] exactly.
+pub fn explore_report_frames(report: &ExploreReport, max_chunk: usize) -> Vec<Frame> {
+    let bytes = encode_explore_report(report);
+    let max_chunk = max_chunk.max(1);
+    let n_chunks = bytes.len().div_ceil(max_chunk).max(1);
+    (0..n_chunks)
+        .map(|i| Frame::ExploreResult {
+            seq: i as u32,
+            last: i == n_chunks - 1,
+            chunk: bytes[i * max_chunk..((i + 1) * max_chunk).min(bytes.len())].to_vec(),
+        })
+        .collect()
+}
+
 fn enc_gauges(e: &mut Enc, g: &ServeGauges) {
     e.u64(g.uptime_ns);
     e.u32(g.registered_systems);
@@ -1014,6 +1253,24 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             e.u8(T_STATS);
             enc_gauges(&mut e, gauges);
             enc_stats(&mut e, snapshot);
+        }
+        Frame::Explore(req) => {
+            e.u8(T_EXPLORE);
+            e.u64(req.max_states);
+            e.u32(req.max_depth);
+            e.u32(req.max_witnesses);
+            e.u32(req.predicates.len() as u32);
+            for p in &req.predicates {
+                e.u8(p.kind());
+                e.str(p.name());
+            }
+        }
+        Frame::ExploreResult { seq, last, chunk } => {
+            e.u8(T_EXPLORE_RESULT);
+            e.u32(*seq);
+            e.u8(u8::from(*last));
+            e.u32(chunk.len() as u32);
+            e.buf.extend_from_slice(chunk);
         }
     }
     let checksum = fnv1a32(&e.buf);
@@ -1117,6 +1374,32 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
         },
         T_STATS_REQUEST => Frame::StatsRequest,
         T_STATS => Frame::Stats { gauges: dec_gauges(&mut d)?, snapshot: dec_stats(&mut d)? },
+        T_EXPLORE => {
+            let max_states = d.u64()?;
+            let max_depth = d.u32()?;
+            let max_witnesses = d.u32()?;
+            let n = d.count(5)?;
+            let mut predicates = Vec::with_capacity(n);
+            for _ in 0..n {
+                let kind = d.u8()?;
+                let name = d.str()?;
+                predicates.push(
+                    Predicate::from_parts(kind, name)
+                        .ok_or(WireError::Malformed("unknown predicate kind"))?,
+                );
+            }
+            Frame::Explore(ExploreRequest { max_states, max_depth, max_witnesses, predicates })
+        }
+        T_EXPLORE_RESULT => {
+            let seq = d.u32()?;
+            let last = match d.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("bad last flag")),
+            };
+            let n = d.count(1)?;
+            Frame::ExploreResult { seq, last, chunk: d.take(n)?.to_vec() }
+        }
         tag => return Err(WireError::UnknownFrame { tag }),
     };
     d.finish()?;

@@ -7,10 +7,11 @@
 use proptest::prelude::*;
 use pscp_core::arch::PscpArch;
 use pscp_core::compile::{compile_system, CompiledSystem};
+use pscp_core::explore::{self, ExploreReport, Predicate, Violation, Witness};
 use pscp_core::pool::BatchOptions;
 use pscp_core::serve::wire::{
-    self, error_code, Frame, HistogramSnapshot, MetricsSnapshot, OutcomeLatency, ServeGauges,
-    Submit, WireError, WireOutcome, WireReport, WireStats, DEFAULT_MAX_FRAME,
+    self, error_code, ExploreRequest, Frame, HistogramSnapshot, MetricsSnapshot, OutcomeLatency,
+    ServeGauges, Submit, WireError, WireOutcome, WireReport, WireStats, DEFAULT_MAX_FRAME,
 };
 use pscp_core::serve::{self, ScenarioClient, ServeOptions, ServerHandle};
 use pscp_statechart::{ChartBuilder, StateKind};
@@ -137,6 +138,72 @@ fn arb_gauges() -> impl Strategy<Value = ServeGauges> {
         })
 }
 
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        "[A-Za-z_]{0,8}".prop_map(Predicate::EventNeverRaised),
+        "[A-Za-z_]{0,8}".prop_map(Predicate::StateNeverActive),
+    ]
+}
+
+fn arb_explore_request() -> impl Strategy<Value = ExploreRequest> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        any::<u32>(),
+        proptest::collection::vec(arb_predicate(), 0..3),
+    )
+        .prop_map(|(max_states, max_depth, max_witnesses, predicates)| ExploreRequest {
+            max_states,
+            max_depth,
+            max_witnesses,
+            predicates,
+        })
+}
+
+fn arb_witness() -> impl Strategy<Value = Witness> {
+    (
+        proptest::collection::vec(any::<u8>(), 0..16),
+        proptest::collection::vec(proptest::collection::vec(any::<u32>(), 0..3), 0..4),
+    )
+        .prop_map(|(state_key, trace)| Witness { state_key, trace })
+}
+
+fn arb_explore_report() -> impl Strategy<Value = ExploreReport> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u32>(), any::<bool>()),
+        proptest::collection::vec(arb_witness(), 0..3),
+        proptest::collection::vec("[A-Za-z_]{0,8}", 0..3),
+        proptest::collection::vec(any::<u32>(), 0..4),
+        proptest::collection::vec(
+            (arb_predicate(), arb_witness())
+                .prop_map(|(predicate, witness)| Violation { predicate, witness }),
+            0..3,
+        ),
+        proptest::collection::vec((".{0,12}", arb_witness()), 0..2),
+    )
+        .prop_map(
+            |(
+                (states, edges, dedup_hits, depth, truncated),
+                deadlocks,
+                unreachable_states,
+                unreachable_transitions,
+                violations,
+                faults,
+            )| ExploreReport {
+                states,
+                edges,
+                dedup_hits,
+                depth,
+                truncated,
+                deadlocks,
+                unreachable_states,
+                unreachable_transitions,
+                violations,
+                faults,
+            },
+        )
+}
+
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
         (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(window, fingerprint, features)| {
@@ -160,6 +227,9 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         Just(Frame::StatsRequest),
         (arb_gauges(), arb_snapshot())
             .prop_map(|(gauges, snapshot)| Frame::Stats { gauges, snapshot }),
+        arb_explore_request().prop_map(Frame::Explore),
+        (any::<u32>(), any::<bool>(), proptest::collection::vec(any::<u8>(), 0..24))
+            .prop_map(|(seq, last, chunk)| Frame::ExploreResult { seq, last, chunk }),
     ]
 }
 
@@ -436,4 +506,200 @@ fn client_side_decode_rejects_corruption() {
         cursor.next_frame(DEFAULT_MAX_FRAME),
         Err(WireError::TooLarge { .. })
     ));
+}
+
+// ---------------------------------------------------------------------
+// Explore-report codec and chunking
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The canonical explore-report encoding round-trips bit-exactly —
+    /// it is the byte-comparison currency of the differential suite,
+    /// so decode ∘ encode must be the identity.
+    #[test]
+    fn explore_report_round_trips(report in arb_explore_report()) {
+        let bytes = wire::encode_explore_report(&report);
+        prop_assert_eq!(wire::decode_explore_report(&bytes).unwrap(), report);
+    }
+
+    /// Flipping any single byte of an encoded report never decodes
+    /// back to the original: corruption is a typed error or a visibly
+    /// different report, never silent.
+    #[test]
+    fn corrupt_explore_report_never_passes(
+        report in arb_explore_report(),
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut bytes = wire::encode_explore_report(&report);
+        let i = flip_at % bytes.len();
+        bytes[i] ^= 1 << flip_bit;
+        if let Ok(decoded) = wire::decode_explore_report(&bytes) {
+            prop_assert_ne!(decoded, report);
+        }
+    }
+
+    /// Chunking a report into `ExploreResult` frames at any chunk size
+    /// reassembles to the exact encoding: seq ascends from zero, the
+    /// `last` flag marks precisely the final chunk, and at least one
+    /// frame is emitted even for a chunk-aligned or tiny report.
+    #[test]
+    fn explore_report_chunks_reassemble(
+        report in arb_explore_report(),
+        max_chunk in 1usize..=64,
+    ) {
+        let bytes = wire::encode_explore_report(&report);
+        let frames = wire::explore_report_frames(&report, max_chunk);
+        prop_assert!(!frames.is_empty());
+        let mut reassembled = Vec::new();
+        for (i, frame) in frames.iter().enumerate() {
+            match frame {
+                Frame::ExploreResult { seq, last, chunk } => {
+                    prop_assert_eq!(*seq as usize, i);
+                    prop_assert!(chunk.len() <= max_chunk);
+                    prop_assert_eq!(*last, i == frames.len() - 1);
+                    reassembled.extend_from_slice(chunk);
+                }
+                other => prop_assert!(false, "non-ExploreResult frame {:?}", other),
+            }
+        }
+        prop_assert_eq!(reassembled, bytes);
+        prop_assert_eq!(wire::decode_explore_report(
+            &wire::encode_explore_report(&report)).unwrap(), report);
+    }
+}
+
+#[test]
+fn explore_report_version_is_pinned() {
+    // The first two bytes of every canonical report are the codec
+    // version — bump `EXPLORE_REPORT_VERSION` when the layout changes.
+    let bytes = wire::encode_explore_report(&ExploreReport::default());
+    assert_eq!(
+        u16::from_le_bytes([bytes[0], bytes[1]]),
+        wire::EXPLORE_REPORT_VERSION
+    );
+}
+
+// ---------------------------------------------------------------------
+// Live-server explore pins
+// ---------------------------------------------------------------------
+
+/// A wire exploration against a live server must be byte-identical to
+/// running the same exploration in-process — with `max_frame` squeezed
+/// small enough that the reply is forced through a real multi-frame
+/// `ExploreResult` sequence, pinning live chunk reassembly end to end.
+#[test]
+fn live_explore_is_byte_identical_to_in_process() {
+    let sys = Arc::new(tiny_system());
+    let server = serve::spawn(
+        sys.clone(),
+        "127.0.0.1:0",
+        ServeOptions { threads: 1, max_frame: 96, ..ServeOptions::default() },
+    )
+    .unwrap();
+    let req = ExploreRequest {
+        predicates: vec![Predicate::StateNeverActive("B".into())],
+        ..ExploreRequest::default()
+    };
+
+    let mut client = ScenarioClient::connect(server.addr()).unwrap();
+    let remote = client.explore(&req).unwrap();
+    let local = explore::explore(&sys, &req.to_options(1, 1));
+    assert_eq!(
+        wire::encode_explore_report(&remote),
+        wire::encode_explore_report(&local),
+        "wire exploration diverged from in-process"
+    );
+
+    // The squeezed frame cap really forced multiple chunks.
+    let chunk_cap = 96usize.saturating_sub(64);
+    assert!(
+        wire::encode_explore_report(&local).len() > chunk_cap,
+        "report too small to exercise multi-frame chunking"
+    );
+
+    // Witnesses that crossed the wire still replay exactly.
+    assert!(!remote.violations.is_empty(), "state B is reachable");
+    for v in &remote.violations {
+        assert_eq!(
+            explore::replay(&sys, &v.witness.trace).unwrap(),
+            v.witness.state_key,
+            "wire-transported witness failed replay"
+        );
+    }
+    drop(client);
+    server.stop().unwrap();
+}
+
+/// An exploration interleaves with in-flight scenarios: outcomes and
+/// credits arriving while the client waits for chunks are folded into
+/// its state, not dropped.
+#[test]
+fn explore_interleaves_with_inflight_scenarios() {
+    let server = live_server();
+    let mut client = ScenarioClient::connect(server.addr()).unwrap();
+    let limits = BatchOptions { deadline: u64::MAX, max_steps: 3 };
+    let seq = client.submit(vec![vec!["TICK".to_string()]], limits).unwrap();
+    let report = client.explore(&ExploreRequest::default()).unwrap();
+    assert!(report.states >= 2);
+    let (got_seq, outcome) = client.recv().unwrap();
+    assert_eq!(got_seq, seq);
+    assert!(outcome.error.is_none());
+    drop(client);
+    server.stop().unwrap();
+}
+
+/// A corrupt Explore frame after the handshake gets the same contract
+/// as every other tag: a typed Error frame, then the server closes.
+#[test]
+fn corrupt_explore_request_gets_a_typed_error_then_close() {
+    let server = live_server();
+    let mut client = ScenarioClient::connect(server.addr()).unwrap();
+
+    let mut bytes = wire::encode_frame(&Frame::Explore(ExploreRequest::default()));
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    client.send_raw(&bytes).unwrap();
+    match client.recv_frame() {
+        Ok(Frame::Error { code, .. }) => assert_eq!(code, error_code::BAD_CHECKSUM),
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+    match client.recv_frame() {
+        Err(WireError::Closed) => {}
+        other => panic!("server kept talking after a fatal Error frame: {other:?}"),
+    }
+    drop(client);
+    server.stop().unwrap();
+}
+
+/// An Explore frame whose predicate carries an unknown kind tag is
+/// malformed — typed rejection, no panic.
+#[test]
+fn unknown_predicate_kind_is_malformed() {
+    let server = live_server();
+    let mut client = ScenarioClient::connect(server.addr()).unwrap();
+
+    // Hand-roll an Explore payload with predicate kind 9.
+    let mut payload = vec![wire::PROTOCOL_VERSION, 9u8]; // version, T_EXPLORE
+    payload.extend_from_slice(&u64::MAX.to_le_bytes()); // max_states
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // max_depth
+    payload.extend_from_slice(&1u32.to_le_bytes()); // max_witnesses
+    payload.extend_from_slice(&1u32.to_le_bytes()); // one predicate
+    payload.push(9); // unknown kind tag
+    payload.extend_from_slice(&1u32.to_le_bytes()); // name "X"
+    payload.push(b'X');
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(u32::try_from(payload.len() + 4).unwrap()).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes.extend_from_slice(&wire::fnv1a32(&payload).to_le_bytes());
+
+    client.send_raw(&bytes).unwrap();
+    match client.recv_frame() {
+        Ok(Frame::Error { code, .. }) => assert_eq!(code, error_code::MALFORMED),
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+    drop(client);
+    server.stop().unwrap();
 }

@@ -361,6 +361,28 @@ pub static SERVE_ENCODE_NS: Histogram = Histogram::new();
 /// `Stats` frames served (remote telemetry scrapes).
 pub static SERVE_STATS_SCRAPES: Counter = Counter::new();
 
+/// `Explore` frames served (wire-driven explorations).
+pub static SERVE_EXPLORES: Counter = Counter::new();
+
+/// State-space explorations run (`pscp_core::explore`).
+pub static EXPLORE_RUNS: Counter = Counter::new();
+/// Distinct states discovered across all explorations.
+pub static EXPLORE_STATES: Counter = Counter::new();
+/// Transitions (state, symbol) → state expanded.
+pub static EXPLORE_EDGES: Counter = Counter::new();
+/// Successor states already in the visited set (dedup hits).
+pub static EXPLORE_DEDUP_HITS: Counter = Counter::new();
+/// Deadlocked states reported.
+pub static EXPLORE_DEADLOCKS: Counter = Counter::new();
+/// Safety-predicate violations reported.
+pub static EXPLORE_VIOLATIONS: Counter = Counter::new();
+/// BFS frontier width at each depth layer.
+pub static EXPLORE_FRONTIER: Histogram = Histogram::new();
+/// Final BFS depth of each exploration.
+pub static EXPLORE_DEPTH: Histogram = Histogram::new();
+/// Wall nanoseconds per exploration run.
+pub static EXPLORE_RUN_NS: Histogram = Histogram::new();
+
 /// Instruction-kind slots of [`TEP_INSTR`]. The order mirrors
 /// `pscp_tep::isa::Instr` variant order (pinned by a test over there).
 pub const TEP_KINDS: usize = 22;
@@ -497,6 +519,13 @@ const SCALARS: &[(&str, &Counter)] = &[
     ("serve_compiles", &SERVE_COMPILES),
     ("serve_compile_errors", &SERVE_COMPILE_ERRORS),
     ("serve_stats_scrapes", &SERVE_STATS_SCRAPES),
+    ("serve_explores", &SERVE_EXPLORES),
+    ("explore_runs", &EXPLORE_RUNS),
+    ("explore_states", &EXPLORE_STATES),
+    ("explore_edges", &EXPLORE_EDGES),
+    ("explore_dedup_hits", &EXPLORE_DEDUP_HITS),
+    ("explore_deadlocks", &EXPLORE_DEADLOCKS),
+    ("explore_violations", &EXPLORE_VIOLATIONS),
 ];
 
 const PER_WORKER: &[(&str, &PerWorker)] = &[
@@ -514,6 +543,9 @@ const HISTOGRAMS: &[(&str, &Histogram)] = &[
     ("serve_inflight", &SERVE_INFLIGHT),
     ("serve_queue_depth", &SERVE_QUEUE_DEPTH),
     ("serve_encode_ns", &SERVE_ENCODE_NS),
+    ("explore_frontier", &EXPLORE_FRONTIER),
+    ("explore_depth", &EXPLORE_DEPTH),
+    ("explore_run_ns", &EXPLORE_RUN_NS),
 ];
 
 const PER_WORKER_HISTS: &[(&str, &PerWorkerHist)] = &[

@@ -23,6 +23,16 @@
 //!   — live console: polls Stats frames and renders scenarios/sec,
 //!   p50/p99 queue+sim latency from histogram deltas, credit stalls,
 //!   and per-shard throughput.
+//! * `pscp-serve explore [--addr A|--loopback] [--max-states N]
+//!   [--max-depth N] [--witnesses N] [--never-active STATE]...
+//!   [--never-raised EVENT]...` — exhaustive state-space exploration
+//!   over the wire (`Explore`/`ExploreResult` frames): reachable-state
+//!   count, deadlocks, unreachable chart elements, and safety-predicate
+//!   violations with replayable minimal counterexamples. `--loopback`
+//!   spins a throwaway server, explores the same system in-process, and
+//!   asserts the two reports byte-identical — the self-contained CI
+//!   smoke. Every witness in a loopback run is replayed on a fresh
+//!   machine and byte-checked against its claimed state.
 
 use pscp_core::arch::PscpArch;
 use pscp_core::machine::ScriptedEnvironment;
@@ -44,8 +54,11 @@ fn usage() {
          \x20      pscp-serve check <chart-file> [action-file]\n\
          \x20      pscp-serve stats [--json|--prom] [--addr A|--loopback]\n\
          \x20      pscp-serve top [--interval MS] [--count N] [--addr A|--loopback]\n\
+         \x20      pscp-serve explore [--addr A|--loopback] [--max-states N] [--max-depth N]\n\
+         \x20                [--witnesses N] [--never-active STATE]... [--never-raised EVENT]...\n\
          env:   PSCP_SERVE_ADDR (default 127.0.0.1:7971), PSCP_SERVE_WINDOW, PSCP_THREADS,\n\
-         \x20      PSCP_SERVE_STATS (off disables the telemetry plane)"
+         \x20      PSCP_SERVE_STATS (off disables the telemetry plane),\n\
+         \x20      PSCP_EXPLORE_MAX_STATES, PSCP_EXPLORE_MAX_DEPTH, PSCP_EXPLORE_WITNESSES"
     );
 }
 
@@ -57,6 +70,7 @@ fn main() -> ExitCode {
         Some("check") => check(&args[1..]),
         Some("stats") => stats_cmd(&args[1..]),
         Some("top") => top_cmd(&args[1..]),
+        Some("explore") => explore_cmd(&args[1..]),
         Some("--help" | "-h" | "help") => {
             usage();
             ExitCode::SUCCESS
@@ -594,6 +608,132 @@ fn top_cmd(args: &[String]) -> ExitCode {
         let _ = s.stop();
     }
     code
+}
+
+/// Values of every occurrence of a repeated `--flag VALUE` pair.
+fn parse_multi(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| a.as_str() == name)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
+/// `pscp-serve explore`: wire-driven exhaustive state-space
+/// exploration. `--loopback` also explores in-process and asserts the
+/// wire report byte-identical, then replays every emitted witness —
+/// the self-contained differential smoke tier-1 runs.
+fn explore_cmd(args: &[String]) -> ExitCode {
+    use pscp_core::explore::{self, ExploreOptions, Predicate};
+    use pscp_core::serve::wire::{encode_explore_report, ExploreRequest};
+
+    let defaults = ExploreOptions::from_env();
+    let mut req = ExploreRequest::from_options(&defaults);
+    req.max_states = parse_flag(args, "--max-states", req.max_states as usize) as u64;
+    req.max_depth = parse_flag(args, "--max-depth", req.max_depth as usize) as u32;
+    req.max_witnesses = parse_flag(args, "--witnesses", req.max_witnesses as usize) as u32;
+    for name in parse_multi(args, "--never-active") {
+        req.predicates.push(Predicate::StateNeverActive(name));
+    }
+    for name in parse_multi(args, "--never-raised") {
+        req.predicates.push(Predicate::EventNeverRaised(name));
+    }
+
+    let report = if args.iter().any(|a| a == "--loopback") {
+        let system = Arc::new(pscp_bench::example_system(&PscpArch::dual_md16(true)));
+        let opts = ServeOptions::from_env();
+        let (threads, gang) = (opts.threads.max(1), opts.gang);
+        let server = match serve::spawn(Arc::clone(&system), "127.0.0.1:0", opts) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("pscp-serve explore: loopback server: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let wired = ScenarioClient::connect(server.addr()).and_then(|mut c| c.explore(&req));
+        let _ = server.stop();
+        let wired = match wired {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("pscp-serve explore: wire exploration failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // The differential: the same request explored in-process, with
+        // the server's worker configuration, must produce the same
+        // canonical bytes.
+        let local = explore::explore(&system, &req.to_options(threads, gang));
+        if encode_explore_report(&wired) != encode_explore_report(&local) {
+            eprintln!("pscp-serve explore: DIFFERENTIAL FAILURE (wire != in-process)");
+            return ExitCode::FAILURE;
+        }
+        println!("pscp-serve explore: differential OK (wire report byte-identical)");
+        // Witness-replay contract: every emitted trace lands exactly on
+        // its claimed state (faults replay to the fault itself).
+        let witnesses = wired
+            .deadlocks
+            .iter()
+            .chain(wired.violations.iter().map(|v| &v.witness))
+            .map(|w| (w, true))
+            .chain(wired.faults.iter().map(|(_, w)| (w, false)));
+        for (w, expect_state) in witnesses {
+            match explore::replay(&system, &w.trace) {
+                Ok(key) if !expect_state || key == w.state_key => {}
+                Ok(_) => {
+                    eprintln!("pscp-serve explore: WITNESS REPLAY MISMATCH");
+                    return ExitCode::FAILURE;
+                }
+                Err(_) if !expect_state => {}
+                Err(e) => {
+                    eprintln!("pscp-serve explore: witness replay faulted: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!("pscp-serve explore: witness replay OK");
+        wired
+    } else {
+        let addr = parse_addr(args);
+        match ScenarioClient::connect(addr.as_str()).and_then(|mut c| c.explore(&req)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("pscp-serve explore: {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let dedup_rate = if report.edges > 0 {
+        report.dedup_hits as f64 / report.edges as f64
+    } else {
+        0.0
+    };
+    println!(
+        "explore: states={} edges={} depth={} dedup_rate={dedup_rate:.3} truncated={}",
+        report.states, report.edges, report.depth, report.truncated
+    );
+    println!(
+        "  deadlocks={} unreachable_states={} unreachable_transitions={} violations={} faults={}",
+        report.deadlocks.len(),
+        report.unreachable_states.len(),
+        report.unreachable_transitions.len(),
+        report.violations.len(),
+        report.faults.len()
+    );
+    for name in &report.unreachable_states {
+        println!("  unreachable state: {name}");
+    }
+    for v in &report.violations {
+        let what = match &v.predicate {
+            pscp_core::explore::Predicate::EventNeverRaised(n) => format!("event {n} raised"),
+            pscp_core::explore::Predicate::StateNeverActive(n) => format!("state {n} entered"),
+        };
+        println!("  violation: {what} after {} cycle(s)", v.witness.trace.len());
+    }
+    for (msg, w) in &report.faults {
+        println!("  fault after {} cycle(s): {msg}", w.trace.len());
+    }
+    ExitCode::SUCCESS
 }
 
 /// The polling loop behind `pscp-serve top`. Every line is computed

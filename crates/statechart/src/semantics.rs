@@ -267,6 +267,23 @@ pub struct StepReport {
 /// # Ok(())
 /// # }
 /// ```
+/// A snapshot of an [`Executor`]'s semantic control state — everything
+/// transition selection depends on. Captured by
+/// [`Executor::control_state`], reinstated by
+/// [`Executor::restore_control_state`]; the cycle counter is excluded
+/// (it never influences behaviour).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlState {
+    /// Active-state bitmap, indexed by [`StateId`] index.
+    pub active: Vec<bool>,
+    /// Condition values, indexed by [`ConditionId`] index.
+    pub conditions: Vec<bool>,
+    /// Internal events raised last cycle, sorted ascending by id.
+    pub pending_internal: Vec<EventId>,
+    /// Shallow-history memory per state (`None` = no memory).
+    pub history: Vec<Option<StateId>>,
+}
+
 #[derive(Debug, Clone)]
 pub struct Executor<'c> {
     chart: &'c Chart,
@@ -351,6 +368,30 @@ impl<'c> Executor<'c> {
     /// The remembered child of a shallow-history OR-state, if any.
     pub fn history_of(&self, s: StateId) -> Option<StateId> {
         self.history_memory[s.index()]
+    }
+
+    /// Snapshots the semantic control state: active configuration,
+    /// condition values, pending internal events (sorted), and history
+    /// memory. The cycle counter and resolved-expression arenas are
+    /// excluded — they never influence transition selection.
+    pub fn control_state(&self) -> ControlState {
+        ControlState {
+            active: self.config.active.clone(),
+            conditions: self.conditions.clone(),
+            pending_internal: self.pending_internal.iter().copied().collect(),
+            history: self.history_memory.clone(),
+        }
+    }
+
+    /// Restores a [`control_state`](Executor::control_state) snapshot
+    /// taken from an executor over the same chart. The cycle counter is
+    /// left untouched.
+    pub fn restore_control_state(&mut self, s: &ControlState) {
+        self.config.active.copy_from_slice(&s.active);
+        self.conditions.copy_from_slice(&s.conditions);
+        self.pending_internal.clear();
+        self.pending_internal.extend(s.pending_internal.iter().copied());
+        self.history_memory.copy_from_slice(&s.history);
     }
 
     /// Current configuration.

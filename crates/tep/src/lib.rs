@@ -38,5 +38,5 @@ pub use codegen::{
     compile_program, compile_program_cached, recompile_delta, CacheStats, CodegenCache,
     CodegenDelta, CodegenOptions, TepProgram,
 };
-pub use machine::TepMachine;
+pub use machine::{TepDataState, TepMachine};
 pub use timing::{CostModel, WcetAnalysis};

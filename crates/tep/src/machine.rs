@@ -70,6 +70,25 @@ impl fmt::Display for TepError {
 
 impl std::error::Error for TepError {}
 
+/// A snapshot of a [`TepMachine`]'s architecturally visible data
+/// state: `ACC`, `OP`, the register file, and both RAM planes.
+/// Captured by [`TepMachine::data_state`] and reinstated by
+/// [`TepMachine::restore_data_state`]; cycle/retired counters and the
+/// program itself are deliberately excluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TepDataState {
+    /// Accumulator.
+    pub acc: i64,
+    /// Second operand register.
+    pub op: i64,
+    /// Register file contents.
+    pub regs: Vec<i64>,
+    /// On-chip RAM contents.
+    pub iram: Vec<i64>,
+    /// External RAM contents.
+    pub xram: Vec<i64>,
+}
+
 /// The TEP machine state.
 #[derive(Debug, Clone)]
 pub struct TepMachine<'p> {
@@ -141,6 +160,36 @@ impl<'p> TepMachine<'p> {
         self.cycles = 0;
         self.retired = 0;
         self.reset_globals();
+    }
+
+    /// Snapshots the architecturally visible data state — everything a
+    /// routine can read or write: `ACC`, `OP`, the register file, and
+    /// both RAM planes. Cycle/retired counters are *not* part of the
+    /// data state; callers that meter costs do so as deltas.
+    pub fn data_state(&self) -> TepDataState {
+        TepDataState {
+            acc: self.acc,
+            op: self.op,
+            regs: self.regs.clone(),
+            iram: self.iram.clone(),
+            xram: self.xram.clone(),
+        }
+    }
+
+    /// Restores a [`data_state`](TepMachine::data_state) snapshot. The
+    /// cycle and retired counters are rewound to zero so arbitrarily
+    /// many restore-and-step rounds (state-space exploration) never
+    /// trip the runaway cycle budget — semantically invisible, since
+    /// routine costs are always measured as deltas around a call.
+    pub fn restore_data_state(&mut self, s: &TepDataState) {
+        self.flush_kind_counts();
+        self.acc = s.acc;
+        self.op = s.op;
+        self.regs.copy_from_slice(&s.regs);
+        self.iram.copy_from_slice(&s.iram);
+        self.xram.copy_from_slice(&s.xram);
+        self.cycles = 0;
+        self.retired = 0;
     }
 
     /// Reinitialises all globals to their reset values.

@@ -22,6 +22,13 @@ cargo test --release -p pscp-core --test serve_backpressure -q
 # worker combination, including mid-scenario lane retirement.
 cargo test --release -p pscp-core --test gang_differential -q
 
+# The explore differential suite is the reachability engine's spec:
+# reports must be byte-identical across worker counts × gang widths
+# against the scalar oracle, every witness must replay to its claimed
+# state key, and the exhaustive state count must match a brute-force
+# enumeration.
+cargo test --release -p pscp-core --test explore_differential -q
+
 # The incremental-compilation differential suite is the codegen cache's
 # spec: delta compiles must be byte-identical to full compiles across
 # random charts x random arch/placement perturbations, and a poisoned
@@ -37,35 +44,40 @@ cargo test --release -p pscp-statechart --test diagnostics -q
 cargo test --release -p pscp-action-lang --test diagnostics -q
 cargo test --release -p pscp-core --test diagnostics -q
 
-# Perf smoke: the bench binary must run and report the PR-3..PR-9
+# Perf smoke: the bench binary must run and report the PR-3..PR-10
 # workloads. This asserts presence, not thresholds — speedups depend on
 # the host.
 cargo run --release -p pscp-bench --bin bench-smoke > /dev/null
-test -f BENCH_9.json
-grep -q '"dse_explore_incremental"' BENCH_9.json
-grep -q '"dse_explore_full"' BENCH_9.json
-grep -q '"compile_cache"' BENCH_9.json
-grep -q '"hit_rate"' BENCH_9.json
-grep -q '"results_identical": true' BENCH_9.json
-grep -q '"memo_store"' BENCH_9.json
-grep -q '"compile_diagnostics"' BENCH_9.json
-grep -q '"happy_failfast_us"' BENCH_9.json
-grep -q '"happy_sink_us"' BENCH_9.json
-grep -q '"error_report_us"' BENCH_9.json
-grep -q '"report_deterministic": true' BENCH_9.json
-grep -q '"batch_cosim"' BENCH_9.json
-grep -q '"gang_cosim"' BENCH_9.json
-grep -q '"speedup_w64"' BENCH_9.json
-grep -q '"serve_smoke"' BENCH_9.json
-grep -q '"latency_speedup_vs_bench5"' BENCH_9.json
-grep -q '"outputs_identical": true' BENCH_9.json
-grep -q '"stats_scrape"' BENCH_9.json
-grep -q '"scrape_overhead_pct"' BENCH_9.json
-grep -q '"obs_overhead_pct"' BENCH_9.json
-grep -q '"trace_overhead_pct"' BENCH_9.json
-grep -q '"trace_sampled_overhead_pct"' BENCH_9.json
-test -f BENCH_9_metrics.json
-python3 -m json.tool BENCH_9_metrics.json > /dev/null
+test -f BENCH_10.json
+grep -q '"dse_explore_incremental"' BENCH_10.json
+grep -q '"dse_explore_full"' BENCH_10.json
+grep -q '"compile_cache"' BENCH_10.json
+grep -q '"hit_rate"' BENCH_10.json
+grep -q '"results_identical": true' BENCH_10.json
+grep -q '"memo_store"' BENCH_10.json
+grep -q '"compile_diagnostics"' BENCH_10.json
+grep -q '"happy_failfast_us"' BENCH_10.json
+grep -q '"happy_sink_us"' BENCH_10.json
+grep -q '"error_report_us"' BENCH_10.json
+grep -q '"report_deterministic": true' BENCH_10.json
+grep -q '"batch_cosim"' BENCH_10.json
+grep -q '"gang_cosim"' BENCH_10.json
+grep -q '"speedup_w64"' BENCH_10.json
+grep -q '"serve_smoke"' BENCH_10.json
+grep -q '"latency_speedup_vs_bench5"' BENCH_10.json
+grep -q '"outputs_identical": true' BENCH_10.json
+grep -q '"stats_scrape"' BENCH_10.json
+grep -q '"scrape_overhead_pct"' BENCH_10.json
+grep -q '"obs_overhead_pct"' BENCH_10.json
+grep -q '"trace_overhead_pct"' BENCH_10.json
+grep -q '"trace_sampled_overhead_pct"' BENCH_10.json
+grep -q '"explore"' BENCH_10.json
+grep -q '"states_per_sec_scalar"' BENCH_10.json
+grep -q '"states_per_sec_wide"' BENCH_10.json
+grep -q '"dedup_rate"' BENCH_10.json
+grep -q '"truncated": false' BENCH_10.json
+test -f BENCH_10_metrics.json
+python3 -m json.tool BENCH_10_metrics.json > /dev/null
 
 # Serving smoke: a loopback server + 4-client pickup-head session. The
 # session now opens with a Compile → Diagnostics round-trip (wire
@@ -76,6 +88,16 @@ python3 -m json.tool BENCH_9_metrics.json > /dev/null
 PSCP_OBS_DIR=target/obs \
     cargo run --release -p pscp-serve -- session --clients 4 > /dev/null
 python3 -m json.tool target/obs/serve_metrics.json > /dev/null
+
+# Exploration smoke: a loopback `pscp-serve explore` run must report
+# the wire exploration byte-identical to the in-process one, replay
+# every witness, and close the pickup head's state space without
+# truncation.
+cargo run --release -p pscp-serve -- explore --loopback --never-active MoveX \
+    > target/tier1-explore.out
+grep -q 'differential OK' target/tier1-explore.out
+grep -q 'witness replay OK' target/tier1-explore.out
+grep -q 'truncated=false' target/tier1-explore.out
 
 # Telemetry smoke: a one-shot wire scrape against a self-contained
 # loopback session must expose at least three Prometheus metric
